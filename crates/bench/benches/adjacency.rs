@@ -1,0 +1,40 @@
+//! Sparse-vs-dense adjacency application: the solvers apply the relation
+//! operator as `CSR × dense`; this ablation shows why a dense `n × n`
+//! operator (the obvious matrix-form reading of Eq. 10) is not viable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retro_linalg::{CooMatrix, Matrix};
+
+fn build_operator(n: usize, degree: usize, dim: usize) -> (CooMatrix, Matrix) {
+    let mut coo = CooMatrix::new(n, n);
+    // Deterministic pseudo-random sparse pattern.
+    let mut state = 0x5eed_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as usize
+    };
+    for i in 0..n {
+        for _ in 0..degree {
+            coo.push(i, next() % n, 0.3);
+        }
+    }
+    let w = Matrix::from_fn(n, dim, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6);
+    (coo, w)
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let dim = 32;
+    let mut group = c.benchmark_group("adjacency_apply");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let (coo, w) = build_operator(n, 8, dim);
+        let csr = coo.to_csr();
+        let dense = csr.to_dense();
+        group.bench_function(BenchmarkId::new("csr", n), |b| b.iter(|| csr.mul_dense(&w)));
+        group.bench_function(BenchmarkId::new("dense", n), |b| b.iter(|| dense.matmul(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adjacency);
+criterion_main!(benches);

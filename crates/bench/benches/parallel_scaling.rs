@@ -1,0 +1,32 @@
+//! Thread-scaling of the RN solver: serial vs crossbeam row-partitioned
+//! iteration (bit-identical results, see `solver::parallel`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retro_core::solver::{solve_rn, solve_rn_parallel};
+use retro_core::{Hyperparameters, RetrofitProblem};
+use retro_datasets::{TmdbConfig, TmdbDataset};
+
+fn bench_parallel(c: &mut Criterion) {
+    let data = TmdbDataset::generate(TmdbConfig {
+        n_movies: 600,
+        dim: 64,
+        ..TmdbConfig::default()
+    });
+    let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
+    let params = Hyperparameters::paper_rn();
+
+    let mut group = c.benchmark_group("rn_parallel_scaling");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("serial", problem.len()), |b| {
+        b.iter(|| solve_rn(&problem, &params, 10))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new(format!("threads_{threads}"), problem.len()), |b| {
+            b.iter(|| solve_rn_parallel(&problem, &params, 10, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

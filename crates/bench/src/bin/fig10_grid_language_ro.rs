@@ -1,0 +1,12 @@
+//! **Figure 10** — hyperparameter grid search for original-language
+//! imputation with the Ψ-function (RO) solver.
+//!
+//! Expected shape: α = 1 configurations deliver the highest accuracies; the
+//! γ/δ influence mirrors the binary-classification grids.
+
+use retro_bench::grid::{grid_main, GridTask};
+use retro_core::Solver;
+
+fn main() {
+    grid_main("Fig 10 language RO", Solver::Ro, GridTask::LanguageImputation);
+}

@@ -1,0 +1,9 @@
+//! **Figure 11** — hyperparameter grid search for original-language
+//! imputation with the series (RN) solver.
+
+use retro_bench::grid::{grid_main, GridTask};
+use retro_core::Solver;
+
+fn main() {
+    grid_main("Fig 11 language RN", Solver::Rn, GridTask::LanguageImputation);
+}

@@ -1,0 +1,59 @@
+//! **Figure 13** — regression of movie budgets (MAE, lower is better),
+//! comparing all embedding types with the Fig. 5b network.
+//!
+//! ```text
+//! cargo run --release -p retro-bench --bin fig13_regression [--movies N] [--reps R]
+//! ```
+//!
+//! Expected shape (paper): the node embeddings (DW) clearly beat the
+//! text-based embeddings (budget is driven by relational features);
+//! relational retrofitting slightly beats MF/PV; the +DW concatenations
+//! bring every text method down to (slightly below) DW's error.
+
+use retro_bench::{movie_task_inputs, print_report, write_report, ReportRow};
+use retro_datasets::{TmdbConfig, TmdbDataset};
+use retro_eval::tasks::run_regression;
+use retro_eval::{EmbeddingKind, EmbeddingSuite, NetProfile, SuiteConfig};
+use retro_nn::Activation;
+
+fn main() {
+    let n_movies = retro_bench::arg_num("movies", 700usize);
+    let reps = retro_bench::arg_num("reps", 5usize);
+    let full = retro_bench::arg_num("full", 0usize) == 1;
+
+    let data = TmdbDataset::generate(TmdbConfig { n_movies, ..TmdbConfig::default() });
+    let kinds = EmbeddingKind::all();
+    let suite = EmbeddingSuite::build(&data.db, &data.base, &SuiteConfig::default(), &kinds);
+
+    // §5.6 samples 9000 train / 1000 test; scale to the dataset.
+    let train_n = n_movies * 8 / 10;
+    let test_n = n_movies / 10;
+    let profile = if full {
+        NetProfile::paper_regression()
+    } else {
+        NetProfile {
+            hidden: vec![96, 96],
+            activation: Activation::Relu,
+            ..NetProfile::fast(96)
+        }
+    };
+
+    // Mean-predictor baseline for context.
+    let mean_budget = data.movie_budget.iter().sum::<f64>() / data.movie_budget.len() as f64;
+    let mean_mae = data.movie_budget.iter().map(|b| (b - mean_budget).abs()).sum::<f64>()
+        / data.movie_budget.len() as f64;
+
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let (inputs, ys) =
+            movie_task_inputs(&suite, kind, &data.movie_titles, &data.movie_budget);
+        let maes = run_regression(&inputs, &ys, train_n, test_n, reps, &profile, 0xF13);
+        rows.push(ReportRow::from_samples(kind.label(), &maes));
+    }
+    rows.push(ReportRow::from_samples("MEAN", &[mean_mae]));
+
+    print_report("Fig. 13: regression of budget (MAE, USD)", "MAE", &rows);
+    let path = write_report("fig13_regression", "Fig. 13: budget regression", &rows);
+    println!("\nreport: {}", path.display());
+    println!("expected shape: DW lowest among single embeddings; RO/RN < MF/PV; +DW lowest overall");
+}

@@ -1,0 +1,59 @@
+//! **Figure 4** — runtime of relational retrofitting (RO vs RN) over
+//! increasing database sizes, single thread.
+//!
+//! The paper cuts TMDB at movie ids {500, 1k, 2k, 4k, 8k}, yielding
+//! 12,593…55,385 unique text values, and observes linear growth with RN
+//! about 10× faster than RO. We sweep the synthetic generator the same way.
+//!
+//! ```text
+//! cargo run --release -p retro-bench --bin fig4_runtime_scaling [--steps "250,500,1000,2000,4000"]
+//! ```
+
+use retro_bench::{time, write_report, ReportRow};
+use retro_core::{Retro, RetroConfig, RetrofitProblem, Solver};
+use retro_datasets::{TmdbConfig, TmdbDataset};
+
+fn main() {
+    let steps_arg = retro_bench::arg_value("steps", "250,500,1000,2000,4000");
+    let steps: Vec<usize> =
+        steps_arg.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+
+    println!("== Figure 4: retrofitting runtime vs number of text values ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "movies", "text values", "RO (s)", "RO(opt) (s)", "RN (s)", "RO/RN"
+    );
+
+    let mut rows = Vec::new();
+    for &n_movies in &steps {
+        let data = TmdbDataset::generate(TmdbConfig { n_movies, ..TmdbConfig::default() });
+        let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
+        let n_values = problem.len();
+
+        // "RO" = the paper's un-optimized Eq. 10 negative term (§4.5);
+        // "RO(opt)" = this library's Eq. 15-optimized solver.
+        let params = retro_core::Hyperparameters::paper_ro();
+        let (_, ro_secs) =
+            time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
+        let ro_opt = Retro::new(RetroConfig::default().with_solver(Solver::Ro).with_iterations(10));
+        let (_, ro_opt_secs) = time(|| ro_opt.solve(problem.clone()));
+        let rn = Retro::new(RetroConfig::default().with_solver(Solver::Rn).with_iterations(10));
+        let (_, rn_secs) = time(|| rn.solve(problem.clone()));
+
+        println!(
+            "{:>8} {:>12} {:>12.3} {:>12.3} {:>12.3} {:>10.1}",
+            n_movies,
+            n_values,
+            ro_secs,
+            ro_opt_secs,
+            rn_secs,
+            ro_secs / rn_secs.max(1e-9)
+        );
+        rows.push(ReportRow::from_samples(format!("RO@{n_values}"), &[ro_secs]));
+        rows.push(ReportRow::from_samples(format!("RO(opt)@{n_values}"), &[ro_opt_secs]));
+        rows.push(ReportRow::from_samples(format!("RN@{n_values}"), &[rn_secs]));
+    }
+    let path = write_report("fig4_runtime_scaling", "Fig. 4: runtime scaling", &rows);
+    println!("\nreport: {}", path.display());
+    println!("expected shape: both linear in text values; RO several-fold slower than RN");
+}

@@ -1,0 +1,12 @@
+//! **Figure 6** — hyperparameter grid search for binary classification with
+//! the Ψ-function (RO) solver, with and without DeepWalk concatenation.
+//!
+//! Expected shape: high γ and δ deliver good results; with DW concatenation
+//! the optimum shifts to higher α and β.
+
+use retro_bench::grid::{grid_main, GridTask};
+use retro_core::Solver;
+
+fn main() {
+    grid_main("Fig 6 binary RO", Solver::Ro, GridTask::BinaryDirectors);
+}

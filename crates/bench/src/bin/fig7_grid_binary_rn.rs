@@ -1,0 +1,12 @@
+//! **Figure 7** — hyperparameter grid search for binary classification with
+//! the series (RN) solver, with and without DeepWalk concatenation.
+//!
+//! Expected shape: optimum has γ > δ; δ's influence is stronger than for RO
+//! (Eq. 14), and non-converging high-δ/low-α corners score poorly.
+
+use retro_bench::grid::{grid_main, GridTask};
+use retro_core::Solver;
+
+fn main() {
+    grid_main("Fig 7 binary RN", Solver::Rn, GridTask::BinaryDirectors);
+}

@@ -1,0 +1,51 @@
+//! **Figure 8** — binary classification of US-American directors across all
+//! embedding types (PV, MF, DW, RO, RN and the +DW concatenations).
+//!
+//! ```text
+//! cargo run --release -p retro-bench --bin fig8_binary_classification \
+//!     [--movies N] [--reps R] [--full 1]
+//! ```
+//!
+//! Expected shape (paper Fig. 8): best accuracies from RN and RO (RN
+//! slightly ahead); DW alone comparable to PV/MF; every +DW concatenation
+//! lifts accuracy further.
+
+use retro_bench::{director_task_inputs, print_report, write_report, ReportRow};
+use retro_datasets::{TmdbConfig, TmdbDataset};
+use retro_eval::tasks::run_binary_classification;
+use retro_eval::{EmbeddingKind, EmbeddingSuite, NetProfile, SuiteConfig};
+
+fn main() {
+    let n_movies = retro_bench::arg_num("movies", 600usize);
+    let reps = retro_bench::arg_num("reps", 5usize);
+    let full = retro_bench::arg_num("full", 0usize) == 1;
+
+    let data = TmdbDataset::generate(TmdbConfig { n_movies, ..TmdbConfig::default() });
+    let labels = data.us_director_labels();
+    let us = labels.iter().filter(|(_, b)| *b).count();
+    println!(
+        "directors: {} ({} US); movies: {n_movies}; reps: {reps}; profile: {}",
+        labels.len(),
+        us,
+        if full { "paper (600 hidden)" } else { "fast" }
+    );
+
+    let kinds = EmbeddingKind::all();
+    let suite = EmbeddingSuite::build(&data.db, &data.base, &SuiteConfig::default(), &kinds);
+
+    // §5.5.1 samples 3000 per class; we scale to the synthetic dataset.
+    let per_class = (us.min(labels.len() - us) / 2 * 2).min(150);
+    let profile = if full { NetProfile::paper_binary() } else { NetProfile::fast(64) };
+
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let (inputs, ys) = director_task_inputs(&suite, kind, &labels);
+        let accs = run_binary_classification(&inputs, &ys, per_class, reps, &profile, 0xF168);
+        rows.push(ReportRow::from_samples(kind.label(), &accs));
+    }
+    print_report("Fig. 8: binary classification of US directors", "accuracy", &rows);
+    let path =
+        write_report("fig8_binary_classification", "Fig. 8: US-director classification", &rows);
+    println!("\nreport: {}", path.display());
+    println!("expected shape: RN >= RO > MF ~= PV; DW between; +DW variants on top");
+}

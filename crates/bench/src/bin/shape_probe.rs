@@ -1,0 +1,80 @@
+//! Diagnostic: quick check that the synthetic data reproduces the paper's
+//! qualitative orderings (not one of the paper's artifacts; a calibration
+//! tool for the generators).
+//!
+//! Run with `cargo run --release -p retro-bench --bin shape_probe`.
+
+use retro_bench::{director_task_inputs, movie_task_inputs, print_report, time, ReportRow};
+use retro_datasets::{TmdbConfig, TmdbDataset};
+use retro_eval::tasks::{run_binary_classification, run_imputation};
+use retro_eval::{EmbeddingKind, EmbeddingSuite, NetProfile, SuiteConfig};
+
+fn main() {
+    let n_movies = retro_bench::arg_num("movies", 400usize);
+    let (data, secs) = time(|| {
+        TmdbDataset::generate(TmdbConfig { n_movies, dim: 48, ..TmdbConfig::default() })
+    });
+    println!("generated TMDB ({n_movies} movies, {} text values) in {secs:.1}s",
+        data.db.unique_text_value_count());
+
+    let kinds = [
+        EmbeddingKind::Pv,
+        EmbeddingKind::Mf,
+        EmbeddingKind::Dw,
+        EmbeddingKind::Ro,
+        EmbeddingKind::Rn,
+        EmbeddingKind::RnDw,
+    ];
+    let (suite, secs) = time(|| {
+        EmbeddingSuite::build(&data.db, &data.base, &SuiteConfig::default(), &kinds)
+    });
+    println!("built suite in {secs:.1}s");
+
+    // Binary classification of US directors.
+    let labels = data.us_director_labels();
+    let us = labels.iter().filter(|(_, b)| *b).count();
+    println!("directors: {} ({} US)", labels.len(), us);
+    let per_class = (us.min(labels.len() - us) / 2 * 2).min(120);
+    let profile = NetProfile::fast(64);
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let (inputs, ys) = director_task_inputs(&suite, kind, &labels);
+        let accs = run_binary_classification(&inputs, &ys, per_class, 3, &profile, 42);
+        rows.push(ReportRow::from_samples(kind.label(), &accs));
+    }
+    print_report("US-director binary classification", "accuracy", &rows);
+
+    // Language imputation (embeddings without the label column).
+    let lang_suite = EmbeddingSuite::build(
+        &data.db,
+        &data.base,
+        &SuiteConfig::default().skip_column("movies", "original_language"),
+        &kinds,
+    );
+    let lang_index: Vec<usize> = data
+        .movie_language
+        .iter()
+        .map(|l| retro_datasets::tmdb::LANGUAGES.iter().position(|x| x == l).expect("lang"))
+        .collect();
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let (inputs, ys) =
+            movie_task_inputs(&lang_suite, kind, &data.movie_titles, &lang_index);
+        let n = inputs.rows();
+        let accs = run_imputation(
+            &inputs,
+            &ys,
+            retro_datasets::tmdb::LANGUAGES.len(),
+            n * 6 / 10,
+            n * 3 / 10,
+            3,
+            &profile,
+            43,
+        );
+        rows.push(ReportRow::from_samples(kind.label(), &accs));
+    }
+    // MODE baseline.
+    let en = lang_index.iter().filter(|&&l| l == 0).count();
+    rows.push(ReportRow::from_samples("MODE", &[en as f64 / lang_index.len() as f64]));
+    print_report("language imputation", "accuracy", &rows);
+}

@@ -1,0 +1,95 @@
+//! **Table 2** — runtime of the embedding methods (MF, DW, RO, RN) on both
+//! datasets, single-threaded, repeated measurements with mean ± deviation.
+//!
+//! ```text
+//! cargo run --release -p retro-bench --bin table2_method_runtimes \
+//!     [--movies N] [--apps N] [--reps R]
+//! ```
+//!
+//! Expected shape (paper Table 2): MF fastest, then RN, then RO, with
+//! DeepWalk slowest by a wide margin.
+
+use retro_bench::{print_report, time, write_report, ReportRow};
+use retro_core::graphgen::generate_graph;
+use retro_core::{Retro, RetroConfig, RetrofitProblem, Solver};
+use retro_datasets::{GooglePlayConfig, GooglePlayDataset, TmdbConfig, TmdbDataset};
+use retro_deepwalk::{DeepWalk, DeepWalkConfig, SgnsConfig};
+use retro_embed::EmbeddingSet;
+use retro_graph::WalkConfig;
+use retro_store::Database;
+
+fn measure(db: &Database, base: &EmbeddingSet, reps: usize, dataset: &str) -> Vec<ReportRow> {
+    let problem = RetrofitProblem::build(db, base, &[], &[]);
+    println!(
+        "[{dataset}] {} text values, {} relation groups",
+        problem.len(),
+        problem.groups.len()
+    );
+
+    let mut rows = Vec::new();
+    for (label, solver, iters) in
+        [("MF", Solver::Mf, 20usize), ("RO(opt)", Solver::Ro, 10), ("RN", Solver::Rn, 10)]
+    {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let engine = Retro::new(
+                RetroConfig::default().with_solver(solver).with_iterations(iters),
+            );
+            let (_, secs) = time(|| engine.solve(problem.clone()));
+            samples.push(secs);
+        }
+        rows.push(ReportRow::from_samples(label, &samples));
+    }
+    // "RO" as the paper measured it: the un-optimized negative-term
+    // computation of Eq. 10 (see §4.5) — this is what makes RO ~10x slower
+    // than RN in the paper's Table 2 and Fig. 4.
+    {
+        let params = retro_core::Hyperparameters::paper_ro();
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let (_, secs) =
+                time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
+            samples.push(secs);
+        }
+        rows.push(ReportRow::from_samples("RO", &samples));
+    }
+
+    // DeepWalk (standard parameters per §5.2, scaled walk counts).
+    let generated = generate_graph(&problem.catalog, &problem.groups);
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let config = DeepWalkConfig {
+            walks: WalkConfig { walks_per_node: 10, walk_length: 40 },
+            sgns: SgnsConfig { dim: base.dim(), ..SgnsConfig::default() },
+            seed: rep as u64,
+        };
+        let (_, secs) = time(|| DeepWalk::new(config).train(&generated.graph));
+        samples.push(secs);
+    }
+    rows.push(ReportRow::from_samples("DW", &samples));
+    rows
+}
+
+fn main() {
+    let n_movies = retro_bench::arg_num("movies", 800usize);
+    let n_apps = retro_bench::arg_num("apps", 600usize);
+    let reps = retro_bench::arg_num("reps", 5usize);
+
+    let tmdb = TmdbDataset::generate(TmdbConfig { n_movies, ..TmdbConfig::default() });
+    let tmdb_rows = measure(&tmdb.db, &tmdb.base, reps, "TMDB");
+    print_report("Table 2 — TMDB runtimes (seconds)", "runtime", &tmdb_rows);
+
+    let gplay =
+        GooglePlayDataset::generate(GooglePlayConfig { n_apps, ..GooglePlayConfig::default() });
+    let gplay_rows = measure(&gplay.db, &gplay.base, reps, "Google Play");
+    print_report("Table 2 — Google Play runtimes (seconds)", "runtime", &gplay_rows);
+
+    let mut all = tmdb_rows;
+    for mut row in gplay_rows {
+        row.label = format!("gplay_{}", row.label);
+        all.push(row);
+    }
+    let path = write_report("table2_method_runtimes", "Table 2: method runtimes", &all);
+    println!("\nreport: {}", path.display());
+    println!("expected shape: MF < RN ~ RO(opt) < RO << DW");
+}

@@ -1,0 +1,199 @@
+//! Shared hyperparameter grid-search driver for Figs. 6/7 (binary
+//! classification) and Figs. 10/11 (language imputation).
+//!
+//! For every (α, β, γ, δ) combination, embeddings are retrofitted with the
+//! chosen solver, optionally concatenated with (once-trained) DeepWalk node
+//! embeddings, and scored on the downstream task. Rows come back sorted by
+//! accuracy so the figure's "which corner of the grid wins" message is
+//! immediate.
+
+use retro_core::combine::concat_normalized;
+use retro_core::graphgen::generate_graph;
+use retro_core::{Hyperparameters, Retro, RetroConfig, RetrofitProblem, Solver};
+use retro_datasets::TmdbDataset;
+use retro_deepwalk::{DeepWalk, DeepWalkConfig, SgnsConfig};
+use retro_eval::tasks::{run_binary_classification, run_imputation};
+use retro_eval::NetProfile;
+use retro_graph::WalkConfig;
+use retro_linalg::Matrix;
+
+use crate::ReportRow;
+
+/// Which downstream task scores the grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridTask {
+    /// Fig. 6/7: US-director binary classification.
+    BinaryDirectors,
+    /// Fig. 10/11: original-language imputation.
+    LanguageImputation,
+}
+
+/// The grid axes (the paper sweeps small integer settings).
+#[derive(Clone, Debug)]
+pub struct Grid {
+    pub alphas: Vec<f32>,
+    pub betas: Vec<f32>,
+    pub gammas: Vec<f32>,
+    pub deltas: Vec<f32>,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Self {
+            alphas: vec![1.0, 2.0],
+            betas: vec![0.0, 1.0],
+            gammas: vec![1.0, 2.0, 3.0],
+            deltas: vec![0.0, 1.0, 3.0],
+        }
+    }
+}
+
+/// Run the grid search; returns one report row per configuration,
+/// best-first.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid(
+    data: &TmdbDataset,
+    solver: Solver,
+    task: GridTask,
+    with_dw: bool,
+    grid: &Grid,
+    repetitions: usize,
+    profile: &NetProfile,
+    seed: u64,
+) -> Vec<ReportRow> {
+    // Problem extraction once (solver-independent); the language task
+    // ablates its label column.
+    let skip: Vec<(&str, &str)> = match task {
+        GridTask::BinaryDirectors => vec![],
+        GridTask::LanguageImputation => vec![("movies", "original_language")],
+    };
+    let problem = RetrofitProblem::build(&data.db, &data.base, &skip, &[]);
+
+    // DeepWalk once, if requested.
+    let dw = with_dw.then(|| {
+        let generated = generate_graph(&problem.catalog, &problem.groups);
+        let config = DeepWalkConfig {
+            walks: WalkConfig { walks_per_node: 8, walk_length: 20 },
+            sgns: SgnsConfig { dim: data.base.dim(), ..SgnsConfig::default() },
+            seed,
+        };
+        let node = DeepWalk::new(config).train(&generated.graph);
+        node.select_rows(&(0..problem.len()).collect::<Vec<_>>())
+    });
+
+    let mut rows = Vec::new();
+    for &alpha in &grid.alphas {
+        for &beta in &grid.betas {
+            for &gamma in &grid.gammas {
+                for &delta in &grid.deltas {
+                    let params = Hyperparameters::new(alpha, beta, gamma, delta);
+                    let engine = Retro::new(RetroConfig {
+                        solver,
+                        params,
+                        iterations: 10,
+                        ..RetroConfig::default()
+                    });
+                    let output = engine.solve(problem.clone());
+                    let emb = match &dw {
+                        Some(dw) => concat_normalized(&output.embeddings, dw),
+                        None => output.embeddings,
+                    };
+                    let accs =
+                        score(data, &problem, &emb, task, repetitions, profile, seed);
+                    rows.push(ReportRow::from_samples(
+                        format!("a={alpha} b={beta} g={gamma} d={delta}"),
+                        &accs,
+                    ));
+                }
+            }
+        }
+    }
+    rows.sort_by(|a, b| b.mean.partial_cmp(&a.mean).unwrap_or(std::cmp::Ordering::Equal));
+    rows
+}
+
+fn score(
+    data: &TmdbDataset,
+    problem: &RetrofitProblem,
+    embeddings: &Matrix,
+    task: GridTask,
+    repetitions: usize,
+    profile: &NetProfile,
+    seed: u64,
+) -> Vec<f64> {
+    match task {
+        GridTask::BinaryDirectors => {
+            let labels = data.us_director_labels();
+            let mut rows = Vec::new();
+            let mut ys = Vec::new();
+            for (name, is_us) in &labels {
+                if let Some(id) = problem.catalog.lookup("persons", "name", name) {
+                    rows.push(embeddings.row(id).to_vec());
+                    ys.push(*is_us);
+                }
+            }
+            let inputs = Matrix::from_rows(&rows);
+            let us = ys.iter().filter(|b| **b).count();
+            let per_class = (us.min(ys.len() - us) / 2 * 2).max(2);
+            run_binary_classification(&inputs, &ys, per_class.min(120), repetitions, profile, seed)
+        }
+        GridTask::LanguageImputation => {
+            let mut rows = Vec::new();
+            let mut ys = Vec::new();
+            for (m, title) in data.movie_titles.iter().enumerate() {
+                if let Some(id) = problem.catalog.lookup("movies", "title", title) {
+                    rows.push(embeddings.row(id).to_vec());
+                    ys.push(
+                        retro_datasets::tmdb::LANGUAGES
+                            .iter()
+                            .position(|l| *l == data.movie_language[m])
+                            .expect("known language"),
+                    );
+                }
+            }
+            let inputs = Matrix::from_rows(&rows);
+            let n = inputs.rows();
+            run_imputation(
+                &inputs,
+                &ys,
+                retro_datasets::tmdb::LANGUAGES.len(),
+                n * 6 / 10,
+                n * 3 / 10,
+                repetitions,
+                profile,
+                seed,
+            )
+        }
+    }
+}
+
+/// Standard main body shared by the four grid binaries.
+pub fn grid_main(figure: &str, solver: Solver, task: GridTask) {
+    let n_movies = crate::arg_num("movies", 300usize);
+    let reps = crate::arg_num("reps", 2usize);
+    let with_dw = crate::arg_value("dw", "both");
+
+    let data = TmdbDataset::generate(retro_datasets::TmdbConfig {
+        n_movies,
+        dim: 48,
+        ..retro_datasets::TmdbConfig::default()
+    });
+    let profile = NetProfile::fast(48).with_epochs(80, Some(25));
+    let grid = Grid::default();
+
+    for dw in [false, true] {
+        if (with_dw == "only" && !dw) || (with_dw == "none" && dw) {
+            continue;
+        }
+        let suffix = if dw { " + DW concat" } else { " (retrofitted only)" };
+        let rows = run_grid(&data, solver, task, dw, &grid, reps, &profile, 99);
+        crate::print_report(&format!("{figure}{suffix}"), "accuracy", &rows);
+        let name = format!(
+            "{}_{}",
+            figure.to_lowercase().replace([' ', '.'], ""),
+            if dw { "dw" } else { "plain" }
+        );
+        let path = crate::write_report(&name, figure, &rows);
+        println!("report: {}", path.display());
+    }
+}

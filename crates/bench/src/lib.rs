@@ -1,0 +1,191 @@
+//! # retro-bench
+//!
+//! The experiment-reproduction harness: shared helpers used by the
+//! `table*`/`fig*` binaries (one per table/figure of the paper's
+//! evaluation) and the criterion microbenches.
+
+pub mod grid;
+
+use std::time::Instant;
+
+use retro_eval::{EmbeddingKind, EmbeddingSuite};
+use retro_linalg::stats::Summary;
+use retro_linalg::Matrix;
+use serde::Serialize;
+
+/// Wall-clock one closure, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Gather the embedding rows of the labelled directors: `(inputs, labels)`.
+///
+/// Directors missing from the catalog (none, in practice) are skipped so
+/// inputs and labels stay aligned.
+pub fn director_task_inputs(
+    suite: &EmbeddingSuite,
+    kind: EmbeddingKind,
+    labels: &[(String, bool)],
+) -> (Matrix, Vec<bool>) {
+    let matrix = suite.matrix(kind);
+    let mut rows = Vec::with_capacity(labels.len());
+    let mut ys = Vec::with_capacity(labels.len());
+    for (name, is_us) in labels {
+        if let Some(id) = suite.catalog.lookup("persons", "name", name) {
+            rows.push(matrix.row(id).to_vec());
+            ys.push(*is_us);
+        }
+    }
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// Gather `(inputs, labels)` for movie-title-keyed tasks (language
+/// imputation, budget regression). `titles[i]` must be the title of movie
+/// `i`; labels are carried along for titles found in the catalog.
+pub fn movie_task_inputs<L: Clone>(
+    suite: &EmbeddingSuite,
+    kind: EmbeddingKind,
+    titles: &[String],
+    labels: &[L],
+) -> (Matrix, Vec<L>) {
+    assert_eq!(titles.len(), labels.len(), "movie_task_inputs: title/label mismatch");
+    let matrix = suite.matrix(kind);
+    let mut rows = Vec::with_capacity(titles.len());
+    let mut ys = Vec::with_capacity(titles.len());
+    for (title, label) in titles.iter().zip(labels) {
+        if let Some(id) = suite.catalog.lookup("movies", "title", title) {
+            rows.push(matrix.row(id).to_vec());
+            ys.push(label.clone());
+        }
+    }
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// One row of an experiment report.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReportRow {
+    /// Series label (embedding kind, method name, parameter setting, …).
+    pub label: String,
+    /// Mean of the metric over repetitions.
+    pub mean: f64,
+    /// Standard deviation over repetitions.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of repetitions.
+    pub n: usize,
+}
+
+impl ReportRow {
+    /// Summarize a sample set under a label.
+    pub fn from_samples(label: impl Into<String>, samples: &[f64]) -> Self {
+        let s = Summary::of(samples);
+        Self {
+            label: label.into(),
+            mean: s.mean,
+            std_dev: s.std_dev,
+            min: s.min,
+            max: s.max,
+            n: s.n,
+        }
+    }
+}
+
+/// Print a report as an aligned text table (the shape the paper's figures
+/// report: method, mean ± deviation).
+pub fn print_report(title: &str, metric: &str, rows: &[ReportRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12} {:>4}",
+        "method", metric, "+/-", "min", "max", "n"
+    );
+    for row in rows {
+        println!(
+            "{:<10} {:>14.4} {:>12.4} {:>12.4} {:>12.4} {:>4}",
+            row.label, row.mean, row.std_dev, row.min, row.max, row.n
+        );
+    }
+}
+
+/// Serialize a report to JSON.
+pub fn report_json(title: &str, rows: &[ReportRow]) -> String {
+    #[derive(Serialize)]
+    struct Doc<'a> {
+        title: &'a str,
+        rows: &'a [ReportRow],
+    }
+    serde_json::to_string_pretty(&Doc { title, rows }).expect("report serialization")
+}
+
+/// Write a JSON report under `results/` (created on demand), returning the
+/// path — the machine-readable artifacts EXPERIMENTS.md references.
+pub fn write_report(name: &str, title: &str, rows: &[ReportRow]) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, report_json(title, rows)).expect("write report");
+    path
+}
+
+/// Parse `--flag value` style options from `std::env::args` with defaults —
+/// just enough CLI for the experiment binaries without a dependency.
+pub fn arg_value(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == format!("--{name}") {
+            return pair[1].clone();
+        }
+    }
+    default.to_owned()
+}
+
+/// Parse a numeric `--flag value` option.
+pub fn arg_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == format!("--{name}") {
+            if let Ok(v) = pair[1].parse() {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_row_summarizes() {
+        let row = ReportRow::from_samples("RN", &[0.9, 0.8, 1.0]);
+        assert!((row.mean - 0.9).abs() < 1e-12);
+        assert_eq!(row.n, 3);
+        assert_eq!(row.min, 0.8);
+    }
+
+    #[test]
+    fn report_json_is_valid() {
+        let rows = vec![ReportRow::from_samples("PV", &[0.5])];
+        let json = report_json("test", &rows);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["rows"][0]["label"], "PV");
+    }
+
+    #[test]
+    fn time_measures_positive_duration() {
+        let (value, secs) = time(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn arg_helpers_fall_back_to_defaults() {
+        assert_eq!(arg_value("no-such-flag", "dflt"), "dflt");
+        assert_eq!(arg_num::<usize>("no-such-flag", 7), 7);
+    }
+}

@@ -1,0 +1,238 @@
+//! Text-value extraction: categories and the §3.3 uniqueness rules.
+//!
+//! * Every text column of the database is one *category* `C`.
+//! * The same string in two different columns yields **two** text values
+//!   (two embeddings) — "Amélie" the person and "Amélie" the movie differ.
+//! * The same string twice in one column yields **one** text value.
+
+use std::collections::HashMap;
+
+use retro_store::Database;
+
+/// One category = one text column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Category {
+    /// Owning table.
+    pub table: String,
+    /// Column within the table.
+    pub column: String,
+}
+
+impl Category {
+    /// `table.column` label (used for graph blank nodes and diagnostics).
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.table, self.column)
+    }
+}
+
+/// The extracted text values of a database.
+///
+/// Ids are dense `0..len` and deterministic: tables in name order, columns
+/// in schema order, values in first-occurrence row order.
+#[derive(Clone, Debug, Default)]
+pub struct TextValueCatalog {
+    categories: Vec<Category>,
+    /// Per text value: its category id.
+    value_category: Vec<u32>,
+    /// Per text value: the text itself.
+    value_text: Vec<String>,
+    /// `(category id, text) → value id`.
+    index: HashMap<(u32, String), u32>,
+    /// `(table, column) → category id`.
+    category_index: HashMap<(String, String), u32>,
+}
+
+impl TextValueCatalog {
+    /// Extract all text values of `db`.
+    ///
+    /// `skip_columns` lists `(table, column)` pairs to ignore — the
+    /// evaluation ablates label columns this way (e.g. training language
+    /// imputation embeddings "by ignoring the original_language column").
+    pub fn extract(db: &Database, skip_columns: &[(&str, &str)]) -> Self {
+        let mut catalog = Self::default();
+        for table in db.tables() {
+            let schema = table.schema();
+            for col_idx in schema.text_columns() {
+                let column = &schema.columns[col_idx].name;
+                if skip_columns
+                    .iter()
+                    .any(|(t, c)| *t == schema.name && *c == column.as_str())
+                {
+                    continue;
+                }
+                let cat_id = catalog.add_category(&schema.name, column);
+                for value in table.column_values(col_idx) {
+                    if let Some(text) = value.as_text() {
+                        catalog.intern(cat_id, text);
+                    }
+                }
+            }
+        }
+        catalog
+    }
+
+    /// Register a category (idempotent) and return its id.
+    pub fn add_category(&mut self, table: &str, column: &str) -> u32 {
+        let key = (table.to_owned(), column.to_owned());
+        if let Some(&id) = self.category_index.get(&key) {
+            return id;
+        }
+        let id = self.categories.len() as u32;
+        self.categories.push(Category { table: table.to_owned(), column: column.to_owned() });
+        self.category_index.insert(key, id);
+        id
+    }
+
+    /// Intern a text value into a category; returns its id (existing or new).
+    pub fn intern(&mut self, category: u32, text: &str) -> u32 {
+        let key = (category, text.to_owned());
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = self.value_text.len() as u32;
+        self.value_category.push(category);
+        self.value_text.push(text.to_owned());
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Number of text values (embeddings to learn).
+    pub fn len(&self) -> usize {
+        self.value_text.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value_text.is_empty()
+    }
+
+    /// Number of categories.
+    pub fn category_count(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// The categories in id order.
+    pub fn categories(&self) -> &[Category] {
+        &self.categories
+    }
+
+    /// A text value's category id.
+    pub fn category_of(&self, value: usize) -> u32 {
+        self.value_category[value]
+    }
+
+    /// A text value's text.
+    pub fn text(&self, value: usize) -> &str {
+        &self.value_text[value]
+    }
+
+    /// Look up a value id by table, column and text.
+    pub fn lookup(&self, table: &str, column: &str, text: &str) -> Option<usize> {
+        let cat = self.category_id(table, column)?;
+        self.index.get(&(cat, text.to_owned())).map(|&id| id as usize)
+    }
+
+    /// Look up a value id within a known category.
+    pub fn lookup_in_category(&self, category: u32, text: &str) -> Option<usize> {
+        self.index.get(&(category, text.to_owned())).map(|&id| id as usize)
+    }
+
+    /// The category id of `table.column`.
+    pub fn category_id(&self, table: &str, column: &str) -> Option<u32> {
+        self.category_index.get(&(table.to_owned(), column.to_owned())).copied()
+    }
+
+    /// All value ids of one category.
+    pub fn values_in_category(&self, category: u32) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.value_category[i] == category).collect()
+    }
+
+    /// Iterate `(id, category, text)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32, &str)> {
+        (0..self.len()).map(move |i| (i, self.value_category[i], self.value_text[i].as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_store::sql;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, lang TEXT);
+             INSERT INTO persons VALUES (1, 'Amelie'), (2, 'Luc Besson'), (3, 'Amelie');
+             INSERT INTO movies VALUES (1, 'Amelie', 'fr'), (2, 'Alien', 'en'), (3, 'Brazil', 'en');",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn categories_are_text_columns() {
+        let cat = TextValueCatalog::extract(&db(), &[]);
+        // movies.title, movies.lang, persons.name (tables in name order).
+        assert_eq!(cat.category_count(), 3);
+        let labels: Vec<_> = cat.categories().iter().map(Category::label).collect();
+        assert_eq!(labels, vec!["movies.title", "movies.lang", "persons.name"]);
+    }
+
+    #[test]
+    fn same_text_same_column_is_one_value() {
+        let cat = TextValueCatalog::extract(&db(), &[]);
+        // persons has two rows with "Amelie" but only one value.
+        let persons_amelies: Vec<_> = (0..cat.len())
+            .filter(|&i| cat.text(i) == "Amelie")
+            .filter(|&i| {
+                let c = &cat.categories()[cat.category_of(i) as usize];
+                c.table == "persons"
+            })
+            .collect();
+        assert_eq!(persons_amelies.len(), 1);
+    }
+
+    #[test]
+    fn same_text_different_column_is_two_values() {
+        let cat = TextValueCatalog::extract(&db(), &[]);
+        let movie = cat.lookup("movies", "title", "Amelie").unwrap();
+        let person = cat.lookup("persons", "name", "Amelie").unwrap();
+        assert_ne!(movie, person);
+    }
+
+    #[test]
+    fn counts_match_expectation() {
+        let cat = TextValueCatalog::extract(&db(), &[]);
+        // titles: Amelie, Alien, Brazil (3); lang: fr, en (2); names: Amelie, Luc Besson (2).
+        assert_eq!(cat.len(), 7);
+    }
+
+    #[test]
+    fn skip_columns_ablate_label_columns() {
+        let cat = TextValueCatalog::extract(&db(), &[("movies", "lang")]);
+        assert_eq!(cat.category_count(), 2);
+        assert!(cat.lookup("movies", "lang", "en").is_none());
+        assert_eq!(cat.len(), 5);
+    }
+
+    #[test]
+    fn values_in_category_enumerates() {
+        let cat = TextValueCatalog::extract(&db(), &[]);
+        let lang_cat = cat.category_id("movies", "lang").unwrap();
+        let vals = cat.values_in_category(lang_cat);
+        let texts: Vec<_> = vals.iter().map(|&v| cat.text(v)).collect();
+        assert_eq!(texts, vec!["fr", "en"]);
+    }
+
+    #[test]
+    fn deterministic_across_extractions() {
+        let a = TextValueCatalog::extract(&db(), &[]);
+        let b = TextValueCatalog::extract(&db(), &[]);
+        for i in 0..a.len() {
+            assert_eq!(a.text(i), b.text(i));
+            assert_eq!(a.category_of(i), b.category_of(i));
+        }
+    }
+}

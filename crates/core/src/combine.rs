@@ -1,0 +1,73 @@
+//! Embedding combination (§4.6): the paper concatenates retrofitted and
+//! DeepWalk node embeddings ("RO+DW", "RN+DW"), after testing several
+//! combination methods.
+
+use retro_linalg::Matrix;
+
+/// Concatenate two embedding matrices row-wise: `[a | b]`.
+///
+/// Each side is L2-normalized per row first so neither embedding dominates
+/// the concatenation by scale — the evaluation networks normalize their
+/// inputs anyway (§5.5) and normalizing per side preserves both signals.
+pub fn concat_normalized(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "concat_normalized: row count mismatch");
+    let mut an = a.clone();
+    let mut bn = b.clone();
+    an.normalize_rows();
+    bn.normalize_rows();
+    an.hconcat(&bn)
+}
+
+/// Plain concatenation without normalization (for ablation).
+pub fn concat_raw(a: &Matrix, b: &Matrix) -> Matrix {
+    a.hconcat(b)
+}
+
+/// Row-wise weighted average of two equal-dimension embeddings — the main
+/// alternative combination method considered in the literature ([14] in the
+/// paper); exposed for the combination ablation bench.
+pub fn average(a: &Matrix, b: &Matrix, weight_a: f32) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "average: shape mismatch");
+    let mut out = a.clone();
+    out.scale(weight_a);
+    out.axpy(1.0 - weight_a, b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_linalg::vector;
+
+    #[test]
+    fn concat_widths_add() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]);
+        let c = concat_normalized(&a, &b);
+        assert_eq!(c.shape(), (1, 5));
+    }
+
+    #[test]
+    fn concat_normalizes_each_side() {
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]); // norm 5
+        let b = Matrix::from_rows(&[vec![0.0, 10.0]]); // norm 10
+        let c = concat_normalized(&a, &b);
+        assert!((vector::norm(&c.row(0)[..2]) - 1.0).abs() < 1e-6);
+        assert!((vector::norm(&c.row(0)[2..]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn raw_concat_preserves_values() {
+        let a = Matrix::from_rows(&[vec![3.0]]);
+        let b = Matrix::from_rows(&[vec![7.0]]);
+        assert_eq!(concat_raw(&a, &b).row(0), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn average_interpolates() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        let m = average(&a, &b, 0.25);
+        assert!(vector::approx_eq(m.row(0), &[0.25, 0.75], 1e-6));
+    }
+}

@@ -1,0 +1,250 @@
+//! Hyperparameters and the Eq. 12–14 weight derivation, plus the Eq. 7/24
+//! convexity check.
+//!
+//! Four global knobs — α (anchor to the original embedding), β (pull toward
+//! the category centroid), γ (pull toward related values), δ (push away from
+//! unrelated values of related columns) — are turned into per-node,
+//! per-group weights:
+//!
+//! * `βi = β / (|Ri| + 1)` — Eq. 12,
+//! * `γ^r_i = γ / (odr(i) · (|Ri| + 1))` — Eq. 12,
+//! * RO: `δ^r_i = δ / (mc(r) · mr(r))` — Eq. 13,
+//! * RN: `δ^r_i = δ / (odr(i) · (|Ri| + 1))` — Eq. 14.
+
+use crate::relations::RelationGroup;
+
+/// The four global hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hyperparameters {
+    /// Anchor weight to the original vector `v'ᵢ`.
+    pub alpha: f32,
+    /// Category-centroid weight.
+    pub beta: f32,
+    /// Relational attraction weight.
+    pub gamma: f32,
+    /// Relational repulsion weight.
+    pub delta: f32,
+}
+
+impl Default for Hyperparameters {
+    /// The paper's series-approach configuration for the ML tasks
+    /// (α=1, β=0, γ=3, δ=1, §5.2).
+    fn default() -> Self {
+        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 1.0 }
+    }
+}
+
+impl Hyperparameters {
+    /// The paper's RO configuration (α=1, β=0, γ=3, δ=3, §5.2).
+    pub fn paper_ro() -> Self {
+        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 3.0 }
+    }
+
+    /// The paper's RN configuration (α=1, β=0, γ=3, δ=1, §5.2).
+    pub fn paper_rn() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand constructor.
+    pub fn new(alpha: f32, beta: f32, gamma: f32, delta: f32) -> Self {
+        Self { alpha, beta, gamma, delta }
+    }
+}
+
+/// Per-group derived quantities shared by both solvers.
+#[derive(Clone, Debug)]
+pub struct GroupWeights {
+    /// `γ^r_i` for each source id `i` (indexed densely over all values;
+    /// zero for non-sources).
+    pub gamma_i: Vec<f32>,
+    /// `δ^r_i` for each source id.
+    pub delta_i: Vec<f32>,
+    /// `mr(r)` of Eq. 13.
+    pub mr: usize,
+    /// `mc(r)` of Eq. 13.
+    pub mc: usize,
+}
+
+/// `mr(r)` of Eq. 13: the maximum `|Ri| + 1` over all participants of `r`
+/// (sources and targets of the forward group).
+pub fn mr(group: &RelationGroup, relation_counts: &[u32]) -> usize {
+    let mut m = 0usize;
+    for &(i, j) in &group.edges {
+        m = m.max(relation_counts[i as usize] as usize + 1);
+        m = m.max(relation_counts[j as usize] as usize + 1);
+    }
+    m.max(1)
+}
+
+/// Derive the per-source weights of one *directed* group.
+///
+/// `ro_delta` selects the Eq. 13 (true, optimization solver) or Eq. 14
+/// (false, series solver) δ normalization.
+pub fn derive_group_weights(
+    group: &RelationGroup,
+    relation_counts: &[u32],
+    params: &Hyperparameters,
+    n_values: usize,
+    ro_delta: bool,
+) -> GroupWeights {
+    let mut out_deg = vec![0u32; n_values];
+    for &(i, _) in &group.edges {
+        out_deg[i as usize] += 1;
+    }
+    let mr_v = mr(group, relation_counts);
+    let mc_v = group.mc().max(1);
+
+    let mut gamma_i = vec![0.0f32; n_values];
+    let mut delta_i = vec![0.0f32; n_values];
+    for i in 0..n_values {
+        let od = out_deg[i] as f32;
+        if od > 0.0 {
+            let ri = relation_counts[i] as f32 + 1.0;
+            gamma_i[i] = params.gamma / (od * ri);
+            delta_i[i] = if ro_delta {
+                params.delta / (mc_v as f32 * mr_v as f32)
+            } else {
+                params.delta / (od * ri)
+            };
+        }
+    }
+    GroupWeights { gamma_i, delta_i, mr: mr_v, mc: mc_v }
+}
+
+/// Per-node β of Eq. 12.
+pub fn beta_i(relation_counts: &[u32], beta: f32) -> Vec<f32> {
+    relation_counts.iter().map(|&r| beta / (r as f32 + 1.0)).collect()
+}
+
+/// The Eq. 7 / Eq. 24 convexity check for the RO objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParamCheck {
+    /// True when Ψ is provably convex under the appendix condition
+    /// `αᵢ ≥ 4 Σ_r Σ_{j:(i,j)∈Ẽr} δ^r_i` for every node.
+    pub convex: bool,
+    /// The worst (largest) value of `4 Σ δ` encountered, to compare with α.
+    pub worst_delta_mass: f32,
+    /// Id of the worst node (diagnostics).
+    pub worst_node: usize,
+}
+
+/// Evaluate the convexity condition for the RO parameterization.
+///
+/// For a node `i` that is a source of group `r` with out-degree `odr(i)`,
+/// the negative-pair set `Ẽr(i)` has `|targets(r)| − odr(i)` members, each
+/// weighted `δ/(mc(r)·mr(r))`.
+pub fn check_convexity(
+    groups: &[RelationGroup],
+    relation_counts: &[u32],
+    params: &Hyperparameters,
+    n_values: usize,
+) -> ParamCheck {
+    let mut delta_mass = vec![0.0f32; n_values];
+    for group in groups {
+        let mr_v = mr(group, relation_counts) as f32;
+        let mc_v = group.mc().max(1) as f32;
+        let delta_r = params.delta / (mc_v * mr_v);
+        let n_targets = group.targets().len() as f32;
+        let mut out_deg = std::collections::HashMap::new();
+        for &(i, _) in &group.edges {
+            *out_deg.entry(i).or_insert(0u32) += 1;
+        }
+        for (&i, &od) in &out_deg {
+            let neg_count = (n_targets - od as f32).max(0.0);
+            delta_mass[i as usize] += delta_r * neg_count;
+        }
+    }
+    let (worst_node, &worst) = delta_mass
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .unwrap_or((0, &0.0));
+    ParamCheck {
+        convex: params.alpha >= 4.0 * worst
+            && params.alpha >= 0.0
+            && params.beta >= 0.0
+            && params.gamma >= 0.0,
+        worst_delta_mass: 4.0 * worst,
+        worst_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relations::{relation_type_counts, RelationKind};
+
+    fn group(edges: Vec<(u32, u32)>) -> RelationGroup {
+        RelationGroup::new("a.x~b.y".into(), 0, 1, RelationKind::RowWise, edges)
+    }
+
+    #[test]
+    fn beta_weighted_by_relation_types() {
+        let b = beta_i(&[0, 1, 3], 2.0);
+        assert_eq!(b, vec![2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn gamma_matches_eq12_hand_computation() {
+        // Node 0 has out-degree 2 in this group and |R0| = 1 (only source
+        // here). γ^r_0 = γ / (2 · (1+1)) = γ/4.
+        let g = group(vec![(0, 1), (0, 2)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 3);
+        assert_eq!(counts, vec![1, 1, 1]);
+        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 2.0, 1.0), 3, false);
+        assert!((w.gamma_i[0] - 0.5).abs() < 1e-6);
+        assert_eq!(w.gamma_i[1], 0.0); // not a source
+    }
+
+    #[test]
+    fn ro_delta_uses_mc_times_mr() {
+        // edges (0,1),(0,2),(3,1): sources {0,3}, targets {1,2} → mc=2.
+        // counts: all participants have 1 group → mr = 2.
+        let g = group(vec![(0, 1), (0, 2), (3, 1)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 4);
+        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, true);
+        assert_eq!(w.mc, 2);
+        assert_eq!(w.mr, 2);
+        assert!((w.delta_i[0] - 2.0).abs() < 1e-6); // 8/(2·2)
+        assert!((w.delta_i[3] - 2.0).abs() < 1e-6);
+        assert_eq!(w.delta_i[1], 0.0);
+    }
+
+    #[test]
+    fn rn_delta_uses_outdegree() {
+        let g = group(vec![(0, 1), (0, 2), (3, 1)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 4);
+        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, false);
+        // Node 0: od 2, |R0|+1 = 2 → 8/(2·2) = 2. Node 3: od 1 → 8/2 = 4.
+        assert!((w.delta_i[0] - 2.0).abs() < 1e-6);
+        assert!((w.delta_i[3] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convexity_passes_for_small_delta() {
+        let g = group(vec![(0, 1), (0, 2), (3, 1)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 4);
+        let check = check_convexity(&[g], &counts, &Hyperparameters::new(10.0, 0.0, 1.0, 0.5), 4);
+        assert!(check.convex);
+    }
+
+    #[test]
+    fn convexity_fails_for_large_delta() {
+        let g = group(vec![(0, 1), (0, 2), (3, 1)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 4);
+        // Node 3 has 1 negative pair (target 2), δ^r = 100/(2·2)=25,
+        // 4·25 = 100 > α = 1.
+        let check = check_convexity(&[g], &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 100.0), 4);
+        assert!(!check.convex);
+        assert!(check.worst_delta_mass > 1.0);
+    }
+
+    #[test]
+    fn convexity_trivially_holds_with_zero_delta() {
+        let g = group(vec![(0, 1)]);
+        let counts = relation_type_counts(std::slice::from_ref(&g), 2);
+        let check = check_convexity(&[g], &counts, &Hyperparameters::new(0.0, 1.0, 1.0, 0.0), 2);
+        assert!(check.convex);
+        assert_eq!(check.worst_delta_mass, 0.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Incremental maintenance of retrofitted embeddings.
+//!
+//! The paper's third listed advantage: "RETRO does not rely on re-training,
+//! which allows us to incrementally maintain the word vectors whenever the
+//! data in the database changes." Because both solvers are fixed-point
+//! iterations, an update after a data change can *warm-start* from the
+//! previous solution: unchanged values begin at their converged vectors and
+//! only the neighbourhood of the change needs to move, so far fewer
+//! iterations reach the same fixed point.
+
+use retro_embed::EmbeddingSet;
+use retro_linalg::Matrix;
+use retro_store::Database;
+
+use crate::api::{Retro, RetroConfig, RetroError, RetroOutput, Solver};
+use crate::problem::RetrofitProblem;
+use crate::solver::mf::solve_mf;
+use crate::solver::rn::solve_rn_seeded;
+use crate::solver::ro::solve_ro_seeded;
+
+/// A retrofitting session that keeps its last solution for warm starts.
+#[derive(Clone, Debug)]
+pub struct IncrementalRetro {
+    engine: Retro,
+    /// Iterations used for incremental refreshes (default 5).
+    pub refresh_iterations: usize,
+    state: Option<RetroOutput>,
+}
+
+impl IncrementalRetro {
+    /// Create a session.
+    pub fn new(config: RetroConfig) -> Self {
+        Self { engine: Retro::new(config), refresh_iterations: 5, state: None }
+    }
+
+    /// The current output, if any run has completed.
+    pub fn current(&self) -> Option<&RetroOutput> {
+        self.state.as_ref()
+    }
+
+    /// Full (cold) run.
+    pub fn full_run(
+        &mut self,
+        db: &Database,
+        base: &EmbeddingSet,
+    ) -> Result<&RetroOutput, RetroError> {
+        let out = self.engine.retrofit(db, base)?;
+        self.state = Some(out);
+        Ok(self.state.as_ref().expect("just set"))
+    }
+
+    /// Incremental refresh after database changes.
+    ///
+    /// Re-extracts the problem (text values may have been added or removed),
+    /// seeds every value that already existed with its previous converged
+    /// vector, leaves new values at their `W0` initialization, and runs only
+    /// [`Self::refresh_iterations`] solver rounds.
+    pub fn refresh(
+        &mut self,
+        db: &Database,
+        base: &EmbeddingSet,
+    ) -> Result<&RetroOutput, RetroError> {
+        let Some(prev) = self.state.take() else {
+            return self.full_run(db, base);
+        };
+        if base.dim() == 0 {
+            return Err(RetroError::EmptyEmbedding);
+        }
+        let skip_cols: Vec<(&str, &str)> = self
+            .engine
+            .config
+            .skip_columns
+            .iter()
+            .map(|(t, c)| (t.as_str(), c.as_str()))
+            .collect();
+        let skip_rels: Vec<&str> =
+            self.engine.config.skip_relations.iter().map(String::as_str).collect();
+        let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
+
+        // Warm start: carry over converged vectors by (category label, text).
+        let mut warm = problem.w0.clone();
+        for (id, cat, text) in problem.catalog.iter() {
+            let category = &problem.catalog.categories()[cat as usize];
+            if let Some(old_id) =
+                prev.catalog.lookup(&category.table, &category.column, text)
+            {
+                warm.set_row(id, prev.embeddings.row(old_id));
+            }
+        }
+
+        let embeddings = self.solve_from(&problem, warm);
+        let convexity = crate::hyper::check_convexity(
+            &problem.groups,
+            &problem.relation_counts,
+            &self.engine.config.params,
+            problem.len(),
+        );
+        self.state = Some(RetroOutput {
+            catalog: problem.catalog.clone(),
+            problem,
+            embeddings,
+            convexity,
+        });
+        Ok(self.state.as_ref().expect("just set"))
+    }
+
+    /// Run the configured solver starting from `warm` instead of `W0`.
+    fn solve_from(&self, problem: &RetrofitProblem, warm: Matrix) -> Matrix {
+        let params = &self.engine.config.params;
+        match self.engine.config.solver {
+            Solver::Ro => {
+                solve_ro_seeded(problem, params, self.refresh_iterations, Some(&warm))
+            }
+            Solver::Rn => {
+                solve_rn_seeded(problem, params, self.refresh_iterations, Some(&warm))
+            }
+            // MF has no anchor/seed separation worth preserving — a short
+            // re-run from W0 is its incremental story.
+            Solver::Mf => solve_mf(problem, self.refresh_iterations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_store::sql;
+
+    fn base() -> EmbeddingSet {
+        EmbeddingSet::new(
+            vec![
+                "valerian".into(),
+                "alien".into(),
+                "luc besson".into(),
+                "ridley scott".into(),
+                "prometheus".into(),
+            ],
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.7, 0.3],
+                vec![0.3, 0.7],
+                vec![0.1, 0.9],
+            ],
+        )
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                                  director_id INTEGER REFERENCES persons(id));
+             INSERT INTO persons VALUES (1, 'luc besson'), (2, 'ridley scott');
+             INSERT INTO movies VALUES (1, 'valerian', 1), (2, 'alien', 2);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn refresh_without_prior_run_is_a_full_run() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let db = db();
+        let out = inc.refresh(&db, &base()).unwrap();
+        assert_eq!(out.embeddings.rows(), 4);
+    }
+
+    #[test]
+    fn refresh_picks_up_new_values() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let mut db = db();
+        inc.full_run(&db, &base()).unwrap();
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
+        let out = inc.refresh(&db, &base()).unwrap();
+        assert!(out.vector("movies", "title", "prometheus").is_some());
+        assert_eq!(out.embeddings.rows(), 5);
+    }
+
+    #[test]
+    fn refresh_result_close_to_cold_recompute() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let mut db = db();
+        inc.full_run(&db, &base()).unwrap();
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
+        let refreshed = inc.refresh(&db, &base()).unwrap().embeddings.clone();
+        let cold = Retro::new(RetroConfig::default()).retrofit(&db, &base()).unwrap();
+        // Same fixed point: warm refresh must land near the cold solution.
+        assert!(refreshed.max_abs_diff(&cold.embeddings) < 0.05);
+    }
+}

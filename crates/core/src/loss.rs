@@ -1,0 +1,203 @@
+//! Evaluation of the retrofitting objective Ψ (Eq. 4–6) under the RO
+//! parameterization — used for convergence diagnostics and the property
+//! tests that validate the convexity theory.
+
+use retro_linalg::{vector, Matrix};
+
+use crate::hyper::Hyperparameters;
+use crate::problem::RetrofitProblem;
+
+/// The three components of Ψ(W).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossBreakdown {
+    /// `Σ αᵢ‖vᵢ − v'ᵢ‖²` — anchor term.
+    pub anchor: f64,
+    /// `Σ βᵢ‖vᵢ − cᵢ‖²` — categorial term (Eq. 5).
+    pub categorial: f64,
+    /// `Σ_r Σ_{(i,j)∈Er} γ^r_i‖vᵢ − vⱼ‖²` — relational attraction.
+    pub attraction: f64,
+    /// `Σ_r Σ_{(i,k)∈Ẽr} δ^r_i‖vᵢ − vₖ‖²` — relational repulsion
+    /// (subtracted in Ψ).
+    pub repulsion: f64,
+}
+
+impl LossBreakdown {
+    /// Ψ(W) = anchor + categorial + attraction − repulsion.
+    pub fn total(&self) -> f64 {
+        self.anchor + self.categorial + self.attraction - self.repulsion
+    }
+}
+
+/// Evaluate Ψ(W) for an embedding matrix under the RO weight derivation.
+///
+/// The repulsion term over `Ẽr(i)` (all targets of `r` not related to `i`)
+/// is computed with the same algebra as the Eq. 15 solver optimization:
+/// `Σ_{k∈targets} ‖vᵢ−vₖ‖² = |T|·‖vᵢ‖² − 2·vᵢ·t_r + Σ_k‖vₖ‖²`, minus the
+/// explicitly-enumerated related pairs.
+pub fn evaluate_loss(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    w: &Matrix,
+) -> LossBreakdown {
+    let n = problem.len();
+    assert_eq!(w.rows(), n, "evaluate_loss: row count mismatch");
+    let beta = problem.beta_weights(params);
+
+    let mut anchor = 0.0f64;
+    let mut categorial = 0.0f64;
+    for (i, &b) in beta.iter().enumerate() {
+        anchor += params.alpha as f64 * vector::dist_sq(w.row(i), problem.w0.row(i)) as f64;
+        if b != 0.0 {
+            categorial += b as f64 * vector::dist_sq(w.row(i), problem.centroid_of(i)) as f64;
+        }
+    }
+
+    let mut attraction = 0.0f64;
+    let mut repulsion = 0.0f64;
+    for dg in problem.directed_groups(params, true) {
+        for &(i, j) in &dg.group.edges {
+            let g = dg.own.gamma_i[i as usize] as f64;
+            attraction += g * vector::dist_sq(w.row(i as usize), w.row(j as usize)) as f64;
+        }
+        let dh = dg.delta_hat() as f64;
+        if dh == 0.0 || dg.targets.is_empty() {
+            continue;
+        }
+        // Precompute t_r and Σ‖vₖ‖² over targets.
+        let dim = w.cols();
+        let mut t_sum = vec![0.0f32; dim];
+        let mut sq_sum = 0.0f64;
+        for &k in &dg.targets {
+            vector::axpy(1.0, w.row(k as usize), &mut t_sum);
+            sq_sum += vector::norm_sq(w.row(k as usize)) as f64;
+        }
+        let t_count = dg.targets.len() as f64;
+        for &s in &dg.sources {
+            let vi = w.row(s as usize);
+            let all = t_count * vector::norm_sq(vi) as f64
+                - 2.0 * vector::dot(vi, &t_sum) as f64
+                + sq_sum;
+            // Subtract the related pairs (they belong to Er, not Ẽr).
+            let mut related = 0.0f64;
+            for &(i, k) in &dg.group.edges {
+                if i == s {
+                    related += vector::dist_sq(vi, w.row(k as usize)) as f64;
+                }
+            }
+            repulsion += dh * (all - related);
+        }
+    }
+
+    LossBreakdown { anchor, categorial, attraction, repulsion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TextValueCatalog;
+    use crate::relations::{RelationGroup, RelationKind};
+    use crate::solver::solve_ro;
+    use retro_embed::EmbeddingSet;
+
+    fn problem() -> RetrofitProblem {
+        let mut catalog = TextValueCatalog::default();
+        let ca = catalog.add_category("movies", "title");
+        let cb = catalog.add_category("countries", "name");
+        let a = catalog.intern(ca, "amelie");
+        let b = catalog.intern(ca, "inception");
+        let c = catalog.intern(ca, "godfather");
+        let x = catalog.intern(cb, "france");
+        let y = catalog.intern(cb, "usa");
+        let groups = vec![RelationGroup::new(
+            "movies.title~countries.name".into(),
+            ca,
+            cb,
+            RelationKind::ForeignKey,
+            vec![(a, x), (b, y), (c, y)],
+        )];
+        let base = EmbeddingSet::new(
+            vec![
+                "amelie".into(),
+                "inception".into(),
+                "godfather".into(),
+                "france".into(),
+                "usa".into(),
+            ],
+            vec![
+                vec![1.0, 0.2],
+                vec![-0.3, 1.0],
+                vec![0.1, -0.8],
+                vec![0.9, 0.5],
+                vec![-0.5, -0.5],
+            ],
+        );
+        RetrofitProblem::from_parts(catalog, groups, &base)
+    }
+
+    #[test]
+    fn loss_is_zero_at_w0_with_alpha_only() {
+        let p = problem();
+        let params = Hyperparameters::new(1.0, 0.0, 0.0, 0.0);
+        let l = evaluate_loss(&p, &params, &p.w0);
+        assert_eq!(l.anchor, 0.0);
+        assert_eq!(l.total(), 0.0);
+    }
+
+    #[test]
+    fn attraction_counts_both_directions() {
+        let p = problem();
+        let params = Hyperparameters::new(1.0, 0.0, 2.0, 0.0);
+        let l = evaluate_loss(&p, &params, &p.w0);
+        // Hand value: forward γ^r_i = 2/(od·(|Ri|+1)) = 2/(1·2) = 1 for each
+        // of the 3 movie sources. Inverted: usa has od 2 → γ = 2/(2·2)=0.5,
+        // france od 1 → 1. Distances: a–x: 0.01+0.09=0.1; b–y: 0.04+2.25=2.29;
+        // c–y: 0.36+0.09=0.45.
+        let forward = 0.1 + 2.29 + 0.45;
+        let backward = 1.0 * 0.1 + 0.5 * (2.29 + 0.45);
+        assert!((l.attraction - (forward + backward)) / (forward + backward) < 1e-5);
+    }
+
+    #[test]
+    fn solver_reduces_loss_under_convex_config() {
+        let p = problem();
+        // Convex per the Eq. 24 check: generous α, tiny δ.
+        let params = Hyperparameters::new(4.0, 0.5, 1.0, 0.1);
+        let check = crate::hyper::check_convexity(
+            &p.groups,
+            &p.relation_counts,
+            &params,
+            p.len(),
+        );
+        assert!(check.convex, "test premise: configuration must be convex");
+        let before = evaluate_loss(&p, &params, &p.w0).total();
+        let w = solve_ro(&p, &params, 20);
+        let after = evaluate_loss(&p, &params, &w).total();
+        assert!(after <= before + 1e-6, "after {after} before {before}");
+    }
+
+    #[test]
+    fn more_iterations_never_increase_loss_much() {
+        let p = problem();
+        let params = Hyperparameters::new(4.0, 0.5, 1.0, 0.1);
+        let mut prev = f64::INFINITY;
+        for iters in [1usize, 2, 5, 10, 20] {
+            let w = solve_ro(&p, &params, iters);
+            let loss = evaluate_loss(&p, &params, &w).total();
+            assert!(loss <= prev + 1e-6, "iters {iters}: {loss} > {prev}");
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn repulsion_increases_when_unrelated_vectors_coincide() {
+        let p = problem();
+        let params = Hyperparameters::new(1.0, 0.0, 0.0, 1.0);
+        // Collapse every vector onto one point: all distances zero →
+        // repulsion zero. Spread them out → repulsion grows.
+        let collapsed = Matrix::zeros(p.len(), 2);
+        let l0 = evaluate_loss(&p, &params, &collapsed);
+        assert_eq!(l0.repulsion, 0.0);
+        let l1 = evaluate_loss(&p, &params, &p.w0);
+        assert!(l1.repulsion > 0.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Assembly of the retrofitting problem: `W0`, category centroids, relation
+//! groups in both directions, and per-node weight derivations.
+
+use retro_embed::{EmbeddingSet, Tokenizer};
+use retro_linalg::Matrix;
+use retro_store::Database;
+
+use crate::catalog::TextValueCatalog;
+use crate::hyper::{beta_i, derive_group_weights, Hyperparameters};
+use crate::relations::{extract_relations, relation_type_counts, RelationGroup};
+
+/// A fully-assembled retrofitting problem instance.
+///
+/// `groups` holds the *forward* relation groups as extracted; the solvers
+/// materialize both directions via [`RetrofitProblem::directed_groups`].
+#[derive(Clone, Debug)]
+pub struct RetrofitProblem {
+    /// Text values and categories.
+    pub catalog: TextValueCatalog,
+    /// Forward relation groups.
+    pub groups: Vec<RelationGroup>,
+    /// `n × D` initial vectors (§3.1 tokenized centroids; zero rows for OOV).
+    pub w0: Matrix,
+    /// Per value: true when the §3.1 tokenization found no vocabulary match.
+    pub oov: Vec<bool>,
+    /// Per *category*: the constant centroid `cᵢ` of Eq. 5 (centroid of the
+    /// original vectors of all values in the column).
+    pub category_centroids: Matrix,
+    /// `|Ri|` per value (directed-group participation count).
+    pub relation_counts: Vec<u32>,
+}
+
+impl RetrofitProblem {
+    /// Build a problem from a database and a base embedding.
+    ///
+    /// * `skip_columns` — text columns to ignore entirely (label ablation),
+    /// * `skip_relations` — relation groups (by name substring) to drop
+    ///   (relation ablation for link prediction).
+    pub fn build(
+        db: &Database,
+        base: &EmbeddingSet,
+        skip_columns: &[(&str, &str)],
+        skip_relations: &[&str],
+    ) -> Self {
+        let catalog = TextValueCatalog::extract(db, skip_columns);
+        let groups = extract_relations(db, &catalog, skip_relations);
+        Self::from_parts(catalog, groups, base)
+    }
+
+    /// Build from pre-extracted parts (used by incremental maintenance and
+    /// the toy examples).
+    pub fn from_parts(
+        catalog: TextValueCatalog,
+        groups: Vec<RelationGroup>,
+        base: &EmbeddingSet,
+    ) -> Self {
+        let tokenizer = Tokenizer::new(base);
+        let n = catalog.len();
+        let dim = base.dim();
+        let mut w0 = Matrix::zeros(n, dim);
+        let mut oov = vec![false; n];
+        for (i, oov_flag) in oov.iter_mut().enumerate() {
+            let (vec, is_oov) = tokenizer.initial_vector(base, catalog.text(i));
+            w0.set_row(i, &vec);
+            *oov_flag = is_oov;
+        }
+
+        // Eq. 5: cᵢ is the centroid of the *original* vectors of the value's
+        // category — constant across iterations, so computed once per
+        // category.
+        let m = catalog.category_count();
+        let mut category_centroids = Matrix::zeros(m, dim);
+        let mut counts = vec![0usize; m];
+        for i in 0..n {
+            let c = catalog.category_of(i) as usize;
+            counts[c] += 1;
+            let row = w0.row(i).to_vec();
+            retro_linalg::vector::axpy(1.0, &row, category_centroids.row_mut(c));
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                retro_linalg::vector::scale(1.0 / count as f32, category_centroids.row_mut(c));
+            }
+        }
+
+        // Directed participation counts need forward + inverted groups.
+        let relation_counts = relation_type_counts(&groups, n);
+
+        Self { catalog, groups, w0, oov, category_centroids, relation_counts }
+    }
+
+    /// Number of text values.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// True when there are no text values.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.w0.cols()
+    }
+
+    /// The Eq. 5 centroid for value `i`.
+    pub fn centroid_of(&self, i: usize) -> &[f32] {
+        self.category_centroids.row(self.catalog.category_of(i) as usize)
+    }
+
+    /// Materialize both directions of every relation group together with
+    /// their derived weights — the solvers' working representation.
+    pub fn directed_groups(&self, params: &Hyperparameters, ro_delta: bool) -> Vec<DirectedGroup> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(self.groups.len() * 2);
+        for group in &self.groups {
+            let inverted = group.inverted();
+            let w_fwd =
+                derive_group_weights(group, &self.relation_counts, params, n, ro_delta);
+            let w_inv =
+                derive_group_weights(&inverted, &self.relation_counts, params, n, ro_delta);
+            out.push(DirectedGroup::new(group.clone(), w_fwd.clone(), w_inv.clone()));
+            out.push(DirectedGroup::new(inverted, w_inv, w_fwd));
+        }
+        out
+    }
+
+    /// Per-node β of Eq. 12.
+    pub fn beta_weights(&self, params: &Hyperparameters) -> Vec<f32> {
+        beta_i(&self.relation_counts, params.beta)
+    }
+}
+
+/// One *directed* relation group with the weights of its own direction
+/// (`own`) and of its reverse (`rev`, used by the RO solver's symmetric
+/// `γ^r_i + γ^r̄_j` coefficients).
+#[derive(Clone, Debug)]
+pub struct DirectedGroup {
+    /// The group (edges run source → target).
+    pub group: RelationGroup,
+    /// Weights for this direction (`γ^r_i`, `δ^r_i` per source id).
+    pub own: crate::hyper::GroupWeights,
+    /// Weights of the reverse direction (`γ^r̄_j`, `δ^r̄_j` per *target* id
+    /// of this direction).
+    pub rev: crate::hyper::GroupWeights,
+    /// Distinct source ids.
+    pub sources: Vec<u32>,
+    /// Distinct target ids.
+    pub targets: Vec<u32>,
+    /// Out-degree per source (aligned with `sources`).
+    pub source_out_degree: Vec<u32>,
+}
+
+impl DirectedGroup {
+    fn new(
+        group: RelationGroup,
+        own: crate::hyper::GroupWeights,
+        rev: crate::hyper::GroupWeights,
+    ) -> Self {
+        let sources = group.sources();
+        let targets = group.targets();
+        let mut deg = vec![0u32; sources.len()];
+        for &(i, _) in &group.edges {
+            let pos = sources.binary_search(&i).expect("source present");
+            deg[pos] += 1;
+        }
+        Self { group, own, rev, sources, targets, source_out_degree: deg }
+    }
+
+    /// The shared RO repulsion weight `δ̂r = δ/(mc·mr)` (identical for every
+    /// participant under Eq. 13; `own` and `rev` agree because `mc`/`mr` are
+    /// direction-symmetric).
+    pub fn delta_hat(&self) -> f32 {
+        // Any source's delta is the uniform value; zero if no sources.
+        self.sources
+            .first()
+            .map(|&s| self.own.delta_i[s as usize])
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_store::sql;
+
+    fn setup() -> (Database, EmbeddingSet) {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE countries (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                                  country_id INTEGER REFERENCES countries(id));
+             INSERT INTO countries VALUES (1, 'france'), (2, 'usa');
+             INSERT INTO movies VALUES (1, 'amelie', 1), (2, 'inception', 2),
+                                       (3, 'godfather', 2), (4, 'zorgon', 2);",
+        )
+        .unwrap();
+        let base = EmbeddingSet::new(
+            vec![
+                "amelie".into(),
+                "inception".into(),
+                "godfather".into(),
+                "france".into(),
+                "usa".into(),
+            ],
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.2, 0.8],
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+            ],
+        );
+        (db, base)
+    }
+
+    #[test]
+    fn w0_rows_come_from_tokenizer() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        let amelie = p.catalog.lookup("movies", "title", "amelie").unwrap();
+        assert_eq!(p.w0.row(amelie), &[1.0, 0.0]);
+        assert!(!p.oov[amelie]);
+    }
+
+    #[test]
+    fn oov_values_get_zero_rows() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        let zorgon = p.catalog.lookup("movies", "title", "zorgon").unwrap();
+        assert!(p.oov[zorgon]);
+        assert_eq!(p.w0.row(zorgon), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn category_centroid_matches_eq5() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        let amelie = p.catalog.lookup("movies", "title", "amelie").unwrap();
+        // Titles: amelie [1,0], inception [0,1], godfather [.2,.8],
+        // zorgon [0,0] → centroid [0.3, 0.45].
+        let c = p.centroid_of(amelie);
+        assert!((c[0] - 0.3).abs() < 1e-6);
+        assert!((c[1] - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn directed_groups_double_forward_groups() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        assert_eq!(p.groups.len(), 1); // movies.title~countries.name
+        let dg = p.directed_groups(&Hyperparameters::default(), true);
+        assert_eq!(dg.len(), 2);
+        assert_eq!(dg[0].sources.len(), 4);
+        assert_eq!(dg[0].targets.len(), 2);
+        assert_eq!(dg[1].sources.len(), 2); // inverted: countries are sources
+    }
+
+    #[test]
+    fn delta_hat_is_uniform_for_ro() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        let params = Hyperparameters::new(1.0, 0.0, 1.0, 4.0);
+        let dg = p.directed_groups(&params, true);
+        // mc = max(4 titles, 2 countries) = 4; mr = 2 (one group each
+        // direction → counts 1, +1). δ̂ = 4/(4·2) = 0.5.
+        assert!((dg[0].delta_hat() - 0.5).abs() < 1e-6);
+        assert!((dg[1].delta_hat() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_degrees_align_with_sources() {
+        let (db, base) = setup();
+        let p = RetrofitProblem::build(&db, &base, &[], &[]);
+        let dg = p.directed_groups(&Hyperparameters::default(), false);
+        // Inverted group: usa has 3 movies, france 1.
+        let inv = &dg[1];
+        let usa = p.catalog.lookup("countries", "name", "usa").unwrap() as u32;
+        let pos = inv.sources.binary_search(&usa).unwrap();
+        assert_eq!(inv.source_out_degree[pos], 3);
+    }
+}

@@ -1,0 +1,503 @@
+//! Relation-group extraction (§3.2).
+//!
+//! A relation group `Er` connects the text values of a *source* column to
+//! those of a *target* column. Three schema shapes produce groups:
+//!
+//! a) **row-wise** — two text columns of the same table, connected when
+//!    their values share a row;
+//! b) **PK/FK (one-to-many)** — a text column of the referencing table
+//!    connected to a text column of the referenced table through the key;
+//! c) **many-to-many** — text columns of two tables related through a pure
+//!    link table of foreign keys.
+//!
+//! Groups are stored in the forward direction; solvers derive the inverted
+//! group `Er̄` by transposition. Edge lists are deduplicated (the same value
+//! pair related by many rows is one relation).
+
+use std::collections::{HashMap, HashSet};
+
+use retro_store::{Database, Value};
+
+use crate::catalog::TextValueCatalog;
+
+/// Which schema shape produced a group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelationKind {
+    /// Two text columns in one table.
+    RowWise,
+    /// Foreign-key hop between two tables.
+    ForeignKey,
+    /// Two foreign keys through a link table.
+    ManyToMany,
+}
+
+/// A relation group: deduplicated directed edges between text-value ids,
+/// from the source category to the target category.
+#[derive(Clone, Debug)]
+pub struct RelationGroup {
+    /// Human-readable label, e.g. `movies.title~persons.name`.
+    pub name: String,
+    /// Source category id.
+    pub source_category: u32,
+    /// Target category id.
+    pub target_category: u32,
+    /// Provenance.
+    pub kind: RelationKind,
+    /// Deduplicated `(source value id, target value id)` pairs, sorted.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl RelationGroup {
+    /// Build from a raw pair list (dedups and sorts).
+    pub fn new(
+        name: String,
+        source_category: u32,
+        target_category: u32,
+        kind: RelationKind,
+        mut edges: Vec<(u32, u32)>,
+    ) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        Self { name, source_category, target_category, kind, edges }
+    }
+
+    /// Number of distinct edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the group carries no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Distinct source ids.
+    pub fn sources(&self) -> Vec<u32> {
+        let mut s: Vec<u32> = self.edges.iter().map(|&(i, _)| i).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Distinct target ids.
+    pub fn targets(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self.edges.iter().map(|&(_, j)| j).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Out-degree of a source id (`odr(i)` in Eq. 12).
+    pub fn out_degree(&self, i: u32) -> usize {
+        self.edges.iter().filter(|&&(s, _)| s == i).count()
+    }
+
+    /// The inverted group `Er̄`.
+    pub fn inverted(&self) -> RelationGroup {
+        RelationGroup::new(
+            format!("{}~inv", self.name),
+            self.target_category,
+            self.source_category,
+            self.kind,
+            self.edges.iter().map(|&(i, j)| (j, i)).collect(),
+        )
+    }
+
+    /// `mc(r)` of Eq. 13: max of the distinct source and target counts.
+    pub fn mc(&self) -> usize {
+        self.sources().len().max(self.targets().len())
+    }
+}
+
+/// Extract all relation groups of a database against a catalog.
+///
+/// Columns missing from the catalog (ablated via `skip_columns` during
+/// extraction) silently produce no groups, which is how the evaluation
+/// removes label leakage. `skip_relations` additionally drops groups whose
+/// name contains any of the given substrings (used by the link-prediction
+/// task to ablate the movie–genre relation).
+pub fn extract_relations(
+    db: &Database,
+    catalog: &TextValueCatalog,
+    skip_relations: &[&str],
+) -> Vec<RelationGroup> {
+    let mut groups = Vec::new();
+
+    for table in db.tables() {
+        let schema = table.schema();
+        let text_cols = schema.text_columns();
+
+        // (a) Row-wise pairs within one table (unordered pairs, forward =
+        // schema order).
+        for (ai, &a) in text_cols.iter().enumerate() {
+            for &b in &text_cols[ai + 1..] {
+                let (Some(cat_a), Some(cat_b)) = (
+                    catalog.category_id(&schema.name, &schema.columns[a].name),
+                    catalog.category_id(&schema.name, &schema.columns[b].name),
+                ) else {
+                    continue;
+                };
+                let mut edges = Vec::new();
+                for row in table.rows() {
+                    if let (Some(ta), Some(tb)) = (row[a].as_text(), row[b].as_text()) {
+                        if let (Some(i), Some(j)) = (
+                            catalog.lookup_in_category(cat_a, ta),
+                            catalog.lookup_in_category(cat_b, tb),
+                        ) {
+                            edges.push((i as u32, j as u32));
+                        }
+                    }
+                }
+                push_group(
+                    &mut groups,
+                    RelationGroup::new(
+                        format!(
+                            "{}.{}~{}.{}",
+                            schema.name, schema.columns[a].name, schema.name,
+                            schema.columns[b].name
+                        ),
+                        cat_a,
+                        cat_b,
+                        RelationKind::RowWise,
+                        edges,
+                    ),
+                    skip_relations,
+                );
+            }
+        }
+
+        if schema.is_link_table() {
+            // (c) Many-to-many: all FK pairs through this link table.
+            let fks = &schema.foreign_keys;
+            for (fi, fk_a) in fks.iter().enumerate() {
+                for fk_b in &fks[fi + 1..] {
+                    extract_m2m(db, catalog, table, fk_a, fk_b, &mut groups, skip_relations);
+                }
+            }
+        } else {
+            // (b) One-to-many: the *primary* text column here ↔ the primary
+            // text column of the referenced table. Cross-table relations
+            // follow the paper's Fig. 2 style (movies.name ↔ actors.name,
+            // movies.name ↔ reviews.text): one representative column per
+            // table, which keeps |Ri| small enough that the Eq. 12 weights
+            // retain their pull.
+            for fk in &schema.foreign_keys {
+                let Ok(ref_table) = db.table(&fk.ref_table) else { continue };
+                let ref_schema = ref_table.schema();
+                let fk_col = schema.column_index(&fk.column).expect("fk validated");
+                if let (Some(&a), Some(b)) =
+                    (text_cols.first(), ref_schema.text_columns().first().copied())
+                {
+                        let (Some(cat_a), Some(cat_b)) = (
+                            catalog.category_id(&schema.name, &schema.columns[a].name),
+                            catalog.category_id(&ref_schema.name, &ref_schema.columns[b].name),
+                        ) else {
+                            continue;
+                        };
+                        let mut edges = Vec::new();
+                        for row in table.rows() {
+                            let Some(key) = row[fk_col].as_int() else { continue };
+                            let Some(target_row) = ref_table.row_by_pk(key) else { continue };
+                            if let (Some(ta), Some(tb)) =
+                                (row[a].as_text(), target_row[b].as_text())
+                            {
+                                if let (Some(i), Some(j)) = (
+                                    catalog.lookup_in_category(cat_a, ta),
+                                    catalog.lookup_in_category(cat_b, tb),
+                                ) {
+                                    edges.push((i as u32, j as u32));
+                                }
+                            }
+                        }
+                        push_group(
+                            &mut groups,
+                            RelationGroup::new(
+                                format!(
+                                    "{}.{}~{}.{}",
+                                    schema.name,
+                                    schema.columns[a].name,
+                                    ref_schema.name,
+                                    ref_schema.columns[b].name
+                                ),
+                                cat_a,
+                                cat_b,
+                                RelationKind::ForeignKey,
+                                edges,
+                            ),
+                            skip_relations,
+                        );
+                }
+            }
+        }
+    }
+    groups
+}
+
+fn extract_m2m(
+    db: &Database,
+    catalog: &TextValueCatalog,
+    link: &retro_store::Table,
+    fk_a: &retro_store::ForeignKey,
+    fk_b: &retro_store::ForeignKey,
+    groups: &mut Vec<RelationGroup>,
+    skip_relations: &[&str],
+) {
+    let (Ok(table_a), Ok(table_b)) = (db.table(&fk_a.ref_table), db.table(&fk_b.ref_table))
+    else {
+        return;
+    };
+    let schema = link.schema();
+    let col_a = schema.column_index(&fk_a.column).expect("fk validated");
+    let col_b = schema.column_index(&fk_b.column).expect("fk validated");
+
+    if let (Some(ta), Some(tb)) = (
+        table_a.schema().text_columns().first().copied(),
+        table_b.schema().text_columns().first().copied(),
+    ) {
+            let (Some(cat_a), Some(cat_b)) = (
+                catalog.category_id(&fk_a.ref_table, &table_a.schema().columns[ta].name),
+                catalog.category_id(&fk_b.ref_table, &table_b.schema().columns[tb].name),
+            ) else {
+                return;
+            };
+            let mut edges = Vec::new();
+            for row in link.rows() {
+                let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
+                    continue;
+                };
+                let (Some(row_a), Some(row_b)) =
+                    (table_a.row_by_pk(ka), table_b.row_by_pk(kb))
+                else {
+                    continue;
+                };
+                if let (Some(sa), Some(sb)) = (row_a[ta].as_text(), row_b[tb].as_text()) {
+                    if let (Some(i), Some(j)) = (
+                        catalog.lookup_in_category(cat_a, sa),
+                        catalog.lookup_in_category(cat_b, sb),
+                    ) {
+                        edges.push((i as u32, j as u32));
+                    }
+                }
+            }
+            push_group(
+                groups,
+                RelationGroup::new(
+                    format!(
+                        "{}.{}~{}.{} (via {})",
+                        fk_a.ref_table,
+                        table_a.schema().columns[ta].name,
+                        fk_b.ref_table,
+                        table_b.schema().columns[tb].name,
+                        schema.name
+                    ),
+                    cat_a,
+                    cat_b,
+                    RelationKind::ManyToMany,
+                    edges,
+                ),
+                skip_relations,
+            );
+    }
+}
+
+fn push_group(groups: &mut Vec<RelationGroup>, group: RelationGroup, skip: &[&str]) {
+    if group.is_empty() {
+        return;
+    }
+    if skip.iter().any(|s| group.name.contains(s)) {
+        return;
+    }
+    groups.push(group);
+}
+
+/// `|Ri|` of Eq. 12: for every text value, the number of *directed* relation
+/// groups (forward and inverted counted separately) in which it has at least
+/// one outgoing edge.
+pub fn relation_type_counts(groups: &[RelationGroup], n_values: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n_values];
+    for group in groups {
+        let mut seen: HashSet<u32> = HashSet::new();
+        for &(i, _) in &group.edges {
+            seen.insert(i);
+        }
+        for i in seen {
+            counts[i as usize] += 1;
+        }
+        let mut seen_t: HashSet<u32> = HashSet::new();
+        for &(_, j) in &group.edges {
+            seen_t.insert(j);
+        }
+        for j in seen_t {
+            counts[j as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Utility for tests and datasets: collect the distinct text of a column
+/// keyed by primary key.
+pub fn text_by_pk(db: &Database, table: &str, column: &str) -> HashMap<i64, String> {
+    let mut out = HashMap::new();
+    if let Ok(t) = db.table(table) {
+        let schema = t.schema();
+        if let (Some(pk), Some(col)) = (schema.primary_key, schema.column_index(column)) {
+            for row in t.rows() {
+                if let (Value::Int(k), Some(text)) = (&row[pk], row[col].as_text()) {
+                    out.insert(*k, text.to_owned());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_store::sql;
+
+    /// movies(title, lang) —director_id→ persons(name); movie_genre n:m genres(name).
+    fn db() -> Database {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE genres (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, lang TEXT,
+                                  director_id INTEGER REFERENCES persons(id));
+             CREATE TABLE movie_genre (movie_id INTEGER REFERENCES movies(id),
+                                       genre_id INTEGER REFERENCES genres(id));
+             INSERT INTO persons VALUES (1, 'Luc Besson'), (2, 'Ridley Scott');
+             INSERT INTO genres VALUES (1, 'SciFi'), (2, 'Horror');
+             INSERT INTO movies VALUES (1, '5th Element', 'en', 1), (2, 'Alien', 'en', 2),
+                                       (3, 'Valerian', 'fr', 1);
+             INSERT INTO movie_genre VALUES (1, 1), (2, 1), (2, 2), (3, 1);",
+        )
+        .unwrap();
+        db
+    }
+
+    fn setup() -> (Database, TextValueCatalog, Vec<RelationGroup>) {
+        let db = db();
+        let catalog = TextValueCatalog::extract(&db, &[]);
+        let groups = extract_relations(&db, &catalog, &[]);
+        (db, catalog, groups)
+    }
+
+    #[test]
+    fn all_three_kinds_extracted() {
+        let (_, _, groups) = setup();
+        assert!(groups.iter().any(|g| g.kind == RelationKind::RowWise));
+        assert!(groups.iter().any(|g| g.kind == RelationKind::ForeignKey));
+        assert!(groups.iter().any(|g| g.kind == RelationKind::ManyToMany));
+    }
+
+    #[test]
+    fn row_wise_connects_title_and_lang() {
+        let (_, catalog, groups) = setup();
+        let g = groups
+            .iter()
+            .find(|g| g.name == "movies.title~movies.lang")
+            .expect("row-wise group");
+        let title = catalog.lookup("movies", "title", "Valerian").unwrap() as u32;
+        let fr = catalog.lookup("movies", "lang", "fr").unwrap() as u32;
+        assert!(g.edges.contains(&(title, fr)));
+        // Two movies share 'en', edges are per value pair: 3 movies → 3 edges.
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn fk_connects_title_to_director() {
+        let (_, catalog, groups) = setup();
+        let g = groups
+            .iter()
+            .find(|g| g.name == "movies.title~persons.name")
+            .expect("fk group");
+        let title = catalog.lookup("movies", "title", "Alien").unwrap() as u32;
+        let person = catalog.lookup("persons", "name", "Ridley Scott").unwrap() as u32;
+        assert!(g.edges.contains(&(title, person)));
+        assert_eq!(g.kind, RelationKind::ForeignKey);
+    }
+
+    #[test]
+    fn m2m_connects_title_to_genre() {
+        let (_, catalog, groups) = setup();
+        let g = groups
+            .iter()
+            .find(|g| g.kind == RelationKind::ManyToMany)
+            .expect("m2m group");
+        let alien = catalog.lookup("movies", "title", "Alien").unwrap() as u32;
+        let horror = catalog.lookup("genres", "name", "Horror").unwrap() as u32;
+        let scifi = catalog.lookup("genres", "name", "SciFi").unwrap() as u32;
+        assert!(g.edges.contains(&(alien, horror)));
+        assert!(g.edges.contains(&(alien, scifi)));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let mut db = db();
+        // A second SciFi link row for movie 1 must not duplicate the edge.
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (4, '5th Element', 'en', 1)")
+            .unwrap();
+        let catalog = TextValueCatalog::extract(&db, &[]);
+        let groups = extract_relations(&db, &catalog, &[]);
+        let g = groups.iter().find(|g| g.name == "movies.title~persons.name").unwrap();
+        let title = catalog.lookup("movies", "title", "5th Element").unwrap() as u32;
+        let besson = catalog.lookup("persons", "name", "Luc Besson").unwrap() as u32;
+        assert_eq!(g.edges.iter().filter(|&&e| e == (title, besson)).count(), 1);
+    }
+
+    #[test]
+    fn inverted_group_swaps_edges() {
+        let (_, _, groups) = setup();
+        let g = &groups[0];
+        let inv = g.inverted();
+        assert_eq!(inv.len(), g.len());
+        for &(i, j) in &g.edges {
+            assert!(inv.edges.contains(&(j, i)));
+        }
+        assert_eq!(inv.source_category, g.target_category);
+    }
+
+    #[test]
+    fn skip_relations_ablates_by_substring() {
+        let db = db();
+        let catalog = TextValueCatalog::extract(&db, &[]);
+        let groups = extract_relations(&db, &catalog, &["genres.name"]);
+        assert!(groups.iter().all(|g| g.kind != RelationKind::ManyToMany));
+    }
+
+    #[test]
+    fn relation_type_counts_count_directed_participation() {
+        let (_, catalog, groups) = setup();
+        let counts = relation_type_counts(&groups, catalog.len());
+        // 'fr' participates only in title~lang (cross-table relations touch
+        // just the primary text column, which for movies is `title`).
+        let fr = catalog.lookup("movies", "lang", "fr").unwrap();
+        assert_eq!(counts[fr], 1);
+        // A movie title participates in title~lang (source), title~persons
+        // (source), title~genres m2m (source) → 3.
+        let alien = catalog.lookup("movies", "title", "Alien").unwrap();
+        assert_eq!(counts[alien], 3);
+    }
+
+    #[test]
+    fn group_degree_helpers() {
+        let (_, catalog, groups) = setup();
+        let g = groups.iter().find(|g| g.kind == RelationKind::ManyToMany).unwrap();
+        let alien = catalog.lookup("movies", "title", "Alien").unwrap() as u32;
+        assert_eq!(g.out_degree(alien), 2);
+        assert_eq!(g.sources().len(), 3);
+        assert_eq!(g.targets().len(), 2);
+        assert_eq!(g.mc(), 3);
+    }
+
+    #[test]
+    fn text_by_pk_maps_keys() {
+        let (db, _, _) = setup();
+        let titles = text_by_pk(&db, "movies", "title");
+        assert_eq!(titles.get(&2).map(String::as_str), Some("Alien"));
+        assert_eq!(titles.len(), 3);
+    }
+}

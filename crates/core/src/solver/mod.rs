@@ -1,0 +1,25 @@
+//! The retrofitting solvers.
+//!
+//! * [`ro`] — Eq. 8/10: Jacobi iteration on the stationary point of the
+//!   convex objective Ψ, with the Eq. 15 negative-centroid optimization,
+//! * [`rn`] — Eq. 9/11: the normalized series update with the Eq. 16
+//!   precomputed target sums (the fast solver, ~10× quicker than RO in the
+//!   paper's Fig. 4),
+//! * [`mf`] — Eq. 3: the Faruqui et al. baseline on the flattened relation
+//!   graph.
+//!
+//! All solvers are deterministic and allocate their working matrices once.
+
+pub mod mf;
+pub mod parallel;
+pub mod rn;
+pub mod ro;
+
+pub use mf::solve_mf;
+pub use parallel::solve_rn_parallel;
+pub use rn::solve_rn;
+pub use ro::{solve_ro, solve_ro_enumerated};
+
+/// Default iteration count (§4.3 "we set it to a fixed number of 20"; the
+/// evaluation trains with 10, which [`crate::RetroConfig`] uses).
+pub const DEFAULT_ITERATIONS: usize = 20;

@@ -1,0 +1,189 @@
+//! Multi-threaded RN solver.
+//!
+//! The paper measures everything single-threaded (§5.3), but an adopter of
+//! the library wants the cores they paid for. The RN iteration is a sparse
+//! matrix product plus row-local postprocessing, so it partitions cleanly:
+//! each worker computes a disjoint row range of `Γ·W` and the subsequent
+//! add/normalize, while the per-group target centroids (cheap, O(n·D)
+//! total) are computed once per iteration on the coordinating thread.
+//!
+//! Results are bit-identical to [`super::solve_rn`] — the parallelism only
+//! reorders independent row computations.
+
+use retro_linalg::{vector, CooMatrix, Matrix};
+
+use crate::hyper::Hyperparameters;
+use crate::problem::RetrofitProblem;
+
+/// Run the RN solver with `threads` workers (values ≤ 1 fall back to the
+/// serial path).
+pub fn solve_rn_parallel(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    threads: usize,
+) -> Matrix {
+    if threads <= 1 {
+        return super::solve_rn(problem, params, iterations);
+    }
+    let n = problem.len();
+    let dim = problem.dim();
+    if n == 0 {
+        return Matrix::zeros(0, dim);
+    }
+    let groups = problem.directed_groups(params, false);
+    let beta = problem.beta_weights(params);
+
+    let mut coo = CooMatrix::new(n, n);
+    for dg in &groups {
+        for &(i, j) in &dg.group.edges {
+            coo.push(i as usize, j as usize, dg.own.gamma_i[i as usize]);
+        }
+    }
+    let pos = coo.to_csr();
+
+    let mut base = Matrix::zeros(n, dim);
+    for (i, &b) in beta.iter().enumerate() {
+        let row = base.row_mut(i);
+        row.copy_from_slice(problem.w0.row(i));
+        vector::scale(params.alpha, row);
+        vector::axpy(b, problem.centroid_of(i), row);
+    }
+
+    // Precompute, per node, the list of (group index, delta) pairs so the
+    // row-parallel phase can apply the negative centroids locally.
+    let mut node_negatives: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+    for (g, dg) in groups.iter().enumerate() {
+        if dg.targets.is_empty() {
+            continue;
+        }
+        for &s in &dg.sources {
+            let delta = dg.own.delta_i[s as usize];
+            if delta != 0.0 {
+                node_negatives[s as usize].push((g as u32, delta));
+            }
+        }
+    }
+
+    let rows_per_chunk = n.div_ceil(threads);
+    let mut w = problem.w0.clone();
+    let mut next = Matrix::zeros(n, dim);
+    let mut centroids: Vec<Vec<f32>> = vec![vec![0.0; dim]; groups.len()];
+
+    for _ in 0..iterations {
+        // Serial phase: per-group target centroids (Eq. 16).
+        for (g, dg) in groups.iter().enumerate() {
+            let c = &mut centroids[g];
+            vector::zero(c);
+            if dg.targets.is_empty() {
+                continue;
+            }
+            for &k in &dg.targets {
+                vector::axpy(1.0, w.row(k as usize), c);
+            }
+            vector::scale(1.0 / dg.targets.len() as f32, c);
+        }
+
+        // Parallel phase: disjoint row ranges of Γ·W + base + negatives,
+        // then normalization — all row-local.
+        let w_ref = &w;
+        let pos_ref = &pos;
+        let base_ref = &base;
+        let centroids_ref = &centroids;
+        let negatives_ref = &node_negatives;
+        crossbeam::scope(|scope| {
+            for (chunk_idx, chunk) in
+                next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
+            {
+                let start = chunk_idx * rows_per_chunk;
+                let end = (start + chunk.len() / dim).min(n);
+                scope.spawn(move |_| {
+                    pos_ref.mul_dense_range_into(w_ref, start..end, chunk);
+                    for (local, r) in (start..end).enumerate() {
+                        let out_row = &mut chunk[local * dim..(local + 1) * dim];
+                        for &(g, delta) in &negatives_ref[r] {
+                            vector::axpy(-delta, &centroids_ref[g as usize], out_row);
+                        }
+                        vector::axpy(1.0, base_ref.row(r), out_row);
+                        vector::normalize(out_row);
+                    }
+                });
+            }
+        })
+        .expect("solver worker panicked");
+        std::mem::swap(&mut w, &mut next);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TextValueCatalog;
+    use crate::relations::{RelationGroup, RelationKind};
+    use crate::solver::solve_rn;
+    use retro_embed::EmbeddingSet;
+
+    fn problem(n_extra: usize) -> RetrofitProblem {
+        let mut catalog = TextValueCatalog::default();
+        let ca = catalog.add_category("a", "x");
+        let cb = catalog.add_category("b", "y");
+        let mut edges = Vec::new();
+        let mut tokens = Vec::new();
+        let mut vectors = Vec::new();
+        for k in 0..(4 + n_extra) {
+            let i = catalog.intern(ca, &format!("s{k}"));
+            let j = catalog.intern(cb, &format!("t{k}"));
+            edges.push((i, j));
+            if k % 3 > 0 {
+                edges.push((i, (j + 1) % 2 + catalog.len() as u32 % 2));
+            }
+            tokens.push(format!("s{k}"));
+            vectors.push(vec![k as f32 * 0.1, 1.0, -0.3 * k as f32]);
+            tokens.push(format!("t{k}"));
+            vectors.push(vec![1.0 - k as f32 * 0.05, -0.5, 0.2]);
+        }
+        let groups = vec![RelationGroup::new(
+            "a.x~b.y".into(),
+            ca,
+            cb,
+            RelationKind::ForeignKey,
+            edges,
+        )];
+        let base = EmbeddingSet::new(tokens, vectors);
+        RetrofitProblem::from_parts(catalog, groups, &base)
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let p = problem(20);
+        let params = Hyperparameters::paper_rn();
+        let serial = solve_rn(&p, &params, 10);
+        for threads in [2, 3, 8] {
+            let parallel = solve_rn_parallel(&p, &params, 10, threads);
+            assert!(
+                serial.max_abs_diff(&parallel) < 1e-6,
+                "threads={threads}: diff {}",
+                serial.max_abs_diff(&parallel)
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_delegates_to_serial() {
+        let p = problem(4);
+        let params = Hyperparameters::paper_rn();
+        let a = solve_rn(&p, &params, 5);
+        let b = solve_rn_parallel(&p, &params, 5, 1);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn empty_problem_is_handled() {
+        let catalog = TextValueCatalog::default();
+        let base = EmbeddingSet::new(vec!["t".into()], vec![vec![0.0]]);
+        let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
+        let w = solve_rn_parallel(&p, &Hyperparameters::default(), 3, 4);
+        assert_eq!(w.shape(), (0, 1));
+    }
+}

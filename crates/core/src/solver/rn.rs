@@ -1,0 +1,211 @@
+//! The series-based solver (RN): Eq. 9 row updates as the Eq. 11 matrix
+//! iteration with row normalization, using the Eq. 16 precomputed target
+//! sums for the negative term.
+//!
+//! Per iteration:
+//!
+//! ```text
+//! W' = α·W0 + β·c + Σ_r [ Γr·W − δ^r_i · t_r ]    (t_r = Σ_{k∈targets(r)} v_k)
+//! W  = row-normalize(W')
+//! ```
+//!
+//! Unlike RO there is no symmetric `γ̄ᵀ` term — every directed group only
+//! updates its sources — and the normalization bounds the series, so the
+//! parameter constraints of Eq. 7 do not apply (§4.2).
+
+use retro_linalg::{vector, CooMatrix, Matrix};
+
+use crate::hyper::Hyperparameters;
+use crate::problem::RetrofitProblem;
+
+/// Run the RN solver for `iterations` rounds, starting from `W0`.
+pub fn solve_rn(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+) -> Matrix {
+    solve_rn_seeded(problem, params, iterations, None)
+}
+
+/// Run the RN solver from an explicit starting matrix (warm start for
+/// incremental maintenance). The series' constant term still anchors on
+/// `W0`; only the iteration's initial state changes.
+pub fn solve_rn_seeded(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    seed: Option<&Matrix>,
+) -> Matrix {
+    let n = problem.len();
+    let dim = problem.dim();
+    if n == 0 {
+        return Matrix::zeros(0, dim);
+    }
+    let groups = problem.directed_groups(params, false);
+    let beta = problem.beta_weights(params);
+
+    // Positive operator: γ^r_i on every directed edge.
+    let mut coo = CooMatrix::new(n, n);
+    for dg in &groups {
+        for &(i, j) in &dg.group.edges {
+            coo.push(i as usize, j as usize, dg.own.gamma_i[i as usize]);
+        }
+    }
+    let pos = coo.to_csr();
+
+    // Constant part α·W0 + β·c.
+    let mut base = Matrix::zeros(n, dim);
+    for (i, &b) in beta.iter().enumerate() {
+        let row = base.row_mut(i);
+        row.copy_from_slice(problem.w0.row(i));
+        vector::scale(params.alpha, row);
+        vector::axpy(b, problem.centroid_of(i), row);
+    }
+
+    let mut w = match seed {
+        Some(s) => {
+            assert_eq!(s.shape(), (n, dim), "solve_rn_seeded: seed shape mismatch");
+            s.clone()
+        }
+        None => problem.w0.clone(),
+    };
+    let mut wr = Matrix::zeros(n, dim);
+    let mut t_sum = vec![0.0f32; dim];
+
+    for _ in 0..iterations {
+        pos.mul_dense_into(&w, &mut wr);
+        // §4.2: "the difference between every vector and the *centroid* of
+        // all target vectors in the relation Er is calculated" — the
+        // per-group centroid is the same vector for every source of r
+        // (Eq. 16), so precompute it once per group per iteration. Using
+        // the centroid (not the raw sum) keeps the repulsion bounded
+        // regardless of column cardinality.
+        for dg in &groups {
+            if dg.targets.is_empty() {
+                continue;
+            }
+            vector::zero(&mut t_sum);
+            for &k in &dg.targets {
+                vector::axpy(1.0, w.row(k as usize), &mut t_sum);
+            }
+            vector::scale(1.0 / dg.targets.len() as f32, &mut t_sum);
+            for &s in &dg.sources {
+                let delta = dg.own.delta_i[s as usize];
+                if delta != 0.0 {
+                    vector::axpy(-delta, &t_sum, wr.row_mut(s as usize));
+                }
+            }
+        }
+        wr.axpy(1.0, &base);
+        wr.normalize_rows();
+        std::mem::swap(&mut w, &mut wr);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TextValueCatalog;
+    use crate::relations::{RelationGroup, RelationKind};
+    use retro_embed::EmbeddingSet;
+
+    fn tiny_problem() -> RetrofitProblem {
+        let mut catalog = TextValueCatalog::default();
+        let movies = catalog.add_category("movies", "title");
+        let countries = catalog.add_category("countries", "name");
+        let a = catalog.intern(movies, "a");
+        let b = catalog.intern(movies, "b");
+        let x = catalog.intern(countries, "x");
+        let y = catalog.intern(countries, "y");
+        let groups = vec![RelationGroup::new(
+            "movies.title~countries.name".into(),
+            movies,
+            countries,
+            RelationKind::ForeignKey,
+            vec![(a, x), (b, y)],
+        )];
+        let base = EmbeddingSet::new(
+            vec!["a".into(), "b".into(), "x".into(), "y".into()],
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.8, 0.6],
+                vec![-0.6, 0.8],
+            ],
+        );
+        RetrofitProblem::from_parts(catalog, groups, &base)
+    }
+
+    #[test]
+    fn rows_are_unit_norm_after_solving() {
+        let p = tiny_problem();
+        let w = solve_rn(&p, &Hyperparameters::paper_rn(), 10);
+        for r in 0..w.rows() {
+            let norm = vector::norm(w.row(r));
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn related_pairs_end_closer_than_unrelated() {
+        let p = tiny_problem();
+        let w = solve_rn(&p, &Hyperparameters::new(1.0, 0.0, 3.0, 1.0), 15);
+        let related = vector::cosine(w.row(0), w.row(2)); // a ~ x
+        let unrelated = vector::cosine(w.row(0), w.row(3)); // a vs y
+        assert!(related > unrelated, "related {related} unrelated {unrelated}");
+    }
+
+    #[test]
+    fn oov_value_acquires_a_direction_from_relations() {
+        let mut catalog = TextValueCatalog::default();
+        let movies = catalog.add_category("movies", "title");
+        let countries = catalog.add_category("countries", "name");
+        let a = catalog.intern(movies, "zzz_oov_zzz");
+        let x = catalog.intern(countries, "x");
+        let groups = vec![RelationGroup::new(
+            "g".into(),
+            movies,
+            countries,
+            RelationKind::ForeignKey,
+            vec![(a, x)],
+        )];
+        let base = EmbeddingSet::new(vec!["x".into()], vec![vec![0.0, 1.0]]);
+        let p = RetrofitProblem::from_parts(catalog, groups, &base);
+        assert!(p.oov[a as usize]);
+        let w = solve_rn(&p, &Hyperparameters::new(1.0, 0.0, 3.0, 0.0), 10);
+        // The OOV movie must align with its related country direction.
+        assert!(vector::cosine(w.row(a as usize), &[0.0, 1.0]) > 0.9);
+    }
+
+    #[test]
+    fn delta_zero_concentrates_delta_positive_separates() {
+        // §4.4 / Fig. 3d: with δ = 0 vectors concentrate (higher pairwise
+        // cosine); δ > 0 pushes unrelated vectors apart.
+        let p = tiny_problem();
+        let w_no = solve_rn(&p, &Hyperparameters::new(1.0, 0.5, 3.0, 0.0), 15);
+        let w_yes = solve_rn(&p, &Hyperparameters::new(1.0, 0.5, 3.0, 2.0), 15);
+        let cos_no = vector::cosine(w_no.row(0), w_no.row(3));
+        let cos_yes = vector::cosine(w_yes.row(0), w_yes.row(3));
+        assert!(cos_yes < cos_no, "with delta {cos_yes} vs without {cos_no}");
+    }
+
+    #[test]
+    fn deterministic_and_finite_even_with_large_delta() {
+        let p = tiny_problem();
+        let params = Hyperparameters::new(1.0, 0.0, 3.0, 50.0);
+        let a = solve_rn(&p, &params, 10);
+        let b = solve_rn(&p, &params, 10);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn empty_problem_is_handled() {
+        let catalog = TextValueCatalog::default();
+        let base = EmbeddingSet::new(vec!["t".into()], vec![vec![0.0]]);
+        let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
+        let w = solve_rn(&p, &Hyperparameters::default(), 5);
+        assert_eq!(w.shape(), (0, 1));
+    }
+}

@@ -1,0 +1,341 @@
+//! The optimization-based solver (RO): Eq. 8 row updates expressed as the
+//! Eq. 10 matrix iteration, with the Eq. 15 negative-term optimization.
+//!
+//! Per iteration:
+//!
+//! ```text
+//! W' = α·W0 + β·c + P·W − Σ_r 2δ̂r · 1_sources(r) ⊗ t_r
+//! W  = D⁻¹ W'
+//! ```
+//!
+//! where `P` carries `(γ^r_i + γ^r̄_j) + 2δ̂r` on every relation edge — the
+//! `+2δ̂r` re-adds the related vectors that the blanket subtraction of the
+//! target sum `t_r = Σ_{k∈targets(r)} v_k` removed, exactly the algebra of
+//! Eq. 15 — and `D` is the Eq. 10 diagonal of coefficient sums.
+
+use retro_linalg::{vector, CooMatrix, Matrix};
+
+use crate::hyper::Hyperparameters;
+use crate::problem::RetrofitProblem;
+
+/// Run the RO solver for `iterations` rounds, starting from `W0`.
+pub fn solve_ro(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+) -> Matrix {
+    solve_ro_seeded(problem, params, iterations, None)
+}
+
+/// Run the RO solver from an explicit starting matrix (warm start for
+/// incremental maintenance). The anchor term still pulls toward `W0`; only
+/// the iteration's initial state changes.
+pub fn solve_ro_seeded(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    seed: Option<&Matrix>,
+) -> Matrix {
+    let n = problem.len();
+    let dim = problem.dim();
+    if n == 0 {
+        return Matrix::zeros(0, dim);
+    }
+    let groups = problem.directed_groups(params, true);
+    let beta = problem.beta_weights(params);
+
+    // Positive operator P and the constant denominator D.
+    let mut coo = CooMatrix::new(n, n);
+    let mut denom = vec![0.0f32; n];
+    for (i, d) in denom.iter_mut().enumerate() {
+        *d = params.alpha + beta[i];
+    }
+    for dg in &groups {
+        let dh = dg.delta_hat();
+        for &(i, j) in &dg.group.edges {
+            let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize] + 2.0 * dh;
+            coo.push(i as usize, j as usize, w);
+            denom[i as usize] += w;
+        }
+        let t_count = dg.targets.len() as f32;
+        for &s in &dg.sources {
+            denom[s as usize] -= 2.0 * dh * t_count;
+        }
+    }
+    let pos = coo.to_csr();
+
+    // Constant part α·W0 + β·c.
+    let mut base = Matrix::zeros(n, dim);
+    for (i, &b) in beta.iter().enumerate() {
+        let row = base.row_mut(i);
+        row.copy_from_slice(problem.w0.row(i));
+        vector::scale(params.alpha, row);
+        vector::axpy(b, problem.centroid_of(i), row);
+    }
+
+    let mut w = match seed {
+        Some(s) => {
+            assert_eq!(s.shape(), (n, dim), "solve_ro_seeded: seed shape mismatch");
+            s.clone()
+        }
+        None => problem.w0.clone(),
+    };
+    let mut wr = Matrix::zeros(n, dim);
+    let mut t_sum = vec![0.0f32; dim];
+
+    for _ in 0..iterations {
+        pos.mul_dense_into(&w, &mut wr);
+        // Blanket negative term: −2δ̂r · t_r for every source of r.
+        for dg in &groups {
+            let dh = dg.delta_hat();
+            if dh == 0.0 || dg.targets.is_empty() {
+                continue;
+            }
+            vector::zero(&mut t_sum);
+            for &k in &dg.targets {
+                vector::axpy(1.0, w.row(k as usize), &mut t_sum);
+            }
+            for &s in &dg.sources {
+                vector::axpy(-2.0 * dh, &t_sum, wr.row_mut(s as usize));
+            }
+        }
+        // W' = base + WR, then divide by the diagonal.
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+        for i in 0..n {
+            let d = denom[i];
+            let next: Vec<f32> = if d.abs() > 1e-6 {
+                base.row(i)
+                    .iter()
+                    .zip(wr.row(i))
+                    .map(|(b, r)| (b + r) / d)
+                    .collect()
+            } else {
+                // Degenerate diagonal (δ too large): keep the previous
+                // vector rather than dividing by ~0.
+                w.row(i).to_vec()
+            };
+            w.set_row(i, &next);
+        }
+    }
+    w
+}
+
+/// The RO solver with the negative term computed by **explicit enumeration**
+/// of the `Ẽr` pairs — the unoptimized Eq. 10 computation that §4.5 warns
+/// about (`|Ẽr| ≫ |Er|`). Numerically equivalent to [`solve_ro`]; its cost
+/// per iteration is `O(Σ_r |sources(r)|·|targets(r)|·D)` instead of
+/// `O(Σ_r (|sources(r)|+|targets(r)|)·D)`, which is where the paper's
+/// "RO is ~10× slower than RN" runtime shape comes from (Table 2 / Fig. 4).
+pub fn solve_ro_enumerated(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+) -> Matrix {
+    let n = problem.len();
+    let dim = problem.dim();
+    if n == 0 {
+        return Matrix::zeros(0, dim);
+    }
+    let groups = problem.directed_groups(params, true);
+    let beta = problem.beta_weights(params);
+
+    // Positive operator carries only the γ weights here; the negative term
+    // is enumerated pair-by-pair below (related pairs are skipped exactly,
+    // not re-added via the +2δ̂ trick).
+    let mut coo = CooMatrix::new(n, n);
+    let mut denom = vec![0.0f32; n];
+    for (i, d) in denom.iter_mut().enumerate() {
+        *d = params.alpha + beta[i];
+    }
+    for dg in &groups {
+        let dh = dg.delta_hat();
+        for &(i, j) in &dg.group.edges {
+            let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize];
+            coo.push(i as usize, j as usize, w);
+            denom[i as usize] += w;
+        }
+        let t_count = dg.targets.len() as f32;
+        for (&s, &od) in dg.sources.iter().zip(&dg.source_out_degree) {
+            denom[s as usize] -= 2.0 * dh * (t_count - od as f32);
+        }
+    }
+    let pos = coo.to_csr();
+
+    let mut base = Matrix::zeros(n, dim);
+    for (i, &b) in beta.iter().enumerate() {
+        let row = base.row_mut(i);
+        row.copy_from_slice(problem.w0.row(i));
+        vector::scale(params.alpha, row);
+        vector::axpy(b, problem.centroid_of(i), row);
+    }
+
+    let mut w = problem.w0.clone();
+    let mut wr = Matrix::zeros(n, dim);
+
+    for _ in 0..iterations {
+        pos.mul_dense_into(&w, &mut wr);
+        for dg in &groups {
+            let dh = dg.delta_hat();
+            if dh == 0.0 || dg.targets.is_empty() {
+                continue;
+            }
+            // Explicit Ẽr sweep: every (source, target) pair that is NOT a
+            // relation contributes −2δ̂·v_target to the source's row.
+            for &s in &dg.sources {
+                let related: Vec<u32> = dg
+                    .group
+                    .edges
+                    .iter()
+                    .filter(|&&(i, _)| i == s)
+                    .map(|&(_, j)| j)
+                    .collect();
+                let out_row = wr.row_mut(s as usize);
+                for &k in &dg.targets {
+                    if !related.contains(&k) {
+                        vector::axpy(-2.0 * dh, w.row(k as usize), out_row);
+                    }
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
+        for i in 0..n {
+            let d = denom[i];
+            let next: Vec<f32> = if d.abs() > 1e-6 {
+                base.row(i)
+                    .iter()
+                    .zip(wr.row(i))
+                    .map(|(b, r)| (b + r) / d)
+                    .collect()
+            } else {
+                w.row(i).to_vec()
+            };
+            w.set_row(i, &next);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TextValueCatalog;
+    use crate::relations::{RelationGroup, RelationKind};
+    use retro_embed::EmbeddingSet;
+
+    /// Two categories (0: movies {a, b}, 1: countries {x}), one relation
+    /// a→x.
+    fn tiny_problem() -> RetrofitProblem {
+        let mut catalog = TextValueCatalog::default();
+        let movies = catalog.add_category("movies", "title");
+        let countries = catalog.add_category("countries", "name");
+        let a = catalog.intern(movies, "a");
+        let _b = catalog.intern(movies, "b");
+        let x = catalog.intern(countries, "x");
+        let groups = vec![RelationGroup::new(
+            "movies.title~countries.name".into(),
+            movies,
+            countries,
+            RelationKind::ForeignKey,
+            vec![(a, x)],
+        )];
+        let base = EmbeddingSet::new(
+            vec!["a".into(), "b".into(), "x".into()],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0]],
+        );
+        RetrofitProblem::from_parts(catalog, groups, &base)
+    }
+
+    #[test]
+    fn alpha_only_is_fixed_at_w0() {
+        let p = tiny_problem();
+        let params = Hyperparameters::new(2.0, 0.0, 0.0, 0.0);
+        let w = solve_ro(&p, &params, 15);
+        assert!(w.max_abs_diff(&p.w0) < 1e-5);
+    }
+
+    #[test]
+    fn gamma_pulls_related_values_together() {
+        let p = tiny_problem();
+        let before = vector::dist(p.w0.row(0), p.w0.row(2));
+        let params = Hyperparameters::new(1.0, 0.0, 2.0, 0.0);
+        let w = solve_ro(&p, &params, 20);
+        let after = vector::dist(w.row(0), w.row(2));
+        assert!(after < before, "after {after} < before {before}");
+    }
+
+    #[test]
+    fn unrelated_value_only_feels_alpha_and_beta() {
+        let p = tiny_problem();
+        let params = Hyperparameters::new(1.0, 0.0, 5.0, 0.0);
+        let w = solve_ro(&p, &params, 20);
+        // "b" participates in no relation and β=0 → stays at its original.
+        assert!(vector::approx_eq(w.row(1), p.w0.row(1), 1e-5));
+    }
+
+    #[test]
+    fn beta_pulls_toward_category_centroid() {
+        let p = tiny_problem();
+        let params = Hyperparameters::new(1.0, 3.0, 0.0, 0.0);
+        let w = solve_ro(&p, &params, 20);
+        // Movie centroid is [0.5, 0.5]; both movie vectors move toward it.
+        let centroid = [0.5f32, 0.5];
+        let before = vector::dist(p.w0.row(0), &centroid);
+        let after = vector::dist(w.row(0), &centroid);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn converges_to_a_fixed_point() {
+        let p = tiny_problem();
+        let params = Hyperparameters::new(1.0, 0.5, 1.0, 0.1);
+        let w20 = solve_ro(&p, &params, 20);
+        let w40 = solve_ro(&p, &params, 40);
+        assert!(w20.max_abs_diff(&w40) < 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = tiny_problem();
+        let params = Hyperparameters::paper_ro();
+        let a = solve_ro(&p, &params, 10);
+        let b = solve_ro(&p, &params, 10);
+        assert!(a.max_abs_diff(&b) == 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominator_keeps_previous_vector() {
+        // Absurd δ flips the diagonal negative for related nodes; the solver
+        // must not blow up or emit NaNs.
+        let p = tiny_problem();
+        let params = Hyperparameters::new(0.0, 0.0, 0.0, 1e9);
+        let w = solve_ro(&p, &params, 5);
+        assert!(w.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn enumerated_variant_matches_optimized() {
+        let p = tiny_problem();
+        for params in [
+            Hyperparameters::new(1.0, 0.5, 2.0, 0.5),
+            Hyperparameters::paper_ro(),
+            Hyperparameters::new(2.0, 0.0, 1.0, 0.0),
+        ] {
+            let fast = solve_ro(&p, &params, 10);
+            let slow = solve_ro_enumerated(&p, &params, 10);
+            assert!(
+                fast.max_abs_diff(&slow) < 1e-4,
+                "divergence {} at {params:?}",
+                fast.max_abs_diff(&slow)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_problem_is_handled() {
+        let catalog = TextValueCatalog::default();
+        let base = EmbeddingSet::new(vec!["t".into()], vec![vec![0.0, 0.0]]);
+        let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
+        let w = solve_ro(&p, &Hyperparameters::default(), 5);
+        assert_eq!(w.shape(), (0, 2));
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic synthetic naming: region-flavoured person names and
+//! topic-flavoured content tokens.
+//!
+//! Person names are built from per-region syllable pools, so a name's
+//! *surface form* carries a (noisy) signal of its bearer's region — the
+//! stand-in for the fact that real word embeddings place "Jean-Pierre"
+//! nearer to French entities than "Bubba" is. Content tokens (for titles,
+//! overviews, reviews, keywords) are drawn from per-topic pools.
+
+use rand::Rng;
+
+/// Per-region syllable pools for person-name generation.
+const REGION_SYLLABLES: [&[&str]; 4] = [
+    // Region 0: "anglo"
+    &["john", "smith", "bob", "mary", "bill", "ton", "son", "wood", "ham", "ley", "jack", "kate"],
+    // Region 1: "romance"
+    &["jean", "pierre", "marie", "lou", "elle", "eau", "fran", "cois", "luc", "ette", "ami", "rene"],
+    // Region 2: "germanic"
+    &["hans", "gret", "wolf", "gang", "berg", "stein", "fritz", "heim", "brun", "dorf", "karl", "ula"],
+    // Region 3: "east"
+    &["yuki", "taro", "chen", "wei", "ming", "sato", "kawa", "yama", "li", "zhou", "hana", "kim"],
+];
+
+/// Number of name regions.
+pub const N_REGIONS: usize = REGION_SYLLABLES.len();
+
+/// Generate a three-syllable person name flavoured by `region`.
+///
+/// With probability `leak`, each syllable comes from the region pool
+/// (strong signal); otherwise syllables mix across regions (noise).
+/// Syllables stay separate words so the §3.1 tokenizer can match them
+/// against the embedding vocabulary; the numeric suffix keeps names unique
+/// (and is itself out-of-vocabulary, contributing nothing to the centroid).
+pub fn person_name<R: Rng + ?Sized>(
+    region: usize,
+    serial: usize,
+    leak: f64,
+    rng: &mut R,
+) -> String {
+    let pick = |rng: &mut R| -> &'static str {
+        let pool = if rng.gen_bool(leak) {
+            REGION_SYLLABLES[region % N_REGIONS]
+        } else {
+            REGION_SYLLABLES[rng.gen_range(0..N_REGIONS)]
+        };
+        pool[rng.gen_range(0..pool.len())]
+    };
+    format!("{} {} {} {serial}", pick(rng), pick(rng), pick(rng))
+}
+
+/// The syllables of region `region` (used to build the embedding
+/// vocabulary: each syllable token gets the region's topic mixture).
+pub fn region_syllables(region: usize) -> &'static [&'static str] {
+    REGION_SYLLABLES[region % N_REGIONS]
+}
+
+/// Generate a pool of distinct content tokens for one topic, named
+/// deterministically (`<prefix><topic>_<k>`).
+pub fn topic_tokens(prefix: &str, topic: usize, count: usize) -> Vec<String> {
+    (0..count).map(|k| format!("{prefix}{topic}w{k}")).collect()
+}
+
+/// Compose a multi-token text by sampling `len` tokens from `pool`.
+pub fn compose<R: Rng + ?Sized>(pool: &[String], len: usize, rng: &mut R) -> String {
+    let mut words = Vec::with_capacity(len);
+    for _ in 0..len {
+        words.push(pool[rng.gen_range(0..pool.len())].as_str());
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn person_names_are_unique_by_serial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = person_name(0, 1, 1.0, &mut rng);
+        let b = person_name(0, 2, 1.0, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_leak_uses_only_region_syllables() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = region_syllables(1);
+        for _ in 0..20 {
+            let name = person_name(1, 0, 1.0, &mut rng);
+            for word in name.split(' ').take(3) {
+                assert!(pool.contains(&word), "{word} not from region 1");
+            }
+        }
+    }
+
+    #[test]
+    fn topic_tokens_are_distinct_across_topics() {
+        let a = topic_tokens("g", 0, 5);
+        let b = topic_tokens("g", 1, 5);
+        assert!(a.iter().all(|t| !b.contains(t)));
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn compose_draws_from_pool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = topic_tokens("k", 2, 4);
+        let text = compose(&pool, 3, &mut rng);
+        for word in text.split(' ') {
+            assert!(pool.iter().any(|t| t == word));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Negative-sampling noise distribution.
+//!
+//! word2vec draws negatives from the unigram distribution raised to the 3/4
+//! power. We implement it as a cumulative table with binary search — O(log n)
+//! per draw, exact, and without the memory of the classic 10⁸-slot table.
+
+use rand::Rng;
+
+/// Sampler over `P(i) ∝ count(i)^0.75`.
+#[derive(Clone, Debug)]
+pub struct NegativeTable {
+    cumulative: Vec<f64>,
+}
+
+impl NegativeTable {
+    /// Build from raw occurrence counts (one per node/word id). Ids with a
+    /// zero count are never sampled.
+    pub fn new(counts: &[u64]) -> Self {
+        let mut cumulative = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for &c in counts {
+            acc += (c as f64).powf(0.75);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Build from a walk corpus (counting node visits).
+    pub fn from_walks(walks: &[Vec<u32>], vocab_size: usize) -> Self {
+        let mut counts = vec![0u64; vocab_size];
+        for walk in walks {
+            for &node in walk {
+                counts[node as usize] += 1;
+            }
+        }
+        Self::new(&counts)
+    }
+
+    /// Total (powered) mass; zero means nothing can be sampled.
+    pub fn total_mass(&self) -> f64 {
+        self.cumulative.last().copied().unwrap_or(0.0)
+    }
+
+    /// Draw one id, or `None` when the table is empty / massless.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total_mass();
+        if total <= 0.0 {
+            return None;
+        }
+        let x = rng.gen_range(0.0..total);
+        // First index whose cumulative mass exceeds x.
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        Some(idx.min(self.cumulative.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_count_ids_never_sampled() {
+        let table = NegativeTable::new(&[10, 0, 10]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(table.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn frequencies_follow_powered_counts() {
+        // count^0.75 of [16, 1] is [8, 1] → id 0 should win ~8/9 of draws.
+        let table = NegativeTable::new(&[16, 1]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let zeros = (0..n).filter(|_| table.sample(&mut rng) == Some(0)).count();
+        let frac = zeros as f64 / n as f64;
+        assert!((frac - 8.0 / 9.0).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let table = NegativeTable::new(&[]);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(table.sample(&mut rng), None);
+        let table = NegativeTable::new(&[0, 0]);
+        assert_eq!(table.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn from_walks_counts_visits() {
+        let walks = vec![vec![0, 1, 1], vec![2]];
+        let table = NegativeTable::from_walks(&walks, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let s = table.sample(&mut rng).unwrap();
+            assert!(s < 3, "id 3 has no visits");
+        }
+    }
+}

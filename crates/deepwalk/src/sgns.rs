@@ -1,0 +1,199 @@
+//! Skip-Gram with negative sampling (SGNS), the word2vec training core.
+//!
+//! Given "sentences" (random walks over node ids), the model learns input
+//! embeddings `W_in` and output embeddings `W_out` such that
+//! `σ(W_in[center] · W_out[context])` is high for co-occurring pairs and low
+//! for `k` sampled negatives. The input embeddings are the published node
+//! vectors.
+
+use rand::Rng;
+use retro_linalg::{vector, Matrix};
+
+use crate::negative::NegativeTable;
+
+/// SGNS hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality (the paper uses 300).
+    pub dim: usize,
+    /// Maximum context window size; the effective window per position is
+    /// sampled uniformly from `1..=window` (word2vec's dynamic window).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Initial learning rate, linearly decayed to 1e-4 of itself.
+    pub learning_rate: f32,
+    /// Passes over the walk corpus.
+    pub epochs: usize,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self { dim: 300, window: 10, negatives: 5, learning_rate: 0.025, epochs: 1 }
+    }
+}
+
+/// The Skip-Gram model state.
+#[derive(Clone, Debug)]
+pub struct SkipGram {
+    config: SgnsConfig,
+    w_in: Matrix,
+    w_out: Matrix,
+}
+
+/// Numerically-stable logistic function.
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+impl SkipGram {
+    /// Initialize for `vocab` ids: `W_in` uniform in `±0.5/dim` (word2vec's
+    /// convention), `W_out` zero.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, config: SgnsConfig, rng: &mut R) -> Self {
+        let spread = 0.5 / config.dim as f32;
+        let w_in = Matrix::from_fn(vocab, config.dim, |_, _| rng.gen_range(-spread..spread));
+        let w_out = Matrix::zeros(vocab, config.dim);
+        Self { config, w_in, w_out }
+    }
+
+    /// Train on a walk corpus.
+    pub fn train<R: Rng + ?Sized>(&mut self, walks: &[Vec<u32>], rng: &mut R) {
+        let vocab = self.w_in.rows();
+        let table = NegativeTable::from_walks(walks, vocab);
+        if table.total_mass() <= 0.0 {
+            return;
+        }
+        let total_steps = (walks.iter().map(Vec::len).sum::<usize>() * self.config.epochs).max(1);
+        let mut step = 0usize;
+        let lr0 = self.config.learning_rate;
+        let mut grad_in = vec![0.0f32; self.config.dim];
+
+        for _ in 0..self.config.epochs {
+            for walk in walks {
+                for (pos, &center) in walk.iter().enumerate() {
+                    // Linear learning-rate decay, floored at 1e-4 · lr0.
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = (lr0 * (1.0 - progress)).max(lr0 * 1e-4);
+                    step += 1;
+
+                    let b = rng.gen_range(0..self.config.window);
+                    let window = self.config.window - b;
+                    let lo = pos.saturating_sub(window);
+                    let hi = (pos + window).min(walk.len() - 1);
+                    for (ctx_pos, &context) in walk.iter().enumerate().take(hi + 1).skip(lo) {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        self.train_pair(center as usize, context as usize, lr, &table, rng, &mut grad_in);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One positive pair + `negatives` sampled negatives.
+    fn train_pair<R: Rng + ?Sized>(
+        &mut self,
+        center: usize,
+        context: usize,
+        lr: f32,
+        table: &NegativeTable,
+        rng: &mut R,
+        grad_in: &mut [f32],
+    ) {
+        vector::zero(grad_in);
+        // Positive example, then negatives with label 0.
+        for k in 0..=self.config.negatives {
+            let (target, label) = if k == 0 {
+                (context, 1.0f32)
+            } else {
+                let Some(neg) = table.sample(rng) else { break };
+                if neg == context {
+                    continue;
+                }
+                (neg, 0.0f32)
+            };
+            let score = sigmoid(vector::dot(self.w_in.row(center), self.w_out.row(target)));
+            let g = lr * (label - score);
+            vector::axpy(g, self.w_out.row(target), grad_in);
+            // W_out[target] += g * W_in[center]
+            let center_row: Vec<f32> = self.w_in.row(center).to_vec();
+            vector::axpy(g, &center_row, self.w_out.row_mut(target));
+        }
+        vector::axpy(1.0, grad_in, self.w_in.row_mut(center));
+    }
+
+    /// The learned input embeddings.
+    pub fn input_embeddings(&self) -> &Matrix {
+        &self.w_in
+    }
+
+    /// Consume the model, returning the input embeddings.
+    pub fn into_input_embeddings(self) -> Matrix {
+        self.w_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(-1000.0) >= 0.0); // no NaN/underflow panic
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cooccurring_ids_gain_similarity() {
+        // Corpus where 0 and 1 always co-occur, 2 and 3 always co-occur.
+        let mut walks = Vec::new();
+        for _ in 0..200 {
+            walks.push(vec![0u32, 1, 0, 1, 0, 1]);
+            walks.push(vec![2u32, 3, 2, 3, 2, 3]);
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let config = SgnsConfig { dim: 12, window: 2, negatives: 4, epochs: 2, ..SgnsConfig::default() };
+        let mut model = SkipGram::new(4, config, &mut rng);
+        model.train(&walks, &mut rng);
+        let emb = model.input_embeddings();
+        let same = vector::cosine(emb.row(0), emb.row(1));
+        let cross = vector::cosine(emb.row(0), emb.row(3));
+        assert!(same > cross, "same {same} cross {cross}");
+    }
+
+    #[test]
+    fn empty_corpus_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SgnsConfig { dim: 4, ..SgnsConfig::default() };
+        let mut model = SkipGram::new(3, config, &mut rng);
+        let before = model.input_embeddings().clone();
+        model.train(&[], &mut rng);
+        assert!(model.input_embeddings().max_abs_diff(&before) < 1e-9);
+    }
+
+    #[test]
+    fn initialization_respects_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SgnsConfig { dim: 10, ..SgnsConfig::default() };
+        let model = SkipGram::new(5, config, &mut rng);
+        let bound = 0.5 / 10.0;
+        for r in 0..5 {
+            for &v in model.input_embeddings().row(r) {
+                assert!(v.abs() <= bound);
+            }
+        }
+    }
+}

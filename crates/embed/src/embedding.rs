@@ -1,0 +1,171 @@
+//! Token → vector storage with similarity queries.
+
+use std::collections::HashMap;
+
+use retro_linalg::{vector, Matrix};
+
+/// An immutable set of word/phrase embeddings.
+///
+/// Tokens are stored in insertion order; phrases use spaces between words
+/// (the tokenizer normalizes `_`/`-` to spaces before lookup).
+#[derive(Clone, Debug)]
+pub struct EmbeddingSet {
+    dim: usize,
+    tokens: Vec<String>,
+    index: HashMap<String, usize>,
+    matrix: Matrix,
+}
+
+impl EmbeddingSet {
+    /// Build from parallel token/vector lists.
+    ///
+    /// # Panics
+    /// Panics if vectors are ragged or a token repeats.
+    pub fn new(tokens: Vec<String>, vectors: Vec<Vec<f32>>) -> Self {
+        assert_eq!(tokens.len(), vectors.len(), "EmbeddingSet: token/vector count mismatch");
+        let dim = vectors.first().map_or(0, Vec::len);
+        let matrix = Matrix::from_rows(&vectors);
+        let mut index = HashMap::with_capacity(tokens.len());
+        for (i, t) in tokens.iter().enumerate() {
+            let prev = index.insert(t.clone(), i);
+            assert!(prev.is_none(), "EmbeddingSet: duplicate token `{t}`");
+        }
+        Self { dim, tokens, index, matrix }
+    }
+
+    /// An empty set with the given dimensionality.
+    pub fn empty(dim: usize) -> Self {
+        Self { dim, tokens: Vec::new(), index: HashMap::new(), matrix: Matrix::zeros(0, dim) }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no tokens are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The id of `token`, if present.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.index.get(token).copied()
+    }
+
+    /// True when `token` is in the vocabulary.
+    pub fn contains(&self, token: &str) -> bool {
+        self.index.contains_key(token)
+    }
+
+    /// The token with the given id.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// All tokens in id order.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// The vector for `token`.
+    pub fn get(&self, token: &str) -> Option<&[f32]> {
+        self.id(token).map(|i| self.matrix.row(i))
+    }
+
+    /// The vector with the given id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        self.matrix.row(id)
+    }
+
+    /// The full embedding matrix (rows in id order).
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// The `k` tokens most cosine-similar to `query` (the query token itself
+    /// is not excluded unless `exclude` names it).
+    pub fn nearest(&self, query: &[f32], k: usize, exclude: Option<&str>) -> Vec<(String, f32)> {
+        let mut scored: Vec<(usize, f32)> = (0..self.tokens.len())
+            .filter(|&i| exclude != Some(self.tokens[i].as_str()))
+            .map(|i| (i, vector::cosine(query, self.matrix.row(i))))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.tokens[i].clone(), s))
+            .collect()
+    }
+
+    /// Cosine similarity between two stored tokens (`None` if either is OOV).
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        Some(vector::cosine(self.get(a)?, self.get(b)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmbeddingSet {
+        EmbeddingSet::new(
+            vec!["alien".into(), "brazil".into(), "bank account".into()],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]],
+        )
+    }
+
+    #[test]
+    fn lookup_by_token_and_id() {
+        let e = sample();
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.id("brazil"), Some(1));
+        assert_eq!(e.get("alien"), Some(&[1.0, 0.0][..]));
+        assert_eq!(e.token(2), "bank account");
+        assert!(e.get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate token")]
+    fn duplicate_tokens_rejected() {
+        EmbeddingSet::new(
+            vec!["a".into(), "a".into()],
+            vec![vec![1.0], vec![2.0]],
+        );
+    }
+
+    #[test]
+    fn nearest_ranks_by_cosine() {
+        let e = sample();
+        let nn = e.nearest(&[1.0, 0.1], 2, None);
+        assert_eq!(nn[0].0, "alien");
+        assert!(nn[0].1 > nn[1].1);
+    }
+
+    #[test]
+    fn nearest_respects_exclude() {
+        let e = sample();
+        let nn = e.nearest(e.get("alien").unwrap(), 1, Some("alien"));
+        assert_ne!(nn[0].0, "alien");
+    }
+
+    #[test]
+    fn similarity_between_tokens() {
+        let e = sample();
+        assert!(e.similarity("alien", "brazil").unwrap().abs() < 1e-6);
+        assert!(e.similarity("alien", "missing").is_none());
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let e = EmbeddingSet::empty(4);
+        assert!(e.is_empty());
+        assert!(e.nearest(&[1.0, 0.0, 0.0, 0.0], 3, None).is_empty());
+    }
+}

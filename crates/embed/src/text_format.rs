@@ -1,0 +1,218 @@
+//! Word2vec text format I/O plus a compact binary cache format.
+//!
+//! Text format (as shipped by word2vec/GloVe/fastText):
+//!
+//! ```text
+//! [<count> <dim>]            -- optional header line
+//! token v1 v2 ... vD
+//! ```
+//!
+//! The binary format is a little-endian cache written with `bytes`:
+//! magic `RETV`, u32 version, u32 count, u32 dim, then per entry a u32
+//! token length + UTF-8 token + `dim` f32 values.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::embedding::EmbeddingSet;
+
+/// Error for embedding I/O.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FormatError(pub String);
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "embedding format error: {}", self.0)
+    }
+}
+impl std::error::Error for FormatError {}
+
+/// Parse the word2vec text format. A `count dim` header line is detected and
+/// skipped automatically. Duplicate tokens keep the first occurrence
+/// (matching gensim's behaviour).
+pub fn parse_text(input: &str) -> Result<EmbeddingSet, FormatError> {
+    let mut tokens: Vec<String> = Vec::new();
+    let mut vectors: Vec<Vec<f32>> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut seen = std::collections::HashSet::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().ok_or_else(|| FormatError("blank record".into()))?;
+        let rest: Vec<&str> = parts.collect();
+
+        // Header detection: exactly two integer fields on the first line.
+        if lineno == 0 && rest.len() == 1 {
+            if let (Ok(_n), Ok(_d)) = (first.parse::<usize>(), rest[0].parse::<usize>()) {
+                continue;
+            }
+        }
+
+        let vals: Result<Vec<f32>, _> = rest.iter().map(|s| s.parse::<f32>()).collect();
+        let vals = vals.map_err(|e| {
+            FormatError(format!("line {}: bad float: {e}", lineno + 1))
+        })?;
+        match dim {
+            None => dim = Some(vals.len()),
+            Some(d) if d != vals.len() => {
+                return Err(FormatError(format!(
+                    "line {}: expected {d} dims, got {}",
+                    lineno + 1,
+                    vals.len()
+                )))
+            }
+            _ => {}
+        }
+        if seen.insert(first.to_owned()) {
+            tokens.push(first.to_owned());
+            vectors.push(vals);
+        }
+    }
+    if tokens.is_empty() {
+        return Err(FormatError("no embeddings found".into()));
+    }
+    Ok(EmbeddingSet::new(tokens, vectors))
+}
+
+/// Serialize to the word2vec text format (with header line).
+pub fn to_text(set: &EmbeddingSet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n", set.len(), set.dim()));
+    for (i, token) in set.tokens().iter().enumerate() {
+        out.push_str(token);
+        for v in set.vector(i) {
+            out.push(' ');
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+const MAGIC: &[u8; 4] = b"RETV";
+const VERSION: u32 = 1;
+
+/// Serialize to the binary cache format.
+pub fn to_binary(set: &EmbeddingSet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + set.len() * (8 + set.dim() * 4));
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(set.len() as u32);
+    buf.put_u32_le(set.dim() as u32);
+    for (i, token) in set.tokens().iter().enumerate() {
+        buf.put_u32_le(token.len() as u32);
+        buf.put_slice(token.as_bytes());
+        for &v in set.vector(i) {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Parse the binary cache format.
+pub fn parse_binary(mut data: Bytes) -> Result<EmbeddingSet, FormatError> {
+    if data.remaining() < 16 {
+        return Err(FormatError("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(FormatError("bad magic".into()));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(FormatError(format!("unsupported version {version}")));
+    }
+    let count = data.get_u32_le() as usize;
+    let dim = data.get_u32_le() as usize;
+    let mut tokens = Vec::with_capacity(count);
+    let mut vectors = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 4 {
+            return Err(FormatError("truncated token length".into()));
+        }
+        let tlen = data.get_u32_le() as usize;
+        if data.remaining() < tlen + dim * 4 {
+            return Err(FormatError("truncated entry".into()));
+        }
+        let mut tbuf = vec![0u8; tlen];
+        data.copy_to_slice(&mut tbuf);
+        let token =
+            String::from_utf8(tbuf).map_err(|e| FormatError(format!("bad utf8: {e}")))?;
+        let mut vec = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            vec.push(data.get_f32_le());
+        }
+        tokens.push(token);
+        vectors.push(vec);
+    }
+    Ok(EmbeddingSet::new(tokens, vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_text_with_header() {
+        let set = parse_text("2 3\nalien 1 0 0\nbrazil 0 1 0\n").unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.dim(), 3);
+        assert_eq!(set.get("brazil"), Some(&[0.0, 1.0, 0.0][..]));
+    }
+
+    #[test]
+    fn parse_text_without_header() {
+        let set = parse_text("alien 1 0\nbrazil 0 1\n").unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ragged_dims_rejected() {
+        assert!(parse_text("a 1 2\nb 1\n").is_err());
+    }
+
+    #[test]
+    fn bad_float_rejected() {
+        assert!(parse_text("a x y\n").is_err());
+        assert!(parse_text("").is_err());
+    }
+
+    #[test]
+    fn duplicate_tokens_keep_first() {
+        let set = parse_text("a 1 0\na 0 1\nb 2 2\n").unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("a"), Some(&[1.0, 0.0][..]));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let set = parse_text("alien 1 -0.5\nbank_account 0.25 1\n").unwrap();
+        let text = to_text(&set);
+        let set2 = parse_text(&text).unwrap();
+        assert_eq!(set2.tokens(), set.tokens());
+        assert!(set2.matrix().max_abs_diff(set.matrix()) < 1e-6);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let set = parse_text("alien 1 -0.5 3.25\nbrazil 0 1 2\n").unwrap();
+        let bin = to_binary(&set);
+        let set2 = parse_binary(bin).unwrap();
+        assert_eq!(set2.tokens(), set.tokens());
+        assert!(set2.matrix().max_abs_diff(set.matrix()) < 1e-7);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let set = parse_text("a 1\n").unwrap();
+        let bin = to_binary(&set);
+        assert!(parse_binary(bin.slice(0..8)).is_err());
+        let mut corrupted = bin.to_vec();
+        corrupted[0] = b'X';
+        assert!(parse_binary(Bytes::from(corrupted)).is_err());
+    }
+}

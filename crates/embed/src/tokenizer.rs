@@ -1,0 +1,184 @@
+//! §3.1 tokenization: database text value → bag of dictionary phrases →
+//! centroid vector (or the null vector for fully-OOV values).
+
+use retro_linalg::vector;
+
+use crate::embedding::EmbeddingSet;
+use crate::trie::Trie;
+
+/// The result of tokenizing one text value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TokenizedValue {
+    /// Dictionary ids of matched phrases (longest-match, left to right).
+    pub phrase_ids: Vec<usize>,
+    /// Words that matched no dictionary phrase.
+    pub unmatched: Vec<String>,
+}
+
+impl TokenizedValue {
+    /// True when no phrase of the value is in the embedding vocabulary —
+    /// the value is out-of-vocabulary and starts from the null vector.
+    pub fn is_oov(&self) -> bool {
+        self.phrase_ids.is_empty()
+    }
+}
+
+/// Trie-backed tokenizer bound to an [`EmbeddingSet`].
+#[derive(Clone, Debug)]
+pub struct Tokenizer {
+    trie: Trie,
+    dim: usize,
+}
+
+/// Normalize a raw text value into lookup words: lowercase, split on
+/// whitespace, `_`, `-`, and punctuation. Word-embedding dictionaries
+/// (Google News style) use `_` to join phrase words; we split it so the trie
+/// can re-join via longest match.
+pub fn normalize_words(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '\'')
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+impl Tokenizer {
+    /// Build a tokenizer for an embedding set's vocabulary.
+    ///
+    /// Every dictionary token is normalized into a word sequence and
+    /// inserted into the trie with its embedding id, so multi-word entries
+    /// such as `bank_account` become two-node paths.
+    pub fn new(embeddings: &EmbeddingSet) -> Self {
+        let mut trie = Trie::new();
+        for (id, token) in embeddings.tokens().iter().enumerate() {
+            let words = normalize_words(token);
+            if !words.is_empty() {
+                trie.insert(words.iter().map(String::as_str), id);
+            }
+        }
+        Self { trie, dim: embeddings.dim() }
+    }
+
+    /// Greedy longest-match segmentation of a text value.
+    pub fn tokenize(&self, text: &str) -> TokenizedValue {
+        let words = normalize_words(text);
+        let word_refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let mut phrase_ids = Vec::new();
+        let mut unmatched = Vec::new();
+        let mut pos = 0;
+        while pos < word_refs.len() {
+            match self.trie.longest_match(&word_refs, pos) {
+                Some((len, id)) => {
+                    phrase_ids.push(id);
+                    pos += len;
+                }
+                None => {
+                    unmatched.push(words[pos].clone());
+                    pos += 1;
+                }
+            }
+        }
+        TokenizedValue { phrase_ids, unmatched }
+    }
+
+    /// The §3.1 initial vector for a text value: the centroid of the vectors
+    /// of its matched phrases, or the null (zero) vector when fully OOV.
+    ///
+    /// The boolean is `true` when the value is OOV (i.e. the zero vector is
+    /// a placeholder, not a real embedding) — RETRO's solvers use this to
+    /// know which rows start from nothing.
+    pub fn initial_vector(&self, embeddings: &EmbeddingSet, text: &str) -> (Vec<f32>, bool) {
+        let toks = self.tokenize(text);
+        if toks.is_oov() {
+            return (vec![0.0; self.dim], true);
+        }
+        let centroid = vector::centroid(
+            toks.phrase_ids.iter().map(|&id| embeddings.vector(id)),
+            self.dim,
+        );
+        (centroid, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (EmbeddingSet, Tokenizer) {
+        let e = EmbeddingSet::new(
+            vec![
+                "bank".into(),
+                "bank_account".into(),
+                "account".into(),
+                "luc_besson".into(),
+                "element".into(),
+            ],
+            vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![0.5, 0.5],
+                vec![-1.0, 0.0],
+                vec![0.0, -1.0],
+            ],
+        );
+        let t = Tokenizer::new(&e);
+        (e, t)
+    }
+
+    #[test]
+    fn normalization_splits_and_lowercases() {
+        assert_eq!(normalize_words("Luc_Besson"), vec!["luc", "besson"]);
+        assert_eq!(normalize_words("5th Element!"), vec!["5th", "element"]);
+        assert_eq!(normalize_words("it's"), vec!["it's"]);
+        assert!(normalize_words("  --  ").is_empty());
+    }
+
+    #[test]
+    fn longest_match_beats_word_by_word() {
+        let (_, t) = sample();
+        let toks = t.tokenize("Bank Account");
+        // Must match "bank_account" (id 1), not "bank" + "account".
+        assert_eq!(toks.phrase_ids, vec![1]);
+        assert!(toks.unmatched.is_empty());
+    }
+
+    #[test]
+    fn underscore_phrases_match() {
+        let (_, t) = sample();
+        assert_eq!(t.tokenize("Luc Besson").phrase_ids, vec![3]);
+        assert_eq!(t.tokenize("luc_besson").phrase_ids, vec![3]);
+    }
+
+    #[test]
+    fn unmatched_words_recorded() {
+        let (_, t) = sample();
+        let toks = t.tokenize("5th Element");
+        assert_eq!(toks.phrase_ids, vec![4]);
+        assert_eq!(toks.unmatched, vec!["5th"]);
+    }
+
+    #[test]
+    fn initial_vector_is_centroid() {
+        let (e, t) = sample();
+        let (v, oov) = t.initial_vector(&e, "bank element");
+        assert!(!oov);
+        assert_eq!(v, vec![0.5, -0.5]); // mean of [1,0] and [0,-1]
+    }
+
+    #[test]
+    fn oov_value_gets_null_vector() {
+        let (e, t) = sample();
+        let (v, oov) = t.initial_vector(&e, "Zxqwv Flurble");
+        assert!(oov);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn segmentation_covers_all_words() {
+        let (_, t) = sample();
+        let toks = t.tokenize("bank account account flurble bank");
+        // "bank account" + "account" + unmatched "flurble" + "bank"
+        assert_eq!(toks.phrase_ids, vec![1, 2, 0]);
+        assert_eq!(toks.unmatched, vec!["flurble"]);
+    }
+}

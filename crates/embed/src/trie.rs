@@ -1,0 +1,166 @@
+//! Token-level lookup trie (prefix tree) over an embedding dictionary.
+//!
+//! §3.1: "a lookup trie (prefix tree) is created for the dictionary of the
+//! given word embedding dataset, where every node represents a token. By
+//! considering the lookup trie the longest possible sequences of nodes are
+//! extracted (e.g. 'bank account' instead of 'bank')."
+//!
+//! Nodes are *word* tokens, not characters: a dictionary phrase
+//! `"new york city"` becomes a path of three nodes. [`Trie::longest_match`]
+//! returns the longest dictionary phrase starting at a position in a word
+//! sequence, which the tokenizer uses for greedy segmentation.
+
+use std::collections::HashMap;
+
+/// One trie node: children by word, plus the phrase id if a dictionary
+/// phrase ends here.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    children: HashMap<String, usize>,
+    /// Dictionary id of the phrase spelled by the path to this node.
+    phrase_id: Option<usize>,
+}
+
+/// A word-level trie over dictionary phrases.
+#[derive(Clone, Debug)]
+pub struct Trie {
+    nodes: Vec<Node>,
+}
+
+impl Default for Trie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        Self { nodes: vec![Node::default()] }
+    }
+
+    /// Build a trie from `(phrase words, id)` pairs.
+    pub fn from_phrases<'a, I>(phrases: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a [&'a str], usize)>,
+    {
+        let mut trie = Self::new();
+        for (words, id) in phrases {
+            trie.insert(words.iter().copied(), id);
+        }
+        trie
+    }
+
+    /// Insert a phrase given as a word sequence, associating it with `id`.
+    /// Re-inserting a phrase overwrites its id (last write wins).
+    pub fn insert<'a>(&mut self, words: impl IntoIterator<Item = &'a str>, id: usize) {
+        let mut cur = 0usize;
+        for word in words {
+            cur = match self.nodes[cur].children.get(word) {
+                Some(&next) => next,
+                None => {
+                    let next = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(word.to_owned(), next);
+                    next
+                }
+            };
+        }
+        self.nodes[cur].phrase_id = Some(id);
+    }
+
+    /// Number of nodes (root included) — a size diagnostic.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The longest dictionary phrase that starts at `words[start]`.
+    ///
+    /// Returns `(word_count, phrase_id)` of the longest match, or `None` when
+    /// not even a single-word match exists.
+    pub fn longest_match(&self, words: &[&str], start: usize) -> Option<(usize, usize)> {
+        let mut cur = 0usize;
+        let mut best: Option<(usize, usize)> = None;
+        for (offset, word) in words[start..].iter().enumerate() {
+            match self.nodes[cur].children.get(*word) {
+                Some(&next) => {
+                    cur = next;
+                    if let Some(id) = self.nodes[cur].phrase_id {
+                        best = Some((offset + 1, id));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact lookup of a whole phrase.
+    pub fn get<'a>(&self, words: impl IntoIterator<Item = &'a str>) -> Option<usize> {
+        let mut cur = 0usize;
+        for word in words {
+            cur = *self.nodes[cur].children.get(word)?;
+        }
+        self.nodes[cur].phrase_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trie {
+        let mut t = Trie::new();
+        t.insert(["bank"], 0);
+        t.insert(["bank", "account"], 1);
+        t.insert(["account"], 2);
+        t.insert(["new", "york", "city"], 3);
+        t
+    }
+
+    #[test]
+    fn longest_match_prefers_longer_phrase() {
+        let t = sample();
+        let words = ["bank", "account", "number"];
+        assert_eq!(t.longest_match(&words, 0), Some((2, 1)));
+        assert_eq!(t.longest_match(&words, 1), Some((1, 2)));
+        assert_eq!(t.longest_match(&words, 2), None);
+    }
+
+    #[test]
+    fn partial_phrase_without_terminal_does_not_match() {
+        let t = sample();
+        // "new york" is a path but only "new york city" is a phrase.
+        assert_eq!(t.longest_match(&["new", "york"], 0), None);
+        assert_eq!(t.longest_match(&["new", "york", "city"], 0), Some((3, 3)));
+    }
+
+    #[test]
+    fn exact_get() {
+        let t = sample();
+        assert_eq!(t.get(["bank", "account"]), Some(1));
+        assert_eq!(t.get(["bank", "robbery"]), None);
+        assert_eq!(t.get(["new", "york"]), None);
+    }
+
+    #[test]
+    fn reinsert_overwrites_id() {
+        let mut t = sample();
+        t.insert(["bank"], 42);
+        assert_eq!(t.get(["bank"]), Some(42));
+    }
+
+    #[test]
+    fn from_phrases_builds_equivalent_trie() {
+        let t = Trie::from_phrases([(&["a", "b"][..], 0), (&["a"][..], 1)]);
+        assert_eq!(t.get(["a", "b"]), Some(0));
+        assert_eq!(t.get(["a"]), Some(1));
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t = Trie::new();
+        assert_eq!(t.longest_match(&["x"], 0), None);
+        assert_eq!(t.node_count(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Non-embedding baselines of §5.4: MODE imputation and a DataWig-like
+//! n-gram imputer.
+
+pub mod datawig;
+pub mod mode;
+
+pub use datawig::{DataWigImputer, DataWigConfig};
+pub use mode::mode_imputation_accuracy;

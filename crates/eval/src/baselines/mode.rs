@@ -1,0 +1,54 @@
+//! MODE imputation: "replace a null value by the mode value (most frequent
+//! value) occurring in the column" — the simplest baseline of §5.4, and per
+//! the paper the only imputation most data-wrangling frameworks offer for
+//! non-numerical data.
+
+use std::collections::HashMap;
+
+/// The most frequent label in `train` (ties broken by smaller label, making
+/// the result deterministic).
+pub fn mode_label(train: &[usize]) -> Option<usize> {
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &l in train {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(label, _)| label)
+}
+
+/// Accuracy of always predicting the training mode on the test labels.
+pub fn mode_imputation_accuracy(train: &[usize], test: &[usize]) -> f64 {
+    let Some(mode) = mode_label(train) else {
+        return 0.0;
+    };
+    if test.is_empty() {
+        return 0.0;
+    }
+    test.iter().filter(|&&l| l == mode).count() as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_is_most_frequent() {
+        assert_eq!(mode_label(&[1, 2, 2, 3, 2]), Some(2));
+        assert_eq!(mode_label(&[]), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        assert_eq!(mode_label(&[1, 2, 1, 2]), mode_label(&[2, 1, 2, 1]));
+    }
+
+    #[test]
+    fn accuracy_is_mode_share_of_test() {
+        // Train mode = 0; test has 3 of 4 zeros.
+        assert_eq!(mode_imputation_accuracy(&[0, 0, 1], &[0, 0, 0, 1]), 0.75);
+        assert_eq!(mode_imputation_accuracy(&[], &[1]), 0.0);
+        assert_eq!(mode_imputation_accuracy(&[1], &[]), 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # retro-eval
+//!
+//! The §5 extrinsic evaluation harness: build every embedding variant the
+//! paper compares (PV, MF, RO, RN, DW and the `+DW` concatenations), run
+//! the four downstream tasks (binary classification, category imputation,
+//! regression, link prediction) with the Fig. 5 network architectures, and
+//! provide the non-embedding baselines (MODE imputation and a DataWig-like
+//! n-gram imputer).
+//!
+//! Everything is seeded and deterministic; experiment binaries in
+//! `retro-bench` drive these APIs to regenerate the paper's tables and
+//! figures.
+
+pub mod baselines;
+pub mod metrics;
+pub mod profiles;
+pub mod suite;
+pub mod tasks;
+
+pub use metrics::{accuracy, mean_absolute_error};
+pub use profiles::NetProfile;
+pub use suite::{EmbeddingKind, EmbeddingSuite, SuiteConfig};

@@ -1,0 +1,121 @@
+//! Metrics and seeded sampling helpers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Classification accuracy.
+pub fn accuracy<T: PartialEq>(predictions: &[T], truth: &[T]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "accuracy: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mean_absolute_error(predictions: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "mae: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Shuffle `0..n` and split into `(train, test)` index sets of the given
+/// sizes (panics if `n < train + test`).
+pub fn split_indices<R: Rng + ?Sized>(
+    n: usize,
+    train: usize,
+    test: usize,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= train + test, "split_indices: need {} samples, have {n}", train + test);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let test_set = idx[train..train + test].to_vec();
+    let train_set = idx[..train].to_vec();
+    (train_set, test_set)
+}
+
+/// Balanced binary sampling: draw `per_class` positives and negatives
+/// (§5.5.1 samples 3000 US + 3000 non-US directors), then split each half
+/// into train/test halves. Returns `(train, test)` as index lists into the
+/// original slice.
+pub fn balanced_binary_split<R: Rng + ?Sized>(
+    labels: &[bool],
+    per_class: usize,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    assert!(
+        pos.len() >= per_class && neg.len() >= per_class,
+        "balanced_binary_split: need {per_class} per class, have {}/{}",
+        pos.len(),
+        neg.len()
+    );
+    pos.shuffle(rng);
+    neg.shuffle(rng);
+    let half = per_class / 2;
+    let mut train: Vec<usize> = Vec::with_capacity(per_class);
+    let mut test: Vec<usize> = Vec::with_capacity(per_class);
+    train.extend(&pos[..half]);
+    train.extend(&neg[..half]);
+    test.extend(&pos[half..per_class]);
+    test.extend(&neg[half..per_class]);
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy::<u8>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mae_matches_hand_computation() {
+        assert_eq!(mean_absolute_error(&[1.0, -1.0], &[2.0, 1.0]), 1.5);
+    }
+
+    #[test]
+    fn split_indices_are_disjoint_and_sized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = split_indices(100, 60, 30, &mut rng);
+        assert_eq!(train.len(), 60);
+        assert_eq!(test.len(), 30);
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 120 samples")]
+    fn split_rejects_oversubscription() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = split_indices(100, 80, 40, &mut rng);
+    }
+
+    #[test]
+    fn balanced_split_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let labels: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let (train, test) = balanced_binary_split(&labels, 40, &mut rng);
+        let train_pos = train.iter().filter(|&&i| labels[i]).count();
+        let test_pos = test.iter().filter(|&&i| labels[i]).count();
+        assert_eq!(train_pos, 20);
+        assert_eq!(test_pos, 20);
+        assert_eq!(train.len(), 40);
+        assert_eq!(test.len(), 40);
+        for t in &test {
+            assert!(!train.contains(t));
+        }
+    }
+}

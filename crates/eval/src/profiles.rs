@@ -1,0 +1,178 @@
+//! Network profiles: the Fig. 5 architectures plus a lighter profile for
+//! unit tests and quick runs.
+
+use retro_nn::{Activation, Loss, Network, TrainConfig};
+
+/// A reusable network recipe.
+#[derive(Clone, Debug)]
+pub struct NetProfile {
+    /// Hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 regularization.
+    pub l2: f32,
+    /// Dropout rate.
+    pub dropout: f32,
+    /// Training-loop settings.
+    pub train: TrainConfig,
+}
+
+impl NetProfile {
+    /// Fig. 5a binary classifier: one 600-unit sigmoid hidden layer, L2 and
+    /// dropout against overfitting, early stopping with patience 50.
+    pub fn paper_binary() -> Self {
+        Self {
+            hidden: vec![600],
+            activation: Activation::Sigmoid,
+            lr: 0.002,
+            l2: 1e-4,
+            dropout: 0.2,
+            train: TrainConfig {
+                max_epochs: 300,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(50),
+            },
+        }
+    }
+
+    /// Fig. 5a imputation classifier: 600 → 300 sigmoid hidden layers,
+    /// softmax output.
+    pub fn paper_imputation() -> Self {
+        Self {
+            hidden: vec![600, 300],
+            activation: Activation::Sigmoid,
+            lr: 0.002,
+            l2: 0.0,
+            dropout: 0.2,
+            train: TrainConfig {
+                max_epochs: 300,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(50),
+            },
+        }
+    }
+
+    /// Fig. 5b regressor: four 300-unit ReLU hidden layers with dropout,
+    /// linear output, MAE loss.
+    pub fn paper_regression() -> Self {
+        Self {
+            hidden: vec![300, 300, 300, 300],
+            activation: Activation::Relu,
+            lr: 0.002,
+            l2: 0.0,
+            dropout: 0.1,
+            train: TrainConfig {
+                max_epochs: 300,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(50),
+            },
+        }
+    }
+
+    /// A lighter profile for unit tests and smoke runs: same shapes scaled
+    /// down, fewer epochs. Orderings between embedding variants are
+    /// preserved; absolute accuracies are a little lower.
+    pub fn fast(hidden: usize) -> Self {
+        Self {
+            hidden: vec![hidden],
+            activation: Activation::Sigmoid,
+            lr: 0.01,
+            l2: 1e-4,
+            dropout: 0.0,
+            train: TrainConfig {
+                max_epochs: 150,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(40),
+            },
+        }
+    }
+
+    /// Scale epochs/patience (e.g. for grid searches where 10× fewer epochs
+    /// suffice to rank configurations).
+    pub fn with_epochs(mut self, max_epochs: usize, patience: Option<usize>) -> Self {
+        self.train.max_epochs = max_epochs;
+        self.train.patience = patience;
+        self
+    }
+
+    /// Build a binary classifier network (sigmoid output, BCE).
+    pub fn build_binary(&self, input_dim: usize, seed: u64) -> Network {
+        let mut b = Network::builder(input_dim);
+        for &h in &self.hidden {
+            b = b.dense(h, self.activation);
+        }
+        b.dense(1, Activation::Sigmoid)
+            .loss(Loss::BinaryCrossEntropy)
+            .learning_rate(self.lr)
+            .l2(self.l2)
+            .dropout(self.dropout)
+            .seed(seed)
+            .build()
+    }
+
+    /// Build a multi-class classifier (softmax output, CCE).
+    pub fn build_classifier(&self, input_dim: usize, classes: usize, seed: u64) -> Network {
+        let mut b = Network::builder(input_dim);
+        for &h in &self.hidden {
+            b = b.dense(h, self.activation);
+        }
+        b.dense(classes, Activation::Softmax)
+            .loss(Loss::CategoricalCrossEntropy)
+            .learning_rate(self.lr)
+            .l2(self.l2)
+            .dropout(self.dropout)
+            .seed(seed)
+            .build()
+    }
+
+    /// Build a regressor (linear output, MAE).
+    pub fn build_regressor(&self, input_dim: usize, seed: u64) -> Network {
+        let mut b = Network::builder(input_dim);
+        for &h in &self.hidden {
+            b = b.dense(h, Activation::Relu);
+        }
+        b.dense(1, Activation::Linear)
+            .loss(Loss::MeanAbsoluteError)
+            .learning_rate(self.lr)
+            .l2(self.l2)
+            .dropout(self.dropout)
+            .seed(seed)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_linalg::Matrix;
+
+    #[test]
+    fn paper_profiles_have_figure5_shapes() {
+        assert_eq!(NetProfile::paper_binary().hidden, vec![600]);
+        assert_eq!(NetProfile::paper_imputation().hidden, vec![600, 300]);
+        assert_eq!(NetProfile::paper_regression().hidden.len(), 4);
+    }
+
+    #[test]
+    fn builders_produce_working_networks() {
+        let p = NetProfile::fast(8);
+        let x = Matrix::zeros(4, 6);
+        assert_eq!(p.build_binary(6, 0).predict(&x).shape(), (4, 1));
+        assert_eq!(p.build_classifier(6, 5, 0).predict(&x).shape(), (4, 5));
+        assert_eq!(p.build_regressor(6, 0).predict(&x).shape(), (4, 1));
+    }
+
+    #[test]
+    fn with_epochs_overrides_training() {
+        let p = NetProfile::fast(8).with_epochs(5, None);
+        assert_eq!(p.train.max_epochs, 5);
+        assert_eq!(p.train.patience, None);
+    }
+}

@@ -1,0 +1,103 @@
+//! §5.5.1 binary classification (Fig. 8/9): label text values as
+//! US-American / non-US-American directors from their embeddings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retro_linalg::Matrix;
+
+use crate::metrics::{accuracy, balanced_binary_split};
+use crate::profiles::NetProfile;
+use crate::tasks::gather_normalized;
+
+/// Run the balanced binary-classification protocol.
+///
+/// Per repetition: sample `per_class` positives and negatives, train on one
+/// half, test on the other (the §5.5.1 protocol), and record test accuracy.
+/// Returns one accuracy per repetition.
+pub fn run_binary_classification(
+    inputs: &Matrix,
+    labels: &[bool],
+    per_class: usize,
+    repetitions: usize,
+    profile: &NetProfile,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(inputs.rows(), labels.len(), "binary: row/label mismatch");
+    let mut accuracies = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0x9E37_79B9));
+        let (train_idx, test_idx) = balanced_binary_split(labels, per_class, &mut rng);
+
+        let x_train = gather_normalized(inputs, &train_idx);
+        let y_train = Matrix::from_rows(
+            &train_idx
+                .iter()
+                .map(|&i| vec![if labels[i] { 1.0 } else { 0.0 }])
+                .collect::<Vec<_>>(),
+        );
+        let x_test = gather_normalized(inputs, &test_idx);
+        let truth: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
+
+        let mut net = profile.build_binary(inputs.cols(), seed.wrapping_add(rep as u64));
+        net.train(&x_train, &y_train, profile.train);
+        let preds = net.predict_binary(&x_test);
+        accuracies.push(accuracy(&preds, &truth));
+    }
+    accuracies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable synthetic embedding task.
+    fn separable(n: usize, dim: usize, signal: f32) -> (Matrix, Vec<bool>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut rng_state = 42u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for i in 0..n {
+            let positive = i % 2 == 0;
+            let mut row = vec![0.0f32; dim];
+            for v in row.iter_mut() {
+                *v = next();
+            }
+            row[0] += if positive { signal } else { -signal };
+            rows.push(row);
+            labels.push(positive);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn learns_separable_labels() {
+        let (x, y) = separable(200, 8, 1.5);
+        let accs =
+            run_binary_classification(&x, &y, 60, 2, &NetProfile::fast(16), 5);
+        assert_eq!(accs.len(), 2);
+        for a in &accs {
+            assert!(*a > 0.8, "accuracy {a}");
+        }
+    }
+
+    #[test]
+    fn chance_level_on_pure_noise() {
+        let (x, y) = separable(200, 8, 0.0);
+        let accs =
+            run_binary_classification(&x, &y, 60, 3, &NetProfile::fast(8), 6);
+        let mean: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!((0.3..0.7).contains(&mean), "mean accuracy {mean}");
+    }
+
+    #[test]
+    fn one_accuracy_per_repetition_in_unit_range() {
+        let (x, y) = separable(300, 8, 0.8);
+        let accs =
+            run_binary_classification(&x, &y, 80, 3, &NetProfile::fast(8), 7);
+        assert_eq!(accs.len(), 3);
+        assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+}

@@ -1,0 +1,98 @@
+//! §5.5.2 missing-value imputation (Fig. 10–12): predict a categorical
+//! property (movie language, app category) from embeddings.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retro_linalg::Matrix;
+
+use crate::metrics::{accuracy, split_indices};
+use crate::profiles::NetProfile;
+use crate::tasks::gather_normalized;
+
+/// Run the imputation protocol: per repetition, draw disjoint train/test
+/// sets, train the Fig. 5a softmax classifier, record test accuracy.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's protocol knobs
+pub fn run_imputation(
+    inputs: &Matrix,
+    labels: &[usize],
+    n_classes: usize,
+    train_n: usize,
+    test_n: usize,
+    repetitions: usize,
+    profile: &NetProfile,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(inputs.rows(), labels.len(), "imputation: row/label mismatch");
+    assert!(labels.iter().all(|&l| l < n_classes), "imputation: label out of range");
+    let mut accuracies = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0xA5A5_5A5A));
+        let (train_idx, test_idx) = split_indices(inputs.rows(), train_n, test_n, &mut rng);
+
+        let x_train = gather_normalized(inputs, &train_idx);
+        let mut y_rows = Vec::with_capacity(train_idx.len());
+        for &i in &train_idx {
+            let mut onehot = vec![0.0f32; n_classes];
+            onehot[labels[i]] = 1.0;
+            y_rows.push(onehot);
+        }
+        let y_train = Matrix::from_rows(&y_rows);
+        let x_test = gather_normalized(inputs, &test_idx);
+        let truth: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+
+        let mut net =
+            profile.build_classifier(inputs.cols(), n_classes, seed.wrapping_add(rep as u64));
+        net.train(&x_train, &y_train, profile.train);
+        let preds = net.predict_classes(&x_test);
+        accuracies.push(accuracy(&preds, &truth));
+    }
+    accuracies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, classes: usize, dim: usize, signal: f32) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for i in 0..n {
+            let c = i % classes;
+            let mut row: Vec<f32> = (0..dim).map(|_| next()).collect();
+            row[c % dim] += signal;
+            rows.push(row);
+            labels.push(c);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn learns_clustered_classes() {
+        let (x, y) = blobs(240, 4, 8, 2.0);
+        let accs = run_imputation(&x, &y, 4, 120, 80, 2, &NetProfile::fast(24), 11);
+        for a in &accs {
+            assert!(*a > 0.8, "accuracy {a}");
+        }
+    }
+
+    #[test]
+    fn noise_gives_chance_level() {
+        let (x, y) = blobs(240, 4, 8, 0.0);
+        let accs = run_imputation(&x, &y, 4, 120, 80, 2, &NetProfile::fast(8), 12);
+        let mean: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!(mean < 0.5, "mean accuracy {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let (x, _) = blobs(10, 2, 4, 1.0);
+        let bad = vec![5usize; 10];
+        let _ = run_imputation(&x, &bad, 2, 5, 5, 1, &NetProfile::fast(4), 0);
+    }
+}

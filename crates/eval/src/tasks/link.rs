@@ -1,0 +1,198 @@
+//! §5.7 link prediction (Fig. 14): decide whether a (movie, genre) edge
+//! exists, using the Fig. 5c two-tower subtract network.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use retro_linalg::Matrix;
+use retro_nn::{LinkNet, TrainConfig};
+
+use crate::metrics::accuracy;
+use crate::tasks::gather_normalized;
+
+/// A labelled candidate edge: indices into the source/target embedding
+/// matrices plus the ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeSample {
+    /// Row in the source matrix (e.g. a movie).
+    pub source: usize,
+    /// Row in the target matrix (e.g. a genre).
+    pub target: usize,
+    /// Whether the edge actually exists.
+    pub exists: bool,
+}
+
+/// Link-prediction network settings.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkProfile {
+    /// Tower width (the paper uses 300).
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Training loop.
+    pub train: TrainConfig,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        Self {
+            hidden: 300,
+            lr: 0.002,
+            train: TrainConfig {
+                max_epochs: 200,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(30),
+            },
+        }
+    }
+}
+
+impl LinkProfile {
+    /// A lighter profile for tests. The subtract-merge architecture can
+    /// optimize slowly from some initializations, so the fast profile keeps
+    /// a generous epoch budget and patience.
+    pub fn fast(hidden: usize) -> Self {
+        Self {
+            hidden,
+            lr: 0.01,
+            train: TrainConfig {
+                max_epochs: 300,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(60),
+            },
+        }
+    }
+}
+
+/// Run the link-prediction protocol: per repetition, shuffle the candidate
+/// edges, train on `train_n` and test on the next `test_n`, recording
+/// accuracy.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's protocol knobs
+pub fn run_link_prediction(
+    source_embeddings: &Matrix,
+    target_embeddings: &Matrix,
+    samples: &[EdgeSample],
+    train_n: usize,
+    test_n: usize,
+    repetitions: usize,
+    profile: &LinkProfile,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(
+        samples.len() >= train_n + test_n,
+        "link: need {} samples, have {}",
+        train_n + test_n,
+        samples.len()
+    );
+    assert_eq!(
+        source_embeddings.cols(),
+        target_embeddings.cols(),
+        "link: towers need equal input dims"
+    );
+    let mut accuracies = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0x1234_5678));
+        let mut shuffled = samples.to_vec();
+        shuffled.shuffle(&mut rng);
+        let (train, rest) = shuffled.split_at(train_n);
+        let test = &rest[..test_n];
+
+        let gather = |set: &[EdgeSample]| {
+            let s_idx: Vec<usize> = set.iter().map(|e| e.source).collect();
+            let t_idx: Vec<usize> = set.iter().map(|e| e.target).collect();
+            let labels = Matrix::from_rows(
+                &set.iter()
+                    .map(|e| vec![if e.exists { 1.0 } else { 0.0 }])
+                    .collect::<Vec<_>>(),
+            );
+            (
+                gather_normalized(source_embeddings, &s_idx),
+                gather_normalized(target_embeddings, &t_idx),
+                labels,
+            )
+        };
+        let (s_train, t_train, y_train) = gather(train);
+        let (s_test, t_test, _) = gather(test);
+        let truth: Vec<bool> = test.iter().map(|e| e.exists).collect();
+
+        let mut net = LinkNet::new(
+            source_embeddings.cols(),
+            profile.hidden,
+            profile.lr,
+            seed.wrapping_add(rep as u64),
+        );
+        net.train(&s_train, &t_train, &y_train, profile.train);
+        let preds = net.predict_binary(&s_test, &t_test);
+        accuracies.push(accuracy(&preds, &truth));
+    }
+    accuracies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic edges: an edge exists iff source and target share their
+    /// dominant coordinate.
+    fn synthetic(n_nodes: usize, n_samples: usize, dim: usize) -> (Matrix, Matrix, Vec<EdgeSample>) {
+        let mut state = 5u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let make = |group: usize, noise_seed: usize| {
+            let mut row = vec![0.05f32 * ((noise_seed % 7) as f32 - 3.0); dim];
+            row[group % dim] = 1.0;
+            row
+        };
+        let mut sources = Vec::new();
+        let mut targets = Vec::new();
+        let mut s_group = Vec::new();
+        let mut t_group = Vec::new();
+        for i in 0..n_nodes {
+            let g = next() % 2;
+            sources.push(make(g, i));
+            s_group.push(g);
+            let g = next() % 2;
+            targets.push(make(g, i + 1));
+            t_group.push(g);
+        }
+        let mut samples = Vec::new();
+        for _ in 0..n_samples {
+            let s = next() % n_nodes;
+            let t = next() % n_nodes;
+            samples.push(EdgeSample { source: s, target: t, exists: s_group[s] == t_group[t] });
+        }
+        (Matrix::from_rows(&sources), Matrix::from_rows(&targets), samples)
+    }
+
+    #[test]
+    fn learns_structured_edges() {
+        let (s, t, samples) = synthetic(40, 400, 6);
+        let accs =
+            run_link_prediction(&s, &t, &samples, 250, 100, 1, &LinkProfile::fast(16), 21);
+        assert!(accs[0] > 0.85, "accuracy {}", accs[0]);
+    }
+
+    #[test]
+    fn uninformative_embeddings_stay_near_chance() {
+        let (s, t, mut samples) = synthetic(40, 400, 6);
+        // Scramble labels to decouple them from the embeddings.
+        for (k, e) in samples.iter_mut().enumerate() {
+            e.exists = k % 2 == 0;
+        }
+        let accs =
+            run_link_prediction(&s, &t, &samples, 250, 100, 2, &LinkProfile::fast(8), 22);
+        let mean: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!((0.3..0.7).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1000 samples")]
+    fn rejects_insufficient_samples() {
+        let (s, t, samples) = synthetic(10, 50, 4);
+        let _ = run_link_prediction(&s, &t, &samples, 800, 200, 1, &LinkProfile::fast(4), 0);
+    }
+}

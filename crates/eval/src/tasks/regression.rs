@@ -1,0 +1,104 @@
+//! §5.6 regression (Fig. 13): predict movie budgets from embeddings with
+//! the Fig. 5b ReLU network, reporting MAE in original units.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retro_linalg::Matrix;
+
+use crate::metrics::{mean_absolute_error, split_indices};
+use crate::profiles::NetProfile;
+use crate::tasks::gather_normalized;
+
+/// Run the regression protocol. Targets are internally scaled to unit
+/// magnitude for training; the returned MAEs are in the original units
+/// (dollars for the budget task).
+pub fn run_regression(
+    inputs: &Matrix,
+    targets: &[f64],
+    train_n: usize,
+    test_n: usize,
+    repetitions: usize,
+    profile: &NetProfile,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(inputs.rows(), targets.len(), "regression: row/target mismatch");
+    let scale = targets.iter().fold(0.0f64, |m, t| m.max(t.abs())).max(1e-12);
+
+    let mut maes = Vec::with_capacity(repetitions);
+    for rep in 0..repetitions {
+        let mut rng = StdRng::seed_from_u64(seed ^ (rep as u64).wrapping_mul(0xC0FF_EE00));
+        let (train_idx, test_idx) = split_indices(inputs.rows(), train_n, test_n, &mut rng);
+
+        let x_train = gather_normalized(inputs, &train_idx);
+        let y_train = Matrix::from_rows(
+            &train_idx
+                .iter()
+                .map(|&i| vec![(targets[i] / scale) as f32])
+                .collect::<Vec<_>>(),
+        );
+        let x_test = gather_normalized(inputs, &test_idx);
+
+        let mut net = profile.build_regressor(inputs.cols(), seed.wrapping_add(rep as u64));
+        net.train(&x_train, &y_train, profile.train);
+        let pred = net.predict(&x_test);
+        let predictions: Vec<f64> =
+            (0..pred.rows()).map(|r| pred.get(r, 0) as f64 * scale).collect();
+        let truth: Vec<f64> = test_idx.iter().map(|&i| targets[i]).collect();
+        maes.push(mean_absolute_error(&predictions, &truth));
+    }
+    maes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, dim: usize, noise: f64) -> (Matrix, Vec<f64>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        let mut state = 17u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for _ in 0..n {
+            let row: Vec<f32> = (0..dim).map(|_| next() as f32).collect();
+            // Target depends on the direction of the (normalized) row.
+            let norm = (row.iter().map(|v| v * v).sum::<f32>()).sqrt().max(1e-6);
+            let t = 1e6 * (row[0] / norm) as f64 + noise * next();
+            rows.push(row);
+            targets.push(t);
+        }
+        (Matrix::from_rows(&rows), targets)
+    }
+
+    #[test]
+    fn fits_linear_relationship() {
+        let (x, y) = linear_data(300, 6, 0.0);
+        let profile = NetProfile {
+            activation: retro_nn::Activation::Relu,
+            ..NetProfile::fast(32)
+        };
+        let maes = run_regression(&x, &y, 200, 80, 1, &profile, 3);
+        // Baseline: predicting the mean gives MAE ≈ E|t| ≈ 2.2e5 for the
+        // normalized-first-coordinate distribution; the net must beat it.
+        assert!(maes[0] < 2.0e5, "MAE {}", maes[0]);
+    }
+
+    #[test]
+    fn uninformative_inputs_leave_high_error() {
+        let (x, y) = linear_data(200, 6, 0.0);
+        // Decouple targets from inputs by rotating them half-way round.
+        let y_rotated: Vec<f64> = (0..y.len()).map(|i| y[(i + 100) % y.len()]).collect();
+        let maes = run_regression(&x, &y_rotated, 120, 60, 1, &NetProfile::fast(8), 4);
+        assert!(maes[0] > 1.0e5, "MAE {}", maes[0]);
+    }
+
+    #[test]
+    fn returns_one_mae_per_repetition() {
+        let (x, y) = linear_data(120, 4, 0.0);
+        let maes = run_regression(&x, &y, 60, 40, 3, &NetProfile::fast(8), 5);
+        assert_eq!(maes.len(), 3);
+        assert!(maes.iter().all(|m| m.is_finite() && *m >= 0.0));
+    }
+}

@@ -1,0 +1,227 @@
+//! # retro-graph
+//!
+//! The §3.4 property graph and the random walks DeepWalk trains on.
+//!
+//! The graph `G = (V, E)` has a node for every distinct text value of every
+//! database column ([`NodeKind::TextValue`]) plus one *blank node* per text
+//! column ([`NodeKind::Category`]). Edges are the relational connections
+//! `Er` (labelled) plus the categorial edges `EC` linking each text value to
+//! its column's blank node. The graph is undirected: every edge is stored in
+//! both adjacency lists.
+
+pub mod walks;
+
+pub use walks::{RandomWalks, WalkConfig};
+
+/// What a node stands for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A distinct text value of one column; `label` is the text itself.
+    TextValue { label: String },
+    /// The blank node of one column (category); `label` is `table.column`.
+    Category { label: String },
+}
+
+impl NodeKind {
+    /// The display label.
+    pub fn label(&self) -> &str {
+        match self {
+            NodeKind::TextValue { label } | NodeKind::Category { label } => label,
+        }
+    }
+
+    /// True for text-value nodes.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::TextValue { .. })
+    }
+}
+
+/// An undirected labelled multigraph over text values and category nodes.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<NodeKind>,
+    /// Adjacency lists; edges appear in both endpoint lists.
+    adjacency: Vec<Vec<u32>>,
+    /// Edge labels, parallel per adjacency entry (relation-group name or
+    /// `"category"`).
+    edge_labels: Vec<Vec<u16>>,
+    /// Interned label strings indexed by the u16 in `edge_labels`.
+    labels: Vec<String>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> usize {
+        self.nodes.push(kind);
+        self.adjacency.push(Vec::new());
+        self.edge_labels.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Intern an edge-label string; returns its id.
+    pub fn intern_label(&mut self, label: &str) -> u16 {
+        if let Some(pos) = self.labels.iter().position(|l| l == label) {
+            return pos as u16;
+        }
+        self.labels.push(label.to_owned());
+        (self.labels.len() - 1) as u16
+    }
+
+    /// Add an undirected edge with an interned label id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range node ids or self-loops (the paper's graph has
+    /// none; a self-loop would bias random walks).
+    pub fn add_edge(&mut self, a: usize, b: usize, label: u16) {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "add_edge: bad node id");
+        assert_ne!(a, b, "add_edge: self-loop");
+        self.adjacency[a].push(b as u32);
+        self.edge_labels[a].push(label);
+        self.adjacency[b].push(a as u32);
+        self.edge_labels[b].push(label);
+        self.edge_count += 1;
+    }
+
+    /// Convenience: add an edge with a string label (interned on the fly).
+    pub fn add_edge_labelled(&mut self, a: usize, b: usize, label: &str) {
+        let id = self.intern_label(label);
+        self.add_edge(a, b, id);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The node payload.
+    pub fn node(&self, id: usize) -> &NodeKind {
+        &self.nodes[id]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[NodeKind] {
+        &self.nodes
+    }
+
+    /// Neighbour ids of `id` (with multiplicity).
+    pub fn neighbors(&self, id: usize) -> &[u32] {
+        &self.adjacency[id]
+    }
+
+    /// `(neighbor, label string)` pairs of `id`.
+    pub fn neighbors_labelled(&self, id: usize) -> impl Iterator<Item = (usize, &str)> {
+        self.adjacency[id]
+            .iter()
+            .zip(&self.edge_labels[id])
+            .map(move |(&n, &l)| (n as usize, self.labels[l as usize].as_str()))
+    }
+
+    /// Degree of `id`.
+    pub fn degree(&self, id: usize) -> usize {
+        self.adjacency[id].len()
+    }
+
+    /// Ids of all isolated nodes (degree 0) — these cannot be walked from
+    /// and receive no DeepWalk vector updates.
+    pub fn isolated_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len()).filter(|&i| self.adjacency[i].is_empty()).collect()
+    }
+
+    /// Check the undirected invariant: `b ∈ adj(a) ⇔ a ∈ adj(b)` with equal
+    /// multiplicity. Used by tests and debug assertions.
+    pub fn is_symmetric(&self) -> bool {
+        for (a, neighbors) in self.adjacency.iter().enumerate() {
+            for &b in neighbors {
+                let forward = neighbors.iter().filter(|&&x| x == b).count();
+                let back = self.adjacency[b as usize]
+                    .iter()
+                    .filter(|&&x| x as usize == a)
+                    .count();
+                if forward != back {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::TextValue { label: "alien".into() });
+        let b = g.add_node(NodeKind::TextValue { label: "ridley scott".into() });
+        let c = g.add_node(NodeKind::Category { label: "movies.title".into() });
+        g.add_edge_labelled(a, b, "movie->director");
+        g.add_edge_labelled(a, c, "category");
+        g
+    }
+
+    #[test]
+    fn nodes_and_edges_counted() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let g = sample();
+        assert!(g.is_symmetric());
+        assert!(g.neighbors(1).contains(&0));
+        assert!(g.neighbors(0).contains(&1));
+    }
+
+    #[test]
+    fn labels_are_interned_and_reported() {
+        let g = sample();
+        let labels: Vec<_> = g.neighbors_labelled(0).map(|(_, l)| l.to_owned()).collect();
+        assert_eq!(labels, vec!["movie->director", "category"]);
+    }
+
+    #[test]
+    fn intern_reuses_existing_labels() {
+        let mut g = sample();
+        let l1 = g.intern_label("category");
+        let l2 = g.intern_label("category");
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = sample();
+        g.add_edge_labelled(0, 0, "x");
+    }
+
+    #[test]
+    fn isolated_nodes_found() {
+        let mut g = sample();
+        let lonely = g.add_node(NodeKind::TextValue { label: "orphan".into() });
+        assert_eq!(g.isolated_nodes(), vec![lonely]);
+    }
+
+    #[test]
+    fn node_kind_helpers() {
+        let g = sample();
+        assert!(g.node(0).is_text());
+        assert!(!g.node(2).is_text());
+        assert_eq!(g.node(2).label(), "movies.title");
+    }
+}

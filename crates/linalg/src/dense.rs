@@ -1,0 +1,368 @@
+//! Row-major dense `f32` matrices.
+//!
+//! [`Matrix`] is the carrier type for embedding matrices `W`, `W0` and the
+//! weight matrices of the neural-network substrate. Rows are text-value /
+//! sample vectors, so the API is row-oriented: row views, row axpy, row-wise
+//! normalization, and a cache-friendly `i-k-j` matrix multiply.
+
+use crate::vector;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows <= 8 && self.cols <= 8 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_vec: buffer size mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from a slice of equal-length rows.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged input");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Build by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterate over row views.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// `self += alpha * other`, element-wise.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "Matrix::axpy: shape mismatch");
+        vector::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// `self *= alpha`, element-wise.
+    pub fn scale(&mut self, alpha: f32) {
+        vector::scale(alpha, &mut self.data);
+    }
+
+    /// Matrix product `self × rhs` with the cache-friendly i-k-j loop order.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                vector::axpy(a_ik, rhs.row(k), out_row);
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// `self × v` for a column vector `v`.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        self.iter_rows().map(|row| vector::dot(row, v)).collect()
+    }
+
+    /// Normalize every row to unit Euclidean length (zero rows stay zero).
+    pub fn normalize_rows(&mut self) {
+        let cols = self.cols.max(1);
+        for row in self.data.chunks_exact_mut(cols) {
+            vector::normalize(row);
+        }
+    }
+
+    /// Mean of all rows.
+    pub fn row_centroid(&self) -> Vec<f32> {
+        vector::centroid(self.iter_rows(), self.cols)
+    }
+
+    /// Sum of all rows.
+    pub fn row_sum(&self) -> Vec<f32> {
+        let mut acc = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            vector::axpy(1.0, row, &mut acc);
+        }
+        acc
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        vector::norm(&self.data)
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Horizontal concatenation `[self | rhs]` (same row count).
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "hconcat: row count mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + rhs.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(rhs.row(r));
+        }
+        out
+    }
+
+    /// Gather the listed rows into a new matrix (rows may repeat).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.set_row(dst, self.row(src));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer size mismatch")]
+    fn from_vec_rejects_bad_buffer() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = sample();
+        let id = Matrix::identity(2);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = sample();
+        let v = vec![2.0, -1.0];
+        assert_eq!(m.matvec(&v), vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn normalize_rows_makes_unit_rows() {
+        let mut m = sample();
+        m.normalize_rows();
+        for r in m.iter_rows() {
+            assert!((crate::vector::norm(r) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalize_rows_keeps_zero_rows() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set_row(0, &[3.0, 0.0, 4.0]);
+        m.normalize_rows();
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hconcat_doubles_width() {
+        let m = sample();
+        let cat = m.hconcat(&m);
+        assert_eq!(cat.shape(), (3, 4));
+        assert_eq!(cat.row(1), &[3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn row_centroid_and_sum() {
+        let m = sample();
+        assert_eq!(m.row_centroid(), vec![3.0, 4.0]);
+        assert_eq!(m.row_sum(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut m = sample();
+        let other = sample();
+        m.axpy(1.0, &other);
+        m.scale(0.5);
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_change() {
+        let a = sample();
+        let mut b = sample();
+        b.set(2, 1, 10.0);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+    }
+}

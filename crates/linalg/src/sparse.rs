@@ -1,0 +1,303 @@
+//! Sparse matrices in coordinate (COO) and compressed-sparse-row (CSR) form.
+//!
+//! The retrofitting operators `(γ^r_ij)`, `(δ^r_ij)` and graph adjacency are
+//! extremely sparse (a handful of relations per text value out of tens of
+//! thousands), so the solvers assemble them as [`CooMatrix`] triplets and
+//! convert once to [`CsrMatrix`] for repeated `CSR × dense` products.
+
+use crate::dense::Matrix;
+use crate::vector;
+
+/// A sparse matrix under assembly: unordered `(row, col, value)` triplets.
+///
+/// Duplicate coordinates are allowed and are summed during conversion to CSR,
+/// which matches how the paper's weight matrices superimpose `γ` and `γ̄ᵀ`
+/// contributions (Eq. 10).
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// An empty `rows × cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, triplets: Vec::new() }
+    }
+
+    /// Record `m[row, col] += value`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "CooMatrix::push: out of bounds");
+        if value != 0.0 {
+            self.triplets.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Number of recorded triplets (before duplicate merging).
+    pub fn nnz_upper_bound(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// Convert to CSR, merging duplicate coordinates by summation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut triplets = self.triplets.clone();
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_counts = vec![0u32; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
+        let mut last: Option<(u32, u32)> = None;
+
+        for &(r, c, v) in &triplets {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("merge target exists") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        // Prefix-sum the per-row counts into row pointers.
+        for r in 0..self.rows {
+            row_counts[r + 1] += row_counts[r];
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr: row_counts, col_idx, values }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f32`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// An empty (all-zero) CSR matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(column, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let start = self.row_ptr[r] as usize;
+        let end = self.row_ptr[r + 1] as usize;
+        self.col_idx[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sum of the values in row `r` (a "row degree" for weight operators).
+    pub fn row_sum(&self, r: usize) -> f32 {
+        let start = self.row_ptr[r] as usize;
+        let end = self.row_ptr[r + 1] as usize;
+        self.values[start..end].iter().sum()
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// Dense `self × rhs` product.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_dense(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows(), "CsrMatrix::mul_dense: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols());
+        self.mul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// Like [`Self::mul_dense`] but writing into a caller-provided output
+    /// buffer, allowing the solver loop to reuse allocations.
+    pub fn mul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows(), "mul_dense_into: dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "mul_dense_into: bad output shape");
+        out.fill(0.0);
+        for r in 0..self.rows {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            let out_row = out.row_mut(r);
+            for k in start..end {
+                vector::axpy(self.values[k], rhs.row(self.col_idx[k] as usize), out_row);
+            }
+        }
+    }
+
+    /// Compute rows `row_range` of `self × rhs` into a caller-provided
+    /// row-major chunk (`(row_range.len()) × rhs.cols()` floats). Disjoint
+    /// ranges write to disjoint chunks, which is what the parallel solver
+    /// driver exploits.
+    pub fn mul_dense_range_into(
+        &self,
+        rhs: &Matrix,
+        row_range: std::ops::Range<usize>,
+        out_chunk: &mut [f32],
+    ) {
+        let cols = rhs.cols();
+        assert_eq!(
+            out_chunk.len(),
+            row_range.len() * cols,
+            "mul_dense_range_into: chunk size mismatch"
+        );
+        out_chunk.fill(0.0);
+        for (local, r) in row_range.enumerate() {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            let out_row = &mut out_chunk[local * cols..(local + 1) * cols];
+            for k in start..end {
+                vector::axpy(self.values[k], rhs.row(self.col_idx[k] as usize), out_row);
+            }
+        }
+    }
+
+    /// Accumulate `out_row += scale * (self[r, :] × rhs)` for a single row.
+    pub fn mul_row_into(&self, r: usize, rhs: &Matrix, scale: f32, out_row: &mut [f32]) {
+        let start = self.row_ptr[r] as usize;
+        let end = self.row_ptr[r + 1] as usize;
+        for k in start..end {
+            vector::axpy(scale * self.values[k], rhs.row(self.col_idx[k] as usize), out_row);
+        }
+    }
+
+    /// Transpose (also CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut coo = CooMatrix::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                coo.push(c, r, v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Materialize as a dense matrix (for tests and tiny examples only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m.set(r, c, m.get(r, c) + v);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 2, 3.0);
+        coo.push(2, 2, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn coo_to_csr_preserves_entries() {
+        let m = sample_csr();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(1).collect::<Vec<_>>(), vec![(0, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        coo.push(1, 1, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.row(0).collect::<Vec<_>>(), vec![(0, 3.5)]);
+    }
+
+    #[test]
+    fn zero_values_are_dropped() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 0.0);
+        assert_eq!(coo.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_pointers() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.row_nnz(0), 0);
+        assert_eq!(csr.row_nnz(3), 1);
+        assert_eq!(csr.row(2).count(), 0);
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_matmul() {
+        let csr = sample_csr();
+        let dense = csr.to_dense();
+        let rhs = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let a = csr.mul_dense(&rhs);
+        let b = dense.matmul(&rhs);
+        assert!(a.max_abs_diff(&b) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let csr = sample_csr();
+        let t = csr.transpose();
+        assert!(t.to_dense().max_abs_diff(&csr.to_dense().transpose()) < 1e-6);
+    }
+
+    #[test]
+    fn row_sum_adds_values() {
+        let csr = sample_csr();
+        assert_eq!(csr.row_sum(1), 4.0);
+        assert_eq!(csr.row_sum(0), 2.0);
+    }
+
+    #[test]
+    fn mul_row_into_accumulates_scaled() {
+        let csr = sample_csr();
+        let rhs = Matrix::from_rows(&[vec![1.0], vec![10.0], vec![100.0]]);
+        let mut out = vec![5.0];
+        csr.mul_row_into(1, &rhs, 2.0, &mut out);
+        // row 1 = {0: 1.0, 2: 3.0}; 2*(1*1 + 3*100) = 602
+        assert_eq!(out, vec![607.0]);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(5, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.rows(), 5);
+        assert_eq!(z.cols(), 7);
+        let rhs = Matrix::zeros(7, 2);
+        assert_eq!(z.mul_dense(&rhs).shape(), (5, 2));
+    }
+}

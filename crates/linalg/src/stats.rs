@@ -1,0 +1,148 @@
+//! Summary statistics used by the evaluation harness.
+//!
+//! The paper reports "runtime ± deviation over 10 repetitions" (Table 2) and
+//! box-plot style accuracy distributions (Figs. 8/12/13/14); this module
+//! provides the corresponding scalar summaries.
+
+/// Arithmetic mean (`0.0` for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (`0.0` for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (average of the central pair for even lengths; `0.0` when empty).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in stats input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Minimum (`0.0` when empty).
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+}
+
+/// Maximum (`0.0` when empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A `mean ± dev [min, median, max]` summary of repeated measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub median: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample set.
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: min(xs),
+            median: median(xs),
+            max: max(xs),
+            n: xs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} +/- {:.4} (min {:.4}, median {:.4}, max {:.4}, n={})",
+            self.mean, self.std_dev, self.min, self.median, self.max, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_matches_hand_computation() {
+        // Population std-dev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let xs = [3.0, -1.0, 7.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 7.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn summary_aggregates_all_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.n, 3);
+    }
+}

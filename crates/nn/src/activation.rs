@@ -1,0 +1,171 @@
+//! Activation functions and their derivatives.
+
+use retro_linalg::Matrix;
+
+/// Supported activations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid — the paper's hidden layers for classification.
+    Sigmoid,
+    /// Rectified linear unit — the paper's regression hidden layers.
+    Relu,
+    /// Identity — regression output.
+    Linear,
+    /// Row-wise softmax — imputation (multi-class) output. Must be paired
+    /// with categorical cross-entropy (the gradient is fused).
+    Softmax,
+}
+
+/// Numerically-stable logistic function.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+impl Activation {
+    /// Apply in place to a batch of pre-activations (rows = samples).
+    pub fn apply(self, z: &mut Matrix) {
+        match self {
+            Activation::Sigmoid => {
+                for v in z.as_mut_slice() {
+                    *v = sigmoid(*v);
+                }
+            }
+            Activation::Relu => {
+                for v in z.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            Activation::Linear => {}
+            Activation::Softmax => {
+                let cols = z.cols();
+                for r in 0..z.rows() {
+                    let row = z.row_mut(r);
+                    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut sum = 0.0;
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp();
+                        sum += *v;
+                    }
+                    if sum > 0.0 {
+                        for v in row.iter_mut() {
+                            *v /= sum;
+                        }
+                    } else {
+                        // Degenerate row: fall back to uniform.
+                        for v in row.iter_mut() {
+                            *v = 1.0 / cols as f32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multiply `grad` by the activation derivative, given the *post*-
+    /// activation values `a` (all our activations have derivatives
+    /// expressible from outputs).
+    ///
+    /// Softmax is intentionally unsupported here: its derivative is fused
+    /// with categorical cross-entropy in the output-layer gradient
+    /// (`predictions - targets`), which is the only configuration the
+    /// builder permits.
+    pub fn backprop(self, a: &Matrix, grad: &mut Matrix) {
+        debug_assert_eq!(a.shape(), grad.shape());
+        match self {
+            Activation::Sigmoid => {
+                for (g, &y) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    *g *= y * (1.0 - y);
+                }
+            }
+            Activation::Relu => {
+                for (g, &y) in grad.as_mut_slice().iter_mut().zip(a.as_slice()) {
+                    if y <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Linear => {}
+            Activation::Softmax => {
+                unreachable!("softmax derivative is fused with the loss gradient")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_squashes() {
+        let mut z = Matrix::from_rows(&[vec![0.0, 100.0, -100.0]]);
+        Activation::Sigmoid.apply(&mut z);
+        assert!((z.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(z.get(0, 1) > 0.999);
+        assert!(z.get(0, 2) < 0.001);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut z = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+        Activation::Relu.apply(&mut z);
+        assert_eq!(z.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut z = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![1000.0, 1000.0, 1000.0]]);
+        Activation::Softmax.apply(&mut z);
+        for r in 0..2 {
+            let sum: f32 = z.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone: bigger logit, bigger probability.
+        assert!(z.get(0, 2) > z.get(0, 1));
+        assert!(z.get(0, 1) > z.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_extreme_logits_are_stable() {
+        let mut z = Matrix::from_rows(&[vec![1e30, -1e30]]);
+        Activation::Softmax.apply(&mut z);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sigmoid_backprop_matches_derivative() {
+        // d/dx sigmoid(x) at x=0 is 0.25.
+        let a = Matrix::from_rows(&[vec![0.5]]);
+        let mut g = Matrix::from_rows(&[vec![1.0]]);
+        Activation::Sigmoid.backprop(&a, &mut g);
+        assert!((g.get(0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_backprop_zeroes_dead_units() {
+        let a = Matrix::from_rows(&[vec![0.0, 3.0]]);
+        let mut g = Matrix::from_rows(&[vec![5.0, 5.0]]);
+        Activation::Relu.backprop(&a, &mut g);
+        assert_eq!(g.row(0), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn linear_is_identity_both_ways() {
+        let mut z = Matrix::from_rows(&[vec![-2.0, 7.0]]);
+        let orig = z.clone();
+        Activation::Linear.apply(&mut z);
+        assert_eq!(z, orig);
+        let mut g = Matrix::from_rows(&[vec![1.5, -1.5]]);
+        let g_orig = g.clone();
+        Activation::Linear.backprop(&z, &mut g);
+        assert_eq!(g, g_orig);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fully-connected layers with cached forward state for backprop.
+
+use rand::Rng;
+use retro_linalg::{vector, Matrix};
+
+use crate::activation::Activation;
+use crate::optimizer::Nadam;
+
+/// A dense layer `A = act(X·W + b)` with its optimizer state.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// `input_dim × output_dim` weights.
+    w: Matrix,
+    /// Bias per output unit.
+    b: Vec<f32>,
+    activation: Activation,
+    opt_w: Nadam,
+    opt_b: Nadam,
+    /// Cached input of the latest forward pass (needed for dW).
+    cache_input: Option<Matrix>,
+    /// Cached post-activation output (needed for activation backprop).
+    cache_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Glorot-uniform initialization, as Keras defaults (the paper built its
+    /// ANNs with default initializers).
+    pub fn new<R: Rng + ?Sized>(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        lr: f32,
+        rng: &mut R,
+    ) -> Self {
+        let limit = (6.0 / (input_dim + output_dim) as f32).sqrt();
+        let w = Matrix::from_fn(input_dim, output_dim, |_, _| rng.gen_range(-limit..limit));
+        Self {
+            w,
+            b: vec![0.0; output_dim],
+            activation,
+            opt_w: Nadam::new(input_dim * output_dim, lr),
+            opt_b: Nadam::new(output_dim, lr),
+            cache_input: None,
+            cache_output: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// This layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.w);
+        for r in 0..z.rows() {
+            vector::axpy(1.0, &self.b, z.row_mut(r));
+        }
+        self.activation.apply(&mut z);
+        z
+    }
+
+    /// Forward pass with caching (training).
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let out = self.infer(x);
+        self.cache_input = Some(x.clone());
+        self.cache_output = Some(out.clone());
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// `grad` is ∂L/∂A when `through_activation` is true (hidden layers) or
+    /// the already-fused ∂L/∂Z (softmax+CCE, sigmoid+BCE, MAE output
+    /// layers). Applies the Nadam update with L2 weight decay `l2` and
+    /// returns ∂L/∂X for the previous layer.
+    pub fn backward(&mut self, mut grad: Matrix, through_activation: bool, l2: f32) -> Matrix {
+        let x = self.cache_input.take().expect("backward without forward");
+        let a = self.cache_output.take().expect("backward without forward");
+        if through_activation {
+            self.activation.backprop(&a, &mut grad);
+        }
+        // dW = Xᵀ · dZ  (+ L2), db = column sums of dZ, dX = dZ · Wᵀ.
+        let mut dw = x.transpose().matmul(&grad);
+        if l2 > 0.0 {
+            dw.axpy(l2, &self.w);
+        }
+        let mut db = vec![0.0f32; self.b.len()];
+        for r in 0..grad.rows() {
+            vector::axpy(1.0, grad.row(r), &mut db);
+        }
+        let dx = grad.matmul(&self.w.transpose());
+        self.opt_w.step(self.w.as_mut_slice(), dw.as_slice());
+        self.opt_b.step(&mut self.b, &db);
+        dx
+    }
+
+    /// Borrow the weights (tests / inspection).
+    pub fn weights(&self) -> &Matrix {
+        &self.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(3, 2, Activation::Linear, 0.01, &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]);
+        let y = layer.infer(&x);
+        assert_eq!(y.shape(), (2, 2));
+        // Zero input → output equals bias (zero at init).
+        assert_eq!(y.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn glorot_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Dense::new(8, 8, Activation::Relu, 0.01, &mut rng);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(layer.weights().as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn single_layer_learns_linear_map() {
+        // Learn y = x1 - x2 with a linear layer under squared-error-style
+        // gradients (dZ = pred - target).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(2, 1, Activation::Linear, 0.02, &mut rng);
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, -1.0],
+        ]);
+        let y = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![0.0], vec![3.0]]);
+        for _ in 0..500 {
+            let pred = layer.forward(&x);
+            let mut grad = pred.clone();
+            grad.axpy(-1.0, &y);
+            grad.scale(1.0 / 4.0);
+            layer.backward(grad, false, 0.0);
+        }
+        let final_pred = layer.infer(&x);
+        assert!(final_pred.max_abs_diff(&y) < 0.05, "pred {:?}", final_pred);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = Dense::new(5, 3, Activation::Sigmoid, 0.01, &mut rng);
+        let x = Matrix::zeros(7, 5);
+        let _ = layer.forward(&x);
+        let dx = layer.backward(Matrix::zeros(7, 3), true, 0.0);
+        assert_eq!(dx.shape(), (7, 5));
+    }
+
+    #[test]
+    fn l2_shrinks_weights_under_zero_gradient() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Dense::new(2, 2, Activation::Linear, 0.05, &mut rng);
+        let norm_before = layer.weights().frobenius_norm();
+        let x = Matrix::zeros(1, 2);
+        for _ in 0..50 {
+            let _ = layer.forward(&x);
+            layer.backward(Matrix::zeros(1, 2), false, 0.1);
+        }
+        assert!(layer.weights().frobenius_norm() < norm_before);
+    }
+}

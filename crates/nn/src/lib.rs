@@ -1,0 +1,30 @@
+//! # retro-nn
+//!
+//! A from-scratch feed-forward neural-network library implementing exactly
+//! what the paper's evaluation needs (Fig. 5):
+//!
+//! * dense layers with sigmoid / ReLU / linear / softmax activations,
+//! * binary & categorical cross-entropy and mean-absolute-error losses,
+//! * the Nadam optimizer (Dozat 2016) the paper trains with,
+//! * inverted dropout and L2 regularization,
+//! * mini-batch training with a validation split and early stopping
+//!   ("stop when validation loss has not improved for 50 epochs, restore
+//!   the best model"),
+//! * [`LinkNet`], the two-tower subtract architecture of Fig. 5c.
+//!
+//! The library is deliberately CPU-only, `f32`, deterministic under a seed,
+//! and free of external dependencies beyond `rand`.
+
+pub mod activation;
+pub mod layer;
+pub mod link;
+pub mod loss;
+pub mod network;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use link::LinkNet;
+pub use loss::Loss;
+pub use network::{Network, NetworkBuilder, TrainConfig, TrainReport};
+pub use optimizer::Nadam;

@@ -1,0 +1,448 @@
+//! Multi-layer networks with mini-batch training, dropout, validation split
+//! and early stopping — §5.5's training protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retro_linalg::Matrix;
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::loss::Loss;
+
+/// Builder for [`Network`].
+pub struct NetworkBuilder {
+    input_dim: usize,
+    specs: Vec<(usize, Activation)>,
+    loss: Loss,
+    lr: f32,
+    l2: f32,
+    dropout: f32,
+    seed: u64,
+}
+
+impl NetworkBuilder {
+    /// Start a network taking `input_dim` features.
+    pub fn new(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            specs: Vec::new(),
+            loss: Loss::BinaryCrossEntropy,
+            lr: 0.002,
+            l2: 0.0,
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Append a dense layer.
+    pub fn dense(mut self, units: usize, activation: Activation) -> Self {
+        self.specs.push((units, activation));
+        self
+    }
+
+    /// Set the training loss.
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Set the Nadam learning rate (default 0.002, the Keras default).
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.lr = lr;
+        self
+    }
+
+    /// Set the L2 weight-decay coefficient.
+    pub fn l2(mut self, l2: f32) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Set the dropout rate applied to hidden-layer outputs during training.
+    pub fn dropout(mut self, rate: f32) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        self.dropout = rate;
+        self
+    }
+
+    /// Set the RNG seed (initialization, shuffling, dropout masks).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the network.
+    ///
+    /// # Panics
+    /// Panics when no layers were added, or when softmax appears anywhere
+    /// except the output of a categorical-cross-entropy network (the fused
+    /// gradient only holds there).
+    pub fn build(self) -> Network {
+        assert!(!self.specs.is_empty(), "network needs at least one layer");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut layers = Vec::with_capacity(self.specs.len());
+        let mut dim = self.input_dim;
+        for (i, &(units, act)) in self.specs.iter().enumerate() {
+            let is_last = i == self.specs.len() - 1;
+            if act == Activation::Softmax {
+                assert!(
+                    is_last && self.loss == Loss::CategoricalCrossEntropy,
+                    "softmax is only valid as the output of a CCE network"
+                );
+            }
+            layers.push(Dense::new(dim, units, act, self.lr, &mut rng));
+            dim = units;
+        }
+        Network { layers, loss: self.loss, l2: self.l2, dropout: self.dropout, rng }
+    }
+}
+
+/// Training-loop parameters (§5.5: 10% validation split, stop after 50
+/// epochs without validation improvement, restore the best model).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Hard cap on epochs.
+    pub max_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Fraction of the training data held out for validation.
+    pub validation_fraction: f32,
+    /// Early-stopping patience in epochs (`None` disables early stopping).
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { max_epochs: 300, batch_size: 32, validation_fraction: 0.1, patience: Some(50) }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Best validation loss seen (or final training loss when no split).
+    pub best_val_loss: f32,
+    /// Whether early stopping triggered.
+    pub early_stopped: bool,
+}
+
+/// A feed-forward network.
+pub struct Network {
+    layers: Vec<Dense>,
+    loss: Loss,
+    l2: f32,
+    dropout: f32,
+    rng: StdRng,
+}
+
+impl Network {
+    /// Start building a network.
+    pub fn builder(input_dim: usize) -> NetworkBuilder {
+        NetworkBuilder::new(input_dim)
+    }
+
+    /// Inference forward pass (no dropout, no caching).
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for layer in &self.layers {
+            a = layer.infer(&a);
+        }
+        a
+    }
+
+    /// Argmax class per row (for softmax/multi-output networks).
+    pub fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.predict(x);
+        (0..p.rows())
+            .map(|r| {
+                p.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Binary decision per row for single-output sigmoid networks.
+    pub fn predict_binary(&self, x: &Matrix) -> Vec<bool> {
+        let p = self.predict(x);
+        (0..p.rows()).map(|r| p.get(r, 0) >= 0.5).collect()
+    }
+
+    /// The configured loss on a dataset.
+    pub fn evaluate(&self, x: &Matrix, y: &Matrix) -> f32 {
+        self.loss.value(&self.predict(x), y)
+    }
+
+    /// One mini-batch gradient step; returns the batch loss.
+    fn train_batch(&mut self, x: &Matrix, y: &Matrix) -> f32 {
+        let n_layers = self.layers.len();
+        let mut masks: Vec<Option<Vec<f32>>> = vec![None; n_layers];
+        let mut a = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            a = layer.forward(&a);
+            let is_hidden = i + 1 < n_layers;
+            if is_hidden && self.dropout > 0.0 {
+                // Inverted dropout: zero with probability p, scale by 1/(1-p).
+                let keep = 1.0 - self.dropout;
+                let mask: Vec<f32> = (0..a.as_slice().len())
+                    .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                    .collect();
+                for (v, &m) in a.as_mut_slice().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                masks[i] = Some(mask);
+            }
+        }
+        let loss = self.loss.value(&a, y);
+        let mut grad = self.loss.output_gradient(&a, y);
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let is_last = i + 1 == n_layers;
+            if let Some(mask) = &masks[i] {
+                for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+                    *g *= m;
+                }
+            }
+            // The output gradient is fused with the output activation, so
+            // only hidden layers backprop through their activation.
+            grad = layer.backward(grad, !is_last, self.l2);
+        }
+        loss
+    }
+
+    /// Train on `(x, y)` with shuffled mini-batches, a validation split and
+    /// early stopping with best-model restoration.
+    pub fn train(&mut self, x: &Matrix, y: &Matrix, config: TrainConfig) -> TrainReport {
+        assert_eq!(x.rows(), y.rows(), "train: sample count mismatch");
+        let n = x.rows();
+        let mut indices: Vec<usize> = (0..n).collect();
+        // Shuffle once before splitting so the validation set is unbiased.
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            indices.swap(i, j);
+        }
+        let n_val = ((n as f32) * config.validation_fraction).round() as usize;
+        let n_val = n_val.min(n.saturating_sub(1));
+        let (train_idx, val_idx) = indices.split_at(n - n_val);
+        let mut train_idx = train_idx.to_vec();
+        let x_val = x.select_rows(val_idx);
+        let y_val = y.select_rows(val_idx);
+
+        let mut best_val = f32::INFINITY;
+        let mut best_layers: Option<Vec<Dense>> = None;
+        let mut since_best = 0usize;
+        let mut epochs = 0usize;
+        let mut early_stopped = false;
+        let mut last_train_loss = f32::INFINITY;
+
+        for _ in 0..config.max_epochs {
+            epochs += 1;
+            for i in (1..train_idx.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                train_idx.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in train_idx.chunks(config.batch_size.max(1)) {
+                let xb = x.select_rows(chunk);
+                let yb = y.select_rows(chunk);
+                epoch_loss += self.train_batch(&xb, &yb);
+                batches += 1;
+            }
+            last_train_loss = epoch_loss / batches.max(1) as f32;
+
+            let monitored = if n_val > 0 {
+                self.evaluate(&x_val, &y_val)
+            } else {
+                last_train_loss
+            };
+            if monitored < best_val {
+                best_val = monitored;
+                best_layers = Some(self.layers.clone());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if let Some(patience) = config.patience {
+                    if since_best >= patience {
+                        early_stopped = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(best) = best_layers {
+            self.layers = best;
+        }
+        TrainReport {
+            epochs,
+            best_val_loss: if best_val.is_finite() { best_val } else { last_train_loss },
+            early_stopped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-style dataset, the classic non-linear sanity check.
+    fn xor_data() -> (Matrix, Matrix) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..40 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                xs.push(vec![a, b]);
+                ys.push(vec![if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 }]);
+            }
+        }
+        (Matrix::from_rows(&xs), Matrix::from_rows(&ys))
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut net = Network::builder(2)
+            .dense(8, Activation::Sigmoid)
+            .dense(1, Activation::Sigmoid)
+            .loss(Loss::BinaryCrossEntropy)
+            .learning_rate(0.01)
+            .seed(1)
+            .build();
+        net.train(
+            &x,
+            &y,
+            TrainConfig { max_epochs: 200, batch_size: 16, validation_fraction: 0.1, patience: None },
+        );
+        let preds = net.predict_binary(&x);
+        let correct = preds
+            .iter()
+            .zip(y.iter_rows())
+            .filter(|(p, yr)| **p == (yr[0] > 0.5))
+            .count();
+        assert!(correct as f32 / preds.len() as f32 > 0.95, "accuracy {correct}/{}", preds.len());
+    }
+
+    #[test]
+    fn softmax_classifier_learns_three_classes() {
+        // Three well-separated 2-D blobs.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [(0.0, 0.0), (5.0, 5.0), (-5.0, 5.0)];
+        let mut rng = StdRng::seed_from_u64(3);
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..60 {
+                let dx: f32 = rng.gen_range(-1.0..1.0);
+                let dy: f32 = rng.gen_range(-1.0..1.0);
+                xs.push(vec![cx + dx, cy + dy]);
+                let mut onehot = vec![0.0; 3];
+                onehot[c] = 1.0;
+                ys.push(onehot);
+            }
+        }
+        let x = Matrix::from_rows(&xs);
+        let y = Matrix::from_rows(&ys);
+        let mut net = Network::builder(2)
+            .dense(16, Activation::Sigmoid)
+            .dense(3, Activation::Softmax)
+            .loss(Loss::CategoricalCrossEntropy)
+            .learning_rate(0.01)
+            .seed(4)
+            .build();
+        net.train(
+            &x,
+            &y,
+            TrainConfig { max_epochs: 150, batch_size: 32, validation_fraction: 0.1, patience: Some(50) },
+        );
+        let classes = net.predict_classes(&x);
+        let correct = classes
+            .iter()
+            .zip(ys.iter())
+            .filter(|(c, y)| y[**c] > 0.5)
+            .count();
+        assert!(correct as f32 / classes.len() as f32 > 0.95);
+    }
+
+    #[test]
+    fn regression_fits_linear_function() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let v = i as f32 / 50.0 - 1.0;
+            xs.push(vec![v]);
+            ys.push(vec![3.0 * v + 1.0]);
+        }
+        let x = Matrix::from_rows(&xs);
+        let y = Matrix::from_rows(&ys);
+        let mut net = Network::builder(1)
+            .dense(16, Activation::Relu)
+            .dense(1, Activation::Linear)
+            .loss(Loss::MeanAbsoluteError)
+            .learning_rate(0.01)
+            .seed(5)
+            .build();
+        net.train(
+            &x,
+            &y,
+            TrainConfig { max_epochs: 300, batch_size: 25, validation_fraction: 0.0, patience: None },
+        );
+        let mae = Loss::MeanAbsoluteError.value(&net.predict(&x), &y);
+        assert!(mae < 0.25, "MAE {mae}");
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max_epochs() {
+        let (x, y) = xor_data();
+        let mut net = Network::builder(2)
+            .dense(4, Activation::Sigmoid)
+            .dense(1, Activation::Sigmoid)
+            .seed(6)
+            .build();
+        let report = net.train(
+            &x,
+            &y,
+            TrainConfig { max_epochs: 5000, batch_size: 16, validation_fraction: 0.2, patience: Some(10) },
+        );
+        assert!(report.epochs < 5000);
+        assert!(report.early_stopped);
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax is only valid as the output")]
+    fn softmax_hidden_layer_rejected() {
+        let _ = Network::builder(2)
+            .dense(4, Activation::Softmax)
+            .dense(1, Activation::Sigmoid)
+            .build();
+    }
+
+    #[test]
+    fn dropout_network_still_learns() {
+        let (x, y) = xor_data();
+        let mut net = Network::builder(2)
+            .dense(16, Activation::Sigmoid)
+            .dense(1, Activation::Sigmoid)
+            .dropout(0.2)
+            .learning_rate(0.01)
+            .seed(7)
+            .build();
+        net.train(
+            &x,
+            &y,
+            TrainConfig { max_epochs: 300, batch_size: 16, validation_fraction: 0.1, patience: None },
+        );
+        let preds = net.predict_binary(&x);
+        let correct = preds
+            .iter()
+            .zip(y.iter_rows())
+            .filter(|(p, yr)| **p == (yr[0] > 0.5))
+            .count();
+        assert!(correct as f32 / preds.len() as f32 > 0.9);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+}

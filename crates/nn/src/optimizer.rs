@@ -1,0 +1,90 @@
+//! The Nadam optimizer (Adam with Nesterov momentum, Dozat 2016) — the
+//! optimizer the paper trains all its networks with.
+
+/// Per-tensor Nadam state.
+#[derive(Clone, Debug)]
+pub struct Nadam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability ε.
+    pub eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl Nadam {
+    /// Fresh state for a tensor with `len` parameters. Default
+    /// hyperparameters follow the Keras Nadam implementation the paper used
+    /// (lr=0.002, β₁=0.9, β₂=0.999).
+    pub fn new(len: usize, lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-7, m: vec![0.0; len], v: vec![0.0; len], t: 0 }
+    }
+
+    /// Apply one Nadam step: `params -= update(grads)`.
+    ///
+    /// The Nesterov-corrected update is
+    /// `lr · (β₁·m̂ + (1-β₁)·g/(1-β₁ᵗ)) / (√v̂ + ε)`.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), self.m.len(), "Nadam::step: parameter count changed");
+        assert_eq!(params.len(), grads.len(), "Nadam::step: gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t);
+        let b2t = 1.0 - self.beta2.powi(self.t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            let m_nesterov = self.beta1 * m_hat + (1.0 - self.beta1) * g / b1t;
+            params[i] -= self.lr * m_nesterov / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x-3)², gradient 2(x-3). Nadam should converge to 3.
+        let mut x = vec![0.0f32];
+        let mut opt = Nadam::new(1, 0.05);
+        for _ in 0..2000 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "x = {}", x[0]);
+    }
+
+    #[test]
+    fn first_step_moves_against_gradient() {
+        let mut x = vec![1.0f32, 1.0];
+        let mut opt = Nadam::new(2, 0.01);
+        opt.step(&mut x, &[1.0, -1.0]);
+        assert!(x[0] < 1.0);
+        assert!(x[1] > 1.0);
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point_from_rest() {
+        let mut x = vec![2.0f32];
+        let mut opt = Nadam::new(1, 0.01);
+        opt.step(&mut x, &[0.0]);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut x = vec![0.0f32];
+        let mut opt = Nadam::new(1, 0.01);
+        opt.step(&mut x, &[1.0, 2.0]);
+    }
+}

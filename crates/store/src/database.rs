@@ -1,0 +1,306 @@
+//! The database: a named collection of tables with cross-table constraints.
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::schema::{ForeignKey, TableSchema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use crate::Result;
+
+/// An in-memory relational database.
+///
+/// Tables are kept in a `BTreeMap` so iteration order (and therefore text
+/// value numbering downstream in `retro-core`) is deterministic across runs.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table from a schema, validating foreign-key declarations
+    /// against the already-present tables.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<()> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(StoreError::DuplicateTable(schema.name));
+        }
+        for fk in &schema.foreign_keys {
+            if schema.column_index(&fk.column).is_none() {
+                return Err(StoreError::BadForeignKey(format!(
+                    "column `{}` not in table `{}`",
+                    fk.column, schema.name
+                )));
+            }
+            let target = self.tables.get(&fk.ref_table).ok_or_else(|| {
+                StoreError::BadForeignKey(format!(
+                    "referenced table `{}` does not exist",
+                    fk.ref_table
+                ))
+            })?;
+            let ref_schema = target.schema();
+            let ref_idx = ref_schema.column_index(&fk.ref_column).ok_or_else(|| {
+                StoreError::BadForeignKey(format!(
+                    "referenced column `{}.{}` does not exist",
+                    fk.ref_table, fk.ref_column
+                ))
+            })?;
+            if ref_schema.primary_key != Some(ref_idx) {
+                return Err(StoreError::BadForeignKey(format!(
+                    "`{}.{}` is not the primary key of `{}`",
+                    fk.ref_table, fk.ref_column, fk.ref_table
+                )));
+            }
+            let col = schema.column(&fk.column).expect("checked above");
+            if col.ty != DataType::Int {
+                return Err(StoreError::BadForeignKey(format!(
+                    "foreign key column `{}.{}` must be INTEGER",
+                    schema.name, fk.column
+                )));
+            }
+        }
+        self.tables.insert(schema.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Insert a row, enforcing arity, types, key uniqueness and foreign keys.
+    /// Returns the row's position in the table.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<usize> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
+        t.validate_row(&row)?;
+        // Foreign keys need read access to other tables, so check before the
+        // mutable borrow. NULL FK values are allowed (the relation is simply
+        // absent), matching SQL semantics.
+        let schema = t.schema().clone();
+        for fk in &schema.foreign_keys {
+            let idx = schema.column_index(&fk.column).expect("validated at create");
+            match &row[idx] {
+                Value::Null => {}
+                Value::Int(k) => {
+                    let target =
+                        self.tables.get(&fk.ref_table).expect("validated at create");
+                    if !target.contains_pk(*k) {
+                        return Err(StoreError::ForeignKeyViolation {
+                            table: table.to_owned(),
+                            column: fk.column.clone(),
+                            value: k.to_string(),
+                        });
+                    }
+                }
+                other => {
+                    return Err(StoreError::TypeMismatch {
+                        table: table.to_owned(),
+                        column: fk.column.clone(),
+                        expected: "INTEGER".to_owned(),
+                        got: other
+                            .data_type()
+                            .map_or_else(|| "NULL".into(), |ty| ty.to_string()),
+                    })
+                }
+            }
+        }
+        let t = self.tables.get_mut(table).expect("checked above");
+        Ok(t.push_unchecked(row))
+    }
+
+    /// Bulk insert; stops at the first error.
+    pub fn insert_many(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(table, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    /// True when the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Deterministic iteration over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Table names in deterministic order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of tables that are pure n:m link tables (the parenthesized
+    /// count in the paper's Table 1).
+    pub fn link_table_count(&self) -> usize {
+        self.tables.values().filter(|t| t.schema().is_link_table()).count()
+    }
+
+    /// All `(table, foreign-key)` pairs in deterministic order — the raw
+    /// material of relationship extraction.
+    pub fn all_foreign_keys(&self) -> Vec<(&str, &ForeignKey)> {
+        self.tables
+            .values()
+            .flat_map(|t| t.schema().foreign_keys.iter().map(move |fk| (t.name(), fk)))
+            .collect()
+    }
+
+    /// Count of distinct `(table, column, text)` values — i.e. the number of
+    /// embeddings RETRO will learn before the §3.3 uniqueness rules merge
+    /// duplicates within a column. Used for Table 1 reporting.
+    pub fn unique_text_value_count(&self) -> usize {
+        use std::collections::HashSet;
+        let mut seen: HashSet<(usize, usize, &str)> = HashSet::new();
+        for (ti, t) in self.tables.values().enumerate() {
+            for ci in t.schema().text_columns() {
+                for v in t.column_values(ci) {
+                    if let Some(s) = v.as_text() {
+                        seen.insert((ti, ci, s));
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("persons")
+                .pk("id")
+                .column("name", DataType::Text)
+                .build(),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::builder("movies")
+                .pk("id")
+                .column("title", DataType::Text)
+                .fk("director_id", "persons", "id")
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_insert_with_fk() {
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("Luc Besson")]).unwrap();
+        d.insert("movies", vec![Value::Int(10), Value::from("5th Element"), Value::Int(1)])
+            .unwrap();
+        assert_eq!(d.table("movies").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fk_violation_rejected() {
+        let mut d = db();
+        let err = d
+            .insert("movies", vec![Value::Int(10), Value::from("Alien"), Value::Int(99)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn null_fk_allowed() {
+        let mut d = db();
+        d.insert("movies", vec![Value::Int(10), Value::from("Alien"), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut d = db();
+        let err = d
+            .create_table(TableSchema::builder("movies").pk("id").build())
+            .unwrap_err();
+        assert_eq!(err, StoreError::DuplicateTable("movies".into()));
+    }
+
+    #[test]
+    fn fk_must_reference_existing_pk() {
+        let mut d = Database::new();
+        let err = d
+            .create_table(TableSchema::builder("a").pk("id").fk("b_id", "b", "id").build())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::BadForeignKey(_)));
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let d = db();
+        assert!(d.table("nope").is_err());
+        let mut d = d;
+        assert!(d.insert("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn unique_text_values_counted_per_column() {
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("Amelie")]).unwrap();
+        d.insert("persons", vec![Value::Int(2), Value::from("Amelie")]).unwrap(); // same column → 1
+        d.insert("movies", vec![Value::Int(1), Value::from("Amelie"), Value::Int(1)]).unwrap(); // other column → +1
+        assert_eq!(d.unique_text_value_count(), 2);
+    }
+
+    #[test]
+    fn counts_and_introspection() {
+        let mut d = db();
+        d.create_table(TableSchema::builder("genres").pk("id").column("name", DataType::Text).build())
+            .unwrap();
+        d.create_table(
+            TableSchema::builder("movie_genre")
+                .fk("movie_id", "movies", "id")
+                .fk("genre_id", "genres", "id")
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(d.table_count(), 4);
+        assert_eq!(d.link_table_count(), 1);
+        assert_eq!(d.all_foreign_keys().len(), 3);
+        assert_eq!(d.table_names(), vec!["genres", "movie_genre", "movies", "persons"]);
+    }
+
+    #[test]
+    fn insert_many_stops_at_error() {
+        let mut d = db();
+        let rows = vec![
+            vec![Value::Int(1), Value::from("a")],
+            vec![Value::Int(1), Value::from("b")], // duplicate key
+        ];
+        assert!(d.insert_many("persons", rows).is_err());
+        assert_eq!(d.table("persons").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the storage engine.
+
+use std::fmt;
+
+/// Anything that can go wrong inside `retro-store`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StoreError {
+    /// Table already exists.
+    DuplicateTable(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist in the named table.
+    UnknownColumn { table: String, column: String },
+    /// Value does not fit the declared column type.
+    TypeMismatch { table: String, column: String, expected: String, got: String },
+    /// Row arity differs from the table's column count.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// Primary-key value already present.
+    DuplicateKey { table: String, key: String },
+    /// Primary-key column received NULL.
+    NullKey { table: String, column: String },
+    /// Foreign-key value has no matching referenced row.
+    ForeignKeyViolation { table: String, column: String, value: String },
+    /// A foreign key declaration references a missing table/column.
+    BadForeignKey(String),
+    /// CSV input could not be parsed.
+    Csv(String),
+    /// SQL input could not be tokenized/parsed/executed.
+    Sql(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            StoreError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StoreError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            StoreError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch in `{table}.{column}`: expected {expected}, got {got}"
+            ),
+            StoreError::ArityMismatch { table, expected, got } => {
+                write!(f, "row arity mismatch for `{table}`: expected {expected}, got {got}")
+            }
+            StoreError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key `{key}` in `{table}`")
+            }
+            StoreError::NullKey { table, column } => {
+                write!(f, "NULL primary key in `{table}.{column}`")
+            }
+            StoreError::ForeignKeyViolation { table, column, value } => write!(
+                f,
+                "foreign key violation: `{table}.{column}` = `{value}` has no referenced row"
+            ),
+            StoreError::BadForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            StoreError::Csv(msg) => write!(f, "csv error: {msg}"),
+            StoreError::Sql(msg) => write!(f, "sql error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,41 @@
+//! # retro-store
+//!
+//! An in-memory relational database engine: the substrate RETRO runs on.
+//!
+//! The paper integrates RETRO "on top of PostgreSQL" and only uses the DBMS
+//! for three things: storing tables with typed columns and key constraints,
+//! answering schema-introspection queries (which columns are text? which
+//! foreign keys exist? which tables are pure n:m link tables?), and bulk
+//! reads of column data. This crate implements that contract natively:
+//!
+//! * [`Database`] / [`Table`] — tables with typed columns ([`DataType`]),
+//!   primary keys, foreign-key constraints (validated on insert) and
+//!   row/column access,
+//! * [`schema`] — schema definitions plus the introspection used by
+//!   `retro-core`'s relationship extraction (§3.2 of the paper),
+//! * [`csv`] — CSV import/export (the paper's datasets ship as CSV),
+//! * [`sql`] — a small SQL subset (`CREATE TABLE`, `INSERT`, `SELECT` with
+//!   `WHERE`/`JOIN`/`ORDER BY`/`LIMIT`) so examples and tests can drive the
+//!   engine the way a user would drive Postgres.
+//!
+//! The engine is deliberately row-oriented and index-light: RETRO's access
+//! pattern is full-column scans, not point queries.
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod schema;
+pub mod shared;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use error::StoreError;
+pub use shared::SharedDatabase;
+pub use schema::{ColumnDef, ForeignKey, TableSchema};
+pub use table::Table;
+pub use value::{DataType, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,213 @@
+//! Abstract syntax tree for the SQL subset.
+
+use crate::value::{DataType, Value};
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    CreateTable(CreateTable),
+    Insert(Insert),
+    Select(Select),
+    Update(Update),
+    Delete(Delete),
+}
+
+/// `UPDATE t SET col = lit [, ...] [WHERE conj]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Update {
+    pub table: String,
+    /// `(column, new value)` assignments.
+    pub assignments: Vec<(String, Literal)>,
+    /// Conjunction of predicates (empty = all rows).
+    pub predicates: Vec<Expr>,
+}
+
+/// `DELETE FROM t [WHERE conj]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delete {
+    pub table: String,
+    pub predicates: Vec<Expr>,
+}
+
+/// `CREATE TABLE name (col TYPE [PRIMARY KEY] [REFERENCES t(c)], ...)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<(String, DataType)>,
+    pub primary_key: Option<String>,
+    /// `(column, ref_table, ref_column)`.
+    pub foreign_keys: Vec<(String, String, String)>,
+}
+
+/// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Insert {
+    pub table: String,
+    /// Explicit column list; empty means "all columns in schema order".
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Literal>>,
+}
+
+/// A literal in an INSERT or WHERE clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Literal {
+    Null,
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Literal {
+    /// Convert to a storage [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Null => Value::Null,
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(x) => Value::Float(*x),
+            Literal::Str(s) => Value::Text(s.clone()),
+        }
+    }
+}
+
+/// A possibly-qualified column reference `[table.]column`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnRef {
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Render back to `t.c` / `c` form (for error messages).
+    pub fn display(&self) -> String {
+        match &self.table {
+            Some(t) => format!("{t}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+}
+
+/// Comparison operators in WHERE / JOIN-ON clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Evaluate the comparison under SQL semantics: any comparison involving
+    /// NULL is false (three-valued logic collapsed to false for filtering).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        let ord = a.cmp_sql(b);
+        match self {
+            BinOp::Eq => ord.is_eq(),
+            BinOp::Ne => ord.is_ne(),
+            BinOp::Lt => ord.is_lt(),
+            BinOp::Le => ord.is_le(),
+            BinOp::Gt => ord.is_gt(),
+            BinOp::Ge => ord.is_ge(),
+        }
+    }
+}
+
+/// A predicate atom.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `col OP literal` or `col OP col`.
+    Cmp { left: ColumnRef, op: BinOp, right: Operand },
+    /// `col IS NULL`.
+    IsNull(ColumnRef),
+    /// `col IS NOT NULL`.
+    IsNotNull(ColumnRef),
+}
+
+/// Right-hand side of a comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    Lit(Literal),
+    Col(ColumnRef),
+}
+
+/// One item in a SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `[t.]c`
+    Column(ColumnRef),
+    /// `COUNT(*)`
+    CountStar,
+}
+
+/// A `FROM`/`JOIN` table with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// Name the table binds to in scope (alias wins).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// An `INNER JOIN ... ON a = b` clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// `SELECT items FROM t [JOIN ...]* [WHERE conj] [ORDER BY col [DESC]] [LIMIT n]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    /// Conjunction of predicates.
+    pub predicates: Vec<Expr>,
+    pub order_by: Option<(ColumnRef, bool)>, // (column, descending)
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_null_semantics() {
+        assert!(!BinOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!BinOp::Ne.eval(&Value::Int(1), &Value::Null));
+        assert!(BinOp::Eq.eval(&Value::Int(1), &Value::Int(1)));
+    }
+
+    #[test]
+    fn binop_comparisons() {
+        assert!(BinOp::Lt.eval(&Value::Int(1), &Value::Float(1.5)));
+        assert!(BinOp::Ge.eval(&Value::from("b"), &Value::from("a")));
+        assert!(BinOp::Ne.eval(&Value::from("a"), &Value::from("b")));
+    }
+
+    #[test]
+    fn literal_to_value() {
+        assert_eq!(Literal::Str("x".into()).to_value(), Value::from("x"));
+        assert_eq!(Literal::Null.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef { table: "movies".into(), alias: Some("m".into()) };
+        assert_eq!(t.binding(), "m");
+        let t = TableRef { table: "movies".into(), alias: None };
+        assert_eq!(t.binding(), "movies");
+    }
+}

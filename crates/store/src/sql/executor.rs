@@ -1,0 +1,613 @@
+//! Statement execution: DDL, inserts, and hash-join SELECTs.
+
+use std::collections::HashMap;
+
+use crate::error::StoreError;
+use crate::schema::{ForeignKey, TableSchema};
+use crate::sql::ast::*;
+use crate::value::Value;
+use crate::{Database, Result};
+
+/// The result of executing a statement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (empty for DDL/DML).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DDL; DML reports `rows_affected`).
+    pub rows: Vec<Vec<Value>>,
+    /// Number of rows created by DML.
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// An empty result (DDL success).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Execute a parsed statement.
+pub fn execute(db: &mut Database, stmt: &Statement) -> Result<QueryResult> {
+    match stmt {
+        Statement::CreateTable(ct) => exec_create(db, ct),
+        Statement::Insert(ins) => exec_insert(db, ins),
+        Statement::Select(sel) => exec_select(db, sel),
+        Statement::Update(upd) => exec_update(db, upd),
+        Statement::Delete(del) => exec_delete(db, del),
+    }
+}
+
+/// Evaluate a single-table predicate conjunction against one row.
+fn row_matches(schema: &TableSchema, predicates: &[Expr], row: &[Value]) -> Result<bool> {
+    let resolve = |c: &ColumnRef| -> Result<usize> {
+        if let Some(t) = &c.table {
+            if t != &schema.name {
+                return Err(StoreError::UnknownColumn {
+                    table: t.clone(),
+                    column: c.column.clone(),
+                });
+            }
+        }
+        schema.column_index(&c.column).ok_or_else(|| StoreError::UnknownColumn {
+            table: schema.name.clone(),
+            column: c.column.clone(),
+        })
+    };
+    for pred in predicates {
+        let keep = match pred {
+            Expr::IsNull(c) => row[resolve(c)?].is_null(),
+            Expr::IsNotNull(c) => !row[resolve(c)?].is_null(),
+            Expr::Cmp { left, op, right } => {
+                let l = &row[resolve(left)?];
+                match right {
+                    Operand::Lit(lit) => op.eval(l, &lit.to_value()),
+                    Operand::Col(rc) => op.eval(l, &row[resolve(rc)?]),
+                }
+            }
+        };
+        if !keep {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
+    let schema = db.table(&upd.table)?.schema().clone();
+    // Resolve and validate assignments once.
+    let mut resolved = Vec::with_capacity(upd.assignments.len());
+    for (column, lit) in &upd.assignments {
+        let idx = schema.column_index(column).ok_or_else(|| StoreError::UnknownColumn {
+            table: upd.table.clone(),
+            column: column.clone(),
+        })?;
+        if Some(idx) == schema.primary_key {
+            return Err(StoreError::Sql("cannot UPDATE a primary key column".into()));
+        }
+        if schema.foreign_key_on(column).is_some() {
+            return Err(StoreError::Sql(
+                "UPDATE of foreign-key columns is not supported".into(),
+            ));
+        }
+        resolved.push((idx, lit.to_value()));
+    }
+    // Collect matching row positions first (immutable pass), then write.
+    let matches: Vec<usize> = {
+        let table = db.table(&upd.table)?;
+        let mut out = Vec::new();
+        for (pos, row) in table.rows().iter().enumerate() {
+            if row_matches(&schema, &upd.predicates, row)? {
+                out.push(pos);
+            }
+        }
+        out
+    };
+    let table = db.table_mut(&upd.table)?;
+    for &pos in &matches {
+        for (idx, value) in &resolved {
+            table.update_cell(pos, *idx, value.clone())?;
+        }
+    }
+    Ok(QueryResult { rows_affected: matches.len(), ..QueryResult::default() })
+}
+
+fn exec_delete(db: &mut Database, del: &Delete) -> Result<QueryResult> {
+    let schema = db.table(&del.table)?.schema().clone();
+    let matches: Vec<usize> = {
+        let table = db.table(&del.table)?;
+        let mut out = Vec::new();
+        for (pos, row) in table.rows().iter().enumerate() {
+            if row_matches(&schema, &del.predicates, row)? {
+                out.push(pos);
+            }
+        }
+        out
+    };
+    if matches.is_empty() {
+        return Ok(QueryResult::empty());
+    }
+    // Referential integrity (RESTRICT): no other table may still reference
+    // a primary key that is about to disappear.
+    if let Some(pk) = schema.primary_key {
+        let doomed: std::collections::HashSet<i64> = {
+            let table = db.table(&del.table)?;
+            matches
+                .iter()
+                .filter_map(|&pos| table.rows()[pos][pk].as_int())
+                .collect()
+        };
+        for other in db.tables() {
+            for fk in &other.schema().foreign_keys {
+                if fk.ref_table != del.table {
+                    continue;
+                }
+                let col = other
+                    .schema()
+                    .column_index(&fk.column)
+                    .expect("fk validated at create");
+                for value in other.column_values(col) {
+                    if let Some(k) = value.as_int() {
+                        if doomed.contains(&k) {
+                            return Err(StoreError::ForeignKeyViolation {
+                                table: other.name().to_owned(),
+                                column: fk.column.clone(),
+                                value: k.to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let n = matches.len();
+    db.table_mut(&del.table)?.remove_rows(&matches);
+    Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
+}
+
+fn exec_create(db: &mut Database, ct: &CreateTable) -> Result<QueryResult> {
+    let mut builder = TableSchema::builder(&ct.name);
+    for (name, ty) in &ct.columns {
+        builder = builder.column(name, *ty);
+        if ct.primary_key.as_deref() == Some(name) {
+            builder = builder.primary_key_last();
+        }
+    }
+    let mut schema = builder.build();
+    for (col, ref_table, ref_col) in &ct.foreign_keys {
+        schema.foreign_keys.push(ForeignKey {
+            column: col.clone(),
+            ref_table: ref_table.clone(),
+            ref_column: ref_col.clone(),
+        });
+    }
+    db.create_table(schema)?;
+    Ok(QueryResult::empty())
+}
+
+fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
+    let schema = db.table(&ins.table)?.schema().clone();
+    let mapping: Vec<usize> = if ins.columns.is_empty() {
+        (0..schema.columns.len()).collect()
+    } else {
+        ins.columns
+            .iter()
+            .map(|name| {
+                schema.column_index(name).ok_or_else(|| StoreError::UnknownColumn {
+                    table: ins.table.clone(),
+                    column: name.clone(),
+                })
+            })
+            .collect::<Result<_>>()?
+    };
+
+    let mut affected = 0;
+    for lit_row in &ins.rows {
+        if lit_row.len() != mapping.len() {
+            return Err(StoreError::ArityMismatch {
+                table: ins.table.clone(),
+                expected: mapping.len(),
+                got: lit_row.len(),
+            });
+        }
+        let mut row = vec![Value::Null; schema.columns.len()];
+        for (lit, &col) in lit_row.iter().zip(&mapping) {
+            row[col] = lit.to_value();
+        }
+        db.insert(&ins.table, row)?;
+        affected += 1;
+    }
+    Ok(QueryResult { rows_affected: affected, ..QueryResult::default() })
+}
+
+/// Scope of bound tables during SELECT execution: binding name → (table
+/// name, column names), plus the flattened row layout offsets.
+struct Scope {
+    /// binding → (offset into the joined row, column names).
+    bindings: Vec<(String, usize, Vec<String>)>,
+    width: usize,
+}
+
+impl Scope {
+    fn resolve(&self, col: &ColumnRef) -> Result<usize> {
+        let mut found = None;
+        for (binding, offset, columns) in &self.bindings {
+            if let Some(tbl) = &col.table {
+                if tbl != binding {
+                    continue;
+                }
+            }
+            if let Some(pos) = columns.iter().position(|c| c == &col.column) {
+                if found.is_some() {
+                    return Err(StoreError::Sql(format!(
+                        "ambiguous column `{}`",
+                        col.display()
+                    )));
+                }
+                found = Some(offset + pos);
+            }
+        }
+        found.ok_or_else(|| StoreError::Sql(format!("unknown column `{}`", col.display())))
+    }
+
+    fn all_columns(&self) -> Vec<String> {
+        self.bindings
+            .iter()
+            .flat_map(|(binding, _, cols)| {
+                cols.iter().map(move |c| format!("{binding}.{c}"))
+            })
+            .collect()
+    }
+}
+
+fn exec_select(db: &mut Database, sel: &Select) -> Result<QueryResult> {
+    // Bind the FROM table.
+    let base = db.table(&sel.from.table)?;
+    let base_cols: Vec<String> =
+        base.schema().columns.iter().map(|c| c.name.clone()).collect();
+    let mut scope = Scope {
+        bindings: vec![(sel.from.binding().to_owned(), 0, base_cols)],
+        width: base.schema().columns.len(),
+    };
+    // Working set: joined rows, flattened.
+    let mut rows: Vec<Vec<Value>> = base.rows().to_vec();
+
+    // Hash joins, left to right.
+    for join in &sel.joins {
+        let right_table = db.table(&join.table.table)?;
+        let right_cols: Vec<String> =
+            right_table.schema().columns.iter().map(|c| c.name.clone()).collect();
+        let right_width = right_cols.len();
+        let right_offset = scope.width;
+        scope
+            .bindings
+            .push((join.table.binding().to_owned(), right_offset, right_cols));
+        scope.width += right_width;
+
+        // Decide which side of the ON condition refers to the new table.
+        let (probe_col, build_col) = {
+            let l = scope.resolve(&join.left);
+            let r = scope.resolve(&join.right);
+            match (l, r) {
+                (Ok(li), Ok(ri)) => {
+                    if li >= right_offset && ri < right_offset {
+                        (ri, li - right_offset)
+                    } else if ri >= right_offset && li < right_offset {
+                        (li, ri - right_offset)
+                    } else {
+                        return Err(StoreError::Sql(
+                            "JOIN condition must relate the joined table to a prior table"
+                                .to_owned(),
+                        ));
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => return Err(e),
+            }
+        };
+
+        // Build hash table on the new (right) table.
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, row) in right_table.rows().iter().enumerate() {
+            let key = &row[build_col];
+            if !key.is_null() {
+                index.entry(key.to_string()).or_default().push(i);
+            }
+        }
+
+        let mut joined = Vec::new();
+        for left_row in rows {
+            let key = &left_row[probe_col];
+            if key.is_null() {
+                continue;
+            }
+            if let Some(matches) = index.get(&key.to_string()) {
+                for &ri in matches {
+                    let mut combined = left_row.clone();
+                    combined.extend_from_slice(&right_table.rows()[ri]);
+                    joined.push(combined);
+                }
+            }
+        }
+        rows = joined;
+    }
+
+    // WHERE filtering.
+    type Predicate = Box<dyn Fn(&[Value]) -> Result<bool>>;
+    for pred in &sel.predicates {
+        let keep: Predicate = match pred {
+            Expr::IsNull(col) => {
+                let idx = scope.resolve(col)?;
+                Box::new(move |row| Ok(row[idx].is_null()))
+            }
+            Expr::IsNotNull(col) => {
+                let idx = scope.resolve(col)?;
+                Box::new(move |row| Ok(!row[idx].is_null()))
+            }
+            Expr::Cmp { left, op, right } => {
+                let li = scope.resolve(left)?;
+                match right {
+                    Operand::Lit(lit) => {
+                        let v = lit.to_value();
+                        let op = *op;
+                        Box::new(move |row| Ok(op.eval(&row[li], &v)))
+                    }
+                    Operand::Col(rc) => {
+                        let ri = scope.resolve(rc)?;
+                        let op = *op;
+                        Box::new(move |row| Ok(op.eval(&row[li], &row[ri])))
+                    }
+                }
+            }
+        };
+        let mut filtered = Vec::with_capacity(rows.len());
+        for row in rows {
+            if keep(&row)? {
+                filtered.push(row);
+            }
+        }
+        rows = filtered;
+    }
+
+    // ORDER BY.
+    if let Some((col, desc)) = &sel.order_by {
+        let idx = scope.resolve(col)?;
+        rows.sort_by(|a, b| {
+            let ord = a[idx].cmp_sql(&b[idx]);
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+
+    // LIMIT.
+    if let Some(n) = sel.limit {
+        rows.truncate(n);
+    }
+
+    // Projection.
+    let mut out_cols = Vec::new();
+    enum Proj {
+        Col(usize),
+        All,
+        Count,
+    }
+    let mut projs = Vec::new();
+    for item in &sel.items {
+        match item {
+            SelectItem::Wildcard => {
+                out_cols.extend(scope.all_columns());
+                projs.push(Proj::All);
+            }
+            SelectItem::Column(c) => {
+                out_cols.push(c.display());
+                projs.push(Proj::Col(scope.resolve(c)?));
+            }
+            SelectItem::CountStar => {
+                out_cols.push("count".to_owned());
+                projs.push(Proj::Count);
+            }
+        }
+    }
+
+    if projs.iter().any(|p| matches!(p, Proj::Count)) {
+        if projs.len() != 1 {
+            return Err(StoreError::Sql(
+                "COUNT(*) cannot be combined with other select items".to_owned(),
+            ));
+        }
+        return Ok(QueryResult {
+            columns: out_cols,
+            rows: vec![vec![Value::Int(rows.len() as i64)]],
+            rows_affected: 0,
+        });
+    }
+
+    let projected = rows
+        .into_iter()
+        .map(|row| {
+            let mut out = Vec::new();
+            for p in &projs {
+                match p {
+                    Proj::All => out.extend(row.iter().cloned()),
+                    Proj::Col(i) => out.push(row[*i].clone()),
+                    Proj::Count => unreachable!("handled above"),
+                }
+            }
+            out
+        })
+        .collect();
+
+    Ok(QueryResult { columns: out_cols, rows: projected, rows_affected: 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::run_script;
+
+    fn seeded() -> Database {
+        let mut db = Database::new();
+        run_script(
+            &mut db,
+            "CREATE TABLE genres (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, budget REAL);
+             CREATE TABLE movie_genre (movie_id INTEGER REFERENCES movies(id),
+                                       genre_id INTEGER REFERENCES genres(id));
+             INSERT INTO genres VALUES (1, 'Horror'), (2, 'Comedy');
+             INSERT INTO movies VALUES (1, 'Alien', 11000000.0), (2, 'Brazil', NULL),
+                                       (3, 'Amelie', 10000000.0);
+             INSERT INTO movie_genre VALUES (1, 1), (3, 2), (2, 2);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn where_and_order() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "SELECT title FROM movies WHERE budget >= 10000000 ORDER BY budget DESC",
+        )
+        .unwrap();
+        let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(titles, vec!["Alien", "Amelie"]);
+    }
+
+    #[test]
+    fn null_filtering() {
+        let mut db = seeded();
+        let r = run_script(&mut db, "SELECT title FROM movies WHERE budget IS NULL").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::from("Brazil"));
+    }
+
+    #[test]
+    fn two_hop_join_through_link_table() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "SELECT m.title FROM genres g
+             JOIN movie_genre mg ON mg.genre_id = g.id
+             JOIN movies m ON m.id = mg.movie_id
+             WHERE g.name = 'Comedy' ORDER BY m.title",
+        )
+        .unwrap();
+        let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(titles, vec!["Amelie", "Brazil"]);
+    }
+
+    #[test]
+    fn wildcard_projection_includes_all_bindings() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "SELECT * FROM movie_genre mg JOIN genres g ON mg.genre_id = g.id LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(r.columns.len(), 4); // movie_id, genre_id, id, name
+        assert!(r.columns[3].contains("name"));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut db = seeded();
+        let r = run_script(&mut db, "SELECT id FROM movies ORDER BY id LIMIT 2").unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn ambiguous_column_is_error() {
+        let mut db = seeded();
+        let err = run_script(
+            &mut db,
+            "SELECT id FROM movies m JOIN genres g ON m.id = g.id",
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::Sql(msg) if msg.contains("ambiguous")));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let mut db = seeded();
+        assert!(run_script(&mut db, "SELECT nope FROM movies").is_err());
+    }
+
+    #[test]
+    fn insert_reports_rows_affected() {
+        let mut db = seeded();
+        let r = run_script(&mut db, "INSERT INTO genres VALUES (3, 'Drama'), (4, 'SciFi')")
+            .unwrap();
+        assert_eq!(r.rows_affected, 2);
+    }
+
+    #[test]
+    fn count_cannot_mix_with_columns() {
+        let mut db = seeded();
+        assert!(run_script(&mut db, "SELECT COUNT(*), title FROM movies").is_err());
+    }
+
+    #[test]
+    fn update_rewrites_matching_rows() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "UPDATE movies SET budget = 5.0 WHERE budget IS NULL",
+        )
+        .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let check = run_script(&mut db, "SELECT budget FROM movies WHERE title = 'Brazil'")
+            .unwrap();
+        assert_eq!(check.rows[0][0], Value::Float(5.0));
+    }
+
+    #[test]
+    fn update_without_where_touches_all_rows() {
+        let mut db = seeded();
+        let r = run_script(&mut db, "UPDATE movies SET budget = 1").unwrap();
+        assert_eq!(r.rows_affected, 3);
+    }
+
+    #[test]
+    fn update_rejects_pk_and_fk_columns() {
+        let mut db = seeded();
+        assert!(run_script(&mut db, "UPDATE movies SET id = 99").is_err());
+        assert!(run_script(&mut db, "UPDATE movie_genre SET genre_id = 1").is_err());
+        assert!(run_script(&mut db, "UPDATE movies SET title = 7").is_err()); // type
+    }
+
+    #[test]
+    fn delete_removes_matching_rows_and_reindexes() {
+        let mut db = seeded();
+        // Movie 1 is referenced by movie_genre — clear the link first.
+        run_script(&mut db, "DELETE FROM movie_genre WHERE movie_id = 1").unwrap();
+        let r = run_script(&mut db, "DELETE FROM movies WHERE title = 'Alien'").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let count = run_script(&mut db, "SELECT COUNT(*) FROM movies").unwrap();
+        assert_eq!(count.rows[0][0], Value::Int(2));
+        // PK index rebuilt: inserting a fresh id-1 row works again.
+        run_script(&mut db, "INSERT INTO movies VALUES (1, 'Alien Redux', 1.0)").unwrap();
+    }
+
+    #[test]
+    fn delete_restricts_on_foreign_keys() {
+        let mut db = seeded();
+        let err = run_script(&mut db, "DELETE FROM movies WHERE id = 1").unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+        // The row survived.
+        let count = run_script(&mut db, "SELECT COUNT(*) FROM movies").unwrap();
+        assert_eq!(count.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn column_vs_column_where() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "SELECT mg.movie_id FROM movie_genre mg WHERE mg.movie_id = mg.genre_id",
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2); // (1,1) and (2,2)
+    }
+}

@@ -1,0 +1,123 @@
+//! A small SQL subset over the in-memory engine.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL,
+//!                 other_id INTEGER REFERENCES other(id));
+//! INSERT INTO t VALUES (1, 'abc', 3.5, NULL);
+//! INSERT INTO t (id, name) VALUES (2, 'def');
+//! UPDATE t SET score = 0.5 WHERE score IS NULL;
+//! DELETE FROM t WHERE score < 1;
+//! SELECT name, score FROM t WHERE score >= 2 ORDER BY name DESC LIMIT 10;
+//! SELECT m.title, p.name FROM movies m JOIN persons p ON m.director_id = p.id;
+//! SELECT COUNT(*) FROM t;
+//! ```
+//!
+//! This is intentionally a *subset*: enough to drive the engine the way the
+//! paper drives PostgreSQL (schema creation, bulk loads, relationship and
+//! column scans), not a general query processor. Joins are equi-joins
+//! executed with a hash join; predicates are conjunctions of comparisons.
+
+mod ast;
+mod executor;
+mod parser;
+mod tokenizer;
+
+pub use ast::{
+    BinOp, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, Select, SelectItem,
+    Statement, Update,
+};
+pub use executor::{execute, QueryResult};
+pub use parser::parse_statement;
+pub use tokenizer::{tokenize, Token};
+
+use crate::{Database, Result};
+
+/// Parse and execute one SQL statement against `db`.
+pub fn run(db: &mut Database, sql: &str) -> Result<QueryResult> {
+    let stmt = parse_statement(sql)?;
+    execute(db, &stmt)
+}
+
+/// Run several `;`-separated statements, returning the last result.
+pub fn run_script(db: &mut Database, sql: &str) -> Result<QueryResult> {
+    let mut last = QueryResult::empty();
+    for stmt in split_statements(sql) {
+        last = run(db, stmt)?;
+    }
+    Ok(last)
+}
+
+/// Split a script on top-level semicolons (quotes respected).
+fn split_statements(sql: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let bytes = sql.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' => in_str = !in_str,
+            b';' if !in_str => {
+                let piece = sql[start..i].trim();
+                if !piece.is_empty() {
+                    out.push(piece);
+                }
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let piece = sql[start..].trim();
+    if !piece.is_empty() {
+        out.push(piece);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn end_to_end_script() {
+        let mut db = Database::new();
+        let result = run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                                  director_id INTEGER REFERENCES persons(id));
+             INSERT INTO persons VALUES (1, 'Luc Besson');
+             INSERT INTO persons VALUES (2, 'Ridley Scott');
+             INSERT INTO movies VALUES (10, '5th Element', 1);
+             INSERT INTO movies VALUES (11, 'Alien', 2);
+             INSERT INTO movies VALUES (12, 'Valerian', 1);
+             SELECT m.title FROM movies m JOIN persons p ON m.director_id = p.id
+             WHERE p.name = 'Luc Besson' ORDER BY m.title;",
+        )
+        .unwrap();
+        let titles: Vec<_> = result.rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(titles, vec!["5th Element", "Valerian"]);
+    }
+
+    #[test]
+    fn count_star() {
+        let mut db = Database::new();
+        let r = run_script(
+            &mut db,
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, x REAL);
+             INSERT INTO t VALUES (1, 0.5); INSERT INTO t VALUES (2, NULL);
+             SELECT COUNT(*) FROM t;",
+        )
+        .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn split_respects_string_literals() {
+        let parts = split_statements("INSERT INTO t VALUES ('a;b'); SELECT 1");
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("a;b"));
+    }
+}

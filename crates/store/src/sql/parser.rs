@@ -1,0 +1,454 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::error::StoreError;
+use crate::sql::ast::*;
+use crate::sql::tokenizer::{tokenize, Token};
+use crate::value::DataType;
+use crate::Result;
+
+/// Parse a single SQL statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_symbol(";"); // trailing semicolon is optional
+    if !p.at_end() {
+        return Err(p.error("trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, msg: &str) -> StoreError {
+        StoreError::Sql(format!("{msg} (at token {})", self.pos))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive) or fail.
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t.is_kw(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(&format!("expected keyword {kw}"))),
+        }
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        match self.peek() {
+            Some(Token::Symbol(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.error(&format!("expected `{sym}`"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(t) if t.is_kw("create") => self.create_table().map(Statement::CreateTable),
+            Some(t) if t.is_kw("insert") => self.insert().map(Statement::Insert),
+            Some(t) if t.is_kw("select") => self.select().map(Statement::Select),
+            Some(t) if t.is_kw("update") => self.update().map(Statement::Update),
+            Some(t) if t.is_kw("delete") => self.delete().map(Statement::Delete),
+            _ => Err(self.error("expected CREATE, INSERT, SELECT, UPDATE or DELETE")),
+        }
+    }
+
+    fn where_clause(&mut self) -> Result<Vec<Expr>> {
+        let mut predicates = Vec::new();
+        if self.eat_kw("where") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_kw("and") {
+                    break;
+                }
+            }
+        }
+        Ok(predicates)
+    }
+
+    fn update(&mut self) -> Result<Update> {
+        self.expect_kw("update")?;
+        let table = self.ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.ident()?;
+            self.expect_symbol("=")?;
+            assignments.push((column, self.literal()?));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let predicates = self.where_clause()?;
+        Ok(Update { table, assignments, predicates })
+    }
+
+    fn delete(&mut self) -> Result<Delete> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let predicates = self.where_clause()?;
+        Ok(Delete { table, predicates })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" | "BIGINT" => Ok(DataType::Int),
+            "REAL" | "FLOAT" | "DOUBLE" | "NUMERIC" => Ok(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" => {
+                // Accept an optional length like VARCHAR(255).
+                if self.eat_symbol("(") {
+                    self.next();
+                    self.expect_symbol(")")?;
+                }
+                Ok(DataType::Text)
+            }
+            other => Err(self.error(&format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<CreateTable> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect_symbol("(")?;
+        let mut columns = Vec::new();
+        let mut primary_key = None;
+        let mut foreign_keys = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col.clone(), ty));
+            if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                if primary_key.replace(col.clone()).is_some() {
+                    return Err(self.error("multiple PRIMARY KEY declarations"));
+                }
+            }
+            if self.eat_kw("references") {
+                let ref_table = self.ident()?;
+                self.expect_symbol("(")?;
+                let ref_col = self.ident()?;
+                self.expect_symbol(")")?;
+                foreign_keys.push((col, ref_table, ref_col));
+            }
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(")")?;
+            break;
+        }
+        Ok(CreateTable { name, columns, primary_key, foreign_keys })
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Literal::Int(i)),
+            Some(Token::Float(x)) => Ok(Literal::Float(x)),
+            Some(Token::Str(s)) => Ok(Literal::Str(s)),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Literal::Null),
+            _ => Err(self.error("expected literal")),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Insert> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_symbol("(") {
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+        }
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Insert { table, columns, rows })
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let column = self.ident()?;
+            Ok(ColumnRef { table: Some(first), column })
+        } else {
+            Ok(ColumnRef { table: None, column: first })
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Some(Token::Ident(s))
+                if !["join", "where", "on", "order", "limit", "inner"]
+                    .iter()
+                    .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+            {
+                let a = s.clone();
+                self.pos += 1;
+                Some(a)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn bin_op(&mut self) -> Result<BinOp> {
+        match self.next() {
+            Some(Token::Symbol("=")) => Ok(BinOp::Eq),
+            Some(Token::Symbol("!=")) => Ok(BinOp::Ne),
+            Some(Token::Symbol("<")) => Ok(BinOp::Lt),
+            Some(Token::Symbol("<=")) => Ok(BinOp::Le),
+            Some(Token::Symbol(">")) => Ok(BinOp::Gt),
+            Some(Token::Symbol(">=")) => Ok(BinOp::Ge),
+            _ => Err(self.error("expected comparison operator")),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr> {
+        let left = self.column_ref()?;
+        if self.eat_kw("is") {
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                return Ok(Expr::IsNotNull(left));
+            }
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull(left));
+        }
+        let op = self.bin_op()?;
+        // RHS: literal or column reference.
+        let right = match self.peek() {
+            Some(Token::Ident(s)) if !s.eq_ignore_ascii_case("null") => {
+                Operand::Col(self.column_ref()?)
+            }
+            _ => Operand::Lit(self.literal()?),
+        };
+        Ok(Expr::Cmp { left, op, right })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat_symbol("*") {
+                items.push(SelectItem::Wildcard);
+            } else if matches!(self.peek(), Some(t) if t.is_kw("count")) {
+                self.pos += 1;
+                self.expect_symbol("(")?;
+                self.expect_symbol("*")?;
+                self.expect_symbol(")")?;
+                items.push(SelectItem::CountStar);
+            } else {
+                items.push(SelectItem::Column(self.column_ref()?));
+            }
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+
+        let mut joins = Vec::new();
+        loop {
+            let had_inner = self.eat_kw("inner");
+            if self.eat_kw("join") {
+                let table = self.table_ref()?;
+                self.expect_kw("on")?;
+                let left = self.column_ref()?;
+                self.expect_symbol("=")?;
+                let right = self.column_ref()?;
+                joins.push(Join { table, left, right });
+            } else if had_inner {
+                return Err(self.error("expected JOIN after INNER"));
+            } else {
+                break;
+            }
+        }
+
+        let predicates = self.where_clause()?;
+
+        let mut order_by = None;
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let col = self.column_ref()?;
+            let desc = self.eat_kw("desc");
+            if !desc {
+                self.eat_kw("asc");
+            }
+            order_by = Some((col, desc));
+        }
+
+        let mut limit = None;
+        if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
+                _ => return Err(self.error("expected non-negative LIMIT count")),
+            }
+        }
+
+        Ok(Select { items, from, joins, predicates, order_by, limit })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+             director_id INTEGER REFERENCES persons(id))",
+        )
+        .unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!("wrong variant") };
+        assert_eq!(ct.name, "movies");
+        assert_eq!(ct.columns.len(), 3);
+        assert_eq!(ct.primary_key.as_deref(), Some("id"));
+        assert_eq!(ct.foreign_keys, vec![("director_id".into(), "persons".into(), "id".into())]);
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt =
+            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let Statement::Insert(ins) = stmt else { panic!("wrong variant") };
+        assert_eq!(ins.columns, vec!["a", "b"]);
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[1][1], Literal::Null);
+    }
+
+    #[test]
+    fn parse_select_with_everything() {
+        let stmt = parse_statement(
+            "SELECT m.title, COUNT(*) FROM movies m JOIN persons p ON m.director_id = p.id
+             WHERE p.name = 'X' AND m.budget >= 1000 ORDER BY m.title DESC LIMIT 5",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!("wrong variant") };
+        assert_eq!(sel.items.len(), 2);
+        assert_eq!(sel.joins.len(), 1);
+        assert_eq!(sel.predicates.len(), 2);
+        assert_eq!(sel.limit, Some(5));
+        assert!(sel.order_by.unwrap().1);
+    }
+
+    #[test]
+    fn parse_is_null_predicates() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL").unwrap();
+        let Statement::Select(sel) = stmt else { panic!("wrong variant") };
+        assert!(matches!(sel.predicates[0], Expr::IsNull(_)));
+        assert!(matches!(sel.predicates[1], Expr::IsNotNull(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_statement("DROP TABLE t").is_err());
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("SELECT a FROM t LIMIT -1").is_err());
+        assert!(parse_statement("SELECT a FROM t extra garbage words").is_err());
+    }
+
+    #[test]
+    fn varchar_length_is_accepted() {
+        let stmt = parse_statement("CREATE TABLE t (name VARCHAR(255))").unwrap();
+        let Statement::CreateTable(ct) = stmt else { panic!("wrong variant") };
+        assert_eq!(ct.columns[0].1, DataType::Text);
+    }
+
+    #[test]
+    fn parse_update_and_delete() {
+        let stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c >= 2").unwrap();
+        let Statement::Update(u) = stmt else { panic!("wrong variant") };
+        assert_eq!(u.assignments.len(), 2);
+        assert_eq!(u.predicates.len(), 1);
+
+        let stmt = parse_statement("DELETE FROM t WHERE a IS NULL").unwrap();
+        let Statement::Delete(d) = stmt else { panic!("wrong variant") };
+        assert_eq!(d.table, "t");
+        assert_eq!(d.predicates.len(), 1);
+
+        assert!(parse_statement("UPDATE t WHERE a = 1").is_err()); // missing SET
+        assert!(parse_statement("DELETE t").is_err()); // missing FROM
+    }
+
+    #[test]
+    fn column_to_column_comparison() {
+        let stmt = parse_statement("SELECT a FROM t WHERE t.a = t.b").unwrap();
+        let Statement::Select(sel) = stmt else { panic!("wrong variant") };
+        assert!(matches!(
+            &sel.predicates[0],
+            Expr::Cmp { right: Operand::Col(_), .. }
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! SQL tokenizer.
+
+use crate::error::StoreError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by the
+    /// parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Punctuation and operators: `( ) , . ; * = != < <= > >=`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// True when this token is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = sql.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(other) => s.push(other),
+                        None => {
+                            return Err(StoreError::Sql(
+                                "unterminated string literal".to_owned(),
+                            ))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && matches!(tokens.last(), None | Some(Token::Symbol(_)))
+                    && !matches!(tokens.last(), Some(Token::Symbol(")")))) =>
+            {
+                let mut num = String::new();
+                if c == '-' {
+                    num.push(c);
+                    chars.next();
+                }
+                let mut is_float = false;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        chars.next();
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        num.push(d);
+                        chars.next();
+                    } else if (d == 'e' || d == 'E') && !num.is_empty() {
+                        is_float = true;
+                        num.push(d);
+                        chars.next();
+                        if let Some(&sign @ ('+' | '-')) = chars.peek() {
+                            num.push(sign);
+                            chars.next();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    let v = num
+                        .parse::<f64>()
+                        .map_err(|e| StoreError::Sql(format!("bad float `{num}`: {e}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = num
+                        .parse::<i64>()
+                        .map_err(|e| StoreError::Sql(format!("bad integer `{num}`: {e}")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(ident));
+            }
+            '(' | ')' | ',' | '.' | ';' | '*' | '=' => {
+                chars.next();
+                tokens.push(Token::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    ';' => ";",
+                    '*' => "*",
+                    _ => "=",
+                }));
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Symbol("!="));
+                } else {
+                    return Err(StoreError::Sql("expected `!=`".to_owned()));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Symbol("<="));
+                } else if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::Symbol("!="));
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Symbol(">="));
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                }
+            }
+            other => {
+                return Err(StoreError::Sql(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 1.5").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Symbol(","));
+        assert_eq!(*toks.last().unwrap(), Token::Float(1.5));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn negative_numbers_and_operators() {
+        let toks = tokenize("x = -3").unwrap();
+        assert_eq!(toks[2], Token::Int(-3));
+        let toks = tokenize("a <> b").unwrap();
+        assert_eq!(toks[1], Token::Symbol("!="));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e6 2.5E-3").unwrap();
+        assert_eq!(toks[0], Token::Float(1e6));
+        assert_eq!(toks[1], Token::Float(2.5e-3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT #").is_err());
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn qualified_names() {
+        let toks = tokenize("m.title").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("m".into()),
+                Token::Symbol("."),
+                Token::Ident("title".into())
+            ]
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! A single table: schema + rows + primary-key index.
+
+use std::collections::HashMap;
+
+use crate::error::StoreError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use crate::Result;
+
+/// An in-memory table.
+///
+/// Rows are stored in insertion order; the primary key (when declared) is
+/// indexed with a hash map for O(1) FK validation. RETRO's own access pattern
+/// is full-column scans, served by [`Table::column_values`] / [`Table::rows`].
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+    /// primary-key value (as i64) → row index.
+    pk_index: HashMap<i64, usize>,
+}
+
+impl Table {
+    /// Create an empty table for `schema`.
+    pub fn new(schema: TableSchema) -> Self {
+        Self { schema, rows: Vec::new(), pk_index: HashMap::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// One row by position.
+    pub fn row(&self, idx: usize) -> Option<&[Value]> {
+        self.rows.get(idx).map(Vec::as_slice)
+    }
+
+    /// Find a row by primary-key value.
+    pub fn row_by_pk(&self, key: i64) -> Option<&[Value]> {
+        self.pk_index.get(&key).map(|&i| self.rows[i].as_slice())
+    }
+
+    /// True when a row with this primary key exists.
+    pub fn contains_pk(&self, key: i64) -> bool {
+        self.pk_index.contains_key(&key)
+    }
+
+    /// Iterator over the values of one column (by index).
+    pub fn column_values(&self, col: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[col])
+    }
+
+    /// Iterator over the values of one column (by name).
+    pub fn column_values_by_name<'a>(
+        &'a self,
+        name: &str,
+    ) -> Result<impl Iterator<Item = &'a Value>> {
+        let col = self.schema.column_index(name).ok_or_else(|| StoreError::UnknownColumn {
+            table: self.schema.name.clone(),
+            column: name.to_owned(),
+        })?;
+        Ok(self.column_values(col))
+    }
+
+    /// Validate a row against the schema (arity, types, PK presence and
+    /// uniqueness). Does **not** check foreign keys — those need the whole
+    /// database and are enforced by [`crate::Database::insert`].
+    pub fn validate_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.schema.columns.len() {
+            return Err(StoreError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (val, col) in row.iter().zip(&self.schema.columns) {
+            if !val.fits(col.ty) {
+                return Err(StoreError::TypeMismatch {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                    expected: col.ty.to_string(),
+                    got: val
+                        .data_type()
+                        .map_or_else(|| "NULL".to_owned(), |t| t.to_string()),
+                });
+            }
+        }
+        if let Some(pk) = self.schema.primary_key {
+            match &row[pk] {
+                Value::Int(k) => {
+                    if self.pk_index.contains_key(k) {
+                        return Err(StoreError::DuplicateKey {
+                            table: self.schema.name.clone(),
+                            key: k.to_string(),
+                        });
+                    }
+                }
+                Value::Null => {
+                    return Err(StoreError::NullKey {
+                        table: self.schema.name.clone(),
+                        column: self.schema.columns[pk].name.clone(),
+                    })
+                }
+                other => {
+                    return Err(StoreError::TypeMismatch {
+                        table: self.schema.name.clone(),
+                        column: self.schema.columns[pk].name.clone(),
+                        expected: "INTEGER".to_owned(),
+                        got: other.data_type().map_or_else(|| "NULL".into(), |t| t.to_string()),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a validated row. Callers must run [`Self::validate_row`] (or
+    /// go through [`crate::Database::insert`]) first; this method only keeps
+    /// the PK index coherent.
+    pub(crate) fn push_unchecked(&mut self, row: Vec<Value>) -> usize {
+        if let Some(pk) = self.schema.primary_key {
+            if let Value::Int(k) = row[pk] {
+                self.pk_index.insert(k, self.rows.len());
+            }
+        }
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Remove the rows at the given (sorted, deduplicated) positions and
+    /// rebuild the primary-key index.
+    pub(crate) fn remove_rows(&mut self, sorted_indices: &[usize]) {
+        let mut keep = vec![true; self.rows.len()];
+        for &i in sorted_indices {
+            if i < keep.len() {
+                keep[i] = false;
+            }
+        }
+        let mut iter = keep.iter();
+        self.rows.retain(|_| *iter.next().expect("keep mask aligned"));
+        self.pk_index.clear();
+        if let Some(pk) = self.schema.primary_key {
+            for (pos, row) in self.rows.iter().enumerate() {
+                if let Value::Int(k) = row[pk] {
+                    self.pk_index.insert(k, pos);
+                }
+            }
+        }
+    }
+
+    /// Update one cell in place (used by imputation examples to write
+    /// predicted values back). The primary key column cannot be updated.
+    pub fn update_cell(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
+        if row >= self.rows.len() || col >= self.schema.columns.len() {
+            return Err(StoreError::UnknownColumn {
+                table: self.schema.name.clone(),
+                column: format!("index {col}"),
+            });
+        }
+        if Some(col) == self.schema.primary_key {
+            return Err(StoreError::Sql("cannot update a primary key column".into()));
+        }
+        let def = &self.schema.columns[col];
+        if !value.fits(def.ty) {
+            return Err(StoreError::TypeMismatch {
+                table: self.schema.name.clone(),
+                column: def.name.clone(),
+                expected: def.ty.to_string(),
+                got: value.data_type().map_or_else(|| "NULL".into(), |t| t.to_string()),
+            });
+        }
+        self.rows[row][col] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = TableSchema::builder("t")
+            .pk("id")
+            .column("name", DataType::Text)
+            .column("score", DataType::Float)
+            .build();
+        Table::new(schema)
+    }
+
+    #[test]
+    fn insert_and_lookup_by_pk() {
+        let mut t = table();
+        let row = vec![Value::Int(7), Value::from("abc"), Value::Float(1.5)];
+        t.validate_row(&row).unwrap();
+        t.push_unchecked(row);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row_by_pk(7).unwrap()[1], Value::from("abc"));
+        assert!(t.contains_pk(7));
+        assert!(!t.contains_pk(8));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = table();
+        let err = t.validate_row(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, StoreError::ArityMismatch { expected: 3, got: 1, .. }));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let t = table();
+        let err = t
+            .validate_row(&[Value::Int(1), Value::Int(2), Value::Float(0.0)])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let t = table();
+        t.validate_row(&[Value::Int(1), Value::from("x"), Value::Int(3)]).unwrap();
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = table();
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        let err = t
+            .validate_row(&[Value::Int(1), Value::from("b"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey { .. }));
+    }
+
+    #[test]
+    fn null_pk_rejected() {
+        let t = table();
+        let err = t
+            .validate_row(&[Value::Null, Value::from("a"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NullKey { .. }));
+    }
+
+    #[test]
+    fn column_values_by_name_scans() {
+        let mut t = table();
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        t.push_unchecked(vec![Value::Int(2), Value::from("b"), Value::Null]);
+        let names: Vec<_> = t
+            .column_values_by_name("name")
+            .unwrap()
+            .filter_map(Value::as_text)
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(t.column_values_by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn update_cell_rules() {
+        let mut t = table();
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        t.update_cell(0, 1, Value::from("z")).unwrap();
+        assert_eq!(t.row(0).unwrap()[1], Value::from("z"));
+        assert!(t.update_cell(0, 0, Value::Int(9)).is_err()); // PK frozen
+        assert!(t.update_cell(0, 1, Value::Int(9)).is_err()); // wrong type
+        assert!(t.update_cell(5, 1, Value::Null).is_err()); // out of range
+    }
+}

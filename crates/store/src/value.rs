@@ -1,0 +1,183 @@
+//! Cell values and column types.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for keys).
+    Int,
+    /// 64-bit float (budgets, revenues, scores, ratings).
+    Float,
+    /// UTF-8 text — the values RETRO learns embeddings for.
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INTEGER"),
+            DataType::Float => write!(f, "REAL"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// SQL NULL — the imputation tasks predict these.
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+}
+
+impl Value {
+    /// The type this value inhabits, or `None` for NULL (NULL fits any type).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow the text content, if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an int value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float content; ints widen to float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Whether the value can be stored in a column of type `ty`.
+    ///
+    /// NULL is storable anywhere; ints are accepted by float columns
+    /// (widening), mirroring common SQL coercion.
+    pub fn fits(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int | DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Text(_), DataType::Text)
+        )
+    }
+
+    /// Total ordering used by `ORDER BY`: NULLs sort first, numbers by value
+    /// (ints and floats comparable), text lexicographically; across kinds the
+    /// order is NULL < numbers < text.
+    pub fn cmp_sql(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Equal,
+            (Null, _) => Less,
+            (_, Null) => Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_) | Float(_), Int(_) | Float(_)) => {
+                let a = self.as_float().expect("numeric");
+                let b = other.as_float().expect("numeric");
+                a.partial_cmp(&b).unwrap_or(Equal)
+            }
+            (Int(_) | Float(_), Text(_)) => Less,
+            (Text(_), Int(_) | Float(_)) => Greater,
+            (Text(a), Text(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn type_checking() {
+        assert!(Value::Int(1).fits(DataType::Int));
+        assert!(Value::Int(1).fits(DataType::Float));
+        assert!(!Value::Int(1).fits(DataType::Text));
+        assert!(Value::Null.fits(DataType::Text));
+        assert!(Value::Text("x".into()).fits(DataType::Text));
+        assert!(!Value::Float(1.0).fits(DataType::Int));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Text("abc".into()).as_text(), Some("abc"));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn sql_ordering_nulls_first() {
+        assert_eq!(Value::Null.cmp_sql(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(3).cmp_sql(&Value::Float(3.5)), Ordering::Less);
+        assert_eq!(Value::Text("a".into()).cmp_sql(&Value::Text("b".into())), Ordering::Less);
+        assert_eq!(Value::Int(9).cmp_sql(&Value::Text("a".into())), Ordering::Less);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+    }
+}

@@ -1,0 +1,76 @@
+//! Link prediction: recover ablated movie–genre edges (the §5.7 data
+//! integration task). The movie_genre relation is removed before
+//! retrofitting; a two-tower network then predicts which (movie, genre)
+//! pairs were real.
+//!
+//! ```text
+//! cargo run --release --example link_prediction
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retro::datasets::tmdb::GENRES;
+use retro::datasets::{TmdbConfig, TmdbDataset};
+use retro::eval::tasks::link::{run_link_prediction, EdgeSample, LinkProfile};
+use retro::eval::{EmbeddingKind, EmbeddingSuite, SuiteConfig};
+
+fn main() {
+    let data = TmdbDataset::generate(TmdbConfig { n_movies: 300, ..TmdbConfig::default() });
+
+    // Ablate the relation we want to predict.
+    let suite = EmbeddingSuite::build(
+        &data.db,
+        &data.base,
+        &SuiteConfig::default().skip_relation("genres.name"),
+        &[EmbeddingKind::Pv, EmbeddingKind::Rn],
+    );
+
+    // Candidate edges: all true pairs + equally many sampled negatives.
+    let mut rng = StdRng::seed_from_u64(99);
+    let movie_rows: Vec<usize> = data
+        .movie_titles
+        .iter()
+        .map(|t| suite.catalog.lookup("movies", "title", t).expect("title"))
+        .collect();
+    let genre_rows: Vec<usize> = GENRES
+        .iter()
+        .map(|g| suite.catalog.lookup("genres", "name", g).expect("genre"))
+        .collect();
+    let mut edges = Vec::new();
+    for (m, genres) in data.movie_genres.iter().enumerate() {
+        for &g in genres {
+            edges.push(EdgeSample { source: m, target: g, exists: true });
+        }
+    }
+    let n_pos = edges.len();
+    while edges.len() < 2 * n_pos {
+        let m = rng.gen_range(0..data.movie_titles.len());
+        let g = rng.gen_range(0..GENRES.len());
+        if !data.movie_genres[m].contains(&g) {
+            edges.push(EdgeSample { source: m, target: g, exists: false });
+        }
+    }
+
+    let train_n = edges.len() * 6 / 10;
+    let test_n = edges.len() * 3 / 10;
+    println!("{} candidate edges ({n_pos} true), train {train_n} / test {test_n}", edges.len());
+
+    for kind in [EmbeddingKind::Pv, EmbeddingKind::Rn] {
+        let matrix = suite.matrix(kind);
+        let sources = matrix.select_rows(&movie_rows);
+        let targets = matrix.select_rows(&genre_rows);
+        let accs = run_link_prediction(
+            &sources,
+            &targets,
+            &edges,
+            train_n,
+            test_n,
+            2,
+            &LinkProfile::fast(64),
+            5,
+        );
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        println!("{}: link-prediction accuracy {:.3}", kind.label(), mean);
+    }
+    println!("expected: RN clearly above PV — relational retrofitting encodes the schema");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a small movie database with SQL, retrofit embeddings
+//! against a word embedding, and query learned vectors.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use retro::core::{Retro, RetroConfig};
+use retro::embed::text_format;
+use retro::store::{sql, Database};
+
+fn main() {
+    // 1) A relational database — schema + data through the SQL layer.
+    let mut db = Database::new();
+    sql::run_script(
+        &mut db,
+        "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+         CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                              director_id INTEGER REFERENCES persons(id));
+         INSERT INTO persons VALUES (1, 'luc besson'), (2, 'ridley scott'),
+                                    (3, 'terry gilliam');
+         INSERT INTO movies VALUES (10, 'fifth element', 1), (11, 'alien', 2),
+                                   (12, 'valerian', 1), (13, 'brazil', 3),
+                                   (14, 'prometheus', 2);",
+    )
+    .expect("seed database");
+
+    // 2) A base word embedding — here a tiny word2vec-text-format corpus;
+    //    in practice load pre-trained vectors the same way.
+    let base = text_format::parse_text(
+        "alien 0.9 0.1 0.0\n\
+         prometheus 0.8 0.2 0.1\n\
+         brazil 0.1 0.2 0.9\n\
+         valerian 0.7 0.0 0.3\n\
+         fifth_element 0.8 0.1 0.2\n\
+         luc_besson 0.6 0.1 0.4\n\
+         ridley_scott 0.7 0.3 0.0\n",
+    )
+    .expect("parse embedding");
+
+    // 3) Retrofit: one call learns a vector for EVERY text value in the
+    //    database — including 'terry gilliam', who has no word vector at
+    //    all (out-of-vocabulary) and is positioned purely relationally.
+    let output = Retro::new(RetroConfig::default())
+        .retrofit(&db, &base)
+        .expect("retrofit");
+
+    println!(
+        "learned {} embeddings of dim {}",
+        output.embeddings.rows(),
+        output.embeddings.cols()
+    );
+
+    // 4) Query: nearest neighbours of a movie among all text values.
+    let alien = output.catalog.lookup("movies", "title", "alien").expect("alien");
+    println!("\nnearest neighbours of movies.title = 'alien':");
+    for (id, score) in output.nearest(alien, 4) {
+        let cat = &output.catalog.categories()[output.catalog.category_of(id) as usize];
+        println!(
+            "  {score:+.3}  {}.{} = {:?}",
+            cat.table,
+            cat.column,
+            output.catalog.text(id)
+        );
+    }
+
+    // 5) The OOV director got a meaningful vector from his movie.
+    let gilliam = output
+        .vector("persons", "name", "terry gilliam")
+        .expect("terry gilliam vector");
+    let brazil = output.vector("movies", "title", "brazil").expect("brazil vector");
+    println!(
+        "\ncosine(terry gilliam, brazil) = {:+.3}  (OOV director placed via relations)",
+        retro::linalg::vector::cosine(gilliam, brazil)
+    );
+}

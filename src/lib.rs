@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the whole RETRO workspace.
+pub use retro_core as core;
+pub use retro_datasets as datasets;
+pub use retro_deepwalk as deepwalk;
+pub use retro_embed as embed;
+pub use retro_eval as eval;
+pub use retro_graph as graph;
+pub use retro_linalg as linalg;
+pub use retro_nn as nn;
+pub use retro_store as store;

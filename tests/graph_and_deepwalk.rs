@@ -1,0 +1,95 @@
+//! Integration of graph generation (§3.4) and DeepWalk training over
+//! generated datasets.
+
+use retro::core::graphgen::generate_graph;
+use retro::core::RetrofitProblem;
+use retro::datasets::{TmdbConfig, TmdbDataset};
+use retro::deepwalk::{DeepWalk, DeepWalkConfig, SgnsConfig};
+use retro::graph::WalkConfig;
+use retro::linalg::vector;
+
+fn problem() -> (TmdbDataset, RetrofitProblem) {
+    let data = TmdbDataset::generate(TmdbConfig {
+        n_movies: 80,
+        dim: 16,
+        ..TmdbConfig::default()
+    });
+    let p = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
+    (data, p)
+}
+
+#[test]
+fn generated_graph_matches_section_3_4() {
+    let (_, p) = problem();
+    let g = generate_graph(&p.catalog, &p.groups);
+    // V = text values + one blank node per category.
+    assert_eq!(g.graph.node_count(), p.len() + p.catalog.category_count());
+    // E = category edges (one per text value) + relation edges.
+    let relation_edges: usize = p.groups.iter().map(|gr| gr.len()).sum();
+    assert_eq!(g.graph.edge_count(), p.len() + relation_edges);
+    assert!(g.graph.is_symmetric());
+    // Category nodes are not text nodes.
+    assert!(!g.graph.node(g.category_node(0)).is_text());
+    assert!(g.graph.node(0).is_text());
+}
+
+#[test]
+fn deepwalk_separates_genres_through_graph_structure() {
+    let (data, p) = problem();
+    let g = generate_graph(&p.catalog, &p.groups);
+    let config = DeepWalkConfig {
+        walks: WalkConfig { walks_per_node: 8, walk_length: 16 },
+        sgns: SgnsConfig { dim: 24, ..SgnsConfig::default() },
+        seed: 5,
+    };
+    let emb = DeepWalk::new(config).train(&g.graph);
+    assert_eq!(emb.rows(), g.graph.node_count());
+
+    // Movies sharing a genre should be closer in DW space than movies with
+    // disjoint genres (aggregate over many pairs).
+    let mut shared = 0.0f32;
+    let mut disjoint = 0.0f32;
+    let mut n_shared = 0;
+    let mut n_disjoint = 0;
+    for a in 0..data.movie_titles.len() {
+        for b in (a + 1)..data.movie_titles.len() {
+            let ia = p.catalog.lookup("movies", "title", &data.movie_titles[a]).unwrap();
+            let ib = p.catalog.lookup("movies", "title", &data.movie_titles[b]).unwrap();
+            let cos = vector::cosine(emb.row(ia), emb.row(ib));
+            if data.movie_genres[a].iter().any(|g| data.movie_genres[b].contains(g)) {
+                shared += cos;
+                n_shared += 1;
+            } else {
+                disjoint += cos;
+                n_disjoint += 1;
+            }
+        }
+    }
+    let shared_mean = shared / n_shared.max(1) as f32;
+    let disjoint_mean = disjoint / n_disjoint.max(1) as f32;
+    assert!(
+        shared_mean > disjoint_mean,
+        "shared-genre {shared_mean} vs disjoint {disjoint_mean}"
+    );
+}
+
+#[test]
+fn ablated_relation_disconnects_genre_nodes() {
+    // §5.7's DW failure mode: with movie_genre removed, genre text nodes
+    // keep only their single category edge.
+    let data = TmdbDataset::generate(TmdbConfig {
+        n_movies: 40,
+        dim: 8,
+        ..TmdbConfig::default()
+    });
+    let p = RetrofitProblem::build(&data.db, &data.base, &[], &["genres.name"]);
+    let g = generate_graph(&p.catalog, &p.groups);
+    for genre in retro::datasets::tmdb::GENRES {
+        let id = p.catalog.lookup("genres", "name", genre).unwrap();
+        assert_eq!(
+            g.graph.degree(id),
+            1,
+            "genre `{genre}` should only keep its category edge"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end pipeline integration tests: database → extraction →
+//! retrofitting → downstream signal, across crates.
+
+use retro::core::{Retro, RetroConfig, Solver};
+use retro::datasets::{GooglePlayConfig, GooglePlayDataset, TmdbConfig, TmdbDataset};
+use retro::eval::{EmbeddingKind, EmbeddingSuite, SuiteConfig};
+use retro::linalg::vector;
+
+fn tmdb() -> TmdbDataset {
+    TmdbDataset::generate(TmdbConfig { n_movies: 120, dim: 32, ..TmdbConfig::default() })
+}
+
+#[test]
+fn retrofit_covers_every_text_value() {
+    let data = tmdb();
+    let out = Retro::new(RetroConfig::default()).retrofit(&data.db, &data.base).unwrap();
+    assert_eq!(out.embeddings.rows(), out.catalog.len());
+    assert_eq!(out.embeddings.rows(), data.db.unique_text_value_count());
+    // Every learned vector is finite.
+    assert!(out.embeddings.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn rn_titles_align_with_their_language_better_than_pv() {
+    let data = tmdb();
+    let suite = EmbeddingSuite::build(
+        &data.db,
+        &data.base,
+        &SuiteConfig::default().skip_column("movies", "original_language"),
+        &[EmbeddingKind::Pv, EmbeddingKind::Rn],
+    );
+    // kNN language probe: does the title embedding sit closest to the right
+    // language-name embedding?
+    let knn_accuracy = |kind: EmbeddingKind| {
+        let m = suite.matrix(kind);
+        let lang_ids: Vec<usize> = retro::datasets::tmdb::LANGUAGES
+            .iter()
+            .map(|l| suite.catalog.lookup("languages", "name", l).unwrap())
+            .collect();
+        let mut correct = 0;
+        for (i, title) in data.movie_titles.iter().enumerate() {
+            let tid = suite.catalog.lookup("movies", "title", title).unwrap();
+            let best = (0..lang_ids.len())
+                .max_by(|&a, &b| {
+                    vector::cosine(m.row(tid), m.row(lang_ids[a]))
+                        .partial_cmp(&vector::cosine(m.row(tid), m.row(lang_ids[b])))
+                        .unwrap()
+                })
+                .unwrap();
+            if retro::datasets::tmdb::LANGUAGES[best] == data.movie_language[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.movie_titles.len() as f64
+    };
+    let pv = knn_accuracy(EmbeddingKind::Pv);
+    let rn = knn_accuracy(EmbeddingKind::Rn);
+    assert!(rn > pv + 0.15, "RN {rn} must clearly beat PV {pv}");
+}
+
+#[test]
+fn solvers_agree_on_problem_but_not_on_solution() {
+    let data = tmdb();
+    let rn = Retro::new(RetroConfig::default()).retrofit(&data.db, &data.base).unwrap();
+    let ro = Retro::new(RetroConfig::default().with_solver(Solver::Ro))
+        .retrofit(&data.db, &data.base)
+        .unwrap();
+    assert_eq!(rn.catalog.len(), ro.catalog.len());
+    assert_eq!(rn.problem.groups.len(), ro.problem.groups.len());
+    assert!(rn.embeddings.max_abs_diff(&ro.embeddings) > 1e-3);
+}
+
+#[test]
+fn relation_ablation_removes_edges_but_keeps_values() {
+    let data = tmdb();
+    let full = Retro::new(RetroConfig::default()).retrofit(&data.db, &data.base).unwrap();
+    let ablated = Retro::new(RetroConfig::default().skip_relation("genres.name"))
+        .retrofit(&data.db, &data.base)
+        .unwrap();
+    assert_eq!(full.catalog.len(), ablated.catalog.len());
+    assert!(ablated.problem.groups.len() < full.problem.groups.len());
+    assert!(ablated
+        .problem
+        .groups
+        .iter()
+        .all(|g| !g.name.contains("genres.name")));
+}
+
+#[test]
+fn suite_concatenation_has_consistent_ids() {
+    let data = TmdbDataset::generate(TmdbConfig {
+        n_movies: 60,
+        dim: 16,
+        ..TmdbConfig::default()
+    });
+    let suite = EmbeddingSuite::build(
+        &data.db,
+        &data.base,
+        &SuiteConfig::default(),
+        &[EmbeddingKind::Rn, EmbeddingKind::Dw, EmbeddingKind::RnDw],
+    );
+    let n = suite.catalog.len();
+    let rn = suite.matrix(EmbeddingKind::Rn);
+    let dw = suite.matrix(EmbeddingKind::Dw);
+    let combo = suite.matrix(EmbeddingKind::RnDw);
+    assert_eq!(combo.rows(), n);
+    assert_eq!(combo.cols(), rn.cols() + dw.cols());
+    // The combo's left block is the (normalized) RN vector: same direction.
+    for id in (0..n).step_by(7) {
+        let left = &combo.row(id)[..rn.cols()];
+        let cos = vector::cosine(left, rn.row(id));
+        if vector::norm(rn.row(id)) > 1e-3 {
+            assert!(cos > 0.999, "id {id}: cos {cos}");
+        }
+    }
+}
+
+#[test]
+fn gplay_pipeline_reaches_category_signal() {
+    let data = GooglePlayDataset::generate(GooglePlayConfig {
+        n_apps: 120,
+        dim: 48,
+        ..GooglePlayConfig::default()
+    });
+    let suite = EmbeddingSuite::build(
+        &data.db,
+        &data.base,
+        &SuiteConfig::default()
+            .skip_column("categories", "name")
+            .skip_column("genres", "name"),
+        &[EmbeddingKind::Pv, EmbeddingKind::Rn],
+    );
+    // Apps of the same category should be more similar under RN than PV
+    // (reviews pull them together).
+    let mean_same_cat = |kind: EmbeddingKind| {
+        let m = suite.matrix(kind);
+        let mut same = 0.0f32;
+        let mut diff = 0.0f32;
+        let mut n_same = 0;
+        let mut n_diff = 0;
+        for a in 0..data.app_names.len() {
+            for b in (a + 1)..data.app_names.len() {
+                let ia = suite.catalog.lookup("apps", "name", &data.app_names[a]).unwrap();
+                let ib = suite.catalog.lookup("apps", "name", &data.app_names[b]).unwrap();
+                let cos = vector::cosine(m.row(ia), m.row(ib));
+                if data.app_category[a] == data.app_category[b] {
+                    same += cos;
+                    n_same += 1;
+                } else {
+                    diff += cos;
+                    n_diff += 1;
+                }
+            }
+        }
+        (same / n_same.max(1) as f32) - (diff / n_diff.max(1) as f32)
+    };
+    let pv_margin = mean_same_cat(EmbeddingKind::Pv);
+    let rn_margin = mean_same_cat(EmbeddingKind::Rn);
+    assert!(
+        rn_margin > pv_margin,
+        "RN category margin {rn_margin} must exceed PV {pv_margin}"
+    );
+}

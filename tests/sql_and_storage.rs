@@ -1,0 +1,109 @@
+//! Integration tests of the storage substrate: SQL-driven schemas feeding
+//! the retrofitting pipeline, and CSV round-trips through the engine.
+
+use retro::core::{Retro, RetroConfig};
+use retro::embed::EmbeddingSet;
+use retro::store::{csv, sql, Database, Value};
+
+fn seeded_db() -> Database {
+    let mut db = Database::new();
+    sql::run_script(
+        &mut db,
+        "CREATE TABLE genres (id INTEGER PRIMARY KEY, name TEXT);
+         CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, rating REAL);
+         CREATE TABLE movie_genre (movie_id INTEGER REFERENCES movies(id),
+                                   genre_id INTEGER REFERENCES genres(id));
+         INSERT INTO genres VALUES (1, 'horror'), (2, 'comedy');
+         INSERT INTO movies VALUES (1, 'alien', 8.5), (2, 'brazil', 7.9),
+                                   (3, 'amelie', 8.2);
+         INSERT INTO movie_genre VALUES (1, 1), (2, 2), (3, 2);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn sql_built_schema_feeds_retrofitting() {
+    let db = seeded_db();
+    let base = EmbeddingSet::new(
+        vec!["alien".into(), "brazil".into(), "amelie".into(), "horror".into(), "comedy".into()],
+        vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.3, 0.7],
+            vec![0.9, 0.1],
+            vec![0.1, 0.9],
+        ],
+    );
+    let out = Retro::new(RetroConfig::default()).retrofit(&db, &base).unwrap();
+    assert_eq!(out.embeddings.rows(), 5);
+    // The m2m relation through the link table must exist.
+    assert!(out.problem.groups.iter().any(|g| g.name.contains("genres.name")));
+    // Comedy movies pull toward 'comedy'.
+    let brazil = out.vector("movies", "title", "brazil").unwrap();
+    let comedy = out.vector("genres", "name", "comedy").unwrap();
+    let horror = out.vector("genres", "name", "horror").unwrap();
+    assert!(
+        retro::linalg::vector::cosine(brazil, comedy)
+            > retro::linalg::vector::cosine(brazil, horror)
+    );
+}
+
+#[test]
+fn csv_export_import_preserves_query_results() {
+    let mut db = seeded_db();
+    let text = csv::export_csv(db.table("movies").unwrap());
+
+    let mut db2 = Database::new();
+    sql::run_script(
+        &mut db2,
+        "CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, rating REAL)",
+    )
+    .unwrap();
+    csv::import_csv(&mut db2, "movies", &text).unwrap();
+
+    let q = "SELECT title FROM movies WHERE rating >= 8 ORDER BY title";
+    let r1 = sql::run(&mut db, q).unwrap();
+    let r2 = sql::run(&mut db2, q).unwrap();
+    assert_eq!(r1.rows, r2.rows);
+    assert_eq!(r1.rows.len(), 2);
+}
+
+#[test]
+fn constraints_hold_through_the_sql_layer() {
+    let mut db = seeded_db();
+    // FK violation.
+    assert!(sql::run(&mut db, "INSERT INTO movie_genre VALUES (99, 1)").is_err());
+    // Duplicate PK.
+    assert!(sql::run(&mut db, "INSERT INTO movies VALUES (1, 'dup', 1.0)").is_err());
+    // Type mismatch.
+    assert!(sql::run(&mut db, "INSERT INTO movies VALUES (9, 42, 1.0)").is_err());
+    // Valid insert still works afterwards.
+    assert!(sql::run(&mut db, "INSERT INTO movies VALUES (9, 'ok', 1.0)").is_ok());
+}
+
+#[test]
+fn aggregate_and_join_support_experiment_queries() {
+    let mut db = seeded_db();
+    let count = sql::run(&mut db, "SELECT COUNT(*) FROM movie_genre").unwrap();
+    assert_eq!(count.rows[0][0], Value::Int(3));
+
+    let joined = sql::run(
+        &mut db,
+        "SELECT g.name, m.title FROM movie_genre mg
+         JOIN genres g ON mg.genre_id = g.id
+         JOIN movies m ON mg.movie_id = m.id
+         WHERE g.name = 'comedy' ORDER BY m.title",
+    )
+    .unwrap();
+    assert_eq!(joined.rows.len(), 2);
+    assert_eq!(joined.rows[0][1], Value::from("amelie"));
+}
+
+#[test]
+fn unique_text_value_count_matches_catalog() {
+    let db = seeded_db();
+    let base = EmbeddingSet::new(vec!["x".into()], vec![vec![0.0, 0.0]]);
+    let out = Retro::new(RetroConfig::default()).retrofit(&db, &base).unwrap();
+    assert_eq!(db.unique_text_value_count(), out.catalog.len());
+}
