@@ -12,11 +12,7 @@ fn bench_negative_term(c: &mut Criterion) {
     let mut group = c.benchmark_group("ro_negative_term");
     group.sample_size(10);
     for n_movies in [50usize, 100, 200] {
-        let data = TmdbDataset::generate(TmdbConfig {
-            n_movies,
-            dim: 32,
-            ..TmdbConfig::default()
-        });
+        let data = TmdbDataset::generate(TmdbConfig { n_movies, dim: 32, ..TmdbConfig::default() });
         let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
         group.bench_function(BenchmarkId::new("optimized_eq15", problem.len()), |b| {
             b.iter(|| solve_ro(&problem, &params, 5))

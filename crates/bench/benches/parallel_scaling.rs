@@ -1,4 +1,4 @@
-//! Thread-scaling of the RN solver: serial vs crossbeam row-partitioned
+//! Thread-scaling of the RN solver: serial vs scoped-thread row-partitioned
 //! iteration (bit-identical results, see `solver::parallel`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -7,11 +7,8 @@ use retro_core::{Hyperparameters, RetrofitProblem};
 use retro_datasets::{TmdbConfig, TmdbDataset};
 
 fn bench_parallel(c: &mut Criterion) {
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 600,
-        dim: 64,
-        ..TmdbConfig::default()
-    });
+    let data =
+        TmdbDataset::generate(TmdbConfig { n_movies: 600, dim: 64, ..TmdbConfig::default() });
     let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
     let params = Hyperparameters::paper_rn();
 

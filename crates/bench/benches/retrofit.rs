@@ -7,11 +7,8 @@ use retro_core::{Hyperparameters, RetrofitProblem};
 use retro_datasets::{TmdbConfig, TmdbDataset};
 
 fn bench_solvers(c: &mut Criterion) {
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 200,
-        dim: 32,
-        ..TmdbConfig::default()
-    });
+    let data =
+        TmdbDataset::generate(TmdbConfig { n_movies: 200, dim: 32, ..TmdbConfig::default() });
     let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
     let ro_params = Hyperparameters::paper_ro();
     let rn_params = Hyperparameters::paper_rn();

@@ -8,20 +8,14 @@ use retro_embed::tokenizer::normalize_words;
 use retro_embed::Tokenizer;
 
 fn bench_tokenize(c: &mut Criterion) {
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 300,
-        dim: 16,
-        ..TmdbConfig::default()
-    });
+    let data =
+        TmdbDataset::generate(TmdbConfig { n_movies: 300, dim: 16, ..TmdbConfig::default() });
     let tokenizer = Tokenizer::new(&data.base);
     // Realistic inputs: every overview in the dataset.
     let movies = data.db.table("movies").expect("movies");
     let over_col = movies.schema().column_index("overview").expect("overview");
-    let texts: Vec<String> = movies
-        .rows()
-        .iter()
-        .filter_map(|r| r[over_col].as_text().map(str::to_owned))
-        .collect();
+    let texts: Vec<String> =
+        movies.rows().iter().filter_map(|r| r[over_col].as_text().map(str::to_owned)).collect();
 
     let mut group = c.benchmark_group("tokenize");
     group.bench_function("trie_longest_match", |b| {

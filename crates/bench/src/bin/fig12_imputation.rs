@@ -35,9 +35,7 @@ fn language_task(n_movies: usize, reps: usize, profile: &NetProfile) -> Vec<Repo
     let lang_labels: Vec<usize> = data
         .movie_language
         .iter()
-        .map(|l| {
-            retro_datasets::tmdb::LANGUAGES.iter().position(|x| x == l).expect("language")
-        })
+        .map(|l| retro_datasets::tmdb::LANGUAGES.iter().position(|x| x == l).expect("language"))
         .collect();
 
     let mut rows = Vec::new();
@@ -47,8 +45,7 @@ fn language_task(n_movies: usize, reps: usize, profile: &NetProfile) -> Vec<Repo
         let (inputs, ys) = movie_task_inputs(&suite, kind, &data.movie_titles, &lang_labels);
         let n = inputs.rows();
         split = (n * 6 / 10, n * 3 / 10);
-        let accs =
-            run_imputation(&inputs, &ys, n_classes, split.0, split.1, reps, profile, 0x12A);
+        let accs = run_imputation(&inputs, &ys, n_classes, split.0, split.1, reps, profile, 0x12A);
         rows.push(ReportRow::from_samples(kind.label(), &accs));
     }
 
@@ -65,12 +62,7 @@ fn language_task(n_movies: usize, reps: usize, profile: &NetProfile) -> Vec<Repo
     let table_rows: Vec<Vec<&str>> = movies
         .rows()
         .iter()
-        .map(|r| {
-            vec![
-                r[title_col].as_text().unwrap_or(""),
-                r[over_col].as_text().unwrap_or(""),
-            ]
-        })
+        .map(|r| vec![r[title_col].as_text().unwrap_or(""), r[over_col].as_text().unwrap_or("")])
         .collect();
     let dw_cfg = DataWigConfig::default();
     let accs = DataWigImputer::new(dw_cfg).evaluate(
@@ -89,9 +81,8 @@ fn appcat_task(n_apps: usize, reps: usize, profile: &NetProfile) -> Vec<ReportRo
     let data =
         GooglePlayDataset::generate(GooglePlayConfig { n_apps, ..GooglePlayConfig::default() });
     // §5.5.2: "we omit the category information and the genre relation".
-    let config = SuiteConfig::default()
-        .skip_column("categories", "name")
-        .skip_column("genres", "name");
+    let config =
+        SuiteConfig::default().skip_column("categories", "name").skip_column("genres", "name");
     let suite = EmbeddingSuite::build(&data.db, &data.base, &config, &kinds());
 
     let mut rows = Vec::new();
@@ -110,16 +101,8 @@ fn appcat_task(n_apps: usize, reps: usize, profile: &NetProfile) -> Vec<ReportRo
             }
         }
         let inputs = Matrix::from_rows(&inputs);
-        let accs = run_imputation(
-            &inputs,
-            &ys,
-            CATEGORIES.len(),
-            train_n,
-            test_n,
-            reps,
-            profile,
-            0x12B,
-        );
+        let accs =
+            run_imputation(&inputs, &ys, CATEGORIES.len(), train_n, test_n, reps, profile, 0x12B);
         rows.push(ReportRow::from_samples(kind.label(), &accs));
     }
 

@@ -31,11 +31,7 @@ fn main() {
     let profile = if full {
         NetProfile::paper_regression()
     } else {
-        NetProfile {
-            hidden: vec![96, 96],
-            activation: Activation::Relu,
-            ..NetProfile::fast(96)
-        }
+        NetProfile { hidden: vec![96, 96], activation: Activation::Relu, ..NetProfile::fast(96) }
     };
 
     // Mean-predictor baseline for context.
@@ -45,8 +41,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for kind in kinds {
-        let (inputs, ys) =
-            movie_task_inputs(&suite, kind, &data.movie_titles, &data.movie_budget);
+        let (inputs, ys) = movie_task_inputs(&suite, kind, &data.movie_titles, &data.movie_budget);
         let maes = run_regression(&inputs, &ys, train_n, test_n, reps, &profile, 0xF13);
         rows.push(ReportRow::from_samples(kind.label(), &maes));
     }
@@ -55,5 +50,7 @@ fn main() {
     print_report("Fig. 13: regression of budget (MAE, USD)", "MAE", &rows);
     let path = write_report("fig13_regression", "Fig. 13: budget regression", &rows);
     println!("\nreport: {}", path.display());
-    println!("expected shape: DW lowest among single embeddings; RO/RN < MF/PV; +DW lowest overall");
+    println!(
+        "expected shape: DW lowest among single embeddings; RO/RN < MF/PV; +DW lowest overall"
+    );
 }

@@ -42,10 +42,8 @@ fn main() {
         .iter()
         .map(|t| suite.catalog.lookup("movies", "title", t).expect("title"))
         .collect();
-    let genre_ids: Vec<usize> = GENRES
-        .iter()
-        .map(|g| suite.catalog.lookup("genres", "name", g).expect("genre"))
-        .collect();
+    let genre_ids: Vec<usize> =
+        GENRES.iter().map(|g| suite.catalog.lookup("genres", "name", g).expect("genre")).collect();
 
     let mut samples: Vec<(usize, usize, bool)> = Vec::new();
     for (m, genres) in data.movie_genres.iter().enumerate() {

@@ -64,19 +64,14 @@ fn main() {
         println!("\n-- {title} --");
         for params in settings {
             let w = solve_ro(&toy.problem, &params, 20);
-            print!(
-                "  a={} b={} g={} d={}:",
-                params.alpha, params.beta, params.gamma, params.delta
-            );
+            print!("  a={} b={} g={} d={}:", params.alpha, params.beta, params.gamma, params.delta);
             for (i, name) in names.iter().enumerate() {
                 let v = w.row(i);
                 print!("  {name}=({:+.2},{:+.2})", v[0], v[1]);
             }
             // Summary statistics that make the panel's message quantitative.
-            let drift: f32 = (0..5)
-                .map(|i| vector::dist(w.row(i), toy.problem.w0.row(i)))
-                .sum::<f32>()
-                / 5.0;
+            let drift: f32 =
+                (0..5).map(|i| vector::dist(w.row(i), toy.problem.w0.row(i))).sum::<f32>() / 5.0;
             let movie_spread = (vector::dist(w.row(0), w.row(1))
                 + vector::dist(w.row(0), w.row(2))
                 + vector::dist(w.row(1), w.row(2)))
@@ -85,8 +80,7 @@ fn main() {
                 + vector::dist(w.row(1), w.row(3))
                 + vector::dist(w.row(2), w.row(4)))
                 / 3.0;
-            let origin_pull: f32 =
-                (0..5).map(|i| vector::norm(w.row(i))).sum::<f32>() / 5.0;
+            let origin_pull: f32 = (0..5).map(|i| vector::norm(w.row(i))).sum::<f32>() / 5.0;
             println!(
                 "\n      drift {drift:.3} | movie spread {movie_spread:.3} | related dist {related:.3} | mean norm {origin_pull:.3}"
             );

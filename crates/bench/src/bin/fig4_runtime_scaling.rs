@@ -15,8 +15,7 @@ use retro_datasets::{TmdbConfig, TmdbDataset};
 
 fn main() {
     let steps_arg = retro_bench::arg_value("steps", "250,500,1000,2000,4000");
-    let steps: Vec<usize> =
-        steps_arg.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+    let steps: Vec<usize> = steps_arg.split(',').filter_map(|s| s.trim().parse().ok()).collect();
 
     println!("== Figure 4: retrofitting runtime vs number of text values ==");
     println!(
@@ -33,8 +32,7 @@ fn main() {
         // "RO" = the paper's un-optimized Eq. 10 negative term (§4.5);
         // "RO(opt)" = this library's Eq. 15-optimized solver.
         let params = retro_core::Hyperparameters::paper_ro();
-        let (_, ro_secs) =
-            time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
+        let (_, ro_secs) = time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
         let ro_opt = Retro::new(RetroConfig::default().with_solver(Solver::Ro).with_iterations(10));
         let (_, ro_opt_secs) = time(|| ro_opt.solve(problem.clone()));
         let rn = Retro::new(RetroConfig::default().with_solver(Solver::Rn).with_iterations(10));

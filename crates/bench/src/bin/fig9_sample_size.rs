@@ -67,9 +67,7 @@ fn main() {
                     .copied()
                     .filter(|&i| ys[i])
                     .take(train_per_class)
-                    .chain(
-                        train_pool.iter().copied().filter(|&i| !ys[i]).take(train_per_class),
-                    )
+                    .chain(train_pool.iter().copied().filter(|&i| !ys[i]).take(train_per_class))
                     .collect();
                 let x_train = gather_normalized(&inputs, &train_idx);
                 let y_train = Matrix::from_rows(

@@ -11,11 +11,12 @@ use retro_eval::{EmbeddingKind, EmbeddingSuite, NetProfile, SuiteConfig};
 
 fn main() {
     let n_movies = retro_bench::arg_num("movies", 400usize);
-    let (data, secs) = time(|| {
-        TmdbDataset::generate(TmdbConfig { n_movies, dim: 48, ..TmdbConfig::default() })
-    });
-    println!("generated TMDB ({n_movies} movies, {} text values) in {secs:.1}s",
-        data.db.unique_text_value_count());
+    let (data, secs) =
+        time(|| TmdbDataset::generate(TmdbConfig { n_movies, dim: 48, ..TmdbConfig::default() }));
+    println!(
+        "generated TMDB ({n_movies} movies, {} text values) in {secs:.1}s",
+        data.db.unique_text_value_count()
+    );
 
     let kinds = [
         EmbeddingKind::Pv,
@@ -25,9 +26,8 @@ fn main() {
         EmbeddingKind::Rn,
         EmbeddingKind::RnDw,
     ];
-    let (suite, secs) = time(|| {
-        EmbeddingSuite::build(&data.db, &data.base, &SuiteConfig::default(), &kinds)
-    });
+    let (suite, secs) =
+        time(|| EmbeddingSuite::build(&data.db, &data.base, &SuiteConfig::default(), &kinds));
     println!("built suite in {secs:.1}s");
 
     // Binary classification of US directors.
@@ -58,8 +58,7 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for kind in kinds {
-        let (inputs, ys) =
-            movie_task_inputs(&lang_suite, kind, &data.movie_titles, &lang_index);
+        let (inputs, ys) = movie_task_inputs(&lang_suite, kind, &data.movie_titles, &lang_index);
         let n = inputs.rows();
         let accs = run_imputation(
             &inputs,

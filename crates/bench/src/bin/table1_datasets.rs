@@ -12,7 +12,8 @@ fn main() {
     let n_apps = retro_bench::arg_num("apps", 800usize);
 
     let tmdb = TmdbDataset::generate(TmdbConfig { n_movies, ..TmdbConfig::default() });
-    let gplay = GooglePlayDataset::generate(GooglePlayConfig { n_apps, ..GooglePlayConfig::default() });
+    let gplay =
+        GooglePlayDataset::generate(GooglePlayConfig { n_apps, ..GooglePlayConfig::default() });
 
     println!("== Table 1: Dataset Properties ==");
     println!("{:<22} {:>16} {:>16}", "", "TMDB", "Google Play");
@@ -34,9 +35,7 @@ fn main() {
     );
     println!("* tables which only express n:m relations");
     println!();
-    println!(
-        "paper reference: TMDB 8(+7*) tables / 493,751 values; Google Play 6(+1*) / 27,571"
-    );
+    println!("paper reference: TMDB 8(+7*) tables / 493,751 values; Google Play 6(+1*) / 27,571");
     println!("(synthetic scale is configurable; schema shape is what the table verifies)");
 
     let rows = vec![

@@ -20,11 +20,7 @@ use retro_store::Database;
 
 fn measure(db: &Database, base: &EmbeddingSet, reps: usize, dataset: &str) -> Vec<ReportRow> {
     let problem = RetrofitProblem::build(db, base, &[], &[]);
-    println!(
-        "[{dataset}] {} text values, {} relation groups",
-        problem.len(),
-        problem.groups.len()
-    );
+    println!("[{dataset}] {} text values, {} relation groups", problem.len(), problem.groups.len());
 
     let mut rows = Vec::new();
     for (label, solver, iters) in
@@ -32,9 +28,8 @@ fn measure(db: &Database, base: &EmbeddingSet, reps: usize, dataset: &str) -> Ve
     {
         let mut samples = Vec::with_capacity(reps);
         for _ in 0..reps {
-            let engine = Retro::new(
-                RetroConfig::default().with_solver(solver).with_iterations(iters),
-            );
+            let engine =
+                Retro::new(RetroConfig::default().with_solver(solver).with_iterations(iters));
             let (_, secs) = time(|| engine.solve(problem.clone()));
             samples.push(secs);
         }
@@ -47,8 +42,7 @@ fn measure(db: &Database, base: &EmbeddingSet, reps: usize, dataset: &str) -> Ve
         let params = retro_core::Hyperparameters::paper_ro();
         let mut samples = Vec::with_capacity(reps);
         for _ in 0..reps {
-            let (_, secs) =
-                time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
+            let (_, secs) = time(|| retro_core::solver::solve_ro_enumerated(&problem, &params, 10));
             samples.push(secs);
         }
         rows.push(ReportRow::from_samples("RO", &samples));

@@ -98,8 +98,7 @@ pub fn run_grid(
                         Some(dw) => concat_normalized(&output.embeddings, dw),
                         None => output.embeddings,
                     };
-                    let accs =
-                        score(data, &problem, &emb, task, repetitions, profile, seed);
+                    let accs = score(data, &problem, &emb, task, repetitions, profile, seed);
                     rows.push(ReportRow::from_samples(
                         format!("a={alpha} b={beta} g={gamma} d={delta}"),
                         &accs,

@@ -152,22 +152,13 @@ impl Retro {
     }
 
     /// Extract, assemble and solve: the §2 end-to-end pipeline.
-    pub fn retrofit(
-        &self,
-        db: &Database,
-        base: &EmbeddingSet,
-    ) -> Result<RetroOutput, RetroError> {
+    pub fn retrofit(&self, db: &Database, base: &EmbeddingSet) -> Result<RetroOutput, RetroError> {
         if base.dim() == 0 {
             return Err(RetroError::EmptyEmbedding);
         }
-        let skip_cols: Vec<(&str, &str)> = self
-            .config
-            .skip_columns
-            .iter()
-            .map(|(t, c)| (t.as_str(), c.as_str()))
-            .collect();
-        let skip_rels: Vec<&str> =
-            self.config.skip_relations.iter().map(String::as_str).collect();
+        let skip_cols: Vec<(&str, &str)> =
+            self.config.skip_columns.iter().map(|(t, c)| (t.as_str(), c.as_str())).collect();
+        let skip_rels: Vec<&str> = self.config.skip_relations.iter().map(String::as_str).collect();
         let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
         Ok(self.solve(problem))
     }
@@ -261,9 +252,9 @@ mod tests {
     #[test]
     fn relations_shape_the_neighbourhood() {
         let (db, base) = setup();
-        let out = Retro::new(RetroConfig::default().with_params(Hyperparameters::new(
-            1.0, 0.0, 3.0, 1.0,
-        )))
+        let out = Retro::new(
+            RetroConfig::default().with_params(Hyperparameters::new(1.0, 0.0, 3.0, 1.0)),
+        )
         .retrofit(&db, &base)
         .unwrap();
         // valerian and fifth element share a director → should be mutual

@@ -54,10 +54,7 @@ impl TextValueCatalog {
             let schema = table.schema();
             for col_idx in schema.text_columns() {
                 let column = &schema.columns[col_idx].name;
-                if skip_columns
-                    .iter()
-                    .any(|(t, c)| *t == schema.name && *c == column.as_str())
-                {
+                if skip_columns.iter().any(|(t, c)| *t == schema.name && *c == column.as_str()) {
                     continue;
                 }
                 let cat_id = catalog.add_category(&schema.name, column);

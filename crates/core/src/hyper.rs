@@ -191,7 +191,8 @@ mod tests {
         let g = group(vec![(0, 1), (0, 2)]);
         let counts = relation_type_counts(std::slice::from_ref(&g), 3);
         assert_eq!(counts, vec![1, 1, 1]);
-        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 2.0, 1.0), 3, false);
+        let w =
+            derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 2.0, 1.0), 3, false);
         assert!((w.gamma_i[0] - 0.5).abs() < 1e-6);
         assert_eq!(w.gamma_i[1], 0.0); // not a source
     }
@@ -202,7 +203,8 @@ mod tests {
         // counts: all participants have 1 group → mr = 2.
         let g = group(vec![(0, 1), (0, 2), (3, 1)]);
         let counts = relation_type_counts(std::slice::from_ref(&g), 4);
-        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, true);
+        let w =
+            derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, true);
         assert_eq!(w.mc, 2);
         assert_eq!(w.mr, 2);
         assert!((w.delta_i[0] - 2.0).abs() < 1e-6); // 8/(2·2)
@@ -214,7 +216,8 @@ mod tests {
     fn rn_delta_uses_outdegree() {
         let g = group(vec![(0, 1), (0, 2), (3, 1)]);
         let counts = relation_type_counts(std::slice::from_ref(&g), 4);
-        let w = derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, false);
+        let w =
+            derive_group_weights(&g, &counts, &Hyperparameters::new(1.0, 0.0, 1.0, 8.0), 4, false);
         // Node 0: od 2, |R0|+1 = 2 → 8/(2·2) = 2. Node 3: od 1 → 8/2 = 4.
         assert!((w.delta_i[0] - 2.0).abs() < 1e-6);
         assert!((w.delta_i[3] - 4.0).abs() < 1e-6);

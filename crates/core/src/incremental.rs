@@ -66,13 +66,8 @@ impl IncrementalRetro {
         if base.dim() == 0 {
             return Err(RetroError::EmptyEmbedding);
         }
-        let skip_cols: Vec<(&str, &str)> = self
-            .engine
-            .config
-            .skip_columns
-            .iter()
-            .map(|(t, c)| (t.as_str(), c.as_str()))
-            .collect();
+        let skip_cols: Vec<(&str, &str)> =
+            self.engine.config.skip_columns.iter().map(|(t, c)| (t.as_str(), c.as_str())).collect();
         let skip_rels: Vec<&str> =
             self.engine.config.skip_relations.iter().map(String::as_str).collect();
         let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
@@ -81,9 +76,7 @@ impl IncrementalRetro {
         let mut warm = problem.w0.clone();
         for (id, cat, text) in problem.catalog.iter() {
             let category = &problem.catalog.categories()[cat as usize];
-            if let Some(old_id) =
-                prev.catalog.lookup(&category.table, &category.column, text)
-            {
+            if let Some(old_id) = prev.catalog.lookup(&category.table, &category.column, text) {
                 warm.set_row(id, prev.embeddings.row(old_id));
             }
         }
@@ -95,12 +88,8 @@ impl IncrementalRetro {
             &self.engine.config.params,
             problem.len(),
         );
-        self.state = Some(RetroOutput {
-            catalog: problem.catalog.clone(),
-            problem,
-            embeddings,
-            convexity,
-        });
+        self.state =
+            Some(RetroOutput { catalog: problem.catalog.clone(), problem, embeddings, convexity });
         Ok(self.state.as_ref().expect("just set"))
     }
 
@@ -108,12 +97,8 @@ impl IncrementalRetro {
     fn solve_from(&self, problem: &RetrofitProblem, warm: Matrix) -> Matrix {
         let params = &self.engine.config.params;
         match self.engine.config.solver {
-            Solver::Ro => {
-                solve_ro_seeded(problem, params, self.refresh_iterations, Some(&warm))
-            }
-            Solver::Rn => {
-                solve_rn_seeded(problem, params, self.refresh_iterations, Some(&warm))
-            }
+            Solver::Ro => solve_ro_seeded(problem, params, self.refresh_iterations, Some(&warm)),
+            Solver::Rn => solve_rn_seeded(problem, params, self.refresh_iterations, Some(&warm)),
             // MF has no anchor/seed separation worth preserving — a short
             // re-run from W0 is its incremental story.
             Solver::Mf => solve_mf(problem, self.refresh_iterations),
@@ -135,13 +120,7 @@ mod tests {
                 "ridley scott".into(),
                 "prometheus".into(),
             ],
-            vec![
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![0.7, 0.3],
-                vec![0.3, 0.7],
-                vec![0.1, 0.9],
-            ],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.3], vec![0.3, 0.7], vec![0.1, 0.9]],
         )
     }
 

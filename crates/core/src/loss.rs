@@ -74,8 +74,7 @@ pub fn evaluate_loss(
         let t_count = dg.targets.len() as f64;
         for &s in &dg.sources {
             let vi = w.row(s as usize);
-            let all = t_count * vector::norm_sq(vi) as f64
-                - 2.0 * vector::dot(vi, &t_sum) as f64
+            let all = t_count * vector::norm_sq(vi) as f64 - 2.0 * vector::dot(vi, &t_sum) as f64
                 + sq_sum;
             // Subtract the related pairs (they belong to Er, not Ẽr).
             let mut related = 0.0f64;
@@ -162,12 +161,7 @@ mod tests {
         let p = problem();
         // Convex per the Eq. 24 check: generous α, tiny δ.
         let params = Hyperparameters::new(4.0, 0.5, 1.0, 0.1);
-        let check = crate::hyper::check_convexity(
-            &p.groups,
-            &p.relation_counts,
-            &params,
-            p.len(),
-        );
+        let check = crate::hyper::check_convexity(&p.groups, &p.relation_counts, &params, p.len());
         assert!(check.convex, "test premise: configuration must be convex");
         let before = evaluate_loss(&p, &params, &p.w0).total();
         let w = solve_ro(&p, &params, 20);

@@ -116,10 +116,8 @@ impl RetrofitProblem {
         let mut out = Vec::with_capacity(self.groups.len() * 2);
         for group in &self.groups {
             let inverted = group.inverted();
-            let w_fwd =
-                derive_group_weights(group, &self.relation_counts, params, n, ro_delta);
-            let w_inv =
-                derive_group_weights(&inverted, &self.relation_counts, params, n, ro_delta);
+            let w_fwd = derive_group_weights(group, &self.relation_counts, params, n, ro_delta);
+            let w_inv = derive_group_weights(&inverted, &self.relation_counts, params, n, ro_delta);
             out.push(DirectedGroup::new(group.clone(), w_fwd.clone(), w_inv.clone()));
             out.push(DirectedGroup::new(inverted, w_inv, w_fwd));
         }
@@ -173,10 +171,7 @@ impl DirectedGroup {
     /// direction-symmetric).
     pub fn delta_hat(&self) -> f32 {
         // Any source's delta is the uniform value; zero if no sources.
-        self.sources
-            .first()
-            .map(|&s| self.own.delta_i[s as usize])
-            .unwrap_or(0.0)
+        self.sources.first().map(|&s| self.own.delta_i[s as usize]).unwrap_or(0.0)
     }
 }
 
@@ -205,13 +200,7 @@ mod tests {
                 "france".into(),
                 "usa".into(),
             ],
-            vec![
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![0.2, 0.8],
-                vec![0.9, 0.1],
-                vec![0.1, 0.9],
-            ],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.2, 0.8], vec![0.9, 0.1], vec![0.1, 0.9]],
         );
         (db, base)
     }

@@ -153,7 +153,9 @@ pub fn extract_relations(
                     RelationGroup::new(
                         format!(
                             "{}.{}~{}.{}",
-                            schema.name, schema.columns[a].name, schema.name,
+                            schema.name,
+                            schema.columns[a].name,
+                            schema.name,
                             schema.columns[b].name
                         ),
                         cat_a,
@@ -188,44 +190,42 @@ pub fn extract_relations(
                 if let (Some(&a), Some(b)) =
                     (text_cols.first(), ref_schema.text_columns().first().copied())
                 {
-                        let (Some(cat_a), Some(cat_b)) = (
-                            catalog.category_id(&schema.name, &schema.columns[a].name),
-                            catalog.category_id(&ref_schema.name, &ref_schema.columns[b].name),
-                        ) else {
-                            continue;
-                        };
-                        let mut edges = Vec::new();
-                        for row in table.rows() {
-                            let Some(key) = row[fk_col].as_int() else { continue };
-                            let Some(target_row) = ref_table.row_by_pk(key) else { continue };
-                            if let (Some(ta), Some(tb)) =
-                                (row[a].as_text(), target_row[b].as_text())
-                            {
-                                if let (Some(i), Some(j)) = (
-                                    catalog.lookup_in_category(cat_a, ta),
-                                    catalog.lookup_in_category(cat_b, tb),
-                                ) {
-                                    edges.push((i as u32, j as u32));
-                                }
+                    let (Some(cat_a), Some(cat_b)) = (
+                        catalog.category_id(&schema.name, &schema.columns[a].name),
+                        catalog.category_id(&ref_schema.name, &ref_schema.columns[b].name),
+                    ) else {
+                        continue;
+                    };
+                    let mut edges = Vec::new();
+                    for row in table.rows() {
+                        let Some(key) = row[fk_col].as_int() else { continue };
+                        let Some(target_row) = ref_table.row_by_pk(key) else { continue };
+                        if let (Some(ta), Some(tb)) = (row[a].as_text(), target_row[b].as_text()) {
+                            if let (Some(i), Some(j)) = (
+                                catalog.lookup_in_category(cat_a, ta),
+                                catalog.lookup_in_category(cat_b, tb),
+                            ) {
+                                edges.push((i as u32, j as u32));
                             }
                         }
-                        push_group(
-                            &mut groups,
-                            RelationGroup::new(
-                                format!(
-                                    "{}.{}~{}.{}",
-                                    schema.name,
-                                    schema.columns[a].name,
-                                    ref_schema.name,
-                                    ref_schema.columns[b].name
-                                ),
-                                cat_a,
-                                cat_b,
-                                RelationKind::ForeignKey,
-                                edges,
+                    }
+                    push_group(
+                        &mut groups,
+                        RelationGroup::new(
+                            format!(
+                                "{}.{}~{}.{}",
+                                schema.name,
+                                schema.columns[a].name,
+                                ref_schema.name,
+                                ref_schema.columns[b].name
                             ),
-                            skip_relations,
-                        );
+                            cat_a,
+                            cat_b,
+                            RelationKind::ForeignKey,
+                            edges,
+                        ),
+                        skip_relations,
+                    );
                 }
             }
         }
@@ -242,8 +242,7 @@ fn extract_m2m(
     groups: &mut Vec<RelationGroup>,
     skip_relations: &[&str],
 ) {
-    let (Ok(table_a), Ok(table_b)) = (db.table(&fk_a.ref_table), db.table(&fk_b.ref_table))
-    else {
+    let (Ok(table_a), Ok(table_b)) = (db.table(&fk_a.ref_table), db.table(&fk_b.ref_table)) else {
         return;
     };
     let schema = link.schema();
@@ -254,49 +253,46 @@ fn extract_m2m(
         table_a.schema().text_columns().first().copied(),
         table_b.schema().text_columns().first().copied(),
     ) {
-            let (Some(cat_a), Some(cat_b)) = (
-                catalog.category_id(&fk_a.ref_table, &table_a.schema().columns[ta].name),
-                catalog.category_id(&fk_b.ref_table, &table_b.schema().columns[tb].name),
-            ) else {
-                return;
+        let (Some(cat_a), Some(cat_b)) = (
+            catalog.category_id(&fk_a.ref_table, &table_a.schema().columns[ta].name),
+            catalog.category_id(&fk_b.ref_table, &table_b.schema().columns[tb].name),
+        ) else {
+            return;
+        };
+        let mut edges = Vec::new();
+        for row in link.rows() {
+            let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
+                continue;
             };
-            let mut edges = Vec::new();
-            for row in link.rows() {
-                let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
-                    continue;
-                };
-                let (Some(row_a), Some(row_b)) =
-                    (table_a.row_by_pk(ka), table_b.row_by_pk(kb))
-                else {
-                    continue;
-                };
-                if let (Some(sa), Some(sb)) = (row_a[ta].as_text(), row_b[tb].as_text()) {
-                    if let (Some(i), Some(j)) = (
-                        catalog.lookup_in_category(cat_a, sa),
-                        catalog.lookup_in_category(cat_b, sb),
-                    ) {
-                        edges.push((i as u32, j as u32));
-                    }
+            let (Some(row_a), Some(row_b)) = (table_a.row_by_pk(ka), table_b.row_by_pk(kb)) else {
+                continue;
+            };
+            if let (Some(sa), Some(sb)) = (row_a[ta].as_text(), row_b[tb].as_text()) {
+                if let (Some(i), Some(j)) =
+                    (catalog.lookup_in_category(cat_a, sa), catalog.lookup_in_category(cat_b, sb))
+                {
+                    edges.push((i as u32, j as u32));
                 }
             }
-            push_group(
-                groups,
-                RelationGroup::new(
-                    format!(
-                        "{}.{}~{}.{} (via {})",
-                        fk_a.ref_table,
-                        table_a.schema().columns[ta].name,
-                        fk_b.ref_table,
-                        table_b.schema().columns[tb].name,
-                        schema.name
-                    ),
-                    cat_a,
-                    cat_b,
-                    RelationKind::ManyToMany,
-                    edges,
+        }
+        push_group(
+            groups,
+            RelationGroup::new(
+                format!(
+                    "{}.{}~{}.{} (via {})",
+                    fk_a.ref_table,
+                    table_a.schema().columns[ta].name,
+                    fk_b.ref_table,
+                    table_b.schema().columns[tb].name,
+                    schema.name
                 ),
-                skip_relations,
-            );
+                cat_a,
+                cat_b,
+                RelationKind::ManyToMany,
+                edges,
+            ),
+            skip_relations,
+        );
     }
 }
 
@@ -395,10 +391,8 @@ mod tests {
     #[test]
     fn row_wise_connects_title_and_lang() {
         let (_, catalog, groups) = setup();
-        let g = groups
-            .iter()
-            .find(|g| g.name == "movies.title~movies.lang")
-            .expect("row-wise group");
+        let g =
+            groups.iter().find(|g| g.name == "movies.title~movies.lang").expect("row-wise group");
         let title = catalog.lookup("movies", "title", "Valerian").unwrap() as u32;
         let fr = catalog.lookup("movies", "lang", "fr").unwrap() as u32;
         assert!(g.edges.contains(&(title, fr)));
@@ -409,10 +403,7 @@ mod tests {
     #[test]
     fn fk_connects_title_to_director() {
         let (_, catalog, groups) = setup();
-        let g = groups
-            .iter()
-            .find(|g| g.name == "movies.title~persons.name")
-            .expect("fk group");
+        let g = groups.iter().find(|g| g.name == "movies.title~persons.name").expect("fk group");
         let title = catalog.lookup("movies", "title", "Alien").unwrap() as u32;
         let person = catalog.lookup("persons", "name", "Ridley Scott").unwrap() as u32;
         assert!(g.edges.contains(&(title, person)));
@@ -422,10 +413,7 @@ mod tests {
     #[test]
     fn m2m_connects_title_to_genre() {
         let (_, catalog, groups) = setup();
-        let g = groups
-            .iter()
-            .find(|g| g.kind == RelationKind::ManyToMany)
-            .expect("m2m group");
+        let g = groups.iter().find(|g| g.kind == RelationKind::ManyToMany).expect("m2m group");
         let alien = catalog.lookup("movies", "title", "Alien").unwrap() as u32;
         let horror = catalog.lookup("genres", "name", "Horror").unwrap() as u32;
         let scifi = catalog.lookup("genres", "name", "SciFi").unwrap() as u32;
@@ -438,8 +426,7 @@ mod tests {
     fn edges_are_deduplicated() {
         let mut db = db();
         // A second SciFi link row for movie 1 must not duplicate the edge.
-        sql::run_script(&mut db, "INSERT INTO movies VALUES (4, '5th Element', 'en', 1)")
-            .unwrap();
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (4, '5th Element', 'en', 1)").unwrap();
         let catalog = TextValueCatalog::extract(&db, &[]);
         let groups = extract_relations(&db, &catalog, &[]);
         let g = groups.iter().find(|g| g.name == "movies.title~persons.name").unwrap();

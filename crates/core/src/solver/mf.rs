@@ -73,13 +73,8 @@ mod tests {
         catalog.intern(ca, "p");
         catalog.intern(ca, "q");
         catalog.intern(cb, "r");
-        let groups = vec![RelationGroup::new(
-            "t.a~t.b".into(),
-            ca,
-            cb,
-            RelationKind::RowWise,
-            edges,
-        )];
+        let groups =
+            vec![RelationGroup::new("t.a~t.b".into(), ca, cb, RelationKind::RowWise, edges)];
         let base = EmbeddingSet::new(
             vec!["p".into(), "q".into(), "r".into()],
             vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![-1.0, 0.0]],

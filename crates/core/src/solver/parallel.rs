@@ -91,13 +91,13 @@ pub fn solve_rn_parallel(
         let base_ref = &base;
         let centroids_ref = &centroids;
         let negatives_ref = &node_negatives;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, chunk) in
                 next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
             {
                 let start = chunk_idx * rows_per_chunk;
                 let end = (start + chunk.len() / dim).min(n);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     pos_ref.mul_dense_range_into(w_ref, start..end, chunk);
                     for (local, r) in (start..end).enumerate() {
                         let out_row = &mut chunk[local * dim..(local + 1) * dim];
@@ -109,8 +109,7 @@ pub fn solve_rn_parallel(
                     }
                 });
             }
-        })
-        .expect("solver worker panicked");
+        });
         std::mem::swap(&mut w, &mut next);
     }
     w
@@ -143,13 +142,8 @@ mod tests {
             tokens.push(format!("t{k}"));
             vectors.push(vec![1.0 - k as f32 * 0.05, -0.5, 0.2]);
         }
-        let groups = vec![RelationGroup::new(
-            "a.x~b.y".into(),
-            ca,
-            cb,
-            RelationKind::ForeignKey,
-            edges,
-        )];
+        let groups =
+            vec![RelationGroup::new("a.x~b.y".into(), ca, cb, RelationKind::ForeignKey, edges)];
         let base = EmbeddingSet::new(tokens, vectors);
         RetrofitProblem::from_parts(catalog, groups, &base)
     }

@@ -19,11 +19,7 @@ use crate::hyper::Hyperparameters;
 use crate::problem::RetrofitProblem;
 
 /// Run the RN solver for `iterations` rounds, starting from `W0`.
-pub fn solve_rn(
-    problem: &RetrofitProblem,
-    params: &Hyperparameters,
-    iterations: usize,
-) -> Matrix {
+pub fn solve_rn(problem: &RetrofitProblem, params: &Hyperparameters, iterations: usize) -> Matrix {
     solve_rn_seeded(problem, params, iterations, None)
 }
 
@@ -127,12 +123,7 @@ mod tests {
         )];
         let base = EmbeddingSet::new(
             vec!["a".into(), "b".into(), "x".into(), "y".into()],
-            vec![
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![0.8, 0.6],
-                vec![-0.6, 0.8],
-            ],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.8, 0.6], vec![-0.6, 0.8]],
         );
         RetrofitProblem::from_parts(catalog, groups, &base)
     }

@@ -19,11 +19,7 @@ use crate::hyper::Hyperparameters;
 use crate::problem::RetrofitProblem;
 
 /// Run the RO solver for `iterations` rounds, starting from `W0`.
-pub fn solve_ro(
-    problem: &RetrofitProblem,
-    params: &Hyperparameters,
-    iterations: usize,
-) -> Matrix {
+pub fn solve_ro(problem: &RetrofitProblem, params: &Hyperparameters, iterations: usize) -> Matrix {
     solve_ro_seeded(problem, params, iterations, None)
 }
 
@@ -104,11 +100,7 @@ pub fn solve_ro_seeded(
         for i in 0..n {
             let d = denom[i];
             let next: Vec<f32> = if d.abs() > 1e-6 {
-                base.row(i)
-                    .iter()
-                    .zip(wr.row(i))
-                    .map(|(b, r)| (b + r) / d)
-                    .collect()
+                base.row(i).iter().zip(wr.row(i)).map(|(b, r)| (b + r) / d).collect()
             } else {
                 // Degenerate diagonal (δ too large): keep the previous
                 // vector rather than dividing by ~0.
@@ -182,13 +174,8 @@ pub fn solve_ro_enumerated(
             // Explicit Ẽr sweep: every (source, target) pair that is NOT a
             // relation contributes −2δ̂·v_target to the source's row.
             for &s in &dg.sources {
-                let related: Vec<u32> = dg
-                    .group
-                    .edges
-                    .iter()
-                    .filter(|&&(i, _)| i == s)
-                    .map(|&(_, j)| j)
-                    .collect();
+                let related: Vec<u32> =
+                    dg.group.edges.iter().filter(|&&(i, _)| i == s).map(|&(_, j)| j).collect();
                 let out_row = wr.row_mut(s as usize);
                 for &k in &dg.targets {
                     if !related.contains(&k) {
@@ -201,11 +188,7 @@ pub fn solve_ro_enumerated(
         for i in 0..n {
             let d = denom[i];
             let next: Vec<f32> = if d.abs() > 1e-6 {
-                base.row(i)
-                    .iter()
-                    .zip(wr.row(i))
-                    .map(|(b, r)| (b + r) / d)
-                    .collect()
+                base.row(i).iter().zip(wr.row(i)).map(|(b, r)| (b + r) / d).collect()
             } else {
                 w.row(i).to_vec()
             };

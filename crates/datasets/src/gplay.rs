@@ -26,12 +26,39 @@ use crate::names;
 
 /// The 33 app categories of the paper's dataset.
 pub const CATEGORIES: [&str; 33] = [
-    "art and design", "auto and vehicles", "beauty", "books", "business", "comics",
-    "communication", "dating", "education", "entertainment", "events", "finance",
-    "food and drink", "health", "house and home", "libraries", "lifestyle", "maps",
-    "medical", "music and audio", "news", "parenting", "personalization", "photography",
-    "productivity", "shopping", "social", "sports", "tools", "travel", "video players",
-    "weather", "games",
+    "art and design",
+    "auto and vehicles",
+    "beauty",
+    "books",
+    "business",
+    "comics",
+    "communication",
+    "dating",
+    "education",
+    "entertainment",
+    "events",
+    "finance",
+    "food and drink",
+    "health",
+    "house and home",
+    "libraries",
+    "lifestyle",
+    "maps",
+    "medical",
+    "music and audio",
+    "news",
+    "parenting",
+    "personalization",
+    "photography",
+    "productivity",
+    "shopping",
+    "social",
+    "sports",
+    "tools",
+    "travel",
+    "video players",
+    "weather",
+    "games",
 ];
 
 /// Pricing types.
@@ -166,8 +193,7 @@ impl GooglePlayDataset {
         .expect("schema");
 
         for (c, name) in CATEGORIES.iter().enumerate() {
-            db.insert("categories", vec![Value::Int(c as i64 + 1), Value::from(*name)])
-                .unwrap();
+            db.insert("categories", vec![Value::Int(c as i64 + 1), Value::from(*name)]).unwrap();
             // Genres mirror categories ("genre and category are often
             // equivalent", §5.5.2).
             db.insert(
@@ -177,12 +203,10 @@ impl GooglePlayDataset {
             .unwrap();
         }
         for (p, name) in PRICING.iter().enumerate() {
-            db.insert("pricing_types", vec![Value::Int(p as i64 + 1), Value::from(*name)])
-                .unwrap();
+            db.insert("pricing_types", vec![Value::Int(p as i64 + 1), Value::from(*name)]).unwrap();
         }
         for (a, name) in AGE_GROUPS.iter().enumerate() {
-            db.insert("age_groups", vec![Value::Int(a as i64 + 1), Value::from(*name)])
-                .unwrap();
+            db.insert("age_groups", vec![Value::Int(a as i64 + 1), Value::from(*name)]).unwrap();
         }
 
         // Apps + reviews.

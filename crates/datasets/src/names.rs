@@ -14,9 +14,15 @@ const REGION_SYLLABLES: [&[&str]; 4] = [
     // Region 0: "anglo"
     &["john", "smith", "bob", "mary", "bill", "ton", "son", "wood", "ham", "ley", "jack", "kate"],
     // Region 1: "romance"
-    &["jean", "pierre", "marie", "lou", "elle", "eau", "fran", "cois", "luc", "ette", "ami", "rene"],
+    &[
+        "jean", "pierre", "marie", "lou", "elle", "eau", "fran", "cois", "luc", "ette", "ami",
+        "rene",
+    ],
     // Region 2: "germanic"
-    &["hans", "gret", "wolf", "gang", "berg", "stein", "fritz", "heim", "brun", "dorf", "karl", "ula"],
+    &[
+        "hans", "gret", "wolf", "gang", "berg", "stein", "fritz", "heim", "brun", "dorf", "karl",
+        "ula",
+    ],
     // Region 3: "east"
     &["yuki", "taro", "chen", "wei", "ming", "sato", "kawa", "yama", "li", "zhou", "hana", "kim"],
 ];

@@ -28,9 +28,26 @@ use crate::names::{self, N_REGIONS};
 
 /// Genre names (the paper's TMDB has 20 genres).
 pub const GENRES: [&str; 20] = [
-    "action", "adventure", "animation", "comedy", "crime", "documentary", "drama", "family",
-    "fantasy", "history", "horror", "music", "mystery", "romance", "science fiction",
-    "thriller", "war", "western", "foreign", "tv movie",
+    "action",
+    "adventure",
+    "animation",
+    "comedy",
+    "crime",
+    "documentary",
+    "drama",
+    "family",
+    "fantasy",
+    "history",
+    "horror",
+    "music",
+    "mystery",
+    "romance",
+    "science fiction",
+    "thriller",
+    "war",
+    "western",
+    "foreign",
+    "tv movie",
 ];
 
 /// Countries with their name-region and sampling probability.
@@ -61,8 +78,8 @@ pub const LANGUAGES: [&str; 8] = ["en", "fr", "it", "es", "de", "ja", "zh", "ko"
 /// Per-genre budget scale in US dollars (action blockbusters vs
 /// documentaries) — the relational driver of the Fig. 13 regression.
 const GENRE_BUDGET: [f64; 20] = [
-    120e6, 110e6, 90e6, 40e6, 45e6, 8e6, 25e6, 70e6, 100e6, 35e6, 20e6, 15e6, 30e6, 28e6,
-    115e6, 50e6, 60e6, 30e6, 12e6, 10e6,
+    120e6, 110e6, 90e6, 40e6, 45e6, 8e6, 25e6, 70e6, 100e6, 35e6, 20e6, 15e6, 30e6, 28e6, 115e6,
+    50e6, 60e6, 30e6, 12e6, 10e6,
 ];
 
 /// Generator configuration.
@@ -237,10 +254,8 @@ impl Generator {
             for token in &pool {
                 // Content tokens blend their genre with a general topic so
                 // text signal is informative but noisy.
-                let m = self.mix(&[
-                    (Topics::genre(g), 0.8),
-                    (Topics::general(g % Topics::GENERAL), 0.2),
-                ]);
+                let m = self
+                    .mix(&[(Topics::genre(g), 0.8), (Topics::general(g % Topics::GENERAL), 0.2)]);
                 self.add_token(token, m);
             }
             self.genre_pools.push(pool);
@@ -361,11 +376,7 @@ impl Generator {
             company_genre.push(genre);
             // Company names: a country token plus a genre token keeps them
             // in-vocabulary with a meaningful mixture; serial for uniqueness.
-            let name = format!(
-                "{} {} pictures {k}",
-                COUNTRIES[home].0,
-                self.genre_pools[genre][0]
-            );
+            let name = format!("{} {} pictures {k}", COUNTRIES[home].0, self.genre_pools[genre][0]);
             db.insert("companies", vec![Value::Int(k as i64 + 1), Value::from(name)]).unwrap();
         }
 
@@ -382,8 +393,7 @@ impl Generator {
             let region = COUNTRIES[country].1;
             let name = names::person_name(region, serial, self.config.name_leak, &mut self.rng);
             person_id += 1;
-            db.insert("persons", vec![Value::Int(person_id), Value::from(name.clone())])
-                .unwrap();
+            db.insert("persons", vec![Value::Int(person_id), Value::from(name.clone())]).unwrap();
             directors.push((name, country));
             director_ids.push(person_id);
         }
@@ -497,20 +507,14 @@ impl Generator {
                 vec![Value::Int(movie_id), Value::Int(lang_idx as i64 + 1)],
             )
             .unwrap();
-            db.insert(
-                "movie_director",
-                vec![Value::Int(movie_id), Value::Int(director_ids[d])],
-            )
-            .unwrap();
+            db.insert("movie_director", vec![Value::Int(movie_id), Value::Int(director_ids[d])])
+                .unwrap();
             // Company: prefer one with matching genre or country.
             let company = (0..n_companies)
                 .find(|&k| company_genre[k] == main_genre || company_home[k] == country)
                 .unwrap_or_else(|| self.rng.gen_range(0..n_companies));
-            db.insert(
-                "movie_company",
-                vec![Value::Int(movie_id), Value::Int(company as i64 + 1)],
-            )
-            .unwrap();
+            db.insert("movie_company", vec![Value::Int(movie_id), Value::Int(company as i64 + 1)])
+                .unwrap();
             // Keywords: 2–4 from the movie's genres.
             let n_kw = 2 + self.rng.gen_range(0..3usize);
             let mut used = Vec::new();
@@ -519,8 +523,7 @@ impl Generator {
                 let kw = keyword_ids[g][self.rng.gen_range(0..keyword_ids[g].len())];
                 if !used.contains(&kw) {
                     used.push(kw);
-                    db.insert("movie_keyword", vec![Value::Int(movie_id), Value::Int(kw)])
-                        .unwrap();
+                    db.insert("movie_keyword", vec![Value::Int(movie_id), Value::Int(kw)]).unwrap();
                 }
             }
             // Actors: 2–4, citizenship biased toward the production country.
@@ -534,11 +537,8 @@ impl Generator {
                 // Accept same-country actors readily, others with 30%.
                 if actor_country[a] == country || self.rng.gen_bool(0.3) {
                     cast.push(a);
-                    db.insert(
-                        "movie_actor",
-                        vec![Value::Int(movie_id), Value::Int(actor_ids[a])],
-                    )
-                    .unwrap();
+                    db.insert("movie_actor", vec![Value::Int(movie_id), Value::Int(actor_ids[a])])
+                        .unwrap();
                 }
             }
             // Reviews: 0–2, text flavoured by the movie's genres.
@@ -572,7 +572,15 @@ impl Generator {
         let base =
             embedding_set_from_mixtures(&space, &self.vocab, self.config.noise, &mut self.rng);
 
-        TmdbDataset { db, base, movie_titles, movie_language, movie_budget, movie_genres, directors }
+        TmdbDataset {
+            db,
+            base,
+            movie_titles,
+            movie_language,
+            movie_budget,
+            movie_genres,
+            directors,
+        }
     }
 }
 
@@ -603,11 +611,8 @@ mod tests {
 
     #[test]
     fn english_is_the_mode_language() {
-        let d = TmdbDataset::generate(TmdbConfig {
-            n_movies: 400,
-            dim: 8,
-            ..TmdbConfig::default()
-        });
+        let d =
+            TmdbDataset::generate(TmdbConfig { n_movies: 400, dim: 8, ..TmdbConfig::default() });
         let en = d.movie_language.iter().filter(|l| l.as_str() == "en").count();
         let frac = en as f64 / 400.0;
         assert!((0.55..0.85).contains(&frac), "en fraction {frac}");

@@ -56,13 +56,7 @@ pub fn toy_problem() -> ToyExample {
             "usa".into(),
             "france".into(),
         ],
-        vec![
-            vec![1.0, 1.2],
-            vec![1.4, -0.4],
-            vec![-0.8, 1.0],
-            vec![1.8, 0.4],
-            vec![-1.4, -0.2],
-        ],
+        vec![vec![1.0, 1.2], vec![1.4, -0.4], vec![-0.8, 1.0], vec![1.8, 0.4], vec![-1.4, -0.2]],
     );
 
     let problem = RetrofitProblem::from_parts(catalog, groups, &base);
@@ -93,9 +87,7 @@ mod tests {
         for alpha in [1.0f32, 2.0, 3.0] {
             let params = Hyperparameters::new(alpha, 1.0, 2.0, 1.0);
             let w = solve_ro(&toy.problem, &params, 20);
-            let drift: f32 = (0..5)
-                .map(|i| vector::dist(w.row(i), toy.problem.w0.row(i)))
-                .sum();
+            let drift: f32 = (0..5).map(|i| vector::dist(w.row(i), toy.problem.w0.row(i))).sum();
             assert!(drift < prev_drift, "alpha {alpha}: drift {drift} !< {prev_drift}");
             prev_drift = drift;
         }

@@ -91,7 +91,14 @@ impl SkipGram {
                         if ctx_pos == pos {
                             continue;
                         }
-                        self.train_pair(center as usize, context as usize, lr, &table, rng, &mut grad_in);
+                        self.train_pair(
+                            center as usize,
+                            context as usize,
+                            lr,
+                            &table,
+                            rng,
+                            &mut grad_in,
+                        );
                     }
                 }
             }
@@ -165,7 +172,8 @@ mod tests {
             walks.push(vec![2u32, 3, 2, 3, 2, 3]);
         }
         let mut rng = StdRng::seed_from_u64(9);
-        let config = SgnsConfig { dim: 12, window: 2, negatives: 4, epochs: 2, ..SgnsConfig::default() };
+        let config =
+            SgnsConfig { dim: 12, window: 2, negatives: 4, epochs: 2, ..SgnsConfig::default() };
         let mut model = SkipGram::new(4, config, &mut rng);
         model.train(&walks, &mut rng);
         let emb = model.input_embeddings();

@@ -96,11 +96,7 @@ impl EmbeddingSet {
             .map(|i| (i, vector::cosine(query, self.matrix.row(i))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored
-            .into_iter()
-            .take(k)
-            .map(|(i, s)| (self.tokens[i].clone(), s))
-            .collect()
+        scored.into_iter().take(k).map(|(i, s)| (self.tokens[i].clone(), s)).collect()
     }
 
     /// Cosine similarity between two stored tokens (`None` if either is OOV).
@@ -134,10 +130,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate token")]
     fn duplicate_tokens_rejected() {
-        EmbeddingSet::new(
-            vec!["a".into(), "a".into()],
-            vec![vec![1.0], vec![2.0]],
-        );
+        EmbeddingSet::new(vec!["a".into(), "a".into()], vec![vec![1.0], vec![2.0]]);
     }
 
     #[test]

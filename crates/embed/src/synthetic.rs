@@ -97,8 +97,7 @@ pub fn embedding_set_from_mixtures<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> EmbeddingSet {
     let tokens: Vec<String> = entries.iter().map(|(t, _)| t.clone()).collect();
-    let vectors: Vec<Vec<f32>> =
-        entries.iter().map(|(_, m)| space.embed(m, noise, rng)).collect();
+    let vectors: Vec<Vec<f32>> = entries.iter().map(|(_, m)| space.embed(m, noise, rng)).collect();
     EmbeddingSet::new(tokens, vectors)
 }
 
@@ -164,10 +163,7 @@ mod tests {
         let space = LatentSpace::new(3, 8, &mut rng);
         let set = embedding_set_from_mixtures(
             &space,
-            &[
-                ("alpha".to_owned(), vec![1.0, 0.0, 0.0]),
-                ("beta".to_owned(), vec![0.0, 1.0, 0.0]),
-            ],
+            &[("alpha".to_owned(), vec![1.0, 0.0, 0.0]), ("beta".to_owned(), vec![0.0, 1.0, 0.0])],
             0.1,
             &mut rng,
         );

@@ -52,9 +52,7 @@ pub fn parse_text(input: &str) -> Result<EmbeddingSet, FormatError> {
         }
 
         let vals: Result<Vec<f32>, _> = rest.iter().map(|s| s.parse::<f32>()).collect();
-        let vals = vals.map_err(|e| {
-            FormatError(format!("line {}: bad float: {e}", lineno + 1))
-        })?;
+        let vals = vals.map_err(|e| FormatError(format!("line {}: bad float: {e}", lineno + 1)))?;
         match dim {
             None => dim = Some(vals.len()),
             Some(d) if d != vals.len() => {
@@ -140,8 +138,7 @@ pub fn parse_binary(mut data: Bytes) -> Result<EmbeddingSet, FormatError> {
         }
         let mut tbuf = vec![0u8; tlen];
         data.copy_to_slice(&mut tbuf);
-        let token =
-            String::from_utf8(tbuf).map_err(|e| FormatError(format!("bad utf8: {e}")))?;
+        let token = String::from_utf8(tbuf).map_err(|e| FormatError(format!("bad utf8: {e}")))?;
         let mut vec = Vec::with_capacity(dim);
         for _ in 0..dim {
             vec.push(data.get_f32_le());

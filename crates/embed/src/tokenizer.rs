@@ -92,10 +92,8 @@ impl Tokenizer {
         if toks.is_oov() {
             return (vec![0.0; self.dim], true);
         }
-        let centroid = vector::centroid(
-            toks.phrase_ids.iter().map(|&id| embeddings.vector(id)),
-            self.dim,
-        );
+        let centroid =
+            vector::centroid(toks.phrase_ids.iter().map(|&id| embeddings.vector(id)), self.dim);
         (centroid, false)
     }
 }
@@ -113,13 +111,7 @@ mod tests {
                 "luc_besson".into(),
                 "element".into(),
             ],
-            vec![
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![0.5, 0.5],
-                vec![-1.0, 0.0],
-                vec![0.0, -1.0],
-            ],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5], vec![-1.0, 0.0], vec![0.0, -1.0]],
         );
         let t = Tokenizer::new(&e);
         (e, t)

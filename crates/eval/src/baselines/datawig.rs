@@ -93,10 +93,8 @@ impl DataWigImputer {
 
     /// Featurize a dataset: one row of text fields per sample.
     pub fn featurize(&self, rows: &[Vec<&str>]) -> Matrix {
-        let feats: Vec<Vec<f32>> = rows
-            .iter()
-            .map(|fields| ngram_features(fields, self.config.n_features))
-            .collect();
+        let feats: Vec<Vec<f32>> =
+            rows.iter().map(|fields| ngram_features(fields, self.config.n_features)).collect();
         Matrix::from_rows(&feats)
     }
 
@@ -117,8 +115,7 @@ impl DataWigImputer {
         for rep in 0..repetitions {
             let mut rng =
                 StdRng::seed_from_u64(self.config.seed ^ (rep as u64).wrapping_mul(0xBEEF));
-            let (train_idx, test_idx) =
-                split_indices(rows.len(), train_n, test_n, &mut rng);
+            let (train_idx, test_idx) = split_indices(rows.len(), train_n, test_n, &mut rng);
             let x_train = features.select_rows(&train_idx);
             let mut y_rows = Vec::with_capacity(train_idx.len());
             for &i in &train_idx {

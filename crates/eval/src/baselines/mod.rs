@@ -4,5 +4,5 @@
 pub mod datawig;
 pub mod mode;
 
-pub use datawig::{DataWigImputer, DataWigConfig};
+pub use datawig::{DataWigConfig, DataWigImputer};
 pub use mode::mode_imputation_accuracy;

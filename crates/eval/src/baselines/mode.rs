@@ -12,10 +12,7 @@ pub fn mode_label(train: &[usize]) -> Option<usize> {
     for &l in train {
         *counts.entry(l).or_insert(0) += 1;
     }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-        .map(|(label, _)| label)
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(label, _)| label)
 }
 
 /// Accuracy of always predicting the training mode on the test labels.

@@ -181,8 +181,7 @@ impl EmbeddingSuite {
 
         let mut variants: HashMap<EmbeddingKind, Matrix> = HashMap::new();
         let want = |k: EmbeddingKind| {
-            kinds.contains(&k)
-                || kinds.iter().any(|&c| c.text_component() == Some(k))
+            kinds.contains(&k) || kinds.iter().any(|&c| c.text_component() == Some(k))
         };
 
         if want(EmbeddingKind::Pv) {
@@ -196,11 +195,9 @@ impl EmbeddingSuite {
             variants.insert(EmbeddingKind::Ro, out.embeddings);
         }
         if want(EmbeddingKind::Mf) {
-            let out = Retro::new(RetroConfig {
-                solver: Solver::Mf,
-                ..config.retro_config(Solver::Rn)
-            })
-            .solve(problem.clone());
+            let out =
+                Retro::new(RetroConfig { solver: Solver::Mf, ..config.retro_config(Solver::Rn) })
+                    .solve(problem.clone());
             variants.insert(EmbeddingKind::Mf, out.embeddings);
         }
 
@@ -223,10 +220,8 @@ impl EmbeddingSuite {
                 if kind == EmbeddingKind::Dw {
                     variants.insert(kind, dw.clone());
                 } else if let Some(text) = kind.text_component() {
-                    let text_matrix =
-                        variants.get(&text).expect("text component computed above");
-                    variants
-                        .insert(kind, retro_core::combine::concat_normalized(text_matrix, &dw));
+                    let text_matrix = variants.get(&text).expect("text component computed above");
+                    variants.insert(kind, retro_core::combine::concat_normalized(text_matrix, &dw));
                 }
             }
         }
@@ -238,9 +233,7 @@ impl EmbeddingSuite {
 
     /// The matrix for a variant.
     pub fn matrix(&self, kind: EmbeddingKind) -> &Matrix {
-        self.variants
-            .get(&kind)
-            .unwrap_or_else(|| panic!("variant {} not built", kind.label()))
+        self.variants.get(&kind).unwrap_or_else(|| panic!("variant {} not built", kind.label()))
     }
 
     /// Which variants are available.
@@ -251,7 +244,13 @@ impl EmbeddingSuite {
     }
 
     /// The embedding row for a text value, by lookup.
-    pub fn vector(&self, kind: EmbeddingKind, table: &str, column: &str, text: &str) -> Option<&[f32]> {
+    pub fn vector(
+        &self,
+        kind: EmbeddingKind,
+        table: &str,
+        column: &str,
+        text: &str,
+    ) -> Option<&[f32]> {
         let id = self.catalog.lookup(table, column, text)?;
         Some(self.matrix(kind).row(id))
     }
@@ -263,11 +262,8 @@ mod tests {
     use retro_datasets::{TmdbConfig, TmdbDataset};
 
     fn tiny_suite(kinds: &[EmbeddingKind]) -> (TmdbDataset, EmbeddingSuite) {
-        let data = TmdbDataset::generate(TmdbConfig {
-            n_movies: 30,
-            dim: 12,
-            ..TmdbConfig::default()
-        });
+        let data =
+            TmdbDataset::generate(TmdbConfig { n_movies: 30, dim: 12, ..TmdbConfig::default() });
         let config = SuiteConfig {
             walks: WalkConfig { walks_per_node: 3, walk_length: 8 },
             ..SuiteConfig::default()
@@ -278,8 +274,7 @@ mod tests {
 
     #[test]
     fn builds_requested_text_variants() {
-        let (_, suite) =
-            tiny_suite(&[EmbeddingKind::Pv, EmbeddingKind::Rn, EmbeddingKind::Mf]);
+        let (_, suite) = tiny_suite(&[EmbeddingKind::Pv, EmbeddingKind::Rn, EmbeddingKind::Mf]);
         assert_eq!(suite.kinds().len(), 3);
         let n = suite.catalog.len();
         assert_eq!(suite.matrix(EmbeddingKind::Pv).rows(), n);
@@ -310,11 +305,8 @@ mod tests {
 
     #[test]
     fn skip_column_propagates_to_catalog() {
-        let data = TmdbDataset::generate(TmdbConfig {
-            n_movies: 20,
-            dim: 8,
-            ..TmdbConfig::default()
-        });
+        let data =
+            TmdbDataset::generate(TmdbConfig { n_movies: 20, dim: 8, ..TmdbConfig::default() });
         let config = SuiteConfig::default().skip_column("movies", "original_language");
         let suite = EmbeddingSuite::build(&data.db, &data.base, &config, &[EmbeddingKind::Pv]);
         assert!(suite.catalog.lookup("movies", "original_language", "en").is_none());

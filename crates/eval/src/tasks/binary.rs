@@ -30,10 +30,7 @@ pub fn run_binary_classification(
 
         let x_train = gather_normalized(inputs, &train_idx);
         let y_train = Matrix::from_rows(
-            &train_idx
-                .iter()
-                .map(|&i| vec![if labels[i] { 1.0 } else { 0.0 }])
-                .collect::<Vec<_>>(),
+            &train_idx.iter().map(|&i| vec![if labels[i] { 1.0 } else { 0.0 }]).collect::<Vec<_>>(),
         );
         let x_test = gather_normalized(inputs, &test_idx);
         let truth: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
@@ -56,7 +53,8 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         let mut rng_state = 42u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state =
+                rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         for i in 0..n {
@@ -75,8 +73,7 @@ mod tests {
     #[test]
     fn learns_separable_labels() {
         let (x, y) = separable(200, 8, 1.5);
-        let accs =
-            run_binary_classification(&x, &y, 60, 2, &NetProfile::fast(16), 5);
+        let accs = run_binary_classification(&x, &y, 60, 2, &NetProfile::fast(16), 5);
         assert_eq!(accs.len(), 2);
         for a in &accs {
             assert!(*a > 0.8, "accuracy {a}");
@@ -86,8 +83,7 @@ mod tests {
     #[test]
     fn chance_level_on_pure_noise() {
         let (x, y) = separable(200, 8, 0.0);
-        let accs =
-            run_binary_classification(&x, &y, 60, 3, &NetProfile::fast(8), 6);
+        let accs = run_binary_classification(&x, &y, 60, 3, &NetProfile::fast(8), 6);
         let mean: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
         assert!((0.3..0.7).contains(&mean), "mean accuracy {mean}");
     }
@@ -95,8 +91,7 @@ mod tests {
     #[test]
     fn one_accuracy_per_repetition_in_unit_range() {
         let (x, y) = separable(300, 8, 0.8);
-        let accs =
-            run_binary_classification(&x, &y, 80, 3, &NetProfile::fast(8), 7);
+        let accs = run_binary_classification(&x, &y, 80, 3, &NetProfile::fast(8), 7);
         assert_eq!(accs.len(), 3);
         assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
     }

@@ -103,9 +103,7 @@ pub fn run_link_prediction(
             let s_idx: Vec<usize> = set.iter().map(|e| e.source).collect();
             let t_idx: Vec<usize> = set.iter().map(|e| e.target).collect();
             let labels = Matrix::from_rows(
-                &set.iter()
-                    .map(|e| vec![if e.exists { 1.0 } else { 0.0 }])
-                    .collect::<Vec<_>>(),
+                &set.iter().map(|e| vec![if e.exists { 1.0 } else { 0.0 }]).collect::<Vec<_>>(),
             );
             (
                 gather_normalized(source_embeddings, &s_idx),
@@ -136,7 +134,11 @@ mod tests {
 
     /// Synthetic edges: an edge exists iff source and target share their
     /// dominant coordinate.
-    fn synthetic(n_nodes: usize, n_samples: usize, dim: usize) -> (Matrix, Matrix, Vec<EdgeSample>) {
+    fn synthetic(
+        n_nodes: usize,
+        n_samples: usize,
+        dim: usize,
+    ) -> (Matrix, Matrix, Vec<EdgeSample>) {
         let mut state = 5u64;
         let mut next = || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -171,8 +173,7 @@ mod tests {
     #[test]
     fn learns_structured_edges() {
         let (s, t, samples) = synthetic(40, 400, 6);
-        let accs =
-            run_link_prediction(&s, &t, &samples, 250, 100, 1, &LinkProfile::fast(16), 21);
+        let accs = run_link_prediction(&s, &t, &samples, 250, 100, 1, &LinkProfile::fast(16), 21);
         assert!(accs[0] > 0.85, "accuracy {}", accs[0]);
     }
 
@@ -183,8 +184,7 @@ mod tests {
         for (k, e) in samples.iter_mut().enumerate() {
             e.exists = k % 2 == 0;
         }
-        let accs =
-            run_link_prediction(&s, &t, &samples, 250, 100, 2, &LinkProfile::fast(8), 22);
+        let accs = run_link_prediction(&s, &t, &samples, 250, 100, 2, &LinkProfile::fast(8), 22);
         let mean: f64 = accs.iter().sum::<f64>() / accs.len() as f64;
         assert!((0.3..0.7).contains(&mean), "mean {mean}");
     }

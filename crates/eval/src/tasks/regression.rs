@@ -31,10 +31,7 @@ pub fn run_regression(
 
         let x_train = gather_normalized(inputs, &train_idx);
         let y_train = Matrix::from_rows(
-            &train_idx
-                .iter()
-                .map(|&i| vec![(targets[i] / scale) as f32])
-                .collect::<Vec<_>>(),
+            &train_idx.iter().map(|&i| vec![(targets[i] / scale) as f32]).collect::<Vec<_>>(),
         );
         let x_test = gather_normalized(inputs, &test_idx);
 
@@ -75,10 +72,7 @@ mod tests {
     #[test]
     fn fits_linear_relationship() {
         let (x, y) = linear_data(300, 6, 0.0);
-        let profile = NetProfile {
-            activation: retro_nn::Activation::Relu,
-            ..NetProfile::fast(32)
-        };
+        let profile = NetProfile { activation: retro_nn::Activation::Relu, ..NetProfile::fast(32) };
         let maes = run_regression(&x, &y, 200, 80, 1, &profile, 3);
         // Baseline: predicting the mean gives MAE ≈ E|t| ≈ 2.2e5 for the
         // normalized-first-coordinate distribution; the net must beat it.

@@ -144,10 +144,7 @@ impl Graph {
         for (a, neighbors) in self.adjacency.iter().enumerate() {
             for &b in neighbors {
                 let forward = neighbors.iter().filter(|&&x| x == b).count();
-                let back = self.adjacency[b as usize]
-                    .iter()
-                    .filter(|&&x| x as usize == a)
-                    .count();
+                let back = self.adjacency[b as usize].iter().filter(|&&x| x as usize == a).count();
                 if forward != back {
                     return false;
                 }

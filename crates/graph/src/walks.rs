@@ -39,8 +39,7 @@ impl RandomWalks {
     /// walk; node order is shuffled per round (as in the original
     /// algorithm); each step moves to a uniformly random neighbour.
     pub fn generate<R: Rng + ?Sized>(graph: &Graph, config: WalkConfig, rng: &mut R) -> Self {
-        let starts: Vec<usize> =
-            (0..graph.node_count()).filter(|&v| graph.degree(v) > 0).collect();
+        let starts: Vec<usize> = (0..graph.node_count()).filter(|&v| graph.degree(v) > 0).collect();
         let mut walks = Vec::with_capacity(starts.len() * config.walks_per_node);
         let mut order = starts;
         for _ in 0..config.walks_per_node {
@@ -110,11 +109,8 @@ mod tests {
     fn walk_counts_match_config() {
         let g = path_graph(5);
         let mut rng = StdRng::seed_from_u64(1);
-        let w = RandomWalks::generate(
-            &g,
-            WalkConfig { walks_per_node: 3, walk_length: 7 },
-            &mut rng,
-        );
+        let w =
+            RandomWalks::generate(&g, WalkConfig { walks_per_node: 3, walk_length: 7 }, &mut rng);
         assert_eq!(w.len(), 15);
         assert!(w.walks().iter().all(|walk| walk.len() == 7));
     }
@@ -136,11 +132,8 @@ mod tests {
         let mut g = path_graph(3);
         g.add_node(NodeKind::TextValue { label: "isolated".into() });
         let mut rng = StdRng::seed_from_u64(3);
-        let w = RandomWalks::generate(
-            &g,
-            WalkConfig { walks_per_node: 2, walk_length: 4 },
-            &mut rng,
-        );
+        let w =
+            RandomWalks::generate(&g, WalkConfig { walks_per_node: 2, walk_length: 4 }, &mut rng);
         assert_eq!(w.len(), 6); // 3 connected nodes × 2 rounds
         assert!(w.walks().iter().all(|walk| walk.iter().all(|&n| n != 3)));
     }

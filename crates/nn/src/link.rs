@@ -17,8 +17,17 @@ pub struct LinkNet {
     target_tower: Dense,
     hidden: Dense,
     output: Dense,
+    lr: f32,
     rng: StdRng,
 }
+
+/// Binary cross-entropy of always predicting 0.5 — the plateau an
+/// all-sigmoid subtract network can saturate into from a bad draw.
+const CHANCE_BCE: f32 = core::f32::consts::LN_2;
+
+/// Fresh initializations attempted when a training run ends at the
+/// chance plateau.
+const MAX_RESTARTS: usize = 3;
 
 impl LinkNet {
     /// Build for `dim`-dimensional source/target embeddings with
@@ -30,8 +39,20 @@ impl LinkNet {
             target_tower: Dense::new(dim, hidden, Activation::Sigmoid, lr, &mut rng),
             hidden: Dense::new(hidden, hidden, Activation::Sigmoid, lr, &mut rng),
             output: Dense::new(hidden, 1, Activation::Sigmoid, lr, &mut rng),
+            lr,
             rng,
         }
+    }
+
+    /// Redraw all weights (continuing this network's RNG stream) for a
+    /// training restart.
+    fn reinitialize(&mut self) {
+        let dim = self.source_tower.input_dim();
+        let hidden = self.source_tower.output_dim();
+        self.source_tower = Dense::new(dim, hidden, Activation::Sigmoid, self.lr, &mut self.rng);
+        self.target_tower = Dense::new(dim, hidden, Activation::Sigmoid, self.lr, &mut self.rng);
+        self.hidden = Dense::new(hidden, hidden, Activation::Sigmoid, self.lr, &mut self.rng);
+        self.output = Dense::new(hidden, 1, Activation::Sigmoid, self.lr, &mut self.rng);
     }
 
     /// Predicted edge probability per row.
@@ -72,7 +93,47 @@ impl LinkNet {
     /// Train on `(source, target, label)` triples with shuffled mini-batches
     /// and a validation split with early stopping, mirroring
     /// [`crate::Network::train`].
+    ///
+    /// The subtract-merge architecture can saturate into an
+    /// always-predict-0.5 plateau from an unlucky initialization; when a
+    /// run ends there ([`CHANCE_BCE`] or worse on the monitored loss), the
+    /// weights are redrawn and training reruns, up to [`MAX_RESTARTS`]
+    /// times, keeping the best attempt.
     pub fn train(
+        &mut self,
+        sources: &Matrix,
+        targets: &Matrix,
+        labels: &Matrix,
+        config: TrainConfig,
+    ) -> TrainReport {
+        let mut report = self.train_once(sources, targets, labels, config);
+        let mut best = (
+            self.source_tower.clone(),
+            self.target_tower.clone(),
+            self.hidden.clone(),
+            self.output.clone(),
+        );
+        for _ in 0..MAX_RESTARTS {
+            if report.best_val_loss < CHANCE_BCE - 0.05 {
+                break;
+            }
+            self.reinitialize();
+            let retry = self.train_once(sources, targets, labels, config);
+            if retry.best_val_loss < report.best_val_loss {
+                report = retry;
+                best = (
+                    self.source_tower.clone(),
+                    self.target_tower.clone(),
+                    self.hidden.clone(),
+                    self.output.clone(),
+                );
+            }
+        }
+        (self.source_tower, self.target_tower, self.hidden, self.output) = best;
+        report
+    }
+
+    fn train_once(
         &mut self,
         sources: &Matrix,
         targets: &Matrix,
@@ -174,8 +235,8 @@ mod tests {
             let mut sv = vec![0.0f32; 8];
             let mut tv = vec![0.0f32; 8];
             for k in 0..4 {
-                sv[group_s * 4 + k] = 1.0 + rng.gen_range(-0.2..0.2);
-                tv[group_t * 4 + k] = 1.0 + rng.gen_range(-0.2..0.2);
+                sv[group_s * 4 + k] = 1.0 + rng.gen_range(-0.2f32..0.2);
+                tv[group_t * 4 + k] = 1.0 + rng.gen_range(-0.2f32..0.2);
             }
             s.push(sv);
             t.push(tv);
@@ -192,14 +253,16 @@ mod tests {
             &s,
             &t,
             &l,
-            TrainConfig { max_epochs: 150, batch_size: 32, validation_fraction: 0.1, patience: Some(30) },
+            TrainConfig {
+                max_epochs: 150,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(30),
+            },
         );
         let preds = net.predict_binary(&s, &t);
-        let correct = preds
-            .iter()
-            .zip(l.iter_rows())
-            .filter(|(p, lr)| **p == (lr[0] > 0.5))
-            .count();
+        let correct =
+            preds.iter().zip(l.iter_rows()).filter(|(p, lr)| **p == (lr[0] > 0.5)).count();
         assert!(correct as f32 / preds.len() as f32 > 0.9, "acc {correct}/400");
     }
 
@@ -220,7 +283,12 @@ mod tests {
             &s,
             &t,
             &l,
-            TrainConfig { max_epochs: 50, batch_size: 32, validation_fraction: 0.0, patience: None },
+            TrainConfig {
+                max_epochs: 50,
+                batch_size: 32,
+                validation_fraction: 0.0,
+                patience: None,
+            },
         );
         let forward = net.predict(&s, &t);
         let backward = net.predict(&t, &s);

@@ -255,11 +255,7 @@ impl Network {
             }
             last_train_loss = epoch_loss / batches.max(1) as f32;
 
-            let monitored = if n_val > 0 {
-                self.evaluate(&x_val, &y_val)
-            } else {
-                last_train_loss
-            };
+            let monitored = if n_val > 0 { self.evaluate(&x_val, &y_val) } else { last_train_loss };
             if monitored < best_val {
                 best_val = monitored;
                 best_layers = Some(self.layers.clone());
@@ -315,14 +311,16 @@ mod tests {
         net.train(
             &x,
             &y,
-            TrainConfig { max_epochs: 200, batch_size: 16, validation_fraction: 0.1, patience: None },
+            TrainConfig {
+                max_epochs: 200,
+                batch_size: 16,
+                validation_fraction: 0.1,
+                patience: None,
+            },
         );
         let preds = net.predict_binary(&x);
-        let correct = preds
-            .iter()
-            .zip(y.iter_rows())
-            .filter(|(p, yr)| **p == (yr[0] > 0.5))
-            .count();
+        let correct =
+            preds.iter().zip(y.iter_rows()).filter(|(p, yr)| **p == (yr[0] > 0.5)).count();
         assert!(correct as f32 / preds.len() as f32 > 0.95, "accuracy {correct}/{}", preds.len());
     }
 
@@ -355,14 +353,15 @@ mod tests {
         net.train(
             &x,
             &y,
-            TrainConfig { max_epochs: 150, batch_size: 32, validation_fraction: 0.1, patience: Some(50) },
+            TrainConfig {
+                max_epochs: 150,
+                batch_size: 32,
+                validation_fraction: 0.1,
+                patience: Some(50),
+            },
         );
         let classes = net.predict_classes(&x);
-        let correct = classes
-            .iter()
-            .zip(ys.iter())
-            .filter(|(c, y)| y[**c] > 0.5)
-            .count();
+        let correct = classes.iter().zip(ys.iter()).filter(|(c, y)| y[**c] > 0.5).count();
         assert!(correct as f32 / classes.len() as f32 > 0.95);
     }
 
@@ -387,7 +386,12 @@ mod tests {
         net.train(
             &x,
             &y,
-            TrainConfig { max_epochs: 300, batch_size: 25, validation_fraction: 0.0, patience: None },
+            TrainConfig {
+                max_epochs: 300,
+                batch_size: 25,
+                validation_fraction: 0.0,
+                patience: None,
+            },
         );
         let mae = Loss::MeanAbsoluteError.value(&net.predict(&x), &y);
         assert!(mae < 0.25, "MAE {mae}");
@@ -404,7 +408,12 @@ mod tests {
         let report = net.train(
             &x,
             &y,
-            TrainConfig { max_epochs: 5000, batch_size: 16, validation_fraction: 0.2, patience: Some(10) },
+            TrainConfig {
+                max_epochs: 5000,
+                batch_size: 16,
+                validation_fraction: 0.2,
+                patience: Some(10),
+            },
         );
         assert!(report.epochs < 5000);
         assert!(report.early_stopped);
@@ -413,10 +422,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "softmax is only valid as the output")]
     fn softmax_hidden_layer_rejected() {
-        let _ = Network::builder(2)
-            .dense(4, Activation::Softmax)
-            .dense(1, Activation::Sigmoid)
-            .build();
+        let _ =
+            Network::builder(2).dense(4, Activation::Softmax).dense(1, Activation::Sigmoid).build();
     }
 
     #[test]
@@ -432,14 +439,16 @@ mod tests {
         net.train(
             &x,
             &y,
-            TrainConfig { max_epochs: 300, batch_size: 16, validation_fraction: 0.1, patience: None },
+            TrainConfig {
+                max_epochs: 300,
+                batch_size: 16,
+                validation_fraction: 0.1,
+                patience: None,
+            },
         );
         let preds = net.predict_binary(&x);
-        let correct = preds
-            .iter()
-            .zip(y.iter_rows())
-            .filter(|(p, yr)| **p == (yr[0] > 0.5))
-            .count();
+        let correct =
+            preds.iter().zip(y.iter_rows()).filter(|(p, yr)| **p == (yr[0] > 0.5)).count();
         assert!(correct as f32 / preds.len() as f32 > 0.9);
     }
 

@@ -37,9 +37,7 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
             match c {
                 '"' => {
                     if !field.is_empty() {
-                        return Err(StoreError::Csv(
-                            "quote inside unquoted field".to_owned(),
-                        ));
+                        return Err(StoreError::Csv("quote inside unquoted field".to_owned()));
                     }
                     in_quotes = true;
                 }
@@ -122,16 +120,10 @@ pub fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
 /// The header row must name a subset of the table's columns (in any order);
 /// unnamed columns receive NULL. Rows are inserted through the database so
 /// all constraints are enforced. Returns the number of inserted rows.
-pub fn import_csv(
-    db: &mut crate::Database,
-    table: &str,
-    csv_text: &str,
-) -> Result<usize> {
+pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Result<usize> {
     let records = parse(csv_text)?;
     let mut it = records.into_iter();
-    let header = it
-        .next()
-        .ok_or_else(|| StoreError::Csv("empty CSV document".to_owned()))?;
+    let header = it.next().ok_or_else(|| StoreError::Csv("empty CSV document".to_owned()))?;
 
     let schema = db.table(table)?.schema().clone();
     // Map CSV position → table column index.
@@ -247,8 +239,8 @@ mod tests {
     #[test]
     fn import_with_reordered_header() {
         let mut db = sample_db();
-        let n = import_csv(&mut db, "apps", "rating,id,name\n4.5,1,Maps\n,2,\"Chat, Pro\"\n")
-            .unwrap();
+        let n =
+            import_csv(&mut db, "apps", "rating,id,name\n4.5,1,Maps\n,2,\"Chat, Pro\"\n").unwrap();
         assert_eq!(n, 2);
         let t = db.table("apps").unwrap();
         assert_eq!(t.row_by_pk(2).unwrap()[1], Value::from("Chat, Pro"));

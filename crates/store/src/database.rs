@@ -70,10 +70,7 @@ impl Database {
     /// Insert a row, enforcing arity, types, key uniqueness and foreign keys.
     /// Returns the row's position in the table.
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<usize> {
-        let t = self
-            .tables
-            .get(table)
-            .ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
+        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
         t.validate_row(&row)?;
         // Foreign keys need read access to other tables, so check before the
         // mutable borrow. NULL FK values are allowed (the relation is simply
@@ -84,8 +81,7 @@ impl Database {
             match &row[idx] {
                 Value::Null => {}
                 Value::Int(k) => {
-                    let target =
-                        self.tables.get(&fk.ref_table).expect("validated at create");
+                    let target = self.tables.get(&fk.ref_table).expect("validated at create");
                     if !target.contains_pk(*k) {
                         return Err(StoreError::ForeignKeyViolation {
                             table: table.to_owned(),
@@ -99,9 +95,7 @@ impl Database {
                         table: table.to_owned(),
                         column: fk.column.clone(),
                         expected: "INTEGER".to_owned(),
-                        got: other
-                            .data_type()
-                            .map_or_else(|| "NULL".into(), |ty| ty.to_string()),
+                        got: other.data_type().map_or_else(|| "NULL".into(), |ty| ty.to_string()),
                     })
                 }
             }
@@ -126,16 +120,12 @@ impl Database {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+        self.tables.get(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
     }
 
     /// Look up a table mutably.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        self.tables
-            .get_mut(name)
-            .ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+        self.tables.get_mut(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
     }
 
     /// True when the table exists.
@@ -199,10 +189,7 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.create_table(
-            TableSchema::builder("persons")
-                .pk("id")
-                .column("name", DataType::Text)
-                .build(),
+            TableSchema::builder("persons").pk("id").column("name", DataType::Text).build(),
         )
         .unwrap();
         db.create_table(
@@ -243,9 +230,7 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let mut d = db();
-        let err = d
-            .create_table(TableSchema::builder("movies").pk("id").build())
-            .unwrap_err();
+        let err = d.create_table(TableSchema::builder("movies").pk("id").build()).unwrap_err();
         assert_eq!(err, StoreError::DuplicateTable("movies".into()));
     }
 
@@ -278,8 +263,10 @@ mod tests {
     #[test]
     fn counts_and_introspection() {
         let mut d = db();
-        d.create_table(TableSchema::builder("genres").pk("id").column("name", DataType::Text).build())
-            .unwrap();
+        d.create_table(
+            TableSchema::builder("genres").pk("id").column("name", DataType::Text).build(),
+        )
+        .unwrap();
         d.create_table(
             TableSchema::builder("movie_genre")
                 .fk("movie_id", "movies", "id")

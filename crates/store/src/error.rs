@@ -37,10 +37,9 @@ impl fmt::Display for StoreError {
             StoreError::UnknownColumn { table, column } => {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
-            StoreError::TypeMismatch { table, column, expected, got } => write!(
-                f,
-                "type mismatch in `{table}.{column}`: expected {expected}, got {got}"
-            ),
+            StoreError::TypeMismatch { table, column, expected, got } => {
+                write!(f, "type mismatch in `{table}.{column}`: expected {expected}, got {got}")
+            }
             StoreError::ArityMismatch { table, expected, got } => {
                 write!(f, "row arity mismatch for `{table}`: expected {expected}, got {got}")
             }

@@ -32,8 +32,8 @@ pub mod value;
 
 pub use database::Database;
 pub use error::StoreError;
-pub use shared::SharedDatabase;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
+pub use shared::SharedDatabase;
 pub use table::Table;
 pub use value::{DataType, Value};
 

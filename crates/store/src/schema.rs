@@ -98,7 +98,8 @@ impl TableSchema {
             return false;
         }
         self.columns.iter().enumerate().all(|(i, c)| {
-            Some(i) == self.primary_key || self.foreign_key_on(&c.name).is_some() && c.ty != DataType::Text
+            Some(i) == self.primary_key
+                || self.foreign_key_on(&c.name).is_some() && c.ty != DataType::Text
         })
     }
 }
@@ -215,10 +216,7 @@ mod tests {
 
     #[test]
     fn single_fk_is_not_link_table() {
-        let t = TableSchema::builder("reviews")
-            .pk("id")
-            .fk("movie_id", "movies", "id")
-            .build();
+        let t = TableSchema::builder("reviews").pk("id").fk("movie_id", "movies", "id").build();
         assert!(!t.is_link_table());
     }
 }

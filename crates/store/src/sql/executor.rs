@@ -85,9 +85,7 @@ fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
             return Err(StoreError::Sql("cannot UPDATE a primary key column".into()));
         }
         if schema.foreign_key_on(column).is_some() {
-            return Err(StoreError::Sql(
-                "UPDATE of foreign-key columns is not supported".into(),
-            ));
+            return Err(StoreError::Sql("UPDATE of foreign-key columns is not supported".into()));
         }
         resolved.push((idx, lit.to_value()));
     }
@@ -131,20 +129,14 @@ fn exec_delete(db: &mut Database, del: &Delete) -> Result<QueryResult> {
     if let Some(pk) = schema.primary_key {
         let doomed: std::collections::HashSet<i64> = {
             let table = db.table(&del.table)?;
-            matches
-                .iter()
-                .filter_map(|&pos| table.rows()[pos][pk].as_int())
-                .collect()
+            matches.iter().filter_map(|&pos| table.rows()[pos][pk].as_int()).collect()
         };
         for other in db.tables() {
             for fk in &other.schema().foreign_keys {
                 if fk.ref_table != del.table {
                     continue;
                 }
-                let col = other
-                    .schema()
-                    .column_index(&fk.column)
-                    .expect("fk validated at create");
+                let col = other.schema().column_index(&fk.column).expect("fk validated at create");
                 for value in other.column_values(col) {
                     if let Some(k) = value.as_int() {
                         if doomed.contains(&k) {
@@ -238,10 +230,7 @@ impl Scope {
             }
             if let Some(pos) = columns.iter().position(|c| c == &col.column) {
                 if found.is_some() {
-                    return Err(StoreError::Sql(format!(
-                        "ambiguous column `{}`",
-                        col.display()
-                    )));
+                    return Err(StoreError::Sql(format!("ambiguous column `{}`", col.display())));
                 }
                 found = Some(offset + pos);
             }
@@ -252,9 +241,7 @@ impl Scope {
     fn all_columns(&self) -> Vec<String> {
         self.bindings
             .iter()
-            .flat_map(|(binding, _, cols)| {
-                cols.iter().map(move |c| format!("{binding}.{c}"))
-            })
+            .flat_map(|(binding, _, cols)| cols.iter().map(move |c| format!("{binding}.{c}")))
             .collect()
     }
 }
@@ -262,8 +249,7 @@ impl Scope {
 fn exec_select(db: &mut Database, sel: &Select) -> Result<QueryResult> {
     // Bind the FROM table.
     let base = db.table(&sel.from.table)?;
-    let base_cols: Vec<String> =
-        base.schema().columns.iter().map(|c| c.name.clone()).collect();
+    let base_cols: Vec<String> = base.schema().columns.iter().map(|c| c.name.clone()).collect();
     let mut scope = Scope {
         bindings: vec![(sel.from.binding().to_owned(), 0, base_cols)],
         width: base.schema().columns.len(),
@@ -278,9 +264,7 @@ fn exec_select(db: &mut Database, sel: &Select) -> Result<QueryResult> {
             right_table.schema().columns.iter().map(|c| c.name.clone()).collect();
         let right_width = right_cols.len();
         let right_offset = scope.width;
-        scope
-            .bindings
-            .push((join.table.binding().to_owned(), right_offset, right_cols));
+        scope.bindings.push((join.table.binding().to_owned(), right_offset, right_cols));
         scope.width += right_width;
 
         // Decide which side of the ON condition refers to the new table.
@@ -520,11 +504,8 @@ mod tests {
     #[test]
     fn ambiguous_column_is_error() {
         let mut db = seeded();
-        let err = run_script(
-            &mut db,
-            "SELECT id FROM movies m JOIN genres g ON m.id = g.id",
-        )
-        .unwrap_err();
+        let err = run_script(&mut db, "SELECT id FROM movies m JOIN genres g ON m.id = g.id")
+            .unwrap_err();
         assert!(matches!(err, StoreError::Sql(msg) if msg.contains("ambiguous")));
     }
 
@@ -537,8 +518,8 @@ mod tests {
     #[test]
     fn insert_reports_rows_affected() {
         let mut db = seeded();
-        let r = run_script(&mut db, "INSERT INTO genres VALUES (3, 'Drama'), (4, 'SciFi')")
-            .unwrap();
+        let r =
+            run_script(&mut db, "INSERT INTO genres VALUES (3, 'Drama'), (4, 'SciFi')").unwrap();
         assert_eq!(r.rows_affected, 2);
     }
 
@@ -551,14 +532,10 @@ mod tests {
     #[test]
     fn update_rewrites_matching_rows() {
         let mut db = seeded();
-        let r = run_script(
-            &mut db,
-            "UPDATE movies SET budget = 5.0 WHERE budget IS NULL",
-        )
-        .unwrap();
+        let r = run_script(&mut db, "UPDATE movies SET budget = 5.0 WHERE budget IS NULL").unwrap();
         assert_eq!(r.rows_affected, 1);
-        let check = run_script(&mut db, "SELECT budget FROM movies WHERE title = 'Brazil'")
-            .unwrap();
+        let check =
+            run_script(&mut db, "SELECT budget FROM movies WHERE title = 'Brazil'").unwrap();
         assert_eq!(check.rows[0][0], Value::Float(5.0));
     }
 

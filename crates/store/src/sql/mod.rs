@@ -25,8 +25,8 @@ mod parser;
 mod tokenizer;
 
 pub use ast::{
-    BinOp, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, Select, SelectItem,
-    Statement, Update,
+    BinOp, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, Select, SelectItem, Statement,
+    Update,
 };
 pub use executor::{execute, QueryResult};
 pub use parser::parse_statement;

@@ -380,8 +380,7 @@ mod tests {
 
     #[test]
     fn parse_insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
         let Statement::Insert(ins) = stmt else { panic!("wrong variant") };
         assert_eq!(ins.columns, vec!["a", "b"]);
         assert_eq!(ins.rows.len(), 2);
@@ -446,9 +445,6 @@ mod tests {
     fn column_to_column_comparison() {
         let stmt = parse_statement("SELECT a FROM t WHERE t.a = t.b").unwrap();
         let Statement::Select(sel) = stmt else { panic!("wrong variant") };
-        assert!(matches!(
-            &sel.predicates[0],
-            Expr::Cmp { right: Operand::Col(_), .. }
-        ));
+        assert!(matches!(&sel.predicates[0], Expr::Cmp { right: Operand::Col(_), .. }));
     }
 }

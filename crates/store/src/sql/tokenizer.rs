@@ -51,9 +51,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                         }
                         Some(other) => s.push(other),
                         None => {
-                            return Err(StoreError::Sql(
-                                "unterminated string literal".to_owned(),
-                            ))
+                            return Err(StoreError::Sql("unterminated string literal".to_owned()))
                         }
                     }
                 }
@@ -209,11 +207,7 @@ mod tests {
         let toks = tokenize("m.title").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::Ident("m".into()),
-                Token::Symbol("."),
-                Token::Ident("title".into())
-            ]
+            vec![Token::Ident("m".into()), Token::Symbol("."), Token::Ident("title".into())]
         );
     }
 }

@@ -100,9 +100,7 @@ impl Table {
                     table: self.schema.name.clone(),
                     column: col.name.clone(),
                     expected: col.ty.to_string(),
-                    got: val
-                        .data_type()
-                        .map_or_else(|| "NULL".to_owned(), |t| t.to_string()),
+                    got: val.data_type().map_or_else(|| "NULL".to_owned(), |t| t.to_string()),
                 });
             }
         }
@@ -232,9 +230,7 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let t = table();
-        let err = t
-            .validate_row(&[Value::Int(1), Value::Int(2), Value::Float(0.0)])
-            .unwrap_err();
+        let err = t.validate_row(&[Value::Int(1), Value::Int(2), Value::Float(0.0)]).unwrap_err();
         assert!(matches!(err, StoreError::TypeMismatch { .. }));
     }
 
@@ -248,18 +244,14 @@ mod tests {
     fn duplicate_pk_rejected() {
         let mut t = table();
         t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
-        let err = t
-            .validate_row(&[Value::Int(1), Value::from("b"), Value::Null])
-            .unwrap_err();
+        let err = t.validate_row(&[Value::Int(1), Value::from("b"), Value::Null]).unwrap_err();
         assert!(matches!(err, StoreError::DuplicateKey { .. }));
     }
 
     #[test]
     fn null_pk_rejected() {
         let t = table();
-        let err = t
-            .validate_row(&[Value::Null, Value::from("a"), Value::Null])
-            .unwrap_err();
+        let err = t.validate_row(&[Value::Null, Value::from("a"), Value::Null]).unwrap_err();
         assert!(matches!(err, StoreError::NullKey { .. }));
     }
 
@@ -268,11 +260,8 @@ mod tests {
         let mut t = table();
         t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
         t.push_unchecked(vec![Value::Int(2), Value::from("b"), Value::Null]);
-        let names: Vec<_> = t
-            .column_values_by_name("name")
-            .unwrap()
-            .filter_map(Value::as_text)
-            .collect();
+        let names: Vec<_> =
+            t.column_values_by_name("name").unwrap().filter_map(Value::as_text).collect();
         assert_eq!(names, vec!["a", "b"]);
         assert!(t.column_values_by_name("bogus").is_err());
     }

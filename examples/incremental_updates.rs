@@ -30,18 +30,10 @@ fn main() {
                                     'en', 50000000.0, 90000000.0, 7.5)",
     )
     .expect("insert movie");
-    db.insert(
-        "movie_genre",
-        vec![Value::Int(100001), Value::Int(1)],
-    )
-    .expect("link genre");
+    db.insert("movie_genre", vec![Value::Int(100001), Value::Int(1)]).expect("link genre");
     db.insert(
         "reviews",
-        vec![
-            Value::Int(900001),
-            Value::from("g0w1 g0w7 x0w2 fresh r900001"),
-            Value::Int(100001),
-        ],
+        vec![Value::Int(900001), Value::from("g0w1 g0w7 x0w2 fresh r900001"), Value::Int(100001)],
     )
     .expect("insert review");
 
@@ -61,13 +53,8 @@ fn main() {
     let drift = out.embeddings.max_abs_diff(&cold.embeddings);
     println!("max deviation from cold recompute: {drift:.4}");
 
-    let new_movie = out
-        .catalog
-        .lookup("movies", "title", "g0w1 g5w3 m100001")
-        .expect("new movie in catalog");
+    let new_movie =
+        out.catalog.lookup("movies", "title", "g0w1 g5w3 m100001").expect("new movie in catalog");
     let (id, score) = out.nearest(new_movie, 1)[0];
-    println!(
-        "new movie's closest value: {:?} ({score:+.3})",
-        out.catalog.text(id)
-    );
+    println!("new movie's closest value: {:?} ({score:+.3})", out.catalog.text(id));
 }

@@ -15,14 +15,16 @@ use retro::eval::tasks::link::{run_link_prediction, EdgeSample, LinkProfile};
 use retro::eval::{EmbeddingKind, EmbeddingSuite, SuiteConfig};
 
 fn main() {
-    let data = TmdbDataset::generate(TmdbConfig { n_movies: 300, ..TmdbConfig::default() });
+    // 600 movies, matching fig14: below ~500 the ablated-relation signal
+    // is too thin for RN to separate reliably (RO degrades more slowly).
+    let data = TmdbDataset::generate(TmdbConfig { n_movies: 600, ..TmdbConfig::default() });
 
     // Ablate the relation we want to predict.
     let suite = EmbeddingSuite::build(
         &data.db,
         &data.base,
         &SuiteConfig::default().skip_relation("genres.name"),
-        &[EmbeddingKind::Pv, EmbeddingKind::Rn],
+        &[EmbeddingKind::Pv, EmbeddingKind::Ro, EmbeddingKind::Rn],
     );
 
     // Candidate edges: all true pairs + equally many sampled negatives.
@@ -32,10 +34,8 @@ fn main() {
         .iter()
         .map(|t| suite.catalog.lookup("movies", "title", t).expect("title"))
         .collect();
-    let genre_rows: Vec<usize> = GENRES
-        .iter()
-        .map(|g| suite.catalog.lookup("genres", "name", g).expect("genre"))
-        .collect();
+    let genre_rows: Vec<usize> =
+        GENRES.iter().map(|g| suite.catalog.lookup("genres", "name", g).expect("genre")).collect();
     let mut edges = Vec::new();
     for (m, genres) in data.movie_genres.iter().enumerate() {
         for &g in genres {
@@ -55,7 +55,7 @@ fn main() {
     let test_n = edges.len() * 3 / 10;
     println!("{} candidate edges ({n_pos} true), train {train_n} / test {test_n}", edges.len());
 
-    for kind in [EmbeddingKind::Pv, EmbeddingKind::Rn] {
+    for kind in [EmbeddingKind::Pv, EmbeddingKind::Ro, EmbeddingKind::Rn] {
         let matrix = suite.matrix(kind);
         let sources = matrix.select_rows(&movie_rows);
         let targets = matrix.select_rows(&genre_rows);
@@ -65,12 +65,15 @@ fn main() {
             &edges,
             train_n,
             test_n,
-            2,
+            5,
             &LinkProfile::fast(64),
             5,
         );
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
         println!("{}: link-prediction accuracy {:.3}", kind.label(), mean);
     }
-    println!("expected: RN clearly above PV — relational retrofitting encodes the schema");
+    println!(
+        "expected: RO clearly above PV, RN in between — relational retrofitting \
+         encodes the ablated schema edge (fig14_link_prediction runs the full comparison)"
+    );
 }

@@ -38,14 +38,10 @@ fn main() {
     let (missing, known) = ids.split_at(n_missing);
 
     let row_of = |m: usize| {
-        suite
-            .catalog
-            .lookup("movies", "title", &data.movie_titles[m])
-            .expect("title in catalog")
+        suite.catalog.lookup("movies", "title", &data.movie_titles[m]).expect("title in catalog")
     };
-    let label_of = |m: usize| {
-        languages.iter().position(|l| *l == data.movie_language[m]).expect("language")
-    };
+    let label_of =
+        |m: usize| languages.iter().position(|l| *l == data.movie_language[m]).expect("language");
 
     let train_rows: Vec<usize> = known.iter().map(|&m| row_of(m)).collect();
     let x_train = gather_normalized(matrix, &train_rows);

@@ -41,33 +41,20 @@ fn main() {
     // 3) Retrofit: one call learns a vector for EVERY text value in the
     //    database — including 'terry gilliam', who has no word vector at
     //    all (out-of-vocabulary) and is positioned purely relationally.
-    let output = Retro::new(RetroConfig::default())
-        .retrofit(&db, &base)
-        .expect("retrofit");
+    let output = Retro::new(RetroConfig::default()).retrofit(&db, &base).expect("retrofit");
 
-    println!(
-        "learned {} embeddings of dim {}",
-        output.embeddings.rows(),
-        output.embeddings.cols()
-    );
+    println!("learned {} embeddings of dim {}", output.embeddings.rows(), output.embeddings.cols());
 
     // 4) Query: nearest neighbours of a movie among all text values.
     let alien = output.catalog.lookup("movies", "title", "alien").expect("alien");
     println!("\nnearest neighbours of movies.title = 'alien':");
     for (id, score) in output.nearest(alien, 4) {
         let cat = &output.catalog.categories()[output.catalog.category_of(id) as usize];
-        println!(
-            "  {score:+.3}  {}.{} = {:?}",
-            cat.table,
-            cat.column,
-            output.catalog.text(id)
-        );
+        println!("  {score:+.3}  {}.{} = {:?}", cat.table, cat.column, output.catalog.text(id));
     }
 
     // 5) The OOV director got a meaningful vector from his movie.
-    let gilliam = output
-        .vector("persons", "name", "terry gilliam")
-        .expect("terry gilliam vector");
+    let gilliam = output.vector("persons", "name", "terry gilliam").expect("terry gilliam vector");
     let brazil = output.vector("movies", "title", "brazil").expect("brazil vector");
     println!(
         "\ncosine(terry gilliam, brazil) = {:+.3}  (OOV director placed via relations)",

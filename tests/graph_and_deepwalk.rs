@@ -9,11 +9,7 @@ use retro::graph::WalkConfig;
 use retro::linalg::vector;
 
 fn problem() -> (TmdbDataset, RetrofitProblem) {
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 80,
-        dim: 16,
-        ..TmdbConfig::default()
-    });
+    let data = TmdbDataset::generate(TmdbConfig { n_movies: 80, dim: 16, ..TmdbConfig::default() });
     let p = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
     (data, p)
 }
@@ -67,29 +63,18 @@ fn deepwalk_separates_genres_through_graph_structure() {
     }
     let shared_mean = shared / n_shared.max(1) as f32;
     let disjoint_mean = disjoint / n_disjoint.max(1) as f32;
-    assert!(
-        shared_mean > disjoint_mean,
-        "shared-genre {shared_mean} vs disjoint {disjoint_mean}"
-    );
+    assert!(shared_mean > disjoint_mean, "shared-genre {shared_mean} vs disjoint {disjoint_mean}");
 }
 
 #[test]
 fn ablated_relation_disconnects_genre_nodes() {
     // §5.7's DW failure mode: with movie_genre removed, genre text nodes
     // keep only their single category edge.
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 40,
-        dim: 8,
-        ..TmdbConfig::default()
-    });
+    let data = TmdbDataset::generate(TmdbConfig { n_movies: 40, dim: 8, ..TmdbConfig::default() });
     let p = RetrofitProblem::build(&data.db, &data.base, &[], &["genres.name"]);
     let g = generate_graph(&p.catalog, &p.groups);
     for genre in retro::datasets::tmdb::GENRES {
         let id = p.catalog.lookup("genres", "name", genre).unwrap();
-        assert_eq!(
-            g.graph.degree(id),
-            1,
-            "genre `{genre}` should only keep its category edge"
-        );
+        assert_eq!(g.graph.degree(id), 1, "genre `{genre}` should only keep its category edge");
     }
 }

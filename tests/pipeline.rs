@@ -79,20 +79,12 @@ fn relation_ablation_removes_edges_but_keeps_values() {
         .unwrap();
     assert_eq!(full.catalog.len(), ablated.catalog.len());
     assert!(ablated.problem.groups.len() < full.problem.groups.len());
-    assert!(ablated
-        .problem
-        .groups
-        .iter()
-        .all(|g| !g.name.contains("genres.name")));
+    assert!(ablated.problem.groups.iter().all(|g| !g.name.contains("genres.name")));
 }
 
 #[test]
 fn suite_concatenation_has_consistent_ids() {
-    let data = TmdbDataset::generate(TmdbConfig {
-        n_movies: 60,
-        dim: 16,
-        ..TmdbConfig::default()
-    });
+    let data = TmdbDataset::generate(TmdbConfig { n_movies: 60, dim: 16, ..TmdbConfig::default() });
     let suite = EmbeddingSuite::build(
         &data.db,
         &data.base,
@@ -125,9 +117,7 @@ fn gplay_pipeline_reaches_category_signal() {
     let suite = EmbeddingSuite::build(
         &data.db,
         &data.base,
-        &SuiteConfig::default()
-            .skip_column("categories", "name")
-            .skip_column("genres", "name"),
+        &SuiteConfig::default().skip_column("categories", "name").skip_column("genres", "name"),
         &[EmbeddingKind::Pv, EmbeddingKind::Rn],
     );
     // Apps of the same category should be more similar under RN than PV
@@ -156,8 +146,5 @@ fn gplay_pipeline_reaches_category_signal() {
     };
     let pv_margin = mean_same_cat(EmbeddingKind::Pv);
     let rn_margin = mean_same_cat(EmbeddingKind::Rn);
-    assert!(
-        rn_margin > pv_margin,
-        "RN category margin {rn_margin} must exceed PV {pv_margin}"
-    );
+    assert!(rn_margin > pv_margin, "RN category margin {rn_margin} must exceed PV {pv_margin}");
 }

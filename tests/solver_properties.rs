@@ -27,7 +27,14 @@ fn build_problem(
     for k in 0..n_sources {
         catalog.intern(ca, &format!("s{k}"));
         tokens.push(format!("s{k}"));
-        vectors.push(coords[(k * dim) % coords.len().max(1)..].iter().chain(coords.iter().cycle()).take(dim).copied().collect());
+        vectors.push(
+            coords[(k * dim) % coords.len().max(1)..]
+                .iter()
+                .chain(coords.iter().cycle())
+                .take(dim)
+                .copied()
+                .collect(),
+        );
     }
     for k in 0..n_targets {
         catalog.intern(cb, &format!("t{k}"));
@@ -45,13 +52,8 @@ fn build_problem(
         .into_iter()
         .map(|(i, j)| ((i % n_sources) as u32, (n_sources + j % n_targets) as u32))
         .collect();
-    let groups = vec![RelationGroup::new(
-        "t.a~t.b".into(),
-        ca,
-        cb,
-        RelationKind::RowWise,
-        edge_ids,
-    )];
+    let groups =
+        vec![RelationGroup::new("t.a~t.b".into(), ca, cb, RelationKind::RowWise, edge_ids)];
     let base = EmbeddingSet::new(tokens, vectors);
     RetrofitProblem::from_parts(catalog, groups, &base)
 }
@@ -129,6 +131,61 @@ proptest! {
         let w = solve_mf(&p, 20);
         let out = w.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
         prop_assert!(out <= bound + 1e-5, "escaped hull: {out} > {bound}");
+    }
+
+    #[test]
+    fn ro_loss_is_non_increasing_across_iterations(
+        edges in prop::collection::vec((0usize..6, 0usize..5), 1..12),
+        coords in prop::collection::vec(-1.0f32..1.0, 6),
+        alpha in 2.0f32..8.0,
+        beta in 0.0f32..1.0,
+        gamma in 0.1f32..2.0,
+        delta in 0.0f32..0.5,
+    ) {
+        // Under a convex configuration (Eq. 24), each extra RO iteration is
+        // a further step of the same fixed-point descent, so Ψ evaluated at
+        // the k-iteration output is non-increasing in k. RN is deliberately
+        // not asserted here: its row normalization optimizes the §4.2
+        // normalized series, not Ψ, and random bipartite problems routinely
+        // produce Ψ increases (and even non-convergent oscillations) for it.
+        let p = build_problem(6, 5, edges, coords);
+        let params = Hyperparameters::new(alpha, beta, gamma, delta);
+        let check = check_convexity(&p.groups, &p.relation_counts, &params, p.len());
+        prop_assume!(check.convex);
+        let mut prev = f64::INFINITY;
+        for iters in [1usize, 2, 4, 8, 15] {
+            let w = solve_ro(&p, &params, iters);
+            let loss = evaluate_loss(&p, &params, &w).total();
+            prop_assert!(
+                loss <= prev + 1e-4,
+                "iters {iters}: loss rose {prev} -> {loss}"
+            );
+            prev = loss;
+        }
+    }
+
+    #[test]
+    fn rn_iterates_are_normalized_and_finite_at_every_prefix(
+        edges in prop::collection::vec((0usize..6, 0usize..5), 1..12),
+        coords in prop::collection::vec(-1.0f32..1.0, 6),
+        gamma in 0.5f32..4.0,
+        delta in 0.0f32..2.0,
+    ) {
+        // The guarantee RN does give (§4.2): normalization bounds the series
+        // at every iteration count, not just the final one.
+        let p = build_problem(6, 5, edges, coords);
+        let params = Hyperparameters::new(1.0, 0.5, gamma, delta);
+        for iters in [1usize, 2, 4, 8] {
+            let w = solve_rn(&p, &params, iters);
+            for r in 0..w.rows() {
+                let norm = vector::norm(w.row(r));
+                prop_assert!(norm.is_finite(), "iters {iters} row {r}: non-finite norm");
+                prop_assert!(
+                    norm < 1e-4 || (norm - 1.0).abs() < 1e-4,
+                    "iters {iters} row {r}: norm {norm}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,13 +27,7 @@ fn sql_built_schema_feeds_retrofitting() {
     let db = seeded_db();
     let base = EmbeddingSet::new(
         vec!["alien".into(), "brazil".into(), "amelie".into(), "horror".into(), "comedy".into()],
-        vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.3, 0.7],
-            vec![0.9, 0.1],
-            vec![0.1, 0.9],
-        ],
+        vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.3, 0.7], vec![0.9, 0.1], vec![0.1, 0.9]],
     );
     let out = Retro::new(RetroConfig::default()).retrofit(&db, &base).unwrap();
     assert_eq!(out.embeddings.rows(), 5);

@@ -1,0 +1,213 @@
+//! Offline shim for the slice of the `criterion` API the workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` (with `&str` or [`BenchmarkId`] ids), `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: per benchmark, one warm-up call
+//! then `sample_size` timed runs, reporting mean / min / max wall time.
+//! When invoked by `cargo test` (which passes `--test` to `harness =
+//! false` bench targets) each benchmark body runs **once** as a smoke
+//! test, mirroring real criterion's test mode.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// In test mode each body runs once, untimed.
+    test_mode: bool,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed runs each benchmark takes (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {label} ... ok (ran once)");
+        } else {
+            report(&label, &bencher.durations);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().unwrap();
+    let max = durations.iter().max().unwrap();
+    println!(
+        "{label:<50} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   n {}",
+        durations.len()
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness = false bench binaries with
+        // `--test`; `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function(BenchmarkId::new("count", 1), |b| b.iter(|| calls += 1));
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0usize;
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("csr", 64).into_benchmark_id(), "csr/64");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

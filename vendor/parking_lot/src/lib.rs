@@ -1,0 +1,134 @@
+//! Offline shim for the subset of `parking_lot` used in this workspace:
+//! [`RwLock`] with the no-poisoning API (`read`/`write` return guards
+//! directly). Backed by `std::sync::RwLock`; a poisoned inner lock is
+//! recovered with `into_inner`, matching parking_lot's behaviour of not
+//! propagating panics through the lock.
+
+use std::sync::{self, TryLockError};
+
+/// Reader-writer lock whose `read`/`write` never return poison errors.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared read guard; derefs to `T`.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive write guard; derefs (mutably) to `T`.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard { inner }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard { inner }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(inner) => Some(RwLockReadGuard { inner }),
+            Err(TryLockError::Poisoned(e)) => Some(RwLockReadGuard { inner: e.into_inner() }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(inner) => Some(RwLockWriteGuard { inner }),
+            Err(TryLockError::Poisoned(e)) => Some(RwLockWriteGuard { inner: e.into_inner() }),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_read() {
+            Some(guard) => f.debug_struct("RwLock").field("data", &&*guard).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_round_trip() {
+        let lock = RwLock::new(1);
+        *lock.write() += 41;
+        assert_eq!(*lock.read(), 42);
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let lock = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = lock.clone();
+                std::thread::spawn(move || l.read().len())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn try_write_blocks_under_reader() {
+        let lock = RwLock::new(0);
+        let _guard = lock.read();
+        assert!(lock.try_write().is_none());
+        assert!(lock.try_read().is_some());
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline shim for the sliver of `serde` this workspace uses: a
+//! [`Serialize`] trait (plus `#[derive(Serialize)]`) that renders a value
+//! into a self-describing [`ser::Content`] tree, which `serde_json`
+//! (also shimmed) prints. The real serde's visitor architecture is
+//! deliberately skipped — report structs here are small and only ever
+//! serialized to JSON.
+
+// Let the `::serde::...` paths emitted by the derive macro resolve when
+// the deriving code lives inside this crate (e.g. the tests below).
+extern crate self as serde;
+
+pub mod ser {
+    /// Self-describing serialized value tree.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Content {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        Str(String),
+        Seq(Vec<Content>),
+        /// Field order is preserved (maps come from struct derives).
+        Map(Vec<(String, Content)>),
+    }
+}
+
+/// Types renderable into a [`ser::Content`] tree.
+pub trait Serialize {
+    fn to_content(&self) -> ser::Content;
+}
+
+pub use serde_derive::Serialize;
+
+use ser::Content;
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::Content;
+    use super::Serialize;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3usize.to_content(), Content::U64(3));
+        assert_eq!((-2i64).to_content(), Content::I64(-2));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!(Option::<u32>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn sequences_nest() {
+        let v = vec![vec![1u32], vec![2, 3]];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![
+                Content::Seq(vec![Content::U64(1)]),
+                Content::Seq(vec![Content::U64(2), Content::U64(3)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_emits_ordered_map() {
+        #[derive(Serialize)]
+        struct Point {
+            x: f64,
+            y: f64,
+            tag: String,
+        }
+        let content = Point { x: 1.0, y: 2.0, tag: "p".into() }.to_content();
+        assert_eq!(
+            content,
+            Content::Map(vec![
+                ("x".into(), Content::F64(1.0)),
+                ("y".into(), Content::F64(2.0)),
+                ("tag".into(), Content::Str("p".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_handles_lifetimes_and_type_params() {
+        #[derive(Serialize)]
+        struct Doc<'a, T> {
+            title: &'a str,
+            rows: &'a [T],
+        }
+        let rows = vec![1u32, 2];
+        let content = Doc { title: "t", rows: &rows }.to_content();
+        assert_eq!(
+            content,
+            Content::Map(vec![
+                ("title".into(), Content::Str("t".into())),
+                ("rows".into(), Content::Seq(vec![Content::U64(1), Content::U64(2)])),
+            ])
+        );
+    }
+}

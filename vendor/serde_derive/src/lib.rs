@@ -1,0 +1,220 @@
+//! Offline shim for `#[derive(Serialize)]` — hand-parses the item token
+//! stream (no `syn`/`quote` in the container) and emits an impl of the
+//! shimmed `serde::Serialize` trait that renders the struct as an ordered
+//! `Content::Map`.
+//!
+//! Supported shape: structs with named fields, with optional lifetime
+//! parameters and optional unbounded type parameters (each type parameter
+//! gets a `: ::serde::Serialize` bound in the emitted impl). Enums, tuple
+//! structs, const generics, and bounded/`where`-claused generics are
+//! rejected with a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// One parsed generic parameter: `'a` or `T`.
+enum GenericParam {
+    Lifetime(String),
+    Type(String),
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            return Err("serde shim: #[derive(Serialize)] supports only structs".into())
+        }
+        other => return Err(format!("serde shim: expected `struct`, found {other:?}")),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim: expected struct name, found {other:?}")),
+    };
+
+    // Generics: collect the raw parameter list between < and >.
+    let mut generics: Vec<GenericParam> = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut params_raw: Vec<Vec<TokenTree>> = Vec::new();
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    params_raw.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+            current.push(tt);
+        }
+        if !current.is_empty() {
+            params_raw.push(current);
+        }
+        for param in params_raw {
+            if param.iter().any(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':')) {
+                return Err("serde shim: bounded generic parameters are not supported".into());
+            }
+            match &param[..] {
+                [TokenTree::Punct(p), TokenTree::Ident(id)] if p.as_char() == '\'' => {
+                    generics.push(GenericParam::Lifetime(format!("'{id}")));
+                }
+                [TokenTree::Ident(id)] if id.to_string() == "const" => {
+                    return Err("serde shim: const generics are not supported".into())
+                }
+                [TokenTree::Ident(id)] => generics.push(GenericParam::Type(id.to_string())),
+                _ => return Err("serde shim: unsupported generic parameter shape".into()),
+            }
+        }
+    }
+
+    // Field block.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                return Err("serde shim: `where` clauses are not supported".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err("serde shim: unit structs are not supported".into())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("serde shim: tuple structs are not supported".into())
+            }
+            Some(_) => continue,
+            None => return Err("serde shim: struct has no field block".into()),
+        }
+    };
+
+    let fields = parse_named_fields(body.stream())?;
+    if fields.is_empty() {
+        return Err("serde shim: struct has no named fields".into());
+    }
+
+    // Assemble the impl.
+    let params: Vec<String> = generics
+        .iter()
+        .map(|g| match g {
+            GenericParam::Lifetime(l) => l.clone(),
+            GenericParam::Type(t) => t.clone(),
+        })
+        .collect();
+    let generics_decl =
+        if params.is_empty() { String::new() } else { format!("<{}>", params.join(", ")) };
+    let bounds: Vec<String> = generics
+        .iter()
+        .filter_map(|g| match g {
+            GenericParam::Type(t) => Some(format!("{t}: ::serde::Serialize")),
+            GenericParam::Lifetime(_) => None,
+        })
+        .collect();
+    let where_clause =
+        if bounds.is_empty() { String::new() } else { format!(" where {}", bounds.join(", ")) };
+
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+            )
+        })
+        .collect();
+
+    let out = format!(
+        "impl{generics_decl} ::serde::Serialize for {name}{generics_decl}{where_clause} {{\n\
+             fn to_content(&self) -> ::serde::ser::Content {{\n\
+                 ::serde::ser::Content::Map(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    );
+    out.parse().map_err(|e| format!("serde shim: generated impl failed to parse: {e:?}"))
+}
+
+/// Pull field names out of a named-field block, skipping attributes,
+/// visibility, and the type after each `:` (tracking `<...>` depth so
+/// commas inside generic types don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    'fields: while tokens.peek().is_some() {
+        // Skip attributes and visibility before the name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("serde shim: expected field name, found {other:?}")),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!("serde shim: expected `:` after `{name}`, found {other:?}"))
+            }
+        }
+        fields.push(name);
+        // Skip the type until a top-level comma.
+        let mut angle_depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break; // last field, no trailing comma
+    }
+    Ok(fields)
+}
