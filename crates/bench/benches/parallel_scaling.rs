@@ -1,18 +1,32 @@
-//! Thread-scaling of the RN solver: serial vs scoped-thread row-partitioned
-//! iteration (bit-identical results, see `solver::parallel`).
+//! Thread-scaling of the RN **and RO** solvers: serial vs scoped-thread
+//! row-partitioned iteration (bit-identical results for every thread count,
+//! see `solver::parallel`).
+//!
+//! By default the benchmark runs at the `Small` preset so `cargo bench`
+//! stays quick. Set `RETRO_PAPER_SCALE=1` to measure at the paper's real
+//! TMDB cardinality (~493k text values) — the size the ISSUE acceptance
+//! numbers refer to; expect minutes per measurement on few cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use retro_core::solver::{solve_rn, solve_rn_parallel};
+use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
 use retro_core::{Hyperparameters, RetrofitProblem};
-use retro_datasets::{TmdbConfig, TmdbDataset};
+use retro_datasets::{SizePreset, TmdbConfig, TmdbDataset};
+
+fn build_problem() -> (RetrofitProblem, &'static str) {
+    let (preset, tag) = if std::env::var_os("RETRO_PAPER_SCALE").is_some() {
+        (SizePreset::Paper, "paper")
+    } else {
+        (SizePreset::Small, "small")
+    };
+    let data = TmdbDataset::generate(TmdbConfig::preset(preset));
+    (RetrofitProblem::build(&data.db, &data.base, &[], &[]), tag)
+}
 
 fn bench_parallel(c: &mut Criterion) {
-    let data =
-        TmdbDataset::generate(TmdbConfig { n_movies: 600, dim: 64, ..TmdbConfig::default() });
-    let problem = RetrofitProblem::build(&data.db, &data.base, &[], &[]);
-    let params = Hyperparameters::paper_rn();
+    let (problem, tag) = build_problem();
 
-    let mut group = c.benchmark_group("rn_parallel_scaling");
+    let params = Hyperparameters::paper_rn();
+    let mut group = c.benchmark_group(format!("rn_parallel_scaling/{tag}"));
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("serial", problem.len()), |b| {
         b.iter(|| solve_rn(&problem, &params, 10))
@@ -20,6 +34,19 @@ fn bench_parallel(c: &mut Criterion) {
     for threads in [2usize, 4, 8] {
         group.bench_function(BenchmarkId::new(format!("threads_{threads}"), problem.len()), |b| {
             b.iter(|| solve_rn_parallel(&problem, &params, 10, threads))
+        });
+    }
+    group.finish();
+
+    let params = Hyperparameters::paper_ro();
+    let mut group = c.benchmark_group(format!("ro_parallel_scaling/{tag}"));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("serial", problem.len()), |b| {
+        b.iter(|| solve_ro(&problem, &params, 10))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new(format!("threads_{threads}"), problem.len()), |b| {
+            b.iter(|| solve_ro_parallel(&problem, &params, 10, threads))
         });
     }
     group.finish();

@@ -1,0 +1,136 @@
+//! **Paper-scale profile** — per-phase wall time of the full extraction +
+//! solve pipeline at the paper's real dataset cardinalities (TMDB ~493k
+//! text values, Google Play ~27k; Table 1).
+//!
+//! Phases reported per dataset: synthetic generation, text-value catalog
+//! extraction (§3.3), relation extraction (§3.2), problem assembly (§3.1
+//! tokenization + Eq. 5 centroids), RO solve (sequential and parallel), RN
+//! solve (sequential and parallel). Parallel solves are bit-identical to
+//! the sequential ones — the speedup column is pure wall-time.
+//!
+//! ```text
+//! cargo run --release -p retro-bench --bin paper_scale_profile \
+//!     [--preset paper|small] [--threads 8] [--iterations 10]
+//! ```
+//!
+//! The JSON report lands in `results/paper_scale_profile.json`; the README
+//! "Performance" section has a table template for recording machine
+//! results.
+
+use retro_bench::{arg_num, arg_value, time, write_report, ReportRow};
+use retro_core::relations::extract_relations;
+use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
+use retro_core::{Hyperparameters, RetrofitProblem, TextValueCatalog};
+use retro_datasets::{GooglePlayConfig, GooglePlayDataset, SizePreset, TmdbConfig, TmdbDataset};
+use retro_embed::EmbeddingSet;
+use retro_store::Database;
+
+struct Phase {
+    name: &'static str,
+    secs: f64,
+}
+
+fn profile_pipeline(
+    label: &str,
+    db: &Database,
+    base: &EmbeddingSet,
+    iterations: usize,
+    threads: usize,
+) -> Vec<Phase> {
+    let mut phases = Vec::new();
+
+    let (catalog, secs) = time(|| TextValueCatalog::extract(db, &[]));
+    println!("  {label}: catalog extraction       {secs:>9.3}s  ({} text values)", catalog.len());
+    phases.push(Phase { name: "catalog_extraction", secs });
+
+    let (groups, secs) = time(|| extract_relations(db, &catalog, &[]));
+    println!("  {label}: relation extraction      {secs:>9.3}s  ({} groups)", groups.len());
+    phases.push(Phase { name: "relation_extraction", secs });
+
+    let (problem, secs) = time(|| RetrofitProblem::from_parts(catalog, groups, base));
+    println!("  {label}: problem assembly         {secs:>9.3}s  (dim {})", problem.dim());
+    phases.push(Phase { name: "problem_assembly", secs });
+
+    let ro = Hyperparameters::paper_ro();
+    // Warmup: first contact with the freshly assembled problem pays page
+    // faults and cache misses that would otherwise be billed to whichever
+    // solve happens to run first.
+    let _ = solve_ro(&problem, &ro, 1);
+    let (w_seq, ro_seq) = time(|| solve_ro(&problem, &ro, iterations));
+    println!("  {label}: RO solve (1 thread)      {ro_seq:>9.3}s");
+    phases.push(Phase { name: "ro_solve_sequential", secs: ro_seq });
+
+    let (w_par, ro_par) = time(|| solve_ro_parallel(&problem, &ro, iterations, threads));
+    println!(
+        "  {label}: RO solve ({threads} threads)     {ro_par:>9.3}s  (speedup {:.2}x)",
+        ro_seq / ro_par.max(1e-9)
+    );
+    phases.push(Phase { name: "ro_solve_parallel", secs: ro_par });
+    assert_eq!(
+        w_seq.max_abs_diff(&w_par),
+        0.0,
+        "parallel RO diverged from sequential — determinism invariant broken"
+    );
+
+    let rn = Hyperparameters::paper_rn();
+    let (_, rn_seq) = time(|| solve_rn(&problem, &rn, iterations));
+    println!("  {label}: RN solve (1 thread)      {rn_seq:>9.3}s");
+    phases.push(Phase { name: "rn_solve_sequential", secs: rn_seq });
+
+    let (_, rn_par) = time(|| solve_rn_parallel(&problem, &rn, iterations, threads));
+    println!(
+        "  {label}: RN solve ({threads} threads)     {rn_par:>9.3}s  (speedup {:.2}x)",
+        rn_seq / rn_par.max(1e-9)
+    );
+    phases.push(Phase { name: "rn_solve_parallel", secs: rn_par });
+
+    phases
+}
+
+fn main() {
+    let preset = SizePreset::from_name(&arg_value("preset", "paper")).unwrap_or_else(|| {
+        eprintln!("unknown --preset (expected `small` or `paper`); using paper");
+        SizePreset::Paper
+    });
+    let default_threads =
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1).clamp(1, 8);
+    let threads: usize = arg_num("threads", default_threads);
+    let iterations: usize = arg_num("iterations", 10);
+
+    println!("== Paper-scale extraction + solve profile ==");
+    println!("preset: {preset}   threads: {threads}   iterations: {iterations}");
+
+    let mut rows = Vec::new();
+
+    println!("\n-- TMDB ({preset}) --");
+    let (tmdb, secs) = time(|| TmdbDataset::generate(TmdbConfig::preset(preset)));
+    println!(
+        "  tmdb: generation               {secs:>9.3}s  ({} movies, {} tables)",
+        tmdb.movie_titles.len(),
+        tmdb.db.table_count()
+    );
+    rows.push(ReportRow::from_samples("tmdb/generation", &[secs]));
+    for phase in profile_pipeline("tmdb", &tmdb.db, &tmdb.base, iterations, threads) {
+        rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
+    }
+    drop(tmdb);
+
+    println!("\n-- Google Play ({preset}) --");
+    let (gplay, secs) = time(|| GooglePlayDataset::generate(GooglePlayConfig::preset(preset)));
+    println!(
+        "  gplay: generation              {secs:>9.3}s  ({} apps, {} tables)",
+        gplay.app_names.len(),
+        gplay.db.table_count()
+    );
+    rows.push(ReportRow::from_samples("gplay/generation", &[secs]));
+    for phase in profile_pipeline("gplay", &gplay.db, &gplay.base, iterations, threads) {
+        rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
+    }
+
+    let path = write_report(
+        "paper_scale_profile",
+        &format!("Paper-scale profile ({preset}, {threads} threads)"),
+        &rows,
+    );
+    println!("\nreport: {}", path.display());
+}

@@ -8,7 +8,7 @@ use retro_store::Database;
 use crate::catalog::TextValueCatalog;
 use crate::hyper::{check_convexity, Hyperparameters, ParamCheck};
 use crate::problem::RetrofitProblem;
-use crate::solver::{solve_mf, solve_rn, solve_ro};
+use crate::solver::{solve_mf, solve_rn_parallel, solve_ro_parallel};
 
 /// Which retrofitting algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,10 +54,13 @@ impl Default for RetroConfig {
 
 impl RetroConfig {
     /// Select the solver (RO defaults its hyperparameters to the paper's RO
-    /// setting when the current parameters are still the RN default).
+    /// setting when the current parameters are still the RN default; a
+    /// previously chosen thread count is preserved).
     pub fn with_solver(mut self, solver: Solver) -> Self {
-        if solver == Solver::Ro && self.params == Hyperparameters::paper_rn() {
-            self.params = Hyperparameters::paper_ro();
+        if solver == Solver::Ro
+            && (Hyperparameters { threads: 1, ..self.params }) == Hyperparameters::paper_rn()
+        {
+            self.params = Hyperparameters::paper_ro().with_threads(self.params.threads);
         }
         self.solver = solver;
         self
@@ -165,10 +168,19 @@ impl Retro {
 
     /// Solve an already-assembled problem (used by incremental updates and
     /// the toy examples).
+    ///
+    /// RO and RN honour [`Hyperparameters::threads`]; both parallel paths
+    /// are bit-identical to their sequential counterparts, so the thread
+    /// count never changes the output, only the wall time.
     pub fn solve(&self, problem: RetrofitProblem) -> RetroOutput {
+        let params = &self.config.params;
         let embeddings = match self.config.solver {
-            Solver::Ro => solve_ro(&problem, &self.config.params, self.config.iterations),
-            Solver::Rn => solve_rn(&problem, &self.config.params, self.config.iterations),
+            Solver::Ro => {
+                solve_ro_parallel(&problem, params, self.config.iterations, params.threads)
+            }
+            Solver::Rn => {
+                solve_rn_parallel(&problem, params, self.config.iterations, params.threads)
+            }
             // The paper runs MF with 20 iterations and its own standard
             // parameters regardless of the RETRO configuration.
             Solver::Mf => solve_mf(&problem, 20),
@@ -248,6 +260,18 @@ mod tests {
         let config = RetroConfig::default().with_solver(Solver::Ro);
         assert_eq!(config.params, Hyperparameters::paper_ro());
     }
+
+    #[test]
+    fn with_solver_preserves_chosen_thread_count() {
+        let config = RetroConfig::default()
+            .with_params(Hyperparameters::paper_rn().with_threads(8))
+            .with_solver(Solver::Ro);
+        assert_eq!(config.params, Hyperparameters::paper_ro().with_threads(8));
+    }
+
+    // The end-to-end invariance of the thread knob (identical output for
+    // any `threads` value, both solvers) is pinned by the root integration
+    // suite `tests/solver_determinism.rs`.
 
     #[test]
     fn relations_shape_the_neighbourhood() {

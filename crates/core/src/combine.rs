@@ -24,7 +24,7 @@ pub fn concat_raw(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Row-wise weighted average of two equal-dimension embeddings — the main
-/// alternative combination method considered in the literature ([14] in the
+/// alternative combination method considered in the literature (\[14\] in the
 /// paper); exposed for the combination ablation bench.
 pub fn average(a: &Matrix, b: &Matrix, weight_a: f32) -> Matrix {
     assert_eq!(a.shape(), b.shape(), "average: shape mismatch");

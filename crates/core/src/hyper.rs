@@ -13,7 +13,7 @@
 
 use crate::relations::RelationGroup;
 
-/// The four global hyperparameters.
+/// The four global hyperparameters, plus one execution knob.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Hyperparameters {
     /// Anchor weight to the original vector `v'ᵢ`.
@@ -24,20 +24,25 @@ pub struct Hyperparameters {
     pub gamma: f32,
     /// Relational repulsion weight.
     pub delta: f32,
+    /// Worker threads for the solvers (execution knob, not part of the
+    /// paper's Eq. 12–14; `1` = sequential). Both RO and RN produce
+    /// bit-identical results for every thread count, so this only trades
+    /// wall time — never output.
+    pub threads: usize,
 }
 
 impl Default for Hyperparameters {
     /// The paper's series-approach configuration for the ML tasks
-    /// (α=1, β=0, γ=3, δ=1, §5.2).
+    /// (α=1, β=0, γ=3, δ=1, §5.2), single-threaded.
     fn default() -> Self {
-        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 1.0 }
+        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 1.0, threads: 1 }
     }
 }
 
 impl Hyperparameters {
     /// The paper's RO configuration (α=1, β=0, γ=3, δ=3, §5.2).
     pub fn paper_ro() -> Self {
-        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 3.0 }
+        Self { alpha: 1.0, beta: 0.0, gamma: 3.0, delta: 3.0, threads: 1 }
     }
 
     /// The paper's RN configuration (α=1, β=0, γ=3, δ=1, §5.2).
@@ -45,9 +50,22 @@ impl Hyperparameters {
         Self::default()
     }
 
-    /// Shorthand constructor.
+    /// Shorthand constructor (single-threaded; chain
+    /// [`Self::with_threads`] for the parallel solvers).
     pub fn new(alpha: f32, beta: f32, gamma: f32, delta: f32) -> Self {
-        Self { alpha, beta, gamma, delta }
+        Self { alpha, beta, gamma, delta, threads: 1 }
+    }
+
+    /// Set the solver worker-thread count (values ≤ 1 mean sequential).
+    ///
+    /// ```
+    /// use retro_core::Hyperparameters;
+    /// let params = Hyperparameters::paper_ro().with_threads(8);
+    /// assert_eq!(params.threads, 8);
+    /// ```
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 

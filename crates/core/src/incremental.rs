@@ -15,8 +15,7 @@ use retro_store::Database;
 use crate::api::{Retro, RetroConfig, RetroError, RetroOutput, Solver};
 use crate::problem::RetrofitProblem;
 use crate::solver::mf::solve_mf;
-use crate::solver::rn::solve_rn_seeded;
-use crate::solver::ro::solve_ro_seeded;
+use crate::solver::parallel::{solve_rn_seeded_parallel, solve_ro_seeded_parallel};
 
 /// A retrofitting session that keeps its last solution for warm starts.
 #[derive(Clone, Debug)]
@@ -93,15 +92,21 @@ impl IncrementalRetro {
         Ok(self.state.as_ref().expect("just set"))
     }
 
-    /// Run the configured solver starting from `warm` instead of `W0`.
+    /// Run the configured solver starting from `warm` instead of `W0`,
+    /// honouring [`crate::Hyperparameters::threads`] like the cold path.
     fn solve_from(&self, problem: &RetrofitProblem, warm: Matrix) -> Matrix {
         let params = &self.engine.config.params;
+        let iters = self.refresh_iterations;
         match self.engine.config.solver {
-            Solver::Ro => solve_ro_seeded(problem, params, self.refresh_iterations, Some(&warm)),
-            Solver::Rn => solve_rn_seeded(problem, params, self.refresh_iterations, Some(&warm)),
+            Solver::Ro => {
+                solve_ro_seeded_parallel(problem, params, iters, Some(&warm), params.threads)
+            }
+            Solver::Rn => {
+                solve_rn_seeded_parallel(problem, params, iters, Some(&warm), params.threads)
+            }
             // MF has no anchor/seed separation worth preserving — a short
             // re-run from W0 is its incremental story.
-            Solver::Mf => solve_mf(problem, self.refresh_iterations),
+            Solver::Mf => solve_mf(problem, iters),
         }
     }
 }

@@ -46,6 +46,8 @@
 //! assert_eq!(output.embeddings.row(id).len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod catalog;
 pub mod combine;

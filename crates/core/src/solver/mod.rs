@@ -9,6 +9,9 @@
 //!   graph.
 //!
 //! All solvers are deterministic and allocate their working matrices once.
+//! Both RETRO solvers also come in row-partitioned multi-threaded flavours
+//! ([`parallel`]) whose results are bit-identical to the sequential entry
+//! points for every thread count.
 
 pub mod mf;
 pub mod parallel;
@@ -16,9 +19,11 @@ pub mod rn;
 pub mod ro;
 
 pub use mf::solve_mf;
-pub use parallel::solve_rn_parallel;
-pub use rn::solve_rn;
-pub use ro::{solve_ro, solve_ro_enumerated};
+pub use parallel::{
+    solve_rn_parallel, solve_rn_seeded_parallel, solve_ro_parallel, solve_ro_seeded_parallel,
+};
+pub use rn::{solve_rn, solve_rn_seeded};
+pub use ro::{solve_ro, solve_ro_enumerated, solve_ro_seeded};
 
 /// Default iteration count (§4.3 "we set it to a fixed number of 20"; the
 /// evaluation trains with 10, which [`crate::RetroConfig`] uses).

@@ -1,19 +1,82 @@
-//! Multi-threaded RN solver.
+//! Multi-threaded solvers (RN and RO).
 //!
 //! The paper measures everything single-threaded (§5.3), but an adopter of
-//! the library wants the cores they paid for. The RN iteration is a sparse
-//! matrix product plus row-local postprocessing, so it partitions cleanly:
-//! each worker computes a disjoint row range of `Γ·W` and the subsequent
-//! add/normalize, while the per-group target centroids (cheap, O(n·D)
-//! total) are computed once per iteration on the coordinating thread.
+//! the library wants the cores they paid for. Both solvers' iterations are
+//! a sparse matrix product plus row-local postprocessing, so they partition
+//! cleanly: each worker computes a disjoint row range of the operator
+//! product and the subsequent per-row update, while the per-group target
+//! sums/centroids (cheap, O(n·D) total) are computed once per iteration on
+//! the coordinating thread.
 //!
-//! Results are bit-identical to [`super::solve_rn`] — the parallelism only
-//! reorders independent row computations.
+//! Results are bit-identical to the sequential [`super::solve_rn`] /
+//! [`super::solve_ro`] — the parallelism only reorders independent row
+//! computations. For RO this is guaranteed structurally: the sequential
+//! entry points and [`solve_ro_parallel`] run the same row-partitioned
+//! kernel (`RoKernel` in `ro.rs`) and differ only in how many threads the
+//! row partition is spread across.
 
 use retro_linalg::{vector, CooMatrix, Matrix};
 
 use crate::hyper::Hyperparameters;
 use crate::problem::RetrofitProblem;
+use crate::solver::ro::{NegativeMode, RoKernel};
+
+/// Run the RO solver with `threads` workers.
+///
+/// Same row-partition shape as [`solve_rn_parallel`]: the Eq. 15 target
+/// sums are hoisted into a serial per-iteration phase, after which every
+/// output row is independent. Results are **bit-identical** to
+/// [`super::solve_ro`] for every thread count — including `threads = 1`,
+/// which runs the row phase inline on the calling thread.
+///
+/// ```
+/// use retro_core::solver::{solve_ro, solve_ro_parallel};
+/// use retro_core::{Hyperparameters, RetrofitProblem};
+/// use retro_embed::EmbeddingSet;
+/// use retro_store::{sql, Database};
+///
+/// let mut db = Database::new();
+/// sql::run_script(&mut db, "
+///     CREATE TABLE countries (id INTEGER PRIMARY KEY, name TEXT);
+///     CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+///                          country_id INTEGER REFERENCES countries(id));
+///     INSERT INTO countries VALUES (1, 'france'), (2, 'usa');
+///     INSERT INTO movies VALUES (1, 'amelie', 1), (2, 'alien', 2);
+/// ").unwrap();
+/// let base = EmbeddingSet::new(
+///     vec!["amelie".into(), "alien".into(), "france".into(), "usa".into()],
+///     vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.9, 0.1], vec![0.1, 0.9]],
+/// );
+/// let problem = RetrofitProblem::build(&db, &base, &[], &[]);
+/// let params = Hyperparameters::paper_ro();
+/// let serial = solve_ro(&problem, &params, 10);
+/// let parallel = solve_ro_parallel(&problem, &params, 10, 4);
+/// assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+/// ```
+pub fn solve_ro_parallel(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    threads: usize,
+) -> Matrix {
+    RoKernel::new(problem, params, NegativeMode::Blanket).run(None, iterations, threads)
+}
+
+/// Run the RO solver with `threads` workers from an explicit starting
+/// matrix (the multi-threaded [`super::solve_ro_seeded`]; used by warm-start
+/// incremental maintenance at scale).
+///
+/// # Panics
+/// Panics if `seed` is `Some` and its shape differs from `(n, dim)`.
+pub fn solve_ro_seeded_parallel(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    seed: Option<&Matrix>,
+    threads: usize,
+) -> Matrix {
+    RoKernel::new(problem, params, NegativeMode::Blanket).run(seed, iterations, threads)
+}
 
 /// Run the RN solver with `threads` workers (values ≤ 1 fall back to the
 /// serial path).
@@ -23,13 +86,31 @@ pub fn solve_rn_parallel(
     iterations: usize,
     threads: usize,
 ) -> Matrix {
+    solve_rn_seeded_parallel(problem, params, iterations, None, threads)
+}
+
+/// Run the RN solver with `threads` workers from an explicit starting
+/// matrix (the multi-threaded [`super::solve_rn_seeded`]; used by
+/// warm-start incremental maintenance).
+///
+/// # Panics
+/// Panics if `seed` is `Some` and its shape differs from `(n, dim)`.
+pub fn solve_rn_seeded_parallel(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    iterations: usize,
+    seed: Option<&Matrix>,
+    threads: usize,
+) -> Matrix {
     if threads <= 1 {
-        return super::solve_rn(problem, params, iterations);
+        return super::solve_rn_seeded(problem, params, iterations, seed);
     }
     let n = problem.len();
     let dim = problem.dim();
-    if n == 0 {
-        return Matrix::zeros(0, dim);
+    if n == 0 || dim == 0 {
+        // dim == 0 would make the row chunks zero-sized (`chunks_mut(0)`
+        // panics); a zero-width result is exact either way.
+        return Matrix::zeros(n, dim);
     }
     let groups = problem.directed_groups(params, false);
     let beta = problem.beta_weights(params);
@@ -66,7 +147,13 @@ pub fn solve_rn_parallel(
     }
 
     let rows_per_chunk = n.div_ceil(threads);
-    let mut w = problem.w0.clone();
+    let mut w = match seed {
+        Some(s) => {
+            assert_eq!(s.shape(), (n, dim), "RN solver: seed shape mismatch");
+            s.clone()
+        }
+        None => problem.w0.clone(),
+    };
     let mut next = Matrix::zeros(n, dim);
     let mut centroids: Vec<Vec<f32>> = vec![vec![0.0; dim]; groups.len()];
 
@@ -178,6 +265,61 @@ mod tests {
         let base = EmbeddingSet::new(vec!["t".into()], vec![vec![0.0]]);
         let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
         let w = solve_rn_parallel(&p, &Hyperparameters::default(), 3, 4);
+        assert_eq!(w.shape(), (0, 1));
+    }
+
+    #[test]
+    fn rn_seeded_parallel_matches_seeded_serial() {
+        let p = problem(12);
+        let params = Hyperparameters::paper_rn();
+        let warm = solve_rn(&p, &params, 3);
+        let serial = crate::solver::solve_rn_seeded(&p, &params, 5, Some(&warm));
+        let parallel = solve_rn_seeded_parallel(&p, &params, 5, Some(&warm), 4);
+        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+    }
+
+    #[test]
+    fn ro_parallel_matches_serial_bit_for_bit() {
+        let p = problem(20);
+        let params = Hyperparameters::paper_ro();
+        let serial = crate::solver::solve_ro(&p, &params, 10);
+        for threads in [1, 2, 3, 8] {
+            let parallel = solve_ro_parallel(&p, &params, 10, threads);
+            assert_eq!(
+                serial.max_abs_diff(&parallel),
+                0.0,
+                "threads={threads} diverged from sequential RO"
+            );
+        }
+    }
+
+    #[test]
+    fn ro_seeded_parallel_matches_seeded_serial() {
+        let p = problem(12);
+        let params = Hyperparameters::paper_ro();
+        let warm = crate::solver::solve_ro(&p, &params, 3);
+        let serial = crate::solver::ro::solve_ro_seeded(&p, &params, 5, Some(&warm));
+        let parallel = solve_ro_seeded_parallel(&p, &params, 5, Some(&warm), 4);
+        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+    }
+
+    #[test]
+    fn zero_dimension_problem_is_handled() {
+        let mut catalog = TextValueCatalog::default();
+        let c = catalog.add_category("a", "x");
+        catalog.intern(c, "v");
+        let base = EmbeddingSet::empty(0);
+        let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
+        assert_eq!(solve_rn_parallel(&p, &Hyperparameters::default(), 3, 4).shape(), (1, 0));
+        assert_eq!(solve_ro_parallel(&p, &Hyperparameters::paper_ro(), 3, 4).shape(), (1, 0));
+    }
+
+    #[test]
+    fn ro_parallel_empty_problem_is_handled() {
+        let catalog = TextValueCatalog::default();
+        let base = EmbeddingSet::new(vec!["t".into()], vec![vec![0.0]]);
+        let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
+        let w = solve_ro_parallel(&p, &Hyperparameters::paper_ro(), 3, 4);
         assert_eq!(w.shape(), (0, 1));
     }
 }

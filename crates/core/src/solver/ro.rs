@@ -12,13 +12,294 @@
 //! `+2δ̂r` re-adds the related vectors that the blanket subtraction of the
 //! target sum `t_r = Σ_{k∈targets(r)} v_k` removed, exactly the algebra of
 //! Eq. 15 — and `D` is the Eq. 10 diagonal of coefficient sums.
+//!
+//! ## One kernel, every execution mode
+//!
+//! All RO entry points ([`solve_ro`], [`solve_ro_seeded`],
+//! [`solve_ro_enumerated`], and
+//! [`solve_ro_parallel`](super::solve_ro_parallel)) run through one shared
+//! row-partitioned kernel (`RoKernel`). The kernel splits each iteration
+//! into
+//!
+//! 1. a cheap **serial phase** — the per-group target sums `t_r` (`O(n·D)`
+//!    total; they read only the previous iterate `W`), and
+//! 2. a **row-partition phase** — `P·W`, the negative term, the constant
+//!    part and the diagonal divide, all *row-local* given the `t_r`.
+//!
+//! Because phase 2 never reads another row of the output, partitioning the
+//! rows across threads reorders nothing: the sequence of floating-point
+//! operations producing any given row is identical for every thread count,
+//! so results are **bit-identical** from 1 to N threads. The sequential
+//! entry points are simply the kernel at `threads = 1`, which is what makes
+//! it impossible for the sequential and parallel paths to drift.
 
-use retro_linalg::{vector, CooMatrix, Matrix};
+use retro_linalg::{vector, CooMatrix, CsrMatrix, Matrix};
 
 use crate::hyper::Hyperparameters;
-use crate::problem::RetrofitProblem;
+use crate::problem::{DirectedGroup, RetrofitProblem};
+
+/// How the kernel computes the Eq. 10 negative (repulsion) term.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum NegativeMode {
+    /// The Eq. 15 optimization: subtract `2δ̂r · t_r` blanket-wise from every
+    /// source and re-add the related vectors through `+2δ̂r` edge weights in
+    /// the positive operator. Cost per iteration:
+    /// `O(Σ_r (|sources(r)|+|targets(r)|)·D)`.
+    Blanket,
+    /// Explicit enumeration of the `Ẽr` pairs — the unoptimized computation
+    /// §4.5 warns about (`|Ẽr| ≫ |Er|`), kept for the Fig. 4 / Table 2
+    /// runtime-shape reproduction. Cost per iteration:
+    /// `O(Σ_r |sources(r)|·|targets(r)|·D)`.
+    Enumerated,
+}
+
+/// The assembled RO iteration: positive operator, diagonal, constant part,
+/// and per-node negative-term plans. Built once per solve; `run` then
+/// iterates with any number of worker threads.
+pub(crate) struct RoKernel<'p> {
+    problem: &'p RetrofitProblem,
+    groups: Vec<DirectedGroup>,
+    /// Positive operator `P` (per-mode edge weights, see [`NegativeMode`]).
+    pos: CsrMatrix,
+    /// The Eq. 10 diagonal `D` of coefficient sums.
+    denom: Vec<f32>,
+    /// Constant part `α·W0 + β·c`.
+    base: Matrix,
+    /// Blanket mode: per node, `(group index, 2δ̂r)` — subtract
+    /// `2δ̂r · t_r` from this node's row (in group order).
+    node_negatives: Vec<Vec<(u32, f32)>>,
+    /// Enumerated mode: per node, `(group index, 2δ̂r, related targets)` —
+    /// subtract `2δ̂r · v_k` for every target `k` of the group that is *not*
+    /// in the node's related list.
+    node_pairs: Vec<Vec<(u32, f32, Vec<u32>)>>,
+    mode: NegativeMode,
+}
+
+impl<'p> RoKernel<'p> {
+    /// Assemble the kernel for one problem/parameter set.
+    pub(crate) fn new(
+        problem: &'p RetrofitProblem,
+        params: &Hyperparameters,
+        mode: NegativeMode,
+    ) -> Self {
+        let n = problem.len();
+        let dim = problem.dim();
+        let groups = problem.directed_groups(params, true);
+        let beta = problem.beta_weights(params);
+
+        // Positive operator P and the constant denominator D.
+        let mut coo = CooMatrix::new(n, n);
+        let mut denom = vec![0.0f32; n];
+        for (i, d) in denom.iter_mut().enumerate() {
+            *d = params.alpha + beta[i];
+        }
+        for dg in &groups {
+            let dh = dg.delta_hat();
+            match mode {
+                NegativeMode::Blanket => {
+                    // Edge weights carry +2δ̂ to re-add what the blanket
+                    // subtraction of t_r removes (Eq. 15).
+                    for &(i, j) in &dg.group.edges {
+                        let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize] + 2.0 * dh;
+                        coo.push(i as usize, j as usize, w);
+                        denom[i as usize] += w;
+                    }
+                    let t_count = dg.targets.len() as f32;
+                    for &s in &dg.sources {
+                        denom[s as usize] -= 2.0 * dh * t_count;
+                    }
+                }
+                NegativeMode::Enumerated => {
+                    // γ weights only; related pairs are skipped exactly in
+                    // the pair sweep, not re-added via the +2δ̂ trick.
+                    for &(i, j) in &dg.group.edges {
+                        let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize];
+                        coo.push(i as usize, j as usize, w);
+                        denom[i as usize] += w;
+                    }
+                    let t_count = dg.targets.len() as f32;
+                    for (&s, &od) in dg.sources.iter().zip(&dg.source_out_degree) {
+                        denom[s as usize] -= 2.0 * dh * (t_count - od as f32);
+                    }
+                }
+            }
+        }
+        let pos = coo.to_csr();
+
+        // Constant part α·W0 + β·c.
+        let mut base = Matrix::zeros(n, dim);
+        for (i, &b) in beta.iter().enumerate() {
+            let row = base.row_mut(i);
+            row.copy_from_slice(problem.w0.row(i));
+            vector::scale(params.alpha, row);
+            vector::axpy(b, problem.centroid_of(i), row);
+        }
+
+        // Per-node negative-term plans, in group order (the order fixes the
+        // floating-point summation sequence for each row).
+        let mut node_negatives: Vec<Vec<(u32, f32)>> = Vec::new();
+        let mut node_pairs: Vec<Vec<(u32, f32, Vec<u32>)>> = Vec::new();
+        match mode {
+            NegativeMode::Blanket => {
+                node_negatives = vec![Vec::new(); n];
+                for (g, dg) in groups.iter().enumerate() {
+                    let dh = dg.delta_hat();
+                    if dh == 0.0 || dg.targets.is_empty() {
+                        continue;
+                    }
+                    for &s in &dg.sources {
+                        node_negatives[s as usize].push((g as u32, 2.0 * dh));
+                    }
+                }
+            }
+            NegativeMode::Enumerated => {
+                node_pairs = vec![Vec::new(); n];
+                for (g, dg) in groups.iter().enumerate() {
+                    let dh = dg.delta_hat();
+                    if dh == 0.0 || dg.targets.is_empty() {
+                        continue;
+                    }
+                    for &s in &dg.sources {
+                        let related: Vec<u32> = dg
+                            .group
+                            .edges
+                            .iter()
+                            .filter(|&&(i, _)| i == s)
+                            .map(|&(_, j)| j)
+                            .collect();
+                        node_pairs[s as usize].push((g as u32, 2.0 * dh, related));
+                    }
+                }
+            }
+        }
+
+        Self { problem, groups, pos, denom, base, node_negatives, node_pairs, mode }
+    }
+
+    /// Iterate the kernel. `seed` overrides the starting matrix (warm
+    /// start); `threads ≤ 1` runs the row phase inline on the calling
+    /// thread. Results are bit-identical for every `threads` value.
+    pub(crate) fn run(&self, seed: Option<&Matrix>, iterations: usize, threads: usize) -> Matrix {
+        let n = self.problem.len();
+        let dim = self.problem.dim();
+        if n == 0 || dim == 0 {
+            return Matrix::zeros(n, dim);
+        }
+        let mut w = match seed {
+            Some(s) => {
+                assert_eq!(s.shape(), (n, dim), "RO solver: seed shape mismatch");
+                s.clone()
+            }
+            None => self.problem.w0.clone(),
+        };
+        let mut next = Matrix::zeros(n, dim);
+        let mut t_sums: Vec<Vec<f32>> = vec![vec![0.0f32; dim]; self.groups.len()];
+        let rows_per_chunk = n.div_ceil(threads.max(1));
+
+        for _ in 0..iterations {
+            // Serial phase: the Eq. 15 target sums t_r = Σ_{k∈targets} v_k
+            // (cheap, O(n·D) total; only the blanket mode consumes them).
+            if self.mode == NegativeMode::Blanket {
+                for (g, dg) in self.groups.iter().enumerate() {
+                    if dg.delta_hat() == 0.0 || dg.targets.is_empty() {
+                        continue;
+                    }
+                    let t_sum = &mut t_sums[g];
+                    vector::zero(t_sum);
+                    for &k in &dg.targets {
+                        vector::axpy(1.0, w.row(k as usize), t_sum);
+                    }
+                }
+            }
+
+            // Row-partition phase: every output row depends only on the
+            // previous iterate and the t_sums — disjoint row ranges are
+            // fully independent.
+            if threads <= 1 {
+                self.update_rows(&w, &t_sums, 0, next.as_mut_slice());
+            } else {
+                let w_ref = &w;
+                let t_ref = &t_sums;
+                std::thread::scope(|scope| {
+                    for (chunk_idx, chunk) in
+                        next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
+                    {
+                        let start = chunk_idx * rows_per_chunk;
+                        scope.spawn(move || self.update_rows(w_ref, t_ref, start, chunk));
+                    }
+                });
+            }
+            std::mem::swap(&mut w, &mut next);
+        }
+        w
+    }
+
+    /// Compute output rows `start..start + chunk.len()/dim` into `chunk`.
+    fn update_rows(&self, w: &Matrix, t_sums: &[Vec<f32>], start: usize, chunk: &mut [f32]) {
+        let dim = self.problem.dim();
+        let end = start + chunk.len() / dim;
+        self.pos.mul_dense_range_into(w, start..end, chunk);
+        for (local, r) in (start..end).enumerate() {
+            let out_row = &mut chunk[local * dim..(local + 1) * dim];
+            match self.mode {
+                NegativeMode::Blanket => {
+                    // Blanket negative term: −2δ̂r · t_r for every group this
+                    // row sources.
+                    for &(g, coeff) in &self.node_negatives[r] {
+                        vector::axpy(-coeff, &t_sums[g as usize], out_row);
+                    }
+                }
+                NegativeMode::Enumerated => {
+                    // Explicit Ẽr sweep: every (source, target) pair that is
+                    // NOT a relation contributes −2δ̂·v_target.
+                    for (g, coeff, related) in &self.node_pairs[r] {
+                        for &k in &self.groups[*g as usize].targets {
+                            if !related.contains(&k) {
+                                vector::axpy(-coeff, w.row(k as usize), out_row);
+                            }
+                        }
+                    }
+                }
+            }
+            // W' = base + WR, then divide by the diagonal.
+            let d = self.denom[r];
+            if d.abs() > 1e-6 {
+                for (o, b) in out_row.iter_mut().zip(self.base.row(r)) {
+                    *o = (b + *o) / d;
+                }
+            } else {
+                // Degenerate diagonal (δ too large): keep the previous
+                // vector rather than dividing by ~0.
+                out_row.copy_from_slice(w.row(r));
+            }
+        }
+    }
+}
 
 /// Run the RO solver for `iterations` rounds, starting from `W0`.
+///
+/// ```
+/// use retro_core::{Retro, RetroConfig, Hyperparameters};
+/// use retro_core::solver::solve_ro;
+/// use retro_embed::EmbeddingSet;
+/// use retro_store::{sql, Database};
+///
+/// let mut db = Database::new();
+/// sql::run_script(&mut db, "
+///     CREATE TABLE countries (id INTEGER PRIMARY KEY, name TEXT);
+///     CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+///                          country_id INTEGER REFERENCES countries(id));
+///     INSERT INTO countries VALUES (1, 'france');
+///     INSERT INTO movies VALUES (1, 'amelie', 1);
+/// ").unwrap();
+/// let base = EmbeddingSet::new(
+///     vec!["amelie".into(), "france".into()],
+///     vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+/// );
+/// let problem = retro_core::RetrofitProblem::build(&db, &base, &[], &[]);
+/// let w = solve_ro(&problem, &Hyperparameters::paper_ro(), 10);
+/// assert_eq!(w.shape(), (2, 2));
+/// ```
 pub fn solve_ro(problem: &RetrofitProblem, params: &Hyperparameters, iterations: usize) -> Matrix {
     solve_ro_seeded(problem, params, iterations, None)
 }
@@ -26,90 +307,16 @@ pub fn solve_ro(problem: &RetrofitProblem, params: &Hyperparameters, iterations:
 /// Run the RO solver from an explicit starting matrix (warm start for
 /// incremental maintenance). The anchor term still pulls toward `W0`; only
 /// the iteration's initial state changes.
+///
+/// # Panics
+/// Panics if `seed` is `Some` and its shape differs from `(n, dim)`.
 pub fn solve_ro_seeded(
     problem: &RetrofitProblem,
     params: &Hyperparameters,
     iterations: usize,
     seed: Option<&Matrix>,
 ) -> Matrix {
-    let n = problem.len();
-    let dim = problem.dim();
-    if n == 0 {
-        return Matrix::zeros(0, dim);
-    }
-    let groups = problem.directed_groups(params, true);
-    let beta = problem.beta_weights(params);
-
-    // Positive operator P and the constant denominator D.
-    let mut coo = CooMatrix::new(n, n);
-    let mut denom = vec![0.0f32; n];
-    for (i, d) in denom.iter_mut().enumerate() {
-        *d = params.alpha + beta[i];
-    }
-    for dg in &groups {
-        let dh = dg.delta_hat();
-        for &(i, j) in &dg.group.edges {
-            let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize] + 2.0 * dh;
-            coo.push(i as usize, j as usize, w);
-            denom[i as usize] += w;
-        }
-        let t_count = dg.targets.len() as f32;
-        for &s in &dg.sources {
-            denom[s as usize] -= 2.0 * dh * t_count;
-        }
-    }
-    let pos = coo.to_csr();
-
-    // Constant part α·W0 + β·c.
-    let mut base = Matrix::zeros(n, dim);
-    for (i, &b) in beta.iter().enumerate() {
-        let row = base.row_mut(i);
-        row.copy_from_slice(problem.w0.row(i));
-        vector::scale(params.alpha, row);
-        vector::axpy(b, problem.centroid_of(i), row);
-    }
-
-    let mut w = match seed {
-        Some(s) => {
-            assert_eq!(s.shape(), (n, dim), "solve_ro_seeded: seed shape mismatch");
-            s.clone()
-        }
-        None => problem.w0.clone(),
-    };
-    let mut wr = Matrix::zeros(n, dim);
-    let mut t_sum = vec![0.0f32; dim];
-
-    for _ in 0..iterations {
-        pos.mul_dense_into(&w, &mut wr);
-        // Blanket negative term: −2δ̂r · t_r for every source of r.
-        for dg in &groups {
-            let dh = dg.delta_hat();
-            if dh == 0.0 || dg.targets.is_empty() {
-                continue;
-            }
-            vector::zero(&mut t_sum);
-            for &k in &dg.targets {
-                vector::axpy(1.0, w.row(k as usize), &mut t_sum);
-            }
-            for &s in &dg.sources {
-                vector::axpy(-2.0 * dh, &t_sum, wr.row_mut(s as usize));
-            }
-        }
-        // W' = base + WR, then divide by the diagonal.
-        #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
-        for i in 0..n {
-            let d = denom[i];
-            let next: Vec<f32> = if d.abs() > 1e-6 {
-                base.row(i).iter().zip(wr.row(i)).map(|(b, r)| (b + r) / d).collect()
-            } else {
-                // Degenerate diagonal (δ too large): keep the previous
-                // vector rather than dividing by ~0.
-                w.row(i).to_vec()
-            };
-            w.set_row(i, &next);
-        }
-    }
-    w
+    RoKernel::new(problem, params, NegativeMode::Blanket).run(seed, iterations, 1)
 }
 
 /// The RO solver with the negative term computed by **explicit enumeration**
@@ -123,79 +330,7 @@ pub fn solve_ro_enumerated(
     params: &Hyperparameters,
     iterations: usize,
 ) -> Matrix {
-    let n = problem.len();
-    let dim = problem.dim();
-    if n == 0 {
-        return Matrix::zeros(0, dim);
-    }
-    let groups = problem.directed_groups(params, true);
-    let beta = problem.beta_weights(params);
-
-    // Positive operator carries only the γ weights here; the negative term
-    // is enumerated pair-by-pair below (related pairs are skipped exactly,
-    // not re-added via the +2δ̂ trick).
-    let mut coo = CooMatrix::new(n, n);
-    let mut denom = vec![0.0f32; n];
-    for (i, d) in denom.iter_mut().enumerate() {
-        *d = params.alpha + beta[i];
-    }
-    for dg in &groups {
-        let dh = dg.delta_hat();
-        for &(i, j) in &dg.group.edges {
-            let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize];
-            coo.push(i as usize, j as usize, w);
-            denom[i as usize] += w;
-        }
-        let t_count = dg.targets.len() as f32;
-        for (&s, &od) in dg.sources.iter().zip(&dg.source_out_degree) {
-            denom[s as usize] -= 2.0 * dh * (t_count - od as f32);
-        }
-    }
-    let pos = coo.to_csr();
-
-    let mut base = Matrix::zeros(n, dim);
-    for (i, &b) in beta.iter().enumerate() {
-        let row = base.row_mut(i);
-        row.copy_from_slice(problem.w0.row(i));
-        vector::scale(params.alpha, row);
-        vector::axpy(b, problem.centroid_of(i), row);
-    }
-
-    let mut w = problem.w0.clone();
-    let mut wr = Matrix::zeros(n, dim);
-
-    for _ in 0..iterations {
-        pos.mul_dense_into(&w, &mut wr);
-        for dg in &groups {
-            let dh = dg.delta_hat();
-            if dh == 0.0 || dg.targets.is_empty() {
-                continue;
-            }
-            // Explicit Ẽr sweep: every (source, target) pair that is NOT a
-            // relation contributes −2δ̂·v_target to the source's row.
-            for &s in &dg.sources {
-                let related: Vec<u32> =
-                    dg.group.edges.iter().filter(|&&(i, _)| i == s).map(|&(_, j)| j).collect();
-                let out_row = wr.row_mut(s as usize);
-                for &k in &dg.targets {
-                    if !related.contains(&k) {
-                        vector::axpy(-2.0 * dh, w.row(k as usize), out_row);
-                    }
-                }
-            }
-        }
-        #[allow(clippy::needless_range_loop)] // i indexes three parallel arrays
-        for i in 0..n {
-            let d = denom[i];
-            let next: Vec<f32> = if d.abs() > 1e-6 {
-                base.row(i).iter().zip(wr.row(i)).map(|(b, r)| (b + r) / d).collect()
-            } else {
-                w.row(i).to_vec()
-            };
-            w.set_row(i, &next);
-        }
-    }
-    w
+    RoKernel::new(problem, params, NegativeMode::Enumerated).run(None, iterations, 1)
 }
 
 #[cfg(test)]
@@ -320,5 +455,27 @@ mod tests {
         let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
         let w = solve_ro(&p, &Hyperparameters::default(), 5);
         assert_eq!(w.shape(), (0, 2));
+    }
+
+    #[test]
+    fn kernel_thread_counts_are_bit_identical() {
+        let p = tiny_problem();
+        let params = Hyperparameters::paper_ro();
+        let kernel = RoKernel::new(&p, &params, NegativeMode::Blanket);
+        let serial = kernel.run(None, 10, 1);
+        for threads in [2, 3, 8] {
+            let parallel = kernel.run(None, 10, threads);
+            assert_eq!(serial.max_abs_diff(&parallel), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn enumerated_kernel_parallelizes_too() {
+        let p = tiny_problem();
+        let params = Hyperparameters::paper_ro();
+        let kernel = RoKernel::new(&p, &params, NegativeMode::Enumerated);
+        let serial = kernel.run(None, 8, 1);
+        let parallel = kernel.run(None, 8, 4);
+        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
     }
 }

@@ -23,6 +23,7 @@ use retro_embed::EmbeddingSet;
 use retro_store::{Database, TableSchema, Value};
 
 use crate::names;
+use crate::preset::SizePreset;
 
 /// The 33 app categories of the paper's dataset.
 pub const CATEGORIES: [&str; 33] = [
@@ -98,6 +99,21 @@ impl Default for GooglePlayConfig {
             noise: 0.45,
             name_leak: 0.35,
             review_leak: 0.85,
+        }
+    }
+}
+
+impl GooglePlayConfig {
+    /// A configuration at a named size (see [`SizePreset`]).
+    ///
+    /// Every app contributes ≈4 unique text values (name plus 2–4 reviews),
+    /// so the `Paper` preset's 6.7k apps land at the paper's ~27k Google
+    /// Play text values (Table 1). `Small` is the historical 400-app
+    /// default.
+    pub fn preset(preset: SizePreset) -> Self {
+        match preset {
+            SizePreset::Small => Self::default(),
+            SizePreset::Paper => Self { n_apps: 6_700, ..Self::default() },
         }
     }
 }
@@ -334,5 +350,28 @@ mod tests {
         let b = small();
         assert_eq!(a.app_names, b.app_names);
         assert_eq!(a.app_category, b.app_category);
+    }
+
+    #[test]
+    fn text_value_density_supports_paper_preset_math() {
+        // The Paper preset banks on ≈4 unique text values per app.
+        let d = GooglePlayDataset::generate(GooglePlayConfig {
+            n_apps: 1000,
+            dim: 8,
+            ..GooglePlayConfig::default()
+        });
+        let per_app = d.db.unique_text_value_count() as f64 / 1000.0;
+        assert!((3.6..4.4).contains(&per_app), "text values per app: {per_app}");
+    }
+
+    #[test]
+    fn paper_preset_reaches_paper_cardinality() {
+        let d = GooglePlayDataset::generate(GooglePlayConfig {
+            dim: 8,
+            ..GooglePlayConfig::preset(SizePreset::Paper)
+        });
+        let n = d.db.unique_text_value_count();
+        // Paper Table 1: ~27k Google Play text values; allow ±10%.
+        assert!((24_300..=29_700).contains(&n), "text values {n}");
     }
 }

@@ -21,11 +21,15 @@
 //! * ground-truth labels for the §5 tasks (director citizenship, movie
 //!   original language, app category, movie budget, movie–genre edges).
 
+#![warn(missing_docs)]
+
 pub mod gplay;
 pub mod names;
+pub mod preset;
 pub mod tmdb;
 pub mod toy;
 
 pub use gplay::{GooglePlayConfig, GooglePlayDataset};
+pub use preset::SizePreset;
 pub use tmdb::{TmdbConfig, TmdbDataset};
 pub use toy::{toy_problem, ToyExample};

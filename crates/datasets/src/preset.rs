@@ -1,0 +1,74 @@
+//! Dataset size presets: laptop-friendly `Small` vs the paper's real
+//! cardinalities (`Paper`).
+//!
+//! The paper's headline claim is that relational retrofitting stays
+//! tractable at real dataset sizes — TMDB with roughly 493k unique text
+//! values and Google Play with roughly 27k (Table 1). The synthetic
+//! generators reproduce the schema shape and statistical couplings at any
+//! size; these presets pin the two sizes every benchmark should speak
+//! about.
+
+/// A named generator size.
+///
+/// ```
+/// use retro_datasets::{SizePreset, TmdbConfig, GooglePlayConfig};
+///
+/// let small = TmdbConfig::preset(SizePreset::Small);
+/// let paper = TmdbConfig::preset(SizePreset::Paper);
+/// assert!(paper.n_movies > 100 * small.n_movies);
+/// assert!(GooglePlayConfig::preset(SizePreset::Paper).n_apps > 6_000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizePreset {
+    /// The historical defaults (600 movies / 400 apps): seconds to generate
+    /// and solve, used by tests and the evaluation-task binaries.
+    Small,
+    /// The paper's real cardinalities: ~493k unique text values for TMDB
+    /// (≈108.5k movies) and ~27k for Google Play (≈6.7k apps). Generation
+    /// plus a full solve runs in minutes, not seconds — this is the size
+    /// the `paper_scale_profile` binary and the thread-scaling benches
+    /// target.
+    Paper,
+}
+
+impl SizePreset {
+    /// All presets, for sweeping binaries.
+    pub const ALL: [SizePreset; 2] = [SizePreset::Small, SizePreset::Paper];
+
+    /// Parse a preset from a CLI-style name (`small` / `paper`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "small" => Some(SizePreset::Small),
+            "paper" => Some(SizePreset::Paper),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`small` / `paper`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SizePreset::Small => "small",
+            SizePreset::Paper => "paper",
+        }
+    }
+}
+
+impl std::fmt::Display for SizePreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in SizePreset::ALL {
+            assert_eq!(SizePreset::from_name(p.name()), Some(p));
+        }
+        assert_eq!(SizePreset::from_name("PAPER"), Some(SizePreset::Paper));
+        assert_eq!(SizePreset::from_name("huge"), None);
+    }
+}

@@ -25,6 +25,7 @@ use retro_embed::EmbeddingSet;
 use retro_store::{Database, TableSchema, Value};
 
 use crate::names::{self, N_REGIONS};
+use crate::preset::SizePreset;
 
 /// Genre names (the paper's TMDB has 20 genres).
 pub const GENRES: [&str; 20] = [
@@ -118,6 +119,21 @@ impl Default for TmdbConfig {
             name_leak: 0.75,
             country_follows_director: 0.75,
             language_follows_country: 0.92,
+        }
+    }
+}
+
+impl TmdbConfig {
+    /// A configuration at a named size (see [`SizePreset`]).
+    ///
+    /// Every movie contributes ≈4.54 unique text values (title, overview,
+    /// ~1 review, 1.5 person names, 1/25 company name), so the `Paper`
+    /// preset's 108.5k movies land at the paper's ~493k TMDB text values
+    /// (Table 1). `Small` is the historical 600-movie default.
+    pub fn preset(preset: SizePreset) -> Self {
+        match preset {
+            SizePreset::Small => Self::default(),
+            SizePreset::Paper => Self { n_movies: 108_500, ..Self::default() },
         }
     }
 }
@@ -379,6 +395,17 @@ impl Generator {
             let name = format!("{} {} pictures {k}", COUNTRIES[home].0, self.genre_pools[genre][0]);
             db.insert("companies", vec![Value::Int(k as i64 + 1), Value::from(name)]).unwrap();
         }
+        // First company per genre/country: the per-movie "prefer a matching
+        // company" pick below becomes O(1) instead of a scan over all
+        // companies (which made Paper-scale generation quadratic). Taking
+        // the min of the two first-matches is exactly the first index
+        // satisfying the OR condition, so results are unchanged.
+        let mut first_company_by_genre = vec![usize::MAX; GENRES.len()];
+        let mut first_company_by_country = vec![usize::MAX; COUNTRIES.len()];
+        for k in (0..n_companies).rev() {
+            first_company_by_genre[company_genre[k]] = k;
+            first_company_by_country[company_home[k]] = k;
+        }
 
         // Persons: directors (1 per ~2 movies) + actor pool.
         let n_directors = (self.config.n_movies / 2).max(2);
@@ -509,10 +536,10 @@ impl Generator {
             .unwrap();
             db.insert("movie_director", vec![Value::Int(movie_id), Value::Int(director_ids[d])])
                 .unwrap();
-            // Company: prefer one with matching genre or country.
-            let company = (0..n_companies)
-                .find(|&k| company_genre[k] == main_genre || company_home[k] == country)
-                .unwrap_or_else(|| self.rng.gen_range(0..n_companies));
+            // Company: prefer the first one with matching genre or country.
+            let company = first_company_by_genre[main_genre].min(first_company_by_country[country]);
+            let company =
+                if company == usize::MAX { self.rng.gen_range(0..n_companies) } else { company };
             db.insert("movie_company", vec![Value::Int(movie_id), Value::Int(company as i64 + 1)])
                 .unwrap();
             // Keywords: 2–4 from the movie's genres.
@@ -664,6 +691,27 @@ mod tests {
         assert!(d.base.contains("usa"));
         assert!(d.base.contains("jean"));
         assert!(d.base.contains("g0w0"));
+    }
+
+    #[test]
+    fn text_value_density_supports_paper_preset_math() {
+        // The Paper preset banks on ≈4.54 unique text values per movie; if
+        // the generator drifts, the preset's 493k target silently drifts
+        // with it, so pin the density here at a measurable size.
+        let d =
+            TmdbDataset::generate(TmdbConfig { n_movies: 2000, dim: 8, ..TmdbConfig::default() });
+        let per_movie = d.db.unique_text_value_count() as f64 / 2000.0;
+        assert!((4.2..4.9).contains(&per_movie), "text values per movie: {per_movie}");
+    }
+
+    #[test]
+    #[ignore = "paper-scale: ~1.2M rows; run explicitly with --ignored"]
+    fn paper_preset_reaches_paper_cardinality() {
+        let d =
+            TmdbDataset::generate(TmdbConfig { dim: 8, ..TmdbConfig::preset(SizePreset::Paper) });
+        let n = d.db.unique_text_value_count();
+        // Paper Table 1: ~493k TMDB text values; allow ±10%.
+        assert!((443_000..=543_000).contains(&n), "text values {n}");
     }
 
     #[test]

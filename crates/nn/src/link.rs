@@ -96,8 +96,8 @@ impl LinkNet {
     ///
     /// The subtract-merge architecture can saturate into an
     /// always-predict-0.5 plateau from an unlucky initialization; when a
-    /// run ends there ([`CHANCE_BCE`] or worse on the monitored loss), the
-    /// weights are redrawn and training reruns, up to [`MAX_RESTARTS`]
+    /// run ends there (`CHANCE_BCE` = ln 2 or worse on the monitored loss),
+    /// the weights are redrawn and training reruns, up to `MAX_RESTARTS`
     /// times, keeping the best attempt.
     pub fn train(
         &mut self,

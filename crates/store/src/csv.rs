@@ -12,12 +12,21 @@ use crate::Result;
 
 /// Parse a CSV document into records of string fields.
 pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    Ok(parse_records(input)?.into_iter().map(|(_, rec)| rec).collect())
+}
+
+/// Like [`parse`], but each record carries the 1-based *physical* line it
+/// starts on. Quoted fields may contain newlines, so record number and
+/// line number diverge in general; error reporting wants the line.
+fn parse_records(input: &str) -> Result<Vec<(usize, Vec<String>)>> {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut chars = input.chars().peekable();
     let mut in_quotes = false;
     let mut any = false;
+    let mut line = 1usize;
+    let mut record_line = 1usize;
 
     while let Some(c) = chars.next() {
         any = true;
@@ -31,7 +40,12 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
                         in_quotes = false;
                     }
                 }
-                other => field.push(other),
+                other => {
+                    if other == '\n' {
+                        line += 1; // embedded newline inside a quoted field
+                    }
+                    field.push(other);
+                }
             }
         } else {
             match c {
@@ -45,16 +59,20 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
                     record.push(std::mem::take(&mut field));
                 }
                 '\r' => {
-                    // Swallow \r of \r\n; a lone \r also terminates a record.
+                    // Swallow \n of \r\n; a lone \r also terminates a record.
                     if chars.peek() == Some(&'\n') {
                         chars.next();
                     }
+                    line += 1;
                     record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                    records.push((record_line, std::mem::take(&mut record)));
+                    record_line = line;
                 }
                 '\n' => {
+                    line += 1;
                     record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
+                    records.push((record_line, std::mem::take(&mut record)));
+                    record_line = line;
                 }
                 other => field.push(other),
             }
@@ -65,7 +83,7 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
     }
     if any && (!field.is_empty() || !record.is_empty()) {
         record.push(field);
-        records.push(record);
+        records.push((record_line, record));
     }
     Ok(records)
 }
@@ -118,12 +136,30 @@ pub fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
 /// Import a headered CSV document into an existing table of a database.
 ///
 /// The header row must name a subset of the table's columns (in any order);
-/// unnamed columns receive NULL. Rows are inserted through the database so
-/// all constraints are enforced. Returns the number of inserted rows.
+/// unnamed columns receive NULL. Rows are inserted through
+/// [`crate::Database::insert`], so **every** constraint — arity, column
+/// types, primary-key presence/uniqueness, and foreign keys — is enforced
+/// per row. The import is **atomic**: on any error the target table is
+/// restored to its pre-import state and the error is returned as
+/// [`StoreError::CsvRow`], carrying the 1-based CSV line number and the
+/// underlying violation. Returns the number of inserted rows on success.
+///
+/// ```
+/// use retro_store::{csv, Database, DataType, StoreError, TableSchema};
+///
+/// let mut db = Database::new();
+/// db.create_table(
+///     TableSchema::builder("apps").pk("id").column("name", DataType::Text).build(),
+/// ).unwrap();
+/// // Line 3 repeats primary key 1: nothing at all is inserted.
+/// let err = csv::import_csv(&mut db, "apps", "id,name\n1,Maps\n1,Docs\n").unwrap_err();
+/// assert!(matches!(err, StoreError::CsvRow { line: 3, .. }));
+/// assert!(db.table("apps").unwrap().is_empty());
+/// ```
 pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Result<usize> {
-    let records = parse(csv_text)?;
+    let records = parse_records(csv_text)?;
     let mut it = records.into_iter();
-    let header = it.next().ok_or_else(|| StoreError::Csv("empty CSV document".to_owned()))?;
+    let (_, header) = it.next().ok_or_else(|| StoreError::Csv("empty CSV document".to_owned()))?;
 
     let schema = db.table(table)?.schema().clone();
     // Map CSV position → table column index.
@@ -136,21 +172,36 @@ pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Resu
         mapping.push(idx);
     }
 
+    // Atomicity: bulk loads must not leave a half-imported table behind
+    // when a late record violates a constraint. Inserts only ever append
+    // to the target table, so remembering the pre-import row count and
+    // truncating back to it on error is a full rollback — no snapshot
+    // clone on the success path. (Rows may reference earlier rows of the
+    // same document, so constraints cannot be pre-validated in a separate
+    // pass.)
+    let pre_import_len = db.table(table)?.len();
+
     let mut inserted = 0;
-    for (line_no, rec) in it.enumerate() {
-        if rec.len() != mapping.len() {
-            return Err(StoreError::Csv(format!(
-                "record {} has {} fields, header has {}",
-                line_no + 2,
-                rec.len(),
-                mapping.len()
-            )));
+    for (line, rec) in it {
+        let result = (|| {
+            if rec.len() != mapping.len() {
+                return Err(StoreError::ArityMismatch {
+                    table: table.to_owned(),
+                    expected: mapping.len(),
+                    got: rec.len(),
+                });
+            }
+            let mut row = vec![Value::Null; schema.columns.len()];
+            for (field, &col) in rec.iter().zip(&mapping) {
+                row[col] = field_to_value(field, schema.columns[col].ty)?;
+            }
+            db.insert(table, row)?;
+            Ok(())
+        })();
+        if let Err(source) = result {
+            db.table_mut(table).expect("table existed above").truncate(pre_import_len);
+            return Err(StoreError::CsvRow { line, source: Box::new(source) });
         }
-        let mut row = vec![Value::Null; schema.columns.len()];
-        for (field, &col) in rec.iter().zip(&mapping) {
-            row[col] = field_to_value(field, schema.columns[col].ty)?;
-        }
-        db.insert(table, row)?;
         inserted += 1;
     }
     Ok(inserted)
@@ -257,6 +308,110 @@ mod tests {
     fn import_rejects_ragged_record() {
         let mut db = sample_db();
         assert!(import_csv(&mut db, "apps", "id,name\n1\n").is_err());
+    }
+
+    fn fk_db() -> Database {
+        let mut db = sample_db();
+        db.create_table(
+            TableSchema::builder("reviews")
+                .pk("id")
+                .column("text", DataType::Text)
+                .fk("app_id", "apps", "id")
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn failed_import_rolls_back_and_reports_line() {
+        let mut db = sample_db();
+        import_csv(&mut db, "apps", "id,name\n1,Keep\n").unwrap();
+        // Line 3 has a malformed float: the whole import must be undone.
+        let err = import_csv(&mut db, "apps", "id,name,rating\n2,Ok,4.0\n3,Bad,notanumber\n")
+            .unwrap_err();
+        match err {
+            StoreError::CsvRow { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(*source, StoreError::Csv(_)));
+            }
+            other => panic!("expected CsvRow, got {other:?}"),
+        }
+        let t = db.table("apps").unwrap();
+        assert_eq!(t.len(), 1, "partial import must be rolled back");
+        assert!(t.contains_pk(1));
+        assert!(!t.contains_pk(2));
+    }
+
+    #[test]
+    fn fk_violation_is_typed_with_line_number() {
+        let mut db = fk_db();
+        import_csv(&mut db, "apps", "id,name\n1,Maps\n").unwrap();
+        let err = import_csv(&mut db, "reviews", "id,text,app_id\n1,fine,1\n2,dangling,99\n")
+            .unwrap_err();
+        match err {
+            StoreError::CsvRow { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(*source, StoreError::ForeignKeyViolation { .. }));
+            }
+            other => panic!("expected CsvRow, got {other:?}"),
+        }
+        assert!(db.table("reviews").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_pk_is_typed_and_atomic() {
+        let mut db = sample_db();
+        let err = import_csv(&mut db, "apps", "id,name\n1,Maps\n1,Docs\n").unwrap_err();
+        match err {
+            StoreError::CsvRow { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(*source, StoreError::DuplicateKey { .. }));
+            }
+            other => panic!("expected CsvRow, got {other:?}"),
+        }
+        assert!(db.table("apps").unwrap().is_empty());
+    }
+
+    #[test]
+    fn ragged_record_is_an_arity_error_with_line() {
+        let mut db = sample_db();
+        let err = import_csv(&mut db, "apps", "id,name\n1,Maps\n2\n").unwrap_err();
+        match err {
+            StoreError::CsvRow { line, source } => {
+                assert_eq!(line, 3);
+                assert!(matches!(*source, StoreError::ArityMismatch { expected: 2, got: 1, .. }));
+            }
+            other => panic!("expected CsvRow, got {other:?}"),
+        }
+        assert!(db.table("apps").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_line_accounts_for_embedded_newlines() {
+        // Record 2 spans physical lines 2–3 (quoted newline), so the
+        // offending duplicate-PK record starts on physical line 4.
+        let mut db = sample_db();
+        let err = import_csv(&mut db, "apps", "id,name\n1,\"two\nlines\"\n1,Dup\n").unwrap_err();
+        match err {
+            StoreError::CsvRow { line, source } => {
+                assert_eq!(line, 4);
+                assert!(matches!(*source, StoreError::DuplicateKey { .. }));
+            }
+            other => panic!("expected CsvRow, got {other:?}"),
+        }
+        assert!(db.table("apps").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rows_may_reference_earlier_rows_of_the_same_document() {
+        // FK checks run per insert, so references to rows that appeared
+        // earlier in the same CSV document are valid — which is why the
+        // import cannot be pre-validated in a constraint-free dry run.
+        let mut db = fk_db();
+        import_csv(&mut db, "apps", "id,name\n1,Maps\n").unwrap();
+        let n = import_csv(&mut db, "reviews", "id,text,app_id\n1,ok,1\n2,also ok,1\n").unwrap();
+        assert_eq!(n, 2);
     }
 
     #[test]

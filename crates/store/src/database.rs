@@ -72,12 +72,11 @@ impl Database {
     pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<usize> {
         let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
         t.validate_row(&row)?;
-        // Foreign keys need read access to other tables, so check before the
-        // mutable borrow. NULL FK values are allowed (the relation is simply
-        // absent), matching SQL semantics.
-        let schema = t.schema().clone();
-        for fk in &schema.foreign_keys {
-            let idx = schema.column_index(&fk.column).expect("validated at create");
+        // Foreign keys need read access to other tables, so check them
+        // before taking the mutable borrow. NULL FK values are allowed (the
+        // relation is simply absent), matching SQL semantics.
+        for fk in &t.schema().foreign_keys {
+            let idx = t.schema().column_index(&fk.column).expect("validated at create");
             match &row[idx] {
                 Value::Null => {}
                 Value::Int(k) => {

@@ -25,6 +25,15 @@ pub enum StoreError {
     BadForeignKey(String),
     /// CSV input could not be parsed.
     Csv(String),
+    /// A CSV record failed conversion or a constraint check during bulk
+    /// import. `line` is the 1-based line in the CSV document (the header
+    /// is line 1); `source` is the underlying violation.
+    CsvRow {
+        /// 1-based CSV line number of the offending record.
+        line: usize,
+        /// The underlying conversion or constraint error.
+        source: Box<StoreError>,
+    },
     /// SQL input could not be tokenized/parsed/executed.
     Sql(String),
 }
@@ -55,6 +64,9 @@ impl fmt::Display for StoreError {
             ),
             StoreError::BadForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
             StoreError::Csv(msg) => write!(f, "csv error: {msg}"),
+            StoreError::CsvRow { line, source } => {
+                write!(f, "csv import failed at line {line}: {source}")
+            }
             StoreError::Sql(msg) => write!(f, "sql error: {msg}"),
         }
     }

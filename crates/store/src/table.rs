@@ -146,6 +146,23 @@ impl Table {
         self.rows.len() - 1
     }
 
+    /// Drop every row at position `len` and beyond, pruning the removed
+    /// rows' primary-key index entries. Rollback support for atomic bulk
+    /// loads: appends since a remembered length are undone in O(dropped).
+    pub(crate) fn truncate(&mut self, len: usize) {
+        if len >= self.rows.len() {
+            return;
+        }
+        if let Some(pk) = self.schema.primary_key {
+            for row in &self.rows[len..] {
+                if let Value::Int(k) = row[pk] {
+                    self.pk_index.remove(&k);
+                }
+            }
+        }
+        self.rows.truncate(len);
+    }
+
     /// Remove the rows at the given (sorted, deduplicated) positions and
     /// rebuild the primary-key index.
     pub(crate) fn remove_rows(&mut self, sorted_indices: &[usize]) {
@@ -264,6 +281,21 @@ mod tests {
             t.column_values_by_name("name").unwrap().filter_map(Value::as_text).collect();
         assert_eq!(names, vec!["a", "b"]);
         assert!(t.column_values_by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn truncate_drops_rows_and_prunes_pk_index() {
+        let mut t = table();
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        t.push_unchecked(vec![Value::Int(2), Value::from("b"), Value::Null]);
+        t.truncate(1);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_pk(1));
+        assert!(!t.contains_pk(2));
+        // The truncated key must be free for reuse again.
+        t.validate_row(&[Value::Int(2), Value::from("c"), Value::Null]).unwrap();
+        t.truncate(5); // beyond len: no-op
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

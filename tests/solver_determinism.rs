@@ -1,0 +1,121 @@
+//! Determinism suite for the parallel RO solver.
+//!
+//! The contract (see `retro_core::solver::parallel`): the parallel RO path
+//! shares one row-partitioned kernel with the sequential path, so
+//!
+//! * `solve_ro_parallel(.., 1)` equals sequential `solve_ro` **exactly**
+//!   (bit-for-bit), and
+//! * N-thread results match within 1e-9 for every N — in fact exactly,
+//!   because row partitioning never reorders the floating-point operations
+//!   that produce any given row.
+//!
+//! Checked across multiple seeds and both synthetic datasets, per-iteration
+//! and end-to-end, plus through the high-level `Retro` API's thread knob.
+
+use retro::core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
+use retro::core::{Hyperparameters, Retro, RetroConfig, RetrofitProblem, Solver};
+use retro::datasets::{GooglePlayConfig, GooglePlayDataset, TmdbConfig, TmdbDataset};
+
+fn tmdb_problem(seed: u64) -> RetrofitProblem {
+    let data =
+        TmdbDataset::generate(TmdbConfig { n_movies: 200, dim: 16, seed, ..TmdbConfig::default() });
+    RetrofitProblem::build(&data.db, &data.base, &[], &[])
+}
+
+fn gplay_problem(seed: u64) -> RetrofitProblem {
+    let data = GooglePlayDataset::generate(GooglePlayConfig {
+        n_apps: 150,
+        dim: 16,
+        seed,
+        ..GooglePlayConfig::default()
+    });
+    RetrofitProblem::build(&data.db, &data.base, &[], &[])
+}
+
+#[test]
+fn one_thread_equals_sequential_exactly() {
+    for seed in [7u64, 99, 1234] {
+        let p = tmdb_problem(seed);
+        let params = Hyperparameters::paper_ro();
+        let sequential = solve_ro(&p, &params, 10);
+        let one_thread = solve_ro_parallel(&p, &params, 10, 1);
+        assert_eq!(
+            sequential.max_abs_diff(&one_thread),
+            0.0,
+            "seed {seed}: 1-thread RO must be bit-identical to sequential"
+        );
+    }
+}
+
+#[test]
+fn n_threads_match_sequential_within_tolerance() {
+    for seed in [7u64, 99] {
+        let p = tmdb_problem(seed);
+        let params = Hyperparameters::paper_ro();
+        let sequential = solve_ro(&p, &params, 10);
+        for threads in [2usize, 3, 4, 8] {
+            let parallel = solve_ro_parallel(&p, &params, 10, threads);
+            let diff = sequential.max_abs_diff(&parallel) as f64;
+            assert!(diff <= 1e-9, "seed {seed}, {threads} threads: diff {diff} exceeds 1e-9");
+        }
+    }
+}
+
+#[test]
+fn per_iteration_states_match_bit_for_bit() {
+    // Equality of the final matrix could in principle hide compensating
+    // divergence; compare every iteration prefix.
+    let p = gplay_problem(13);
+    let params = Hyperparameters::paper_ro();
+    for iterations in 1..=6 {
+        let sequential = solve_ro(&p, &params, iterations);
+        let parallel = solve_ro_parallel(&p, &params, iterations, 4);
+        assert_eq!(sequential.max_abs_diff(&parallel), 0.0, "iteration {iterations} diverged");
+    }
+}
+
+#[test]
+fn gplay_matches_across_seeds_and_thread_counts() {
+    for seed in [13u64, 77] {
+        let p = gplay_problem(seed);
+        let params = Hyperparameters::paper_ro();
+        let sequential = solve_ro(&p, &params, 10);
+        for threads in [1usize, 2, 6] {
+            let parallel = solve_ro_parallel(&p, &params, 10, threads);
+            assert_eq!(sequential.max_abs_diff(&parallel), 0.0, "seed {seed}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn rn_parallel_keeps_the_same_contract() {
+    // RN predates this suite but shares the contract; pin it here so a
+    // future regression in either solver fails the same gate.
+    let p = tmdb_problem(7);
+    let params = Hyperparameters::paper_rn();
+    let sequential = solve_rn(&p, &params, 10);
+    for threads in [2usize, 4] {
+        let parallel = solve_rn_parallel(&p, &params, 10, threads);
+        let diff = sequential.max_abs_diff(&parallel) as f64;
+        assert!(diff <= 1e-9, "RN {threads} threads: diff {diff}");
+    }
+}
+
+#[test]
+fn retro_api_thread_knob_is_output_invariant() {
+    let data =
+        TmdbDataset::generate(TmdbConfig { n_movies: 120, dim: 16, ..TmdbConfig::default() });
+    for solver in [Solver::Ro, Solver::Rn] {
+        let sequential = Retro::new(RetroConfig::default().with_solver(solver))
+            .retrofit(&data.db, &data.base)
+            .unwrap();
+        let mut config = RetroConfig::default().with_solver(solver);
+        config.params = config.params.with_threads(4);
+        let parallel = Retro::new(config).retrofit(&data.db, &data.base).unwrap();
+        assert_eq!(
+            sequential.embeddings.max_abs_diff(&parallel.embeddings),
+            0.0,
+            "{solver:?} output changed under the thread knob"
+        );
+    }
+}

@@ -81,7 +81,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Acceptable vector-length specifiers for [`vec`]: an exact length,
+    /// Acceptable vector-length specifiers for [`vec()`](vec()): an exact length,
     /// a half-open range, or an inclusive range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
