@@ -2,7 +2,11 @@
 //! solve pipeline at the paper's real dataset cardinalities (TMDB ~493k
 //! text values, Google Play ~27k; Table 1).
 //!
-//! Phases reported per dataset: synthetic generation, text-value catalog
+//! Phases reported per dataset: synthetic generation, **ingest** (loading
+//! every generated row into a fresh database, measured both through the
+//! row-by-row `Database::insert` path and the batched `BulkLoader` fast
+//! path — the two produce identical state, asserted here, so the speedup
+//! column is pure wall-time; see `docs/INGESTION.md`), text-value catalog
 //! extraction (§3.3), relation extraction (§3.2), problem assembly (§3.1
 //! tokenization + Eq. 5 centroids), RO solve (sequential and parallel), RN
 //! solve (sequential and parallel). Parallel solves are bit-identical to
@@ -17,17 +21,95 @@
 //! "Performance" section has a table template for recording machine
 //! results.
 
-use retro_bench::{arg_num, arg_value, time, write_report, ReportRow};
+use retro_bench::{
+    arg_num, arg_value, materialize_rows, schema_only_clone, time, write_report, ReportRow,
+};
 use retro_core::relations::extract_relations;
 use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
 use retro_core::{Hyperparameters, RetrofitProblem, TextValueCatalog};
 use retro_datasets::{GooglePlayConfig, GooglePlayDataset, SizePreset, TmdbConfig, TmdbDataset};
 use retro_embed::EmbeddingSet;
-use retro_store::Database;
+use retro_store::{Database, Value};
 
 struct Phase {
     name: &'static str,
     secs: f64,
+}
+
+/// Load pre-materialized rows through the row-by-row `Database::insert`
+/// path (the pre-PR-3 ingest).
+fn load_row_by_row(mut out: Database, batch: Vec<(String, Vec<Vec<Value>>)>) -> Database {
+    for (name, rows) in batch {
+        for row in rows {
+            out.insert(&name, row).expect("rows were valid at generation");
+        }
+    }
+    out
+}
+
+/// Load pre-materialized rows through the batched `BulkLoader` fast path:
+/// one batch, one commit.
+fn load_bulk(mut out: Database, batch: Vec<(String, Vec<Vec<Value>>)>) -> Database {
+    let mut loader = out.bulk();
+    for (name, rows) in batch {
+        let handle = loader.table(&name).expect("same schema set");
+        loader.reserve(handle, rows.len());
+        for row in rows {
+            loader.stage(handle, row).expect("rows were valid at generation");
+        }
+    }
+    loader.commit().expect("all stages succeeded");
+    out
+}
+
+/// Assert a reloaded database matches the generated one exactly.
+fn assert_reload_matches(db: &Database, reloaded: &Database, path: &str) {
+    for table in db.tables() {
+        let name = table.name();
+        assert_eq!(
+            table.rows(),
+            reloaded.table(name).expect("present").rows(),
+            "{path} reload diverged from the generated database in `{name}`"
+        );
+    }
+}
+
+/// Ingest phase: time both load paths over the full generated dataset and
+/// assert each reproduces the generated state exactly (the equivalence the
+/// `ingestion_equivalence` suite pins on random batches, demonstrated here
+/// at paper scale). Each path gets a fresh pre-materialized input and the
+/// previous path's output is dropped first, so neither timing is distorted
+/// by the other's live memory.
+fn profile_ingest(label: &str, db: &Database) -> Vec<Phase> {
+    const REPS: usize = 3;
+    let (schema_only, order) = schema_only_clone(db);
+    let n_rows: usize = db.tables().map(retro_store::Table::len).sum();
+
+    let mut row_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let batch = materialize_rows(db, &order);
+        let (row_db, secs) = time(|| load_row_by_row(schema_only.clone(), batch));
+        assert_reload_matches(db, &row_db, "row-by-row");
+        row_secs = row_secs.min(secs);
+    }
+    println!("  {label}: ingest (row-by-row)      {row_secs:>9.3}s  ({n_rows} rows)");
+
+    let mut bulk_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let batch = materialize_rows(db, &order);
+        let (bulk_db, secs) = time(|| load_bulk(schema_only.clone(), batch));
+        assert_reload_matches(db, &bulk_db, "bulk");
+        bulk_secs = bulk_secs.min(secs);
+    }
+    println!(
+        "  {label}: ingest (BulkLoader)      {bulk_secs:>9.3}s  (speedup {:.2}x)",
+        row_secs / bulk_secs.max(1e-9)
+    );
+
+    vec![
+        Phase { name: "ingest_row_by_row", secs: row_secs },
+        Phase { name: "ingest_bulk", secs: bulk_secs },
+    ]
 }
 
 fn profile_pipeline(
@@ -110,6 +192,9 @@ fn main() {
         tmdb.db.table_count()
     );
     rows.push(ReportRow::from_samples("tmdb/generation", &[secs]));
+    for phase in profile_ingest("tmdb", &tmdb.db) {
+        rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
+    }
     for phase in profile_pipeline("tmdb", &tmdb.db, &tmdb.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
@@ -123,6 +208,9 @@ fn main() {
         gplay.db.table_count()
     );
     rows.push(ReportRow::from_samples("gplay/generation", &[secs]));
+    for phase in profile_ingest("gplay", &gplay.db) {
+        rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
+    }
     for phase in profile_pipeline("gplay", &gplay.db, &gplay.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }

@@ -20,6 +20,46 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// An empty database with `db`'s schemas, plus the creation order that made
+/// them valid: parents before children (`create_table` refuses a child
+/// before its parents exist), found by fixed-point retries. Loading tables
+/// one at a time in the returned order never sees a dangling foreign key —
+/// the shape the ingest benchmarks (`paper_scale_profile`, `bulk_ingest`)
+/// need.
+pub fn schema_only_clone(db: &retro_store::Database) -> (retro_store::Database, Vec<String>) {
+    let mut out = retro_store::Database::new();
+    let mut order = Vec::new();
+    let mut remaining: Vec<_> = db.tables().map(|t| t.schema().clone()).collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|schema| {
+            let failed = out.create_table(schema.clone()).is_err();
+            if !failed {
+                order.push(schema.name.clone());
+            }
+            failed
+        });
+        assert!(remaining.len() < before, "foreign-key cycle in schema set");
+    }
+    (out, order)
+}
+
+/// Clone every row of `db` into plain per-table vectors following `order`
+/// — the pre-materialized input shape both ingest paths consume, so timed
+/// regions can exclude (or at least share identically) the clone cost.
+pub fn materialize_rows(
+    db: &retro_store::Database,
+    order: &[String],
+) -> Vec<(String, Vec<Vec<retro_store::Value>>)> {
+    order
+        .iter()
+        .map(|name| {
+            let table = db.table(name).expect("order comes from this database");
+            (name.clone(), table.rows().to_vec())
+        })
+        .collect()
+}
+
 /// Gather the embedding rows of the labelled directors: `(inputs, labels)`.
 ///
 /// Directors missing from the catalog (none, in practice) are skipped so

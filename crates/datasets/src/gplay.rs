@@ -208,21 +208,45 @@ impl GooglePlayDataset {
         )
         .expect("schema");
 
+        // One BulkLoader batch carries the whole generated dataset; staging
+        // order equals the old insert order, so the committed state is
+        // identical to the historical row-by-row build.
+        let mut loader = db.bulk();
+        let t_categories = loader.table("categories").expect("schema");
+        let t_genres = loader.table("genres").expect("schema");
+        let t_pricing = loader.table("pricing_types").expect("schema");
+        let t_age = loader.table("age_groups").expect("schema");
+        let t_apps = loader.table("apps").expect("schema");
+        let t_reviews = loader.table("reviews").expect("schema");
+        let t_app_genre = loader.table("app_genre").expect("schema");
+
+        // Size hints (reviews average 3 per app; reserve is only a hint).
+        loader.reserve(t_apps, config.n_apps);
+        loader.reserve(t_app_genre, config.n_apps);
+        loader.reserve(t_reviews, 3 * config.n_apps);
+
         for (c, name) in CATEGORIES.iter().enumerate() {
-            db.insert("categories", vec![Value::Int(c as i64 + 1), Value::from(*name)]).unwrap();
+            loader
+                .stage(t_categories, vec![Value::Int(c as i64 + 1), Value::from(*name)])
+                .expect("generated row");
             // Genres mirror categories ("genre and category are often
             // equivalent", §5.5.2).
-            db.insert(
-                "genres",
-                vec![Value::Int(c as i64 + 1), Value::from(format!("{name} genre"))],
-            )
-            .unwrap();
+            loader
+                .stage(
+                    t_genres,
+                    vec![Value::Int(c as i64 + 1), Value::from(format!("{name} genre"))],
+                )
+                .expect("generated row");
         }
         for (p, name) in PRICING.iter().enumerate() {
-            db.insert("pricing_types", vec![Value::Int(p as i64 + 1), Value::from(*name)]).unwrap();
+            loader
+                .stage(t_pricing, vec![Value::Int(p as i64 + 1), Value::from(*name)])
+                .expect("generated row");
         }
         for (a, name) in AGE_GROUPS.iter().enumerate() {
-            db.insert("age_groups", vec![Value::Int(a as i64 + 1), Value::from(*name)]).unwrap();
+            loader
+                .stage(t_age, vec![Value::Int(a as i64 + 1), Value::from(*name)])
+                .expect("generated row");
         }
 
         // Apps + reviews.
@@ -252,20 +276,22 @@ impl GooglePlayDataset {
             let rating = 2.5 + 2.5 * rng.gen::<f64>();
             let pricing = rng.gen_range(0..PRICING.len()) as i64 + 1;
             let age = rng.gen_range(0..AGE_GROUPS.len()) as i64 + 1;
-            db.insert(
-                "apps",
-                vec![
-                    Value::Int(app_id),
-                    Value::from(name.clone()),
-                    Value::Float(rating),
-                    Value::Int(category as i64 + 1),
-                    Value::Int(pricing),
-                    Value::Int(age),
-                ],
-            )
-            .unwrap();
-            db.insert("app_genre", vec![Value::Int(app_id), Value::Int(category as i64 + 1)])
-                .unwrap();
+            loader
+                .stage(
+                    t_apps,
+                    vec![
+                        Value::Int(app_id),
+                        Value::from(name.clone()),
+                        Value::Float(rating),
+                        Value::Int(category as i64 + 1),
+                        Value::Int(pricing),
+                        Value::Int(age),
+                    ],
+                )
+                .expect("generated row");
+            loader
+                .stage(t_app_genre, vec![Value::Int(app_id), Value::Int(category as i64 + 1)])
+                .expect("generated row");
 
             // 2–4 reviews, median-short (the paper reports 81 chars median).
             for _ in 0..(2 + rng.gen_range(0..3usize)) {
@@ -275,15 +301,18 @@ impl GooglePlayDataset {
                     words.push(token(&mut rng, config.review_leak));
                 }
                 let text = format!("{} r{review_id}", words.join(" "));
-                db.insert(
-                    "reviews",
-                    vec![Value::Int(review_id), Value::from(text), Value::Int(app_id)],
-                )
-                .unwrap();
+                loader
+                    .stage(
+                        t_reviews,
+                        vec![Value::Int(review_id), Value::from(text), Value::Int(app_id)],
+                    )
+                    .expect("generated row");
             }
             app_names.push(name);
             app_category.push(category);
         }
+
+        loader.commit().expect("generated rows satisfy every constraint");
 
         let space = LatentSpace::new(n_topics, config.dim, &mut rng);
         let base = embedding_set_from_mixtures(&space, &vocab, config.noise, &mut rng);

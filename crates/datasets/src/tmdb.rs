@@ -359,15 +359,56 @@ impl Generator {
         let mut db = Database::new();
         Self::create_schema(&mut db);
 
+        // Every generated row goes through one BulkLoader batch: validation
+        // and name resolution are amortized once for the whole dataset.
+        // Staging order equals the old insert order, so the committed state
+        // is identical to the historical row-by-row build.
+        let mut loader = db.bulk();
+        let t_genres = loader.table("genres").expect("schema");
+        let t_countries = loader.table("countries").expect("schema");
+        let t_languages = loader.table("languages").expect("schema");
+        let t_keywords = loader.table("keywords").expect("schema");
+        let t_companies = loader.table("companies").expect("schema");
+        let t_persons = loader.table("persons").expect("schema");
+        let t_movies = loader.table("movies").expect("schema");
+        let t_reviews = loader.table("reviews").expect("schema");
+        let t_movie_genre = loader.table("movie_genre").expect("schema");
+        let t_movie_country = loader.table("movie_country").expect("schema");
+        let t_movie_language = loader.table("movie_language").expect("schema");
+        let t_movie_company = loader.table("movie_company").expect("schema");
+        let t_movie_keyword = loader.table("movie_keyword").expect("schema");
+        let t_movie_actor = loader.table("movie_actor").expect("schema");
+        let t_movie_director = loader.table("movie_director").expect("schema");
+
+        // Size hints for the big tables (expected row counts; estimates for
+        // the randomized link cardinalities are fine — reserve is a hint).
+        let n = self.config.n_movies;
+        loader.reserve(t_persons, n / 2 + n.max(8) + 2);
+        loader.reserve(t_movies, n);
+        loader.reserve(t_reviews, n);
+        loader.reserve(t_movie_genre, 2 * n);
+        loader.reserve(t_movie_country, n);
+        loader.reserve(t_movie_language, n);
+        loader.reserve(t_movie_company, n);
+        loader.reserve(t_movie_keyword, 3 * n);
+        loader.reserve(t_movie_actor, 3 * n);
+        loader.reserve(t_movie_director, n);
+
         // Dimension tables.
         for (g, name) in GENRES.iter().enumerate() {
-            db.insert("genres", vec![Value::Int(g as i64 + 1), Value::from(*name)]).unwrap();
+            loader
+                .stage(t_genres, vec![Value::Int(g as i64 + 1), Value::from(*name)])
+                .expect("generated row");
         }
         for (c, &(name, _, _)) in COUNTRIES.iter().enumerate() {
-            db.insert("countries", vec![Value::Int(c as i64 + 1), Value::from(name)]).unwrap();
+            loader
+                .stage(t_countries, vec![Value::Int(c as i64 + 1), Value::from(name)])
+                .expect("generated row");
         }
         for (l, &lang) in LANGUAGES.iter().enumerate() {
-            db.insert("languages", vec![Value::Int(l as i64 + 1), Value::from(lang)]).unwrap();
+            loader
+                .stage(t_languages, vec![Value::Int(l as i64 + 1), Value::from(lang)])
+                .expect("generated row");
         }
         // Keywords: 8 per genre, named from the genre pool (in-vocabulary).
         let mut keyword_ids: Vec<Vec<i64>> = vec![Vec::new(); GENRES.len()];
@@ -377,7 +418,9 @@ impl Generator {
                 kw_id += 1;
                 let token = self.genre_pools[g][k % self.genre_pools[g].len()].clone();
                 let text = format!("{token} k{kw_id}");
-                db.insert("keywords", vec![Value::Int(kw_id), Value::from(text)]).unwrap();
+                loader
+                    .stage(t_keywords, vec![Value::Int(kw_id), Value::from(text)])
+                    .expect("generated row");
                 ids.push(kw_id);
             }
         }
@@ -393,7 +436,9 @@ impl Generator {
             // Company names: a country token plus a genre token keeps them
             // in-vocabulary with a meaningful mixture; serial for uniqueness.
             let name = format!("{} {} pictures {k}", COUNTRIES[home].0, self.genre_pools[genre][0]);
-            db.insert("companies", vec![Value::Int(k as i64 + 1), Value::from(name)]).unwrap();
+            loader
+                .stage(t_companies, vec![Value::Int(k as i64 + 1), Value::from(name)])
+                .expect("generated row");
         }
         // First company per genre/country: the per-movie "prefer a matching
         // company" pick below becomes O(1) instead of a scan over all
@@ -420,7 +465,9 @@ impl Generator {
             let region = COUNTRIES[country].1;
             let name = names::person_name(region, serial, self.config.name_leak, &mut self.rng);
             person_id += 1;
-            db.insert("persons", vec![Value::Int(person_id), Value::from(name.clone())]).unwrap();
+            loader
+                .stage(t_persons, vec![Value::Int(person_id), Value::from(name.clone())])
+                .expect("generated row");
             directors.push((name, country));
             director_ids.push(person_id);
         }
@@ -434,7 +481,9 @@ impl Generator {
                 &mut self.rng,
             );
             person_id += 1;
-            db.insert("persons", vec![Value::Int(person_id), Value::from(name)]).unwrap();
+            loader
+                .stage(t_persons, vec![Value::Int(person_id), Value::from(name)])
+                .expect("generated row");
             actor_ids.push(person_id);
             actor_country.push(country);
         }
@@ -507,41 +556,47 @@ impl Generator {
             let revenue = budget * (1.2 + 1.6 * self.rng.gen::<f64>());
             let popularity = 10.0 * self.rng.gen::<f64>() + budget / 2e7;
 
-            db.insert(
-                "movies",
-                vec![
-                    Value::Int(movie_id),
-                    Value::from(title.clone()),
-                    Value::from(overview),
-                    Value::from(language),
-                    Value::Float(budget),
-                    Value::Float(revenue),
-                    Value::Float(popularity),
-                ],
-            )
-            .unwrap();
+            loader
+                .stage(
+                    t_movies,
+                    vec![
+                        Value::Int(movie_id),
+                        Value::from(title.clone()),
+                        Value::from(overview),
+                        Value::from(language),
+                        Value::Float(budget),
+                        Value::Float(revenue),
+                        Value::Float(popularity),
+                    ],
+                )
+                .expect("generated row");
 
             // Link rows.
             for &g in &genres {
-                db.insert("movie_genre", vec![Value::Int(movie_id), Value::Int(g as i64 + 1)])
-                    .unwrap();
+                loader
+                    .stage(t_movie_genre, vec![Value::Int(movie_id), Value::Int(g as i64 + 1)])
+                    .expect("generated row");
             }
-            db.insert("movie_country", vec![Value::Int(movie_id), Value::Int(country as i64 + 1)])
-                .unwrap();
+            loader
+                .stage(t_movie_country, vec![Value::Int(movie_id), Value::Int(country as i64 + 1)])
+                .expect("generated row");
             let lang_idx = LANGUAGES.iter().position(|&l| l == language).expect("known");
-            db.insert(
-                "movie_language",
-                vec![Value::Int(movie_id), Value::Int(lang_idx as i64 + 1)],
-            )
-            .unwrap();
-            db.insert("movie_director", vec![Value::Int(movie_id), Value::Int(director_ids[d])])
-                .unwrap();
+            loader
+                .stage(
+                    t_movie_language,
+                    vec![Value::Int(movie_id), Value::Int(lang_idx as i64 + 1)],
+                )
+                .expect("generated row");
+            loader
+                .stage(t_movie_director, vec![Value::Int(movie_id), Value::Int(director_ids[d])])
+                .expect("generated row");
             // Company: prefer the first one with matching genre or country.
             let company = first_company_by_genre[main_genre].min(first_company_by_country[country]);
             let company =
                 if company == usize::MAX { self.rng.gen_range(0..n_companies) } else { company };
-            db.insert("movie_company", vec![Value::Int(movie_id), Value::Int(company as i64 + 1)])
-                .unwrap();
+            loader
+                .stage(t_movie_company, vec![Value::Int(movie_id), Value::Int(company as i64 + 1)])
+                .expect("generated row");
             // Keywords: 2–4 from the movie's genres.
             let n_kw = 2 + self.rng.gen_range(0..3usize);
             let mut used = Vec::new();
@@ -550,7 +605,9 @@ impl Generator {
                 let kw = keyword_ids[g][self.rng.gen_range(0..keyword_ids[g].len())];
                 if !used.contains(&kw) {
                     used.push(kw);
-                    db.insert("movie_keyword", vec![Value::Int(movie_id), Value::Int(kw)]).unwrap();
+                    loader
+                        .stage(t_movie_keyword, vec![Value::Int(movie_id), Value::Int(kw)])
+                        .expect("generated row");
                 }
             }
             // Actors: 2–4, citizenship biased toward the production country.
@@ -564,8 +621,9 @@ impl Generator {
                 // Accept same-country actors readily, others with 30%.
                 if actor_country[a] == country || self.rng.gen_bool(0.3) {
                     cast.push(a);
-                    db.insert("movie_actor", vec![Value::Int(movie_id), Value::Int(actor_ids[a])])
-                        .unwrap();
+                    loader
+                        .stage(t_movie_actor, vec![Value::Int(movie_id), Value::Int(actor_ids[a])])
+                        .expect("generated row");
                 }
             }
             // Reviews: 0–2, text flavoured by the movie's genres.
@@ -581,11 +639,12 @@ impl Generator {
                     }
                 }
                 let text = format!("{} r{review_id}", words.join(" "));
-                db.insert(
-                    "reviews",
-                    vec![Value::Int(review_id), Value::from(text), Value::Int(movie_id)],
-                )
-                .unwrap();
+                loader
+                    .stage(
+                        t_reviews,
+                        vec![Value::Int(review_id), Value::from(text), Value::Int(movie_id)],
+                    )
+                    .expect("generated row");
             }
 
             movie_titles.push(title);
@@ -593,6 +652,8 @@ impl Generator {
             movie_budget.push(budget);
             movie_genres.push(genres);
         }
+
+        loader.commit().expect("generated rows satisfy every constraint");
 
         // Materialize the embedding set.
         let space = LatentSpace::new(Topics::count(), self.config.dim, &mut self.rng);

@@ -136,13 +136,16 @@ pub fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
 /// Import a headered CSV document into an existing table of a database.
 ///
 /// The header row must name a subset of the table's columns (in any order);
-/// unnamed columns receive NULL. Rows are inserted through
-/// [`crate::Database::insert`], so **every** constraint — arity, column
-/// types, primary-key presence/uniqueness, and foreign keys — is enforced
-/// per row. The import is **atomic**: on any error the target table is
-/// restored to its pre-import state and the error is returned as
-/// [`StoreError::CsvRow`], carrying the 1-based CSV line number and the
-/// underlying violation. Returns the number of inserted rows on success.
+/// unnamed columns receive NULL. Rows are staged through the batched
+/// [`crate::BulkLoader`] fast path, which enforces **every** constraint —
+/// arity, column types, primary-key presence/uniqueness, and foreign keys —
+/// with the per-row name resolution amortized to once per import. The
+/// import is **atomic**: a failed record rolls the whole batch back inside
+/// the loader, so on any error the target table is untouched and the error
+/// is returned as [`StoreError::CsvRow`], carrying the 1-based CSV line
+/// number and the underlying violation (the same violation a row-by-row
+/// insert loop would have hit first). Returns the number of inserted rows
+/// on success.
 ///
 /// ```
 /// use retro_store::{csv, Database, DataType, StoreError, TableSchema};
@@ -158,10 +161,14 @@ pub fn field_to_value(field: &str, ty: DataType) -> Result<Value> {
 /// ```
 pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Result<usize> {
     let records = parse_records(csv_text)?;
+    let n_records = records.len().saturating_sub(1);
     let mut it = records.into_iter();
     let (_, header) = it.next().ok_or_else(|| StoreError::Csv("empty CSV document".to_owned()))?;
 
-    let schema = db.table(table)?.schema().clone();
+    let mut loader = db.bulk();
+    let handle = loader.table(table)?;
+    loader.reserve(handle, n_records);
+    let schema = loader.schema(handle).clone();
     // Map CSV position → table column index.
     let mut mapping = Vec::with_capacity(header.len());
     for name in &header {
@@ -172,15 +179,12 @@ pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Resu
         mapping.push(idx);
     }
 
-    // Atomicity: bulk loads must not leave a half-imported table behind
-    // when a late record violates a constraint. Inserts only ever append
-    // to the target table, so remembering the pre-import row count and
-    // truncating back to it on error is a full rollback — no snapshot
-    // clone on the success path. (Rows may reference earlier rows of the
-    // same document, so constraints cannot be pre-validated in a separate
-    // pass.)
-    let pre_import_len = db.table(table)?.len();
-
+    // Stage every record. A conversion or constraint error anywhere makes
+    // the loader roll the whole batch back (and its early return drops the
+    // loader, reinstalling the untouched tables), so the import stays
+    // atomic without any snapshot. Rows may reference earlier rows of the
+    // same document — staged rows are live in the loader's indexes, exactly
+    // like the old row-by-row path.
     let mut inserted = 0;
     for (line, rec) in it {
         let result = (|| {
@@ -195,15 +199,17 @@ pub fn import_csv(db: &mut crate::Database, table: &str, csv_text: &str) -> Resu
             for (field, &col) in rec.iter().zip(&mapping) {
                 row[col] = field_to_value(field, schema.columns[col].ty)?;
             }
-            db.insert(table, row)?;
-            Ok(())
+            loader.stage(handle, row).map_err(|err| match err {
+                StoreError::BulkRow { source, .. } => *source,
+                other => other,
+            })
         })();
         if let Err(source) = result {
-            db.table_mut(table).expect("table existed above").truncate(pre_import_len);
             return Err(StoreError::CsvRow { line, source: Box::new(source) });
         }
         inserted += 1;
     }
+    loader.commit()?;
     Ok(inserted)
 }
 

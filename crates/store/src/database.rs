@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::bulk::BulkLoader;
 use crate::error::StoreError;
 use crate::schema::{ForeignKey, TableSchema};
 use crate::table::Table;
@@ -14,7 +15,7 @@ use crate::Result;
 /// value numbering downstream in `retro-core`) is deterministic across runs.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    pub(crate) tables: BTreeMap<String, Table>,
 }
 
 impl Database {
@@ -103,18 +104,72 @@ impl Database {
         Ok(t.push_unchecked(row))
     }
 
-    /// Bulk insert; stops at the first error.
+    /// Start a batched bulk load into this database.
+    ///
+    /// The returned [`BulkLoader`] stages rows across any number of tables,
+    /// defers all validation to a single [`commit`](BulkLoader::commit), and
+    /// either appends every staged row or (on the first constraint
+    /// violation, in staging order) leaves the database untouched. All
+    /// per-row name resolution — table lookups, foreign-key column indices,
+    /// referenced-table handles — is amortized to once per batch, which is
+    /// what makes this the ingest fast path. See `docs/INGESTION.md`.
+    pub fn bulk(&mut self) -> BulkLoader<'_> {
+        BulkLoader::new(self)
+    }
+
+    /// Atomically insert a batch of rows into one table via the bulk path.
+    ///
+    /// Either every row is inserted or none are; the error identifies the
+    /// offending row as [`StoreError::BulkRow`]. The resulting database
+    /// state is identical to calling [`Database::insert`] per row.
+    ///
+    /// ```
+    /// use retro_store::{Database, DataType, TableSchema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(TableSchema::builder("t").pk("id").build()).unwrap();
+    /// let n = db
+    ///     .insert_batch("t", (1..=3).map(|k| vec![Value::Int(k)]))
+    ///     .unwrap();
+    /// assert_eq!(n, 3);
+    /// ```
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<usize> {
+        let mut loader = self.bulk();
+        let handle = loader.table(table)?;
+        for row in rows {
+            loader.stage(handle, row)?;
+        }
+        loader.commit()
+    }
+
+    /// Bulk insert into one table — an alias for [`Database::insert_batch`].
+    ///
+    /// The whole batch is **atomic**: a bad row anywhere leaves the table
+    /// exactly as it was (before PR 3 this method inserted rows until the
+    /// first error, stranding a partial prefix).
+    ///
+    /// ```
+    /// use retro_store::{Database, DataType, StoreError, TableSchema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table(TableSchema::builder("t").pk("id").build()).unwrap();
+    /// // The second row repeats primary key 1: nothing at all is inserted.
+    /// let err = db
+    ///     .insert_many("t", vec![vec![Value::Int(1)], vec![Value::Int(1)]])
+    ///     .unwrap_err();
+    /// assert!(matches!(err, StoreError::BulkRow { row: 1, .. }));
+    /// assert!(db.table("t").unwrap().is_empty());
+    /// ```
     pub fn insert_many(
         &mut self,
         table: &str,
         rows: impl IntoIterator<Item = Vec<Value>>,
     ) -> Result<usize> {
-        let mut n = 0;
-        for row in rows {
-            self.insert(table, row)?;
-            n += 1;
-        }
-        Ok(n)
+        self.insert_batch(table, rows)
     }
 
     /// Look up a table.
@@ -280,13 +335,18 @@ mod tests {
     }
 
     #[test]
-    fn insert_many_stops_at_error() {
+    fn insert_many_is_atomic() {
         let mut d = db();
         let rows = vec![
             vec![Value::Int(1), Value::from("a")],
             vec![Value::Int(1), Value::from("b")], // duplicate key
         ];
         assert!(d.insert_many("persons", rows).is_err());
-        assert_eq!(d.table("persons").unwrap().len(), 1);
+        assert_eq!(d.table("persons").unwrap().len(), 0, "bad batch must insert nothing");
+
+        let rows =
+            vec![vec![Value::Int(1), Value::from("a")], vec![Value::Int(2), Value::from("b")]];
+        assert_eq!(d.insert_many("persons", rows).unwrap(), 2);
+        assert_eq!(d.table("persons").unwrap().len(), 2);
     }
 }

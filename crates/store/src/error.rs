@@ -10,17 +10,55 @@ pub enum StoreError {
     /// Referenced table does not exist.
     UnknownTable(String),
     /// Referenced column does not exist in the named table.
-    UnknownColumn { table: String, column: String },
+    UnknownColumn {
+        /// Table the lookup ran against.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
     /// Value does not fit the declared column type.
-    TypeMismatch { table: String, column: String, expected: String, got: String },
+    TypeMismatch {
+        /// Table owning the column.
+        table: String,
+        /// Column whose type was violated.
+        column: String,
+        /// The declared column type.
+        expected: String,
+        /// The offending value's type (or `NULL`).
+        got: String,
+    },
     /// Row arity differs from the table's column count.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        /// Target table.
+        table: String,
+        /// The table's column count.
+        expected: usize,
+        /// The row's value count.
+        got: usize,
+    },
     /// Primary-key value already present.
-    DuplicateKey { table: String, key: String },
+    DuplicateKey {
+        /// Table owning the primary key.
+        table: String,
+        /// The repeated key, rendered for display.
+        key: String,
+    },
     /// Primary-key column received NULL.
-    NullKey { table: String, column: String },
+    NullKey {
+        /// Table owning the primary key.
+        table: String,
+        /// The primary-key column name.
+        column: String,
+    },
     /// Foreign-key value has no matching referenced row.
-    ForeignKeyViolation { table: String, column: String, value: String },
+    ForeignKeyViolation {
+        /// Table owning the foreign-key column.
+        table: String,
+        /// The constrained column.
+        column: String,
+        /// The dangling key, rendered for display.
+        value: String,
+    },
     /// A foreign key declaration references a missing table/column.
     BadForeignKey(String),
     /// CSV input could not be parsed.
@@ -34,6 +72,21 @@ pub enum StoreError {
         /// The underlying conversion or constraint error.
         source: Box<StoreError>,
     },
+    /// A row failed a constraint check while being staged into a bulk
+    /// batch (see [`crate::BulkLoader::stage`]); the whole batch was rolled
+    /// back, so nothing from it remains inserted.
+    BulkRow {
+        /// Table the offending row was staged for.
+        table: String,
+        /// 0-based position of the offending row in batch staging order.
+        row: usize,
+        /// The underlying constraint violation — the same error the
+        /// row-by-row insert path would have reported first.
+        source: Box<StoreError>,
+    },
+    /// A [`crate::BulkLoader`] was used after its batch already failed and
+    /// rolled back (API misuse: start a new loader instead).
+    BulkPoisoned,
     /// SQL input could not be tokenized/parsed/executed.
     Sql(String),
 }
@@ -66,6 +119,12 @@ impl fmt::Display for StoreError {
             StoreError::Csv(msg) => write!(f, "csv error: {msg}"),
             StoreError::CsvRow { line, source } => {
                 write!(f, "csv import failed at line {line}: {source}")
+            }
+            StoreError::BulkRow { table, row, source } => {
+                write!(f, "bulk ingest into `{table}` failed at batch row {row}: {source}")
+            }
+            StoreError::BulkPoisoned => {
+                write!(f, "bulk batch already failed and rolled back; start a new loader")
             }
             StoreError::Sql(msg) => write!(f, "sql error: {msg}"),
         }

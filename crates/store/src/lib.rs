@@ -11,6 +11,8 @@
 //! * [`Database`] / [`Table`] — tables with typed columns ([`DataType`]),
 //!   primary keys, foreign-key constraints (validated on insert) and
 //!   row/column access,
+//! * [`bulk`] — the batched [`BulkLoader`] ingest fast path (stage →
+//!   validate once per batch → atomic commit); see `docs/INGESTION.md`,
 //! * [`schema`] — schema definitions plus the introspection used by
 //!   `retro-core`'s relationship extraction (§3.2 of the paper),
 //! * [`csv`] — CSV import/export (the paper's datasets ship as CSV),
@@ -21,6 +23,14 @@
 //! The engine is deliberately row-oriented and index-light: RETRO's access
 //! pattern is full-column scans, not point queries.
 
+#![warn(missing_docs)]
+
+/// The end-to-end ingestion story, rendered from `docs/INGESTION.md` so
+/// the guide's code examples compile and run as doctests.
+#[doc = include_str!("../../../docs/INGESTION.md")]
+pub mod ingestion {}
+
+pub mod bulk;
 pub mod csv;
 pub mod database;
 pub mod error;
@@ -30,6 +40,7 @@ pub mod sql;
 pub mod table;
 pub mod value;
 
+pub use bulk::{BulkLoader, TableHandle};
 pub use database::Database;
 pub use error::StoreError;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};

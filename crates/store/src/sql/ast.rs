@@ -5,16 +5,22 @@ use crate::value::{DataType, Value};
 /// A parsed statement.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
+    /// `CREATE TABLE ...`.
     CreateTable(CreateTable),
+    /// `INSERT INTO ... VALUES (...), (...)`.
     Insert(Insert),
+    /// `SELECT ...`.
     Select(Select),
+    /// `UPDATE ... SET ...`.
     Update(Update),
+    /// `DELETE FROM ...`.
     Delete(Delete),
 }
 
 /// `UPDATE t SET col = lit [, ...] [WHERE conj]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Update {
+    /// Target table.
     pub table: String,
     /// `(column, new value)` assignments.
     pub assignments: Vec<(String, Literal)>,
@@ -25,35 +31,50 @@ pub struct Update {
 /// `DELETE FROM t [WHERE conj]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Delete {
+    /// Target table.
     pub table: String,
+    /// Conjunction of predicates (empty = all rows).
     pub predicates: Vec<Expr>,
 }
 
 /// `CREATE TABLE name (col TYPE [PRIMARY KEY] [REFERENCES t(c)], ...)`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CreateTable {
+    /// New table name.
     pub name: String,
+    /// `(column name, declared type)` pairs, in declaration order.
     pub columns: Vec<(String, DataType)>,
+    /// Column declared `PRIMARY KEY`, if any.
     pub primary_key: Option<String>,
     /// `(column, ref_table, ref_column)`.
     pub foreign_keys: Vec<(String, String, String)>,
 }
 
 /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+///
+/// One statement may carry any number of `VALUES` tuples; execution routes
+/// them through [`crate::BulkLoader`], so the whole statement is atomic —
+/// a bad tuple anywhere inserts nothing.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Insert {
+    /// Target table.
     pub table: String,
     /// Explicit column list; empty means "all columns in schema order".
     pub columns: Vec<String>,
+    /// One literal tuple per `VALUES` group.
     pub rows: Vec<Vec<Literal>>,
 }
 
 /// A literal in an INSERT or WHERE clause.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Literal {
+    /// `NULL`.
     Null,
+    /// An integer literal.
     Int(i64),
+    /// A float literal.
     Float(f64),
+    /// A single-quoted string literal.
     Str(String),
 }
 
@@ -72,7 +93,9 @@ impl Literal {
 /// A possibly-qualified column reference `[table.]column`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ColumnRef {
+    /// Optional qualifying table name or alias.
     pub table: Option<String>,
+    /// Column name.
     pub column: String,
 }
 
@@ -88,6 +111,7 @@ impl ColumnRef {
 
 /// Comparison operators in WHERE / JOIN-ON clauses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the operators themselves
 pub enum BinOp {
     Eq,
     Ne,
@@ -120,7 +144,14 @@ impl BinOp {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Expr {
     /// `col OP literal` or `col OP col`.
-    Cmp { left: ColumnRef, op: BinOp, right: Operand },
+    Cmp {
+        /// Left-hand column.
+        left: ColumnRef,
+        /// Comparison operator.
+        op: BinOp,
+        /// Right-hand literal or column.
+        right: Operand,
+    },
     /// `col IS NULL`.
     IsNull(ColumnRef),
     /// `col IS NOT NULL`.
@@ -130,7 +161,9 @@ pub enum Expr {
 /// Right-hand side of a comparison.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Operand {
+    /// A literal value.
     Lit(Literal),
+    /// A column reference.
     Col(ColumnRef),
 }
 
@@ -148,7 +181,9 @@ pub enum SelectItem {
 /// A `FROM`/`JOIN` table with optional alias.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TableRef {
+    /// Table name as it exists in the database.
     pub table: String,
+    /// Optional binding alias (`movies m`).
     pub alias: Option<String>,
 }
 
@@ -162,20 +197,28 @@ impl TableRef {
 /// An `INNER JOIN ... ON a = b` clause.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Join {
+    /// The joined (right-hand) table.
     pub table: TableRef,
+    /// Left side of the equi-join condition.
     pub left: ColumnRef,
+    /// Right side of the equi-join condition.
     pub right: ColumnRef,
 }
 
 /// `SELECT items FROM t [JOIN ...]* [WHERE conj] [ORDER BY col [DESC]] [LIMIT n]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Select {
+    /// Projection list.
     pub items: Vec<SelectItem>,
+    /// The `FROM` table.
     pub from: TableRef,
+    /// `JOIN` clauses, applied left to right.
     pub joins: Vec<Join>,
     /// Conjunction of predicates.
     pub predicates: Vec<Expr>,
-    pub order_by: Option<(ColumnRef, bool)>, // (column, descending)
+    /// `(column, descending)` of the `ORDER BY` clause, if present.
+    pub order_by: Option<(ColumnRef, bool)>,
+    /// `LIMIT` row count, if present.
     pub limit: Option<usize>,
 }
 

@@ -176,10 +176,17 @@ fn exec_create(db: &mut Database, ct: &CreateTable) -> Result<QueryResult> {
     Ok(QueryResult::empty())
 }
 
+/// Execute `INSERT INTO t [(cols)] VALUES (...), (...)` through the
+/// [`crate::BulkLoader`] fast path. The whole statement is **atomic** — a
+/// bad tuple anywhere inserts nothing, matching standard SQL statement
+/// semantics (before PR 3, tuples preceding the bad one were stranded).
 fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
-    let schema = db.table(&ins.table)?.schema().clone();
+    let mut loader = db.bulk();
+    let handle = loader.table(&ins.table)?;
+    let schema = loader.schema(handle);
+    let width = schema.columns.len();
     let mapping: Vec<usize> = if ins.columns.is_empty() {
-        (0..schema.columns.len()).collect()
+        (0..width).collect()
     } else {
         ins.columns
             .iter()
@@ -192,7 +199,6 @@ fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
             .collect::<Result<_>>()?
     };
 
-    let mut affected = 0;
     for lit_row in &ins.rows {
         if lit_row.len() != mapping.len() {
             return Err(StoreError::ArityMismatch {
@@ -201,13 +207,18 @@ fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
                 got: lit_row.len(),
             });
         }
-        let mut row = vec![Value::Null; schema.columns.len()];
+        let mut row = vec![Value::Null; width];
         for (lit, &col) in lit_row.iter().zip(&mapping) {
             row[col] = lit.to_value();
         }
-        db.insert(&ins.table, row)?;
-        affected += 1;
+        // A violation rolls the whole statement back inside the loader;
+        // surface the underlying error the way the row-by-row path did.
+        loader.stage(handle, row).map_err(|err| match err {
+            StoreError::BulkRow { source, .. } => *source,
+            other => other,
+        })?;
     }
+    let affected = loader.commit()?;
     Ok(QueryResult { rows_affected: affected, ..QueryResult::default() })
 }
 
@@ -520,6 +531,31 @@ mod tests {
         let mut db = seeded();
         let r =
             run_script(&mut db, "INSERT INTO genres VALUES (3, 'Drama'), (4, 'SciFi')").unwrap();
+        assert_eq!(r.rows_affected, 2);
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let mut db = seeded();
+        // Tuple 3 repeats primary key 3: the whole statement must be a no-op.
+        let err =
+            run_script(&mut db, "INSERT INTO genres VALUES (3, 'Drama'), (4, 'SciFi'), (3, 'Dup')")
+                .unwrap_err();
+        assert!(matches!(err, StoreError::DuplicateKey { .. }), "got {err:?}");
+        let count = run_script(&mut db, "SELECT COUNT(*) FROM genres").unwrap();
+        assert_eq!(count.rows[0][0], Value::Int(2), "partial insert must not survive");
+    }
+
+    #[test]
+    fn insert_tuples_may_reference_earlier_tuples() {
+        let mut db = seeded();
+        // movie 50 is staged by the same statement the link row references.
+        let r = run_script(
+            &mut db,
+            "INSERT INTO movies VALUES (50, 'Dune', 1.0); \
+             INSERT INTO movie_genre VALUES (50, 1), (50, 2)",
+        )
+        .unwrap();
         assert_eq!(r.rows_affected, 2);
     }
 

@@ -6,7 +6,7 @@
 //! CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL,
 //!                 other_id INTEGER REFERENCES other(id));
 //! INSERT INTO t VALUES (1, 'abc', 3.5, NULL);
-//! INSERT INTO t (id, name) VALUES (2, 'def');
+//! INSERT INTO t (id, name) VALUES (2, 'def'), (3, 'ghi');
 //! UPDATE t SET score = 0.5 WHERE score IS NULL;
 //! DELETE FROM t WHERE score < 1;
 //! SELECT name, score FROM t WHERE score >= 2 ORDER BY name DESC LIMIT 10;
@@ -14,10 +14,46 @@
 //! SELECT COUNT(*) FROM t;
 //! ```
 //!
+//! The full grammar (case-insensitive keywords; `[]` optional, `{}`
+//! repeatable):
+//!
+//! ```text
+//! statement   := create | insert | select | update | delete [";"]
+//! create      := CREATE TABLE ident "(" coldef {"," coldef} ")"
+//! coldef      := ident type [PRIMARY KEY] [REFERENCES ident "(" ident ")"]
+//! type        := INTEGER|INT|BIGINT | REAL|FLOAT|DOUBLE|NUMERIC
+//!              | TEXT|VARCHAR["(" n ")"]|CHAR["(" n ")"]|STRING
+//! insert      := INSERT INTO ident ["(" ident {"," ident} ")"]
+//!                VALUES tuple {"," tuple}
+//! tuple       := "(" literal {"," literal} ")"
+//! update      := UPDATE ident SET ident "=" literal {"," ident "=" literal}
+//!                [where]
+//! delete      := DELETE FROM ident [where]
+//! select      := SELECT item {"," item} FROM tableref {join} [where]
+//!                [ORDER BY colref [ASC|DESC]] [LIMIT n]
+//! item        := "*" | colref | COUNT "(" "*" ")"
+//! join        := [INNER] JOIN tableref ON colref "=" colref
+//! where       := WHERE predicate {AND predicate}
+//! predicate   := colref IS [NOT] NULL | colref op (literal | colref)
+//! op          := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! tableref    := ident [ident]            -- optional binding alias
+//! colref      := [ident "."] ident
+//! literal     := NULL | int | float | 'string'
+//! ```
+//!
+//! A multi-tuple `INSERT` executes through [`crate::BulkLoader`], so the
+//! statement is **atomic** (a bad tuple anywhere inserts nothing) and later
+//! tuples may reference keys introduced by earlier tuples of the same
+//! statement — the semantics PostgreSQL gives a single `INSERT .. VALUES
+//! (..), (..)` statement. See `docs/INGESTION.md` for the full ingestion
+//! story.
+//!
 //! This is intentionally a *subset*: enough to drive the engine the way the
 //! paper drives PostgreSQL (schema creation, bulk loads, relationship and
 //! column scans), not a general query processor. Joins are equi-joins
 //! executed with a hash join; predicates are conjunctions of comparisons.
+//! [`run_script`] splits on top-level semicolons, so a whole dump restores
+//! in one call.
 
 mod ast;
 mod executor;

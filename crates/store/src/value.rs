@@ -28,8 +28,11 @@ impl fmt::Display for DataType {
 pub enum Value {
     /// SQL NULL — the imputation tasks predict these.
     Null,
+    /// A 64-bit integer (keys and counts).
     Int(i64),
+    /// A 64-bit float (budgets, revenues, scores, ratings).
     Float(f64),
+    /// UTF-8 text — the values RETRO learns embeddings for.
     Text(String),
 }
 
