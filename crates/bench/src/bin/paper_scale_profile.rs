@@ -133,16 +133,19 @@ fn profile_pipeline(
     println!("  {label}: problem assembly         {secs:>9.3}s  (dim {})", problem.dim());
     phases.push(Phase { name: "problem_assembly", secs });
 
+    // Solve timings: warm up each solver once (first contact with a
+    // freshly assembled problem pays page faults and cache misses that
+    // would otherwise be billed to whichever solve runs first), then take
+    // the best of `SOLVE_REPS` runs — the minimum is robust against
+    // scheduler/allocator interference on shared boxes, same policy as the
+    // ingest phases above.
     let ro = Hyperparameters::paper_ro();
-    // Warmup: first contact with the freshly assembled problem pays page
-    // faults and cache misses that would otherwise be billed to whichever
-    // solve happens to run first.
     let _ = solve_ro(&problem, &ro, 1);
-    let (w_seq, ro_seq) = time(|| solve_ro(&problem, &ro, iterations));
+    let (w_seq, ro_seq) = best_of(|| solve_ro(&problem, &ro, iterations));
     println!("  {label}: RO solve (1 thread)      {ro_seq:>9.3}s");
     phases.push(Phase { name: "ro_solve_sequential", secs: ro_seq });
 
-    let (w_par, ro_par) = time(|| solve_ro_parallel(&problem, &ro, iterations, threads));
+    let (w_par, ro_par) = best_of(|| solve_ro_parallel(&problem, &ro, iterations, threads));
     println!(
         "  {label}: RO solve ({threads} threads)     {ro_par:>9.3}s  (speedup {:.2}x)",
         ro_seq / ro_par.max(1e-9)
@@ -153,20 +156,40 @@ fn profile_pipeline(
         0.0,
         "parallel RO diverged from sequential — determinism invariant broken"
     );
+    drop(w_seq);
+    drop(w_par);
 
     let rn = Hyperparameters::paper_rn();
-    let (_, rn_seq) = time(|| solve_rn(&problem, &rn, iterations));
+    let _ = solve_rn(&problem, &rn, 1);
+    let (w_seq, rn_seq) = best_of(|| solve_rn(&problem, &rn, iterations));
     println!("  {label}: RN solve (1 thread)      {rn_seq:>9.3}s");
     phases.push(Phase { name: "rn_solve_sequential", secs: rn_seq });
 
-    let (_, rn_par) = time(|| solve_rn_parallel(&problem, &rn, iterations, threads));
+    let (w_par, rn_par) = best_of(|| solve_rn_parallel(&problem, &rn, iterations, threads));
     println!(
         "  {label}: RN solve ({threads} threads)     {rn_par:>9.3}s  (speedup {:.2}x)",
         rn_seq / rn_par.max(1e-9)
     );
     phases.push(Phase { name: "rn_solve_parallel", secs: rn_par });
+    assert_eq!(
+        w_seq.max_abs_diff(&w_par),
+        0.0,
+        "parallel RN diverged from sequential — determinism invariant broken"
+    );
 
     phases
+}
+
+/// Run `f` three times; return the last result and the fastest wall time.
+fn best_of<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    const SOLVE_REPS: usize = 3;
+    let (mut out, mut best) = time(&mut f);
+    for _ in 1..SOLVE_REPS {
+        let (r, secs) = time(&mut f);
+        out = r;
+        best = best.min(secs);
+    }
+    (out, best)
 }
 
 fn main() {

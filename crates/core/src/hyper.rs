@@ -111,18 +111,47 @@ pub fn derive_group_weights(
     }
     let mr_v = mr(group, relation_counts);
     let mc_v = group.mc().max(1);
+    derive_weights_from_degrees(&out_deg, relation_counts, params, mc_v, mr_v, ro_delta)
+}
 
+/// The Eq. 12 per-source weight `γ/(od·(|Ri|+1))` (also the Eq. 14 RN δ
+/// with `delta` in place of `gamma`). The single source of the formula:
+/// [`derive_weights_from_degrees`] and the solver kernels' direct
+/// constructions all call this, so they cannot drift.
+#[inline]
+pub(crate) fn per_source_weight(coefficient: f32, out_degree: u32, relation_count: u32) -> f32 {
+    coefficient / (out_degree as f32 * (relation_count as f32 + 1.0))
+}
+
+/// The Eq. 13 shared RO repulsion weight `δ̂ = δ/(mc·mr)`. Same
+/// single-source role as [`per_source_weight`].
+#[inline]
+pub(crate) fn delta_hat_weight(delta: f32, mc: usize, mr: usize) -> f32 {
+    delta / (mc as f32 * mr as f32)
+}
+
+/// [`derive_group_weights`] with the per-source out-degrees and the Eq. 13
+/// `mc`/`mr` already known — the allocation-light path `directed_groups`
+/// uses after its single counting pass over the edges (identical output to
+/// re-deriving them from the group).
+pub(crate) fn derive_weights_from_degrees(
+    out_deg: &[u32],
+    relation_counts: &[u32],
+    params: &Hyperparameters,
+    mc_v: usize,
+    mr_v: usize,
+    ro_delta: bool,
+) -> GroupWeights {
+    let n_values = out_deg.len();
     let mut gamma_i = vec![0.0f32; n_values];
     let mut delta_i = vec![0.0f32; n_values];
     for i in 0..n_values {
-        let od = out_deg[i] as f32;
-        if od > 0.0 {
-            let ri = relation_counts[i] as f32 + 1.0;
-            gamma_i[i] = params.gamma / (od * ri);
+        if out_deg[i] > 0 {
+            gamma_i[i] = per_source_weight(params.gamma, out_deg[i], relation_counts[i]);
             delta_i[i] = if ro_delta {
-                params.delta / (mc_v as f32 * mr_v as f32)
+                delta_hat_weight(params.delta, mc_v, mr_v)
             } else {
-                params.delta / (od * ri)
+                per_source_weight(params.delta, out_deg[i], relation_counts[i])
             };
         }
     }

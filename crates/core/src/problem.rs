@@ -6,7 +6,7 @@ use retro_linalg::Matrix;
 use retro_store::Database;
 
 use crate::catalog::TextValueCatalog;
-use crate::hyper::{beta_i, derive_group_weights, Hyperparameters};
+use crate::hyper::{beta_i, Hyperparameters};
 use crate::relations::{extract_relations, relation_type_counts, RelationGroup};
 
 /// A fully-assembled retrofitting problem instance.
@@ -111,15 +111,67 @@ impl RetrofitProblem {
 
     /// Materialize both directions of every relation group together with
     /// their derived weights — the solvers' working representation.
+    ///
+    /// Kernel construction is on the solve path, so this avoids the
+    /// per-direction sort/dedup/binary-search passes of the convenience
+    /// accessors ([`RelationGroup::sources`] etc.): one counting pass over
+    /// each group's edges yields both directions' out-degrees, from which
+    /// the distinct id lists (ascending id scan ≡ sorted + deduped), the
+    /// Eq. 13 `mc`, and the per-source weights all follow. The degree
+    /// scratch is reused across groups by resetting only touched entries.
     pub fn directed_groups(&self, params: &Hyperparameters, ro_delta: bool) -> Vec<DirectedGroup> {
         let n = self.len();
         let mut out = Vec::with_capacity(self.groups.len() * 2);
+        let mut fwd_deg = vec![0u32; n];
+        let mut inv_deg = vec![0u32; n];
         for group in &self.groups {
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] += 1;
+                inv_deg[j as usize] += 1;
+            }
+            let (sources, src_deg) = distinct_with_degrees(&fwd_deg);
+            let (targets, tgt_deg) = distinct_with_degrees(&inv_deg);
+            // `mr` and `mc` are direction-symmetric (both scan every edge's
+            // two endpoints / both distinct counts), so compute them once.
+            let mr_v = crate::hyper::mr(group, &self.relation_counts);
+            let mc_v = sources.len().max(targets.len()).max(1);
+            let w_fwd = crate::hyper::derive_weights_from_degrees(
+                &fwd_deg,
+                &self.relation_counts,
+                params,
+                mc_v,
+                mr_v,
+                ro_delta,
+            );
+            let w_inv = crate::hyper::derive_weights_from_degrees(
+                &inv_deg,
+                &self.relation_counts,
+                params,
+                mc_v,
+                mr_v,
+                ro_delta,
+            );
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] = 0;
+                inv_deg[j as usize] = 0;
+            }
             let inverted = group.inverted();
-            let w_fwd = derive_group_weights(group, &self.relation_counts, params, n, ro_delta);
-            let w_inv = derive_group_weights(&inverted, &self.relation_counts, params, n, ro_delta);
-            out.push(DirectedGroup::new(group.clone(), w_fwd.clone(), w_inv.clone()));
-            out.push(DirectedGroup::new(inverted, w_inv, w_fwd));
+            out.push(DirectedGroup {
+                group: group.clone(),
+                own: w_fwd.clone(),
+                rev: w_inv.clone(),
+                sources: sources.clone(),
+                targets: targets.clone(),
+                source_out_degree: src_deg,
+            });
+            out.push(DirectedGroup {
+                group: inverted,
+                own: w_inv,
+                rev: w_fwd,
+                sources: targets,
+                targets: sources,
+                source_out_degree: tgt_deg,
+            });
         }
         out
     }
@@ -150,22 +202,21 @@ pub struct DirectedGroup {
     pub source_out_degree: Vec<u32>,
 }
 
-impl DirectedGroup {
-    fn new(
-        group: RelationGroup,
-        own: crate::hyper::GroupWeights,
-        rev: crate::hyper::GroupWeights,
-    ) -> Self {
-        let sources = group.sources();
-        let targets = group.targets();
-        let mut deg = vec![0u32; sources.len()];
-        for &(i, _) in &group.edges {
-            let pos = sources.binary_search(&i).expect("source present");
-            deg[pos] += 1;
+/// Collect the ids with nonzero degree (ascending, i.e. sorted and
+/// deduped) together with their degrees, from a dense degree array.
+fn distinct_with_degrees(deg: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut ids = Vec::new();
+    let mut out_deg = Vec::new();
+    for (i, &d) in deg.iter().enumerate() {
+        if d > 0 {
+            ids.push(i as u32);
+            out_deg.push(d);
         }
-        Self { group, own, rev, sources, targets, source_out_degree: deg }
     }
+    (ids, out_deg)
+}
 
+impl DirectedGroup {
     /// The shared RO repulsion weight `δ̂r = δ/(mc·mr)` (identical for every
     /// participant under Eq. 13; `own` and `rev` agree because `mc`/`mr` are
     /// direction-symmetric).

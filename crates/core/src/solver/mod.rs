@@ -8,15 +8,48 @@
 //! * [`mf`] — Eq. 3: the Faruqui et al. baseline on the flattened relation
 //!   graph.
 //!
-//! All solvers are deterministic and allocate their working matrices once.
-//! Both RETRO solvers also come in row-partitioned multi-threaded flavours
-//! ([`parallel`]) whose results are bit-identical to the sequential entry
-//! points for every thread count.
+//! All solvers are deterministic. Each RETRO solver runs one shared kernel
+//! (`RoKernel` in [`ro`], `RnKernel` in [`rn`]) behind every entry point:
+//! the kernel builds its operators, flattened adjacency and scratch
+//! matrices once, then iterates with an allocation-free hot loop split
+//! into a group-partitioned centroid/target-sum phase and a row-partitioned
+//! update phase. The multi-threaded flavours ([`parallel`]) are the same
+//! kernels with the partitions spread across workers, so their results are
+//! bit-identical to the sequential entry points for every thread count —
+//! by construction, not just by test.
 
 pub mod mf;
 pub mod parallel;
 pub mod rn;
 pub mod ro;
+
+/// Flatten `(node, group, coefficient)` entries into CSR-style per-node
+/// offset+data arrays with a stable counting sort: per node, entries keep
+/// their visit order (group-major in both kernels — the order fixes each
+/// row's floating-point sequence). Shared by `RnKernel` and `RoKernel` so
+/// the two cannot drift.
+pub(crate) fn flatten_by_node(
+    n: usize,
+    entries: &[(u32, u32, f32)],
+) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+    let mut ptr = vec![0u32; n + 1];
+    for &(s, _, _) in entries {
+        ptr[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        ptr[i + 1] += ptr[i];
+    }
+    let mut cursor: Vec<u32> = ptr[..n].to_vec();
+    let mut groups = vec![0u32; entries.len()];
+    let mut coeffs = vec![0.0f32; entries.len()];
+    for &(s, g, coeff) in entries {
+        let at = cursor[s as usize] as usize;
+        groups[at] = g;
+        coeffs[at] = coeff;
+        cursor[s as usize] += 1;
+    }
+    (ptr, groups, coeffs)
+}
 
 pub use mf::solve_mf;
 pub use parallel::{

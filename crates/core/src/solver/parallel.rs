@@ -5,29 +5,31 @@
 //! a sparse matrix product plus row-local postprocessing, so they partition
 //! cleanly: each worker computes a disjoint row range of the operator
 //! product and the subsequent per-row update, while the per-group target
-//! sums/centroids (cheap, O(n·D) total) are computed once per iteration on
-//! the coordinating thread.
+//! sums/centroids are themselves partitioned by *group* across the same
+//! worker pool (each group written by exactly one worker).
 //!
 //! Results are bit-identical to the sequential [`super::solve_rn`] /
-//! [`super::solve_ro`] — the parallelism only reorders independent row
-//! computations. For RO this is guaranteed structurally: the sequential
-//! entry points and [`solve_ro_parallel`] run the same row-partitioned
-//! kernel (`RoKernel` in `ro.rs`) and differ only in how many threads the
-//! row partition is spread across.
+//! [`super::solve_ro`] — the parallelism only reorders independent row and
+//! group computations. This is guaranteed structurally for both solvers:
+//! the sequential entry points and the `*_parallel` ones run the same
+//! kernels (`RoKernel` in `ro.rs`, `RnKernel` in `rn.rs`) and differ only
+//! in how many threads the partitions are spread across; `threads = 1`
+//! runs the phases inline on the calling thread.
 
-use retro_linalg::{vector, CooMatrix, Matrix};
+use retro_linalg::Matrix;
 
 use crate::hyper::Hyperparameters;
 use crate::problem::RetrofitProblem;
+use crate::solver::rn::RnKernel;
 use crate::solver::ro::{NegativeMode, RoKernel};
 
 /// Run the RO solver with `threads` workers.
 ///
-/// Same row-partition shape as [`solve_rn_parallel`]: the Eq. 15 target
-/// sums are hoisted into a serial per-iteration phase, after which every
-/// output row is independent. Results are **bit-identical** to
-/// [`super::solve_ro`] for every thread count — including `threads = 1`,
-/// which runs the row phase inline on the calling thread.
+/// Same partition shape as [`solve_rn_parallel`]: the Eq. 15 target sums
+/// are computed in a group-partitioned phase, after which every output row
+/// is independent. Results are **bit-identical** to [`super::solve_ro`]
+/// for every thread count — including `threads = 1`, which runs both
+/// phases inline on the calling thread.
 ///
 /// ```
 /// use retro_core::solver::{solve_ro, solve_ro_parallel};
@@ -78,8 +80,12 @@ pub fn solve_ro_seeded_parallel(
     RoKernel::new(problem, params, NegativeMode::Blanket).run(seed, iterations, threads)
 }
 
-/// Run the RN solver with `threads` workers (values ≤ 1 fall back to the
-/// serial path).
+/// Run the RN solver with `threads` workers.
+///
+/// Results are **bit-identical** to [`super::solve_rn`] for every thread
+/// count: both run the shared `RnKernel` (see `rn.rs`), whose group- and
+/// row-partitioned phases never reorder the floating-point operations that
+/// produce any given centroid or row.
 pub fn solve_rn_parallel(
     problem: &RetrofitProblem,
     params: &Hyperparameters,
@@ -102,104 +108,7 @@ pub fn solve_rn_seeded_parallel(
     seed: Option<&Matrix>,
     threads: usize,
 ) -> Matrix {
-    if threads <= 1 {
-        return super::solve_rn_seeded(problem, params, iterations, seed);
-    }
-    let n = problem.len();
-    let dim = problem.dim();
-    if n == 0 || dim == 0 {
-        // dim == 0 would make the row chunks zero-sized (`chunks_mut(0)`
-        // panics); a zero-width result is exact either way.
-        return Matrix::zeros(n, dim);
-    }
-    let groups = problem.directed_groups(params, false);
-    let beta = problem.beta_weights(params);
-
-    let mut coo = CooMatrix::new(n, n);
-    for dg in &groups {
-        for &(i, j) in &dg.group.edges {
-            coo.push(i as usize, j as usize, dg.own.gamma_i[i as usize]);
-        }
-    }
-    let pos = coo.to_csr();
-
-    let mut base = Matrix::zeros(n, dim);
-    for (i, &b) in beta.iter().enumerate() {
-        let row = base.row_mut(i);
-        row.copy_from_slice(problem.w0.row(i));
-        vector::scale(params.alpha, row);
-        vector::axpy(b, problem.centroid_of(i), row);
-    }
-
-    // Precompute, per node, the list of (group index, delta) pairs so the
-    // row-parallel phase can apply the negative centroids locally.
-    let mut node_negatives: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
-    for (g, dg) in groups.iter().enumerate() {
-        if dg.targets.is_empty() {
-            continue;
-        }
-        for &s in &dg.sources {
-            let delta = dg.own.delta_i[s as usize];
-            if delta != 0.0 {
-                node_negatives[s as usize].push((g as u32, delta));
-            }
-        }
-    }
-
-    let rows_per_chunk = n.div_ceil(threads);
-    let mut w = match seed {
-        Some(s) => {
-            assert_eq!(s.shape(), (n, dim), "RN solver: seed shape mismatch");
-            s.clone()
-        }
-        None => problem.w0.clone(),
-    };
-    let mut next = Matrix::zeros(n, dim);
-    let mut centroids: Vec<Vec<f32>> = vec![vec![0.0; dim]; groups.len()];
-
-    for _ in 0..iterations {
-        // Serial phase: per-group target centroids (Eq. 16).
-        for (g, dg) in groups.iter().enumerate() {
-            let c = &mut centroids[g];
-            vector::zero(c);
-            if dg.targets.is_empty() {
-                continue;
-            }
-            for &k in &dg.targets {
-                vector::axpy(1.0, w.row(k as usize), c);
-            }
-            vector::scale(1.0 / dg.targets.len() as f32, c);
-        }
-
-        // Parallel phase: disjoint row ranges of Γ·W + base + negatives,
-        // then normalization — all row-local.
-        let w_ref = &w;
-        let pos_ref = &pos;
-        let base_ref = &base;
-        let centroids_ref = &centroids;
-        let negatives_ref = &node_negatives;
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in
-                next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
-            {
-                let start = chunk_idx * rows_per_chunk;
-                let end = (start + chunk.len() / dim).min(n);
-                scope.spawn(move || {
-                    pos_ref.mul_dense_range_into(w_ref, start..end, chunk);
-                    for (local, r) in (start..end).enumerate() {
-                        let out_row = &mut chunk[local * dim..(local + 1) * dim];
-                        for &(g, delta) in &negatives_ref[r] {
-                            vector::axpy(-delta, &centroids_ref[g as usize], out_row);
-                        }
-                        vector::axpy(1.0, base_ref.row(r), out_row);
-                        vector::normalize(out_row);
-                    }
-                });
-            }
-        });
-        std::mem::swap(&mut w, &mut next);
-    }
-    w
+    RnKernel::new(problem, params).run(seed, iterations, threads)
 }
 
 #[cfg(test)]
@@ -210,24 +119,39 @@ mod tests {
     use crate::solver::solve_rn;
     use retro_embed::EmbeddingSet;
 
+    /// A bipartite problem with genuinely irregular adjacency: every pair
+    /// `(s_k, t_k)` is related, and two strided cross-link sweeps give
+    /// sources uneven fan-out and targets uneven fan-in (the strides 5 and
+    /// 7 are coprime with most lengths, so the extra edges scatter across
+    /// the whole target list instead of clustering).
     fn problem(n_extra: usize) -> RetrofitProblem {
+        let n_pairs = 4 + n_extra;
         let mut catalog = TextValueCatalog::default();
         let ca = catalog.add_category("a", "x");
         let cb = catalog.add_category("b", "y");
-        let mut edges = Vec::new();
+        let mut sources = Vec::new();
+        let mut targets = Vec::new();
         let mut tokens = Vec::new();
         let mut vectors = Vec::new();
-        for k in 0..(4 + n_extra) {
-            let i = catalog.intern(ca, &format!("s{k}"));
-            let j = catalog.intern(cb, &format!("t{k}"));
-            edges.push((i, j));
-            if k % 3 > 0 {
-                edges.push((i, (j + 1) % 2 + catalog.len() as u32 % 2));
-            }
+        for k in 0..n_pairs {
+            sources.push(catalog.intern(ca, &format!("s{k}")));
+            targets.push(catalog.intern(cb, &format!("t{k}")));
             tokens.push(format!("s{k}"));
             vectors.push(vec![k as f32 * 0.1, 1.0, -0.3 * k as f32]);
             tokens.push(format!("t{k}"));
             vectors.push(vec![1.0 - k as f32 * 0.05, -0.5, 0.2]);
+        }
+        let mut edges = Vec::new();
+        for k in 0..n_pairs {
+            edges.push((sources[k], targets[k]));
+            let cross = (k * 5 + 2) % n_pairs;
+            if k % 3 > 0 && cross != k {
+                edges.push((sources[k], targets[cross]));
+            }
+            let far = (k * 7 + 3) % n_pairs;
+            if k % 4 == 0 && far != k {
+                edges.push((sources[k], targets[far]));
+            }
         }
         let groups =
             vec![RelationGroup::new("a.x~b.y".into(), ca, cb, RelationKind::ForeignKey, edges)];
@@ -236,22 +160,37 @@ mod tests {
     }
 
     #[test]
+    fn problem_helper_has_irregular_adjacency() {
+        // Guard the helper itself: the cross-links must produce uneven
+        // fan-in (some target related to several sources, some to one).
+        let p = problem(20);
+        let dg = p.directed_groups(&Hyperparameters::paper_rn(), false);
+        let mut fan_in = std::collections::HashMap::new();
+        for &(_, j) in &dg[0].group.edges {
+            *fan_in.entry(j).or_insert(0u32) += 1;
+        }
+        let max = fan_in.values().max().copied().unwrap_or(0);
+        let min = fan_in.values().min().copied().unwrap_or(0);
+        assert!(max >= 2 && min == 1, "fan-in should be uneven, got {min}..{max}");
+    }
+
+    #[test]
     fn parallel_matches_serial_exactly() {
         let p = problem(20);
         let params = Hyperparameters::paper_rn();
         let serial = solve_rn(&p, &params, 10);
-        for threads in [2, 3, 8] {
+        for threads in [1, 2, 3, 8] {
             let parallel = solve_rn_parallel(&p, &params, 10, threads);
-            assert!(
-                serial.max_abs_diff(&parallel) < 1e-6,
-                "threads={threads}: diff {}",
-                serial.max_abs_diff(&parallel)
+            assert_eq!(
+                serial.max_abs_diff(&parallel),
+                0.0,
+                "threads={threads} diverged from sequential RN"
             );
         }
     }
 
     #[test]
-    fn single_thread_delegates_to_serial() {
+    fn single_thread_runs_the_row_phase_inline() {
         let p = problem(4);
         let params = Hyperparameters::paper_rn();
         let a = solve_rn(&p, &params, 5);
@@ -274,8 +213,10 @@ mod tests {
         let params = Hyperparameters::paper_rn();
         let warm = solve_rn(&p, &params, 3);
         let serial = crate::solver::solve_rn_seeded(&p, &params, 5, Some(&warm));
-        let parallel = solve_rn_seeded_parallel(&p, &params, 5, Some(&warm), 4);
-        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+        for threads in [1, 2, 3, 8] {
+            let parallel = solve_rn_seeded_parallel(&p, &params, 5, Some(&warm), threads);
+            assert_eq!(serial.max_abs_diff(&parallel), 0.0, "threads={threads} (seeded)");
+        }
     }
 
     #[test]
@@ -299,8 +240,10 @@ mod tests {
         let params = Hyperparameters::paper_ro();
         let warm = crate::solver::solve_ro(&p, &params, 3);
         let serial = crate::solver::ro::solve_ro_seeded(&p, &params, 5, Some(&warm));
-        let parallel = solve_ro_seeded_parallel(&p, &params, 5, Some(&warm), 4);
-        assert_eq!(serial.max_abs_diff(&parallel), 0.0);
+        for threads in [1, 2, 3, 8] {
+            let parallel = solve_ro_seeded_parallel(&p, &params, 5, Some(&warm), threads);
+            assert_eq!(serial.max_abs_diff(&parallel), 0.0, "threads={threads} (seeded)");
+        }
     }
 
     #[test]

@@ -1,22 +1,392 @@
 //! The series-based solver (RN): Eq. 9 row updates as the Eq. 11 matrix
 //! iteration with row normalization, using the Eq. 16 precomputed target
-//! sums for the negative term.
+//! centroids for the negative term.
 //!
 //! Per iteration:
 //!
 //! ```text
-//! W' = α·W0 + β·c + Σ_r [ Γr·W − δ^r_i · t_r ]    (t_r = Σ_{k∈targets(r)} v_k)
+//! W' = α·W0 + β·c + Σ_r [ Γr·W − δ^r_i · t_r ]    (t_r = centroid of targets(r))
 //! W  = row-normalize(W')
 //! ```
 //!
 //! Unlike RO there is no symmetric `γ̄ᵀ` term — every directed group only
 //! updates its sources — and the normalization bounds the series, so the
 //! parameter constraints of Eq. 7 do not apply (§4.2).
+//!
+//! ## One kernel, every execution mode
+//!
+//! All RN entry points ([`solve_rn`], [`solve_rn_seeded`], and the
+//! multi-threaded [`solve_rn_parallel`](super::solve_rn_parallel) /
+//! [`solve_rn_seeded_parallel`](super::solve_rn_seeded_parallel), plus
+//! `Retro::solve` and incremental warm starts through them) run one shared
+//! kernel (`RnKernel`), the RN counterpart of `RoKernel` in `ro.rs`. The
+//! kernel splits each iteration into
+//!
+//! 1. a **group-partition phase** — the Eq. 16 per-group target centroids
+//!    `t_r` (they read only the previous iterate `W`); groups are
+//!    partitioned across the worker pool and each group's centroid is
+//!    written by exactly one worker, so the result is independent of the
+//!    partition, and
+//! 2. a **row-partition phase** — `α·W0 + β·c + Γ·W` minus the negative
+//!    centroids, then row normalization, all *row-local* given the `t_r`.
+//!
+//! Neither phase's floating-point order depends on how many workers the
+//! partitions are spread across, so results are **bit-identical** from 1 to
+//! N threads; the sequential entry points are the kernel at `threads = 1`
+//! (phases run inline on the calling thread). All per-iteration scratch
+//! (centroid matrix, ping-pong iterate buffers) lives in the kernel and is
+//! built once — the iteration loop allocates nothing, and a kernel reused
+//! across warm-start solves re-uses its buffers.
 
-use retro_linalg::{vector, CooMatrix, Matrix};
+use retro_linalg::{vector, CooMatrix, CsrMatrix, Matrix};
 
-use crate::hyper::Hyperparameters;
+use crate::hyper::{per_source_weight, Hyperparameters};
 use crate::problem::RetrofitProblem;
+
+/// The assembled RN iteration: positive operator, constant-part
+/// coefficients, flattened target lists and per-node negative plans, plus
+/// all iteration scratch. Built once per solve (or held across warm-start
+/// solves); `run` then iterates with any number of worker threads.
+pub(crate) struct RnKernel<'p> {
+    problem: &'p RetrofitProblem,
+    /// Positive operator `Γ` (`γ^r_i` on every directed edge).
+    pos: CsrMatrix,
+    /// Eq. 12 β per node. The constant part `α·W0 + β·c` is not
+    /// materialized — each row update recomputes it from `W0` and the
+    /// category centroids (same expression, so same bits), which saves an
+    /// `n × D` buffer and a full pass over it at construction.
+    beta: Vec<f32>,
+    /// The anchor weight α.
+    alpha: f32,
+    /// Flattened group target lists (CSR-style offsets+data): group `g`
+    /// covers `tgt_ids[tgt_ptr[g] .. tgt_ptr[g+1]]`.
+    tgt_ptr: Vec<u32>,
+    tgt_ids: Vec<u32>,
+    /// Per group: true when some row actually subtracts this group's
+    /// centroid (nonempty targets and ≥ 1 source with `δ^r_i ≠ 0`); dead
+    /// groups are skipped in the centroid phase.
+    live: Vec<bool>,
+    /// Flattened per-node negative plans (CSR-style by node, group order —
+    /// the order fixes each row's floating-point sequence): row `r`
+    /// subtracts `neg_delta[k] · centroid(neg_group[k])` for
+    /// `k ∈ neg_ptr[r] .. neg_ptr[r+1]`.
+    neg_ptr: Vec<u32>,
+    neg_group: Vec<u32>,
+    neg_delta: Vec<f32>,
+    /// Scratch, hoisted out of the iteration loop: Eq. 16 centroids (one
+    /// row per directed group) and the ping-pong iterate buffers.
+    centroids: Matrix,
+    w: Matrix,
+    next: Matrix,
+}
+
+impl<'p> RnKernel<'p> {
+    /// Assemble the kernel for one problem/parameter set.
+    ///
+    /// Construction works directly from the forward relation groups with
+    /// one degree-counting pass per group — the per-edge `γ^r_i` and
+    /// per-source `δ^r_i` of Eq. 12/14 are computed on the fly from the
+    /// out-degrees and `|Ri|` counts (the same expressions
+    /// [`crate::hyper::derive_group_weights`] evaluates, so the same bits)
+    /// without materializing [`crate::problem::DirectedGroup`]s, their
+    /// `n`-length weight vectors, or inverted edge lists.
+    pub(crate) fn new(problem: &'p RetrofitProblem, params: &Hyperparameters) -> Self {
+        let n = problem.len();
+        let dim = problem.dim();
+        let beta = problem.beta_weights(params);
+        let counts = &problem.relation_counts;
+        let n_groups = problem.groups.len() * 2;
+
+        // Directed groups are ordered (forward, inverted) per forward
+        // group, exactly like `RetrofitProblem::directed_groups`.
+        let mut coo = CooMatrix::new(n, n);
+        let mut tgt_ptr = Vec::with_capacity(n_groups + 1);
+        tgt_ptr.push(0u32);
+        let mut tgt_ids: Vec<u32> = Vec::new();
+        let mut live = vec![false; n_groups];
+        // Per-node negative entries in (group-major, ascending node) visit
+        // order: (node, directed group, δ^r_node). Flattened into CSR form
+        // by a stable counting sort below.
+        let mut neg_entries: Vec<(u32, u32, f32)> = Vec::new();
+        let mut fwd_deg = vec![0u32; n];
+        let mut inv_deg = vec![0u32; n];
+        for (gi, group) in problem.groups.iter().enumerate() {
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] += 1;
+                inv_deg[j as usize] += 1;
+            }
+            // Forward direction: γ^r_i = γ/(od(i)·(|Ri|+1)) on every edge,
+            // δ^r_i = δ/(od(i)·(|Ri|+1)) for every distinct source.
+            for &(i, j) in &group.edges {
+                let g = per_source_weight(params.gamma, fwd_deg[i as usize], counts[i as usize]);
+                coo.push(i as usize, j as usize, g);
+            }
+            // Inverted direction: same formulas over the swapped edges.
+            for &(i, j) in &group.edges {
+                let g = per_source_weight(params.gamma, inv_deg[j as usize], counts[j as usize]);
+                coo.push(j as usize, i as usize, g);
+            }
+            let g_fwd = (2 * gi) as u32;
+            let g_inv = g_fwd + 1;
+            // Distinct targets (ascending scan ≡ sorted + deduped): the
+            // forward direction's targets are the nodes with inverted
+            // out-degree, and vice versa.
+            let has_edges = !group.edges.is_empty();
+            for i in 0..n {
+                if inv_deg[i] > 0 {
+                    tgt_ids.push(i as u32);
+                }
+            }
+            tgt_ptr.push(tgt_ids.len() as u32);
+            for i in 0..n {
+                if fwd_deg[i] > 0 {
+                    tgt_ids.push(i as u32);
+                }
+            }
+            tgt_ptr.push(tgt_ids.len() as u32);
+            if params.delta != 0.0 && has_edges {
+                for i in 0..n {
+                    if fwd_deg[i] > 0 {
+                        let delta = per_source_weight(params.delta, fwd_deg[i], counts[i]);
+                        if delta != 0.0 {
+                            neg_entries.push((i as u32, g_fwd, delta));
+                            live[g_fwd as usize] = true;
+                        }
+                    }
+                }
+                for i in 0..n {
+                    if inv_deg[i] > 0 {
+                        let delta = per_source_weight(params.delta, inv_deg[i], counts[i]);
+                        if delta != 0.0 {
+                            neg_entries.push((i as u32, g_inv, delta));
+                            live[g_inv as usize] = true;
+                        }
+                    }
+                }
+            }
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] = 0;
+                inv_deg[j as usize] = 0;
+            }
+        }
+        let pos = coo.to_csr();
+        let (neg_ptr, neg_group, neg_delta) = super::flatten_by_node(n, &neg_entries);
+
+        Self {
+            problem,
+            pos,
+            beta,
+            alpha: params.alpha,
+            tgt_ptr,
+            tgt_ids,
+            live,
+            neg_ptr,
+            neg_group,
+            neg_delta,
+            centroids: Matrix::zeros(n_groups, dim),
+            // `w` is created lazily by `run` (it is handed out as the
+            // result); `next` persists across runs.
+            w: Matrix::zeros(0, 0),
+            next: Matrix::zeros(n, dim),
+        }
+    }
+
+    /// Iterate the kernel. `seed` overrides the starting matrix (warm
+    /// start); `threads ≤ 1` runs both phases inline on the calling thread.
+    /// Results are bit-identical for every `threads` value. The iteration
+    /// loop performs no allocation: the only allocation per run is the
+    /// returned matrix itself (handed out by move, lazily replaced on the
+    /// next run), so repeated/warm-start solves reuse all other scratch.
+    pub(crate) fn run(
+        &mut self,
+        seed: Option<&Matrix>,
+        iterations: usize,
+        threads: usize,
+    ) -> Matrix {
+        let n = self.problem.len();
+        let dim = self.problem.dim();
+        if n == 0 || dim == 0 {
+            return Matrix::zeros(n, dim);
+        }
+        if let Some(s) = seed {
+            // Validate before touching the scratch: a panic below the
+            // `mem::replace` calls would leave the kernel with emptied
+            // buffers and a later run would silently compute nothing.
+            assert_eq!(s.shape(), (n, dim), "RN solver: seed shape mismatch");
+        }
+        if self.w.shape() != (n, dim) {
+            // The previous run handed its `w` buffer out as the result.
+            self.w = Matrix::zeros(n, dim);
+        }
+        // Move the scratch out of `self` so worker threads can borrow the
+        // immutable kernel state while writing disjoint chunks of it.
+        let mut w = std::mem::replace(&mut self.w, Matrix::zeros(0, 0));
+        let mut next = std::mem::replace(&mut self.next, Matrix::zeros(0, 0));
+        let mut centroids = std::mem::replace(&mut self.centroids, Matrix::zeros(0, 0));
+        match seed {
+            Some(s) => w.as_mut_slice().copy_from_slice(s.as_slice()),
+            None => w.as_mut_slice().copy_from_slice(self.problem.w0.as_slice()),
+        }
+
+        let threads = threads.max(1);
+        let n_groups = self.live.len();
+        let groups_per_chunk = n_groups.div_ceil(threads).max(1);
+        let rows_per_chunk = n.div_ceil(threads);
+
+        for _ in 0..iterations {
+            // Group-partition phase: the Eq. 16 target centroids. Each
+            // group's centroid is written by exactly one worker, so the
+            // partition never reorders any group's accumulation.
+            if n_groups > 0 {
+                if threads <= 1 {
+                    self.centroid_rows(&w, 0, centroids.as_mut_slice());
+                } else {
+                    let w_ref = &w;
+                    let this = &*self;
+                    std::thread::scope(|scope| {
+                        for (chunk_idx, chunk) in
+                            centroids.as_mut_slice().chunks_mut(groups_per_chunk * dim).enumerate()
+                        {
+                            let start = chunk_idx * groups_per_chunk;
+                            scope.spawn(move || this.centroid_rows(w_ref, start, chunk));
+                        }
+                    });
+                }
+            }
+
+            // Row-partition phase: every output row depends only on the
+            // previous iterate and the centroids — disjoint row ranges are
+            // fully independent.
+            if threads <= 1 {
+                self.update_rows(&w, &centroids, 0, next.as_mut_slice());
+            } else {
+                let w_ref = &w;
+                let c_ref = &centroids;
+                let this = &*self;
+                std::thread::scope(|scope| {
+                    for (chunk_idx, chunk) in
+                        next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
+                    {
+                        let start = chunk_idx * rows_per_chunk;
+                        scope.spawn(move || this.update_rows(w_ref, c_ref, start, chunk));
+                    }
+                });
+            }
+            std::mem::swap(&mut w, &mut next);
+        }
+
+        self.next = next;
+        self.centroids = centroids;
+        w
+    }
+
+    /// Compute the centroids of groups `start..start + chunk.len()/dim`
+    /// into `chunk` (a row-major slice of the centroid matrix).
+    fn centroid_rows(&self, w: &Matrix, start: usize, chunk: &mut [f32]) {
+        let dim = self.problem.dim();
+        for (local, g) in (start..start + chunk.len() / dim).enumerate() {
+            if !self.live[g] {
+                continue; // never read by any row — skip the work
+            }
+            let c = &mut chunk[local * dim..(local + 1) * dim];
+            let t0 = self.tgt_ptr[g] as usize;
+            let t1 = self.tgt_ptr[g + 1] as usize;
+            vector::zero(c);
+            for &k in &self.tgt_ids[t0..t1] {
+                vector::axpy(1.0, w.row(k as usize), c);
+            }
+            vector::scale(1.0 / (t1 - t0) as f32, c);
+        }
+    }
+
+    /// Compute output rows `start..start + chunk.len()/dim` into `chunk`:
+    /// constant part, `Γ·W`, negative centroids, row normalization — one
+    /// fused pass while the row is hot in cache.
+    ///
+    /// Dispatches to a const-dimension body for the common embedding
+    /// widths so the accumulator row lives in registers across the whole
+    /// sparse gather (the element-wise operation order is identical, so
+    /// the dispatch never changes a bit of the output).
+    fn update_rows(&self, w: &Matrix, centroids: &Matrix, start: usize, chunk: &mut [f32]) {
+        match self.problem.dim() {
+            32 => self.update_rows_fixed::<32>(w, centroids, start, chunk),
+            64 => self.update_rows_fixed::<64>(w, centroids, start, chunk),
+            96 => self.update_rows_fixed::<96>(w, centroids, start, chunk),
+            128 => self.update_rows_fixed::<128>(w, centroids, start, chunk),
+            _ => self.update_rows_dyn(w, centroids, start, chunk),
+        }
+    }
+
+    /// [`Self::update_rows`] with the row dimension known at compile time:
+    /// the accumulator is a fixed-size stack array, which LLVM promotes to
+    /// vector registers across the gather and negative loops.
+    fn update_rows_fixed<const D: usize>(
+        &self,
+        w: &Matrix,
+        centroids: &Matrix,
+        start: usize,
+        chunk: &mut [f32],
+    ) {
+        let end = start + chunk.len() / D;
+        for (local, r) in (start..end).enumerate() {
+            if r + 4 < end {
+                // Overlap upcoming rows' data-dependent gathers with this
+                // row's arithmetic (see `CsrMatrix::prefetch_row`); a few
+                // rows of distance covers the DRAM latency.
+                self.pos.prefetch_row(r + 4, w);
+            }
+            let mut acc = [0.0f32; D];
+            let b = self.beta[r];
+            let w0r = &self.problem.w0.row(r)[..D];
+            let cr = &self.problem.centroid_of(r)[..D];
+            for j in 0..D {
+                acc[j] = self.alpha * w0r[j] + b * cr[j];
+            }
+            for (c, v) in self.pos.row(r) {
+                let x = &w.row(c)[..D];
+                for j in 0..D {
+                    acc[j] += v * x[j];
+                }
+            }
+            for k in self.neg_ptr[r] as usize..self.neg_ptr[r + 1] as usize {
+                let delta = self.neg_delta[k];
+                let c = &centroids.row(self.neg_group[k] as usize)[..D];
+                for j in 0..D {
+                    acc[j] += -delta * c[j];
+                }
+            }
+            vector::normalize(&mut acc);
+            chunk[local * D..(local + 1) * D].copy_from_slice(&acc);
+        }
+    }
+
+    /// [`Self::update_rows`] for arbitrary dimensions.
+    fn update_rows_dyn(&self, w: &Matrix, centroids: &Matrix, start: usize, chunk: &mut [f32]) {
+        let dim = self.problem.dim();
+        let end = start + chunk.len() / dim;
+        for (local, r) in (start..end).enumerate() {
+            if r + 1 < end {
+                self.pos.prefetch_row(r + 1, w);
+            }
+            let out_row = &mut chunk[local * dim..(local + 1) * dim];
+            let b = self.beta[r];
+            for ((o, &w0v), &cv) in
+                out_row.iter_mut().zip(self.problem.w0.row(r)).zip(self.problem.centroid_of(r))
+            {
+                *o = self.alpha * w0v + b * cv;
+            }
+            self.pos.mul_row_into(r, w, 1.0, out_row);
+            for k in self.neg_ptr[r] as usize..self.neg_ptr[r + 1] as usize {
+                vector::axpy(
+                    -self.neg_delta[k],
+                    centroids.row(self.neg_group[k] as usize),
+                    out_row,
+                );
+            }
+            vector::normalize(out_row);
+        }
+    }
+}
 
 /// Run the RN solver for `iterations` rounds, starting from `W0`.
 pub fn solve_rn(problem: &RetrofitProblem, params: &Hyperparameters, iterations: usize) -> Matrix {
@@ -26,77 +396,16 @@ pub fn solve_rn(problem: &RetrofitProblem, params: &Hyperparameters, iterations:
 /// Run the RN solver from an explicit starting matrix (warm start for
 /// incremental maintenance). The series' constant term still anchors on
 /// `W0`; only the iteration's initial state changes.
+///
+/// # Panics
+/// Panics if `seed` is `Some` and its shape differs from `(n, dim)`.
 pub fn solve_rn_seeded(
     problem: &RetrofitProblem,
     params: &Hyperparameters,
     iterations: usize,
     seed: Option<&Matrix>,
 ) -> Matrix {
-    let n = problem.len();
-    let dim = problem.dim();
-    if n == 0 {
-        return Matrix::zeros(0, dim);
-    }
-    let groups = problem.directed_groups(params, false);
-    let beta = problem.beta_weights(params);
-
-    // Positive operator: γ^r_i on every directed edge.
-    let mut coo = CooMatrix::new(n, n);
-    for dg in &groups {
-        for &(i, j) in &dg.group.edges {
-            coo.push(i as usize, j as usize, dg.own.gamma_i[i as usize]);
-        }
-    }
-    let pos = coo.to_csr();
-
-    // Constant part α·W0 + β·c.
-    let mut base = Matrix::zeros(n, dim);
-    for (i, &b) in beta.iter().enumerate() {
-        let row = base.row_mut(i);
-        row.copy_from_slice(problem.w0.row(i));
-        vector::scale(params.alpha, row);
-        vector::axpy(b, problem.centroid_of(i), row);
-    }
-
-    let mut w = match seed {
-        Some(s) => {
-            assert_eq!(s.shape(), (n, dim), "solve_rn_seeded: seed shape mismatch");
-            s.clone()
-        }
-        None => problem.w0.clone(),
-    };
-    let mut wr = Matrix::zeros(n, dim);
-    let mut t_sum = vec![0.0f32; dim];
-
-    for _ in 0..iterations {
-        pos.mul_dense_into(&w, &mut wr);
-        // §4.2: "the difference between every vector and the *centroid* of
-        // all target vectors in the relation Er is calculated" — the
-        // per-group centroid is the same vector for every source of r
-        // (Eq. 16), so precompute it once per group per iteration. Using
-        // the centroid (not the raw sum) keeps the repulsion bounded
-        // regardless of column cardinality.
-        for dg in &groups {
-            if dg.targets.is_empty() {
-                continue;
-            }
-            vector::zero(&mut t_sum);
-            for &k in &dg.targets {
-                vector::axpy(1.0, w.row(k as usize), &mut t_sum);
-            }
-            vector::scale(1.0 / dg.targets.len() as f32, &mut t_sum);
-            for &s in &dg.sources {
-                let delta = dg.own.delta_i[s as usize];
-                if delta != 0.0 {
-                    vector::axpy(-delta, &t_sum, wr.row_mut(s as usize));
-                }
-            }
-        }
-        wr.axpy(1.0, &base);
-        wr.normalize_rows();
-        std::mem::swap(&mut w, &mut wr);
-    }
-    w
+    RnKernel::new(problem, params).run(seed, iterations, 1)
 }
 
 #[cfg(test)]
@@ -198,5 +507,72 @@ mod tests {
         let p = RetrofitProblem::from_parts(catalog, Vec::new(), &base);
         let w = solve_rn(&p, &Hyperparameters::default(), 5);
         assert_eq!(w.shape(), (0, 1));
+    }
+
+    #[test]
+    fn kernel_thread_counts_are_bit_identical() {
+        let p = tiny_problem();
+        let params = Hyperparameters::paper_rn();
+        let mut kernel = RnKernel::new(&p, &params);
+        let serial = kernel.run(None, 10, 1);
+        for threads in [2, 3, 8] {
+            let parallel = kernel.run(None, 10, threads);
+            assert_eq!(serial.max_abs_diff(&parallel), 0.0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fixed_dim_dispatch_is_bit_identical_to_dynamic_body() {
+        // dim 32 takes the register-blocked const-dimension body; drive the
+        // same iteration through the dynamic body and demand equal bits.
+        let dim = 32usize;
+        let mut catalog = TextValueCatalog::default();
+        let ca = catalog.add_category("a", "x");
+        let cb = catalog.add_category("b", "y");
+        let mut edges = Vec::new();
+        let mut tokens = Vec::new();
+        let mut vectors = Vec::new();
+        for k in 0..12u32 {
+            let i = catalog.intern(ca, &format!("s{k}"));
+            let j = catalog.intern(cb, &format!("t{k}"));
+            edges.push((i, j));
+            edges.push((i, (j + 2) % 24));
+            tokens.push(format!("s{k}"));
+            vectors.push((0..dim).map(|d| ((k as f32 + 1.3) * (d as f32 + 0.7)).sin()).collect());
+            tokens.push(format!("t{k}"));
+            vectors.push((0..dim).map(|d| ((k as f32 - 2.1) * (d as f32 + 1.9)).cos()).collect());
+        }
+        let groups =
+            vec![RelationGroup::new("a.x~b.y".into(), ca, cb, RelationKind::ForeignKey, edges)];
+        let base = EmbeddingSet::new(tokens, vectors);
+        let p = RetrofitProblem::from_parts(catalog, groups, &base);
+        let params = Hyperparameters::paper_rn();
+
+        let mut kernel = RnKernel::new(&p, &params);
+        let fixed = kernel.run(None, 5, 1);
+
+        let n = p.len();
+        let mut w = p.w0.clone();
+        let mut next = Matrix::zeros(n, dim);
+        let mut centroids = Matrix::zeros(kernel.live.len(), dim);
+        for _ in 0..5 {
+            kernel.centroid_rows(&w, 0, centroids.as_mut_slice());
+            kernel.update_rows_dyn(&w, &centroids, 0, next.as_mut_slice());
+            std::mem::swap(&mut w, &mut next);
+        }
+        assert_eq!(fixed.max_abs_diff(&w), 0.0);
+    }
+
+    #[test]
+    fn kernel_scratch_reuse_does_not_leak_state_between_runs() {
+        // Warm-start reuse: a second run on the same kernel must equal a
+        // run on a freshly built kernel bit-for-bit.
+        let p = tiny_problem();
+        let params = Hyperparameters::paper_rn();
+        let mut reused = RnKernel::new(&p, &params);
+        let warm = reused.run(None, 3, 2);
+        let seeded_reused = reused.run(Some(&warm), 5, 3);
+        let seeded_fresh = RnKernel::new(&p, &params).run(Some(&warm), 5, 1);
+        assert_eq!(seeded_reused.max_abs_diff(&seeded_fresh), 0.0);
     }
 }

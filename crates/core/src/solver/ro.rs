@@ -18,25 +18,28 @@
 //! All RO entry points ([`solve_ro`], [`solve_ro_seeded`],
 //! [`solve_ro_enumerated`], and
 //! [`solve_ro_parallel`](super::solve_ro_parallel)) run through one shared
-//! row-partitioned kernel (`RoKernel`). The kernel splits each iteration
-//! into
+//! kernel (`RoKernel`). The kernel splits each iteration into
 //!
-//! 1. a cheap **serial phase** — the per-group target sums `t_r` (`O(n·D)`
-//!    total; they read only the previous iterate `W`), and
+//! 1. a **group-partition phase** — the per-group target sums `t_r`
+//!    (`O(n·D)` total; they read only the previous iterate `W`), with
+//!    groups partitioned across the worker pool so each group's sum is
+//!    written by exactly one worker, and
 //! 2. a **row-partition phase** — `P·W`, the negative term, the constant
 //!    part and the diagonal divide, all *row-local* given the `t_r`.
 //!
-//! Because phase 2 never reads another row of the output, partitioning the
-//! rows across threads reorders nothing: the sequence of floating-point
-//! operations producing any given row is identical for every thread count,
-//! so results are **bit-identical** from 1 to N threads. The sequential
-//! entry points are simply the kernel at `threads = 1`, which is what makes
-//! it impossible for the sequential and parallel paths to drift.
+//! Because neither phase's floating-point order depends on the partition,
+//! the sequence of operations producing any given row or sum is identical
+//! for every thread count, so results are **bit-identical** from 1 to N
+//! threads. The sequential entry points are simply the kernel at
+//! `threads = 1` (phases run inline), which is what makes it impossible for
+//! the sequential and parallel paths to drift. All per-iteration scratch
+//! (target-sum matrix, ping-pong iterate buffers) lives in the kernel, so
+//! the iteration loop allocates nothing.
 
 use retro_linalg::{vector, CooMatrix, CsrMatrix, Matrix};
 
-use crate::hyper::Hyperparameters;
-use crate::problem::{DirectedGroup, RetrofitProblem};
+use crate::hyper::{delta_hat_weight, per_source_weight, Hyperparameters};
+use crate::problem::RetrofitProblem;
 
 /// How the kernel computes the Eq. 10 negative (repulsion) term.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,40 +57,221 @@ pub(crate) enum NegativeMode {
 }
 
 /// The assembled RO iteration: positive operator, diagonal, constant part,
-/// and per-node negative-term plans. Built once per solve; `run` then
-/// iterates with any number of worker threads.
+/// flattened per-node negative-term plans, and all iteration scratch.
+/// Built once per solve; `run` then iterates with any number of worker
+/// threads.
 pub(crate) struct RoKernel<'p> {
     problem: &'p RetrofitProblem,
-    groups: Vec<DirectedGroup>,
     /// Positive operator `P` (per-mode edge weights, see [`NegativeMode`]).
     pos: CsrMatrix,
     /// The Eq. 10 diagonal `D` of coefficient sums.
     denom: Vec<f32>,
-    /// Constant part `α·W0 + β·c`.
-    base: Matrix,
-    /// Blanket mode: per node, `(group index, 2δ̂r)` — subtract
-    /// `2δ̂r · t_r` from this node's row (in group order).
-    node_negatives: Vec<Vec<(u32, f32)>>,
+    /// Eq. 12 β per node. The constant part `α·W0 + β·c` is not
+    /// materialized — each row update recomputes it from `W0` and the
+    /// category centroids (same expression, so same bits), which saves an
+    /// `n × D` buffer and a full pass over it at construction.
+    beta: Vec<f32>,
+    /// The anchor weight α.
+    alpha: f32,
+    /// Flattened group target lists (CSR-style offsets+data): group `g`
+    /// covers `tgt_ids[tgt_ptr[g] .. tgt_ptr[g+1]]`.
+    tgt_ptr: Vec<u32>,
+    tgt_ids: Vec<u32>,
+    /// Per group: true when some row consumes this group's target sum
+    /// (blanket mode, `δ̂r ≠ 0`, nonempty targets); dead groups skip the
+    /// sum phase.
+    live: Vec<bool>,
+    /// Blanket mode, flattened per-node plans (CSR-style by node, group
+    /// order — the order fixes each row's floating-point sequence): row `r`
+    /// subtracts `neg_coeff[k] · t_{neg_group[k]}` (`neg_coeff = 2δ̂r`) for
+    /// `k ∈ neg_ptr[r] .. neg_ptr[r+1]`.
+    neg_ptr: Vec<u32>,
+    neg_group: Vec<u32>,
+    neg_coeff: Vec<f32>,
     /// Enumerated mode: per node, `(group index, 2δ̂r, related targets)` —
     /// subtract `2δ̂r · v_k` for every target `k` of the group that is *not*
-    /// in the node's related list.
+    /// in the node's related list. Kept nested: this is the deliberately
+    /// unoptimized Fig. 4 / Table 2 diagnostic path.
     node_pairs: Vec<Vec<(u32, f32, Vec<u32>)>>,
     mode: NegativeMode,
+    /// Scratch, hoisted out of the iteration loop: Eq. 15 target sums (one
+    /// row per directed group) and the ping-pong iterate buffers.
+    t_sums: Matrix,
+    w: Matrix,
+    next: Matrix,
 }
 
 impl<'p> RoKernel<'p> {
     /// Assemble the kernel for one problem/parameter set.
+    ///
+    /// Blanket mode (the hot path) constructs directly from the forward
+    /// relation groups with one degree-counting pass per group — the
+    /// per-edge `γ` weights and the shared `δ̂ = δ/(mc·mr)` of Eq. 13 are
+    /// computed on the fly from out-degrees and `|Ri|` counts (the same
+    /// expressions [`crate::hyper::derive_group_weights`] evaluates, so
+    /// the same bits) without materializing
+    /// [`crate::problem::DirectedGroup`]s. The enumerated mode (a cold
+    /// diagnostic path) keeps the directed-group construction.
     pub(crate) fn new(
         problem: &'p RetrofitProblem,
         params: &Hyperparameters,
         mode: NegativeMode,
     ) -> Self {
+        match mode {
+            NegativeMode::Blanket => Self::new_blanket(problem, params),
+            NegativeMode::Enumerated => Self::new_enumerated(problem, params),
+        }
+    }
+
+    fn new_blanket(problem: &'p RetrofitProblem, params: &Hyperparameters) -> Self {
+        let n = problem.len();
+        let dim = problem.dim();
+        let beta = problem.beta_weights(params);
+        let counts = &problem.relation_counts;
+        let n_groups = problem.groups.len() * 2;
+
+        let mut coo = CooMatrix::new(n, n);
+        let mut denom = vec![0.0f32; n];
+        for (i, d) in denom.iter_mut().enumerate() {
+            *d = params.alpha + beta[i];
+        }
+        let mut tgt_ptr = Vec::with_capacity(n_groups + 1);
+        tgt_ptr.push(0u32);
+        let mut tgt_ids: Vec<u32> = Vec::new();
+        let mut live = vec![false; n_groups];
+        // Per-node negative entries in (group-major, ascending node) visit
+        // order: (node, directed group, 2δ̂). Flattened into CSR form by a
+        // stable counting sort below.
+        let mut neg_entries: Vec<(u32, u32, f32)> = Vec::new();
+        let mut fwd_deg = vec![0u32; n];
+        let mut inv_deg = vec![0u32; n];
+        // Per-edge weight scratch: the symmetric edge weight is identical
+        // in both directions (f32 addition is commutative), so it is
+        // computed once in the forward pass and reused for the inverted
+        // edges.
+        let mut edge_w: Vec<f32> = Vec::new();
+        for (gi, group) in problem.groups.iter().enumerate() {
+            // One counting pass yields both directions' out-degrees, the
+            // Eq. 13 mr, and (via ascending scans) the distinct
+            // source/target sets.
+            let mut mr = 1usize;
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] += 1;
+                inv_deg[j as usize] += 1;
+                mr = mr.max(counts[i as usize] as usize + 1).max(counts[j as usize] as usize + 1);
+            }
+            let mut src_count = 0usize;
+            let mut t_count = 0usize;
+            for i in 0..n {
+                src_count += (fwd_deg[i] > 0) as usize;
+                t_count += (inv_deg[i] > 0) as usize;
+            }
+            let mc = src_count.max(t_count).max(1);
+            let dh =
+                if group.edges.is_empty() { 0.0 } else { delta_hat_weight(params.delta, mc, mr) };
+
+            // Edge weights carry +2δ̂ to re-add what the blanket
+            // subtraction of t_r removes (Eq. 15); `γ^r_i + γ^r̄_j` is the
+            // forward gamma at the source plus the inverted-direction
+            // gamma at the target (and symmetrically for the inverted
+            // direction's edges).
+            edge_w.clear();
+            for &(i, j) in &group.edges {
+                let g_fwd =
+                    per_source_weight(params.gamma, fwd_deg[i as usize], counts[i as usize]);
+                let g_inv =
+                    per_source_weight(params.gamma, inv_deg[j as usize], counts[j as usize]);
+                let w = g_fwd + g_inv + 2.0 * dh;
+                edge_w.push(w);
+                coo.push(i as usize, j as usize, w);
+                denom[i as usize] += w;
+            }
+            for i in 0..n {
+                if fwd_deg[i] > 0 {
+                    denom[i] -= 2.0 * dh * t_count as f32;
+                }
+            }
+            for (&(i, j), &w) in group.edges.iter().zip(&edge_w) {
+                coo.push(j as usize, i as usize, w);
+                denom[j as usize] += w;
+            }
+            for i in 0..n {
+                if inv_deg[i] > 0 {
+                    denom[i] -= 2.0 * dh * src_count as f32;
+                }
+            }
+
+            // Distinct targets per direction (ascending scan ≡ sorted +
+            // deduped) and the per-direction negative plans.
+            let g_fwd_idx = (2 * gi) as u32;
+            let g_inv_idx = g_fwd_idx + 1;
+            for i in 0..n {
+                if inv_deg[i] > 0 {
+                    tgt_ids.push(i as u32);
+                }
+            }
+            tgt_ptr.push(tgt_ids.len() as u32);
+            for i in 0..n {
+                if fwd_deg[i] > 0 {
+                    tgt_ids.push(i as u32);
+                }
+            }
+            tgt_ptr.push(tgt_ids.len() as u32);
+            if dh != 0.0 && t_count > 0 {
+                for i in 0..n {
+                    if fwd_deg[i] > 0 {
+                        neg_entries.push((i as u32, g_fwd_idx, 2.0 * dh));
+                        live[g_fwd_idx as usize] = true;
+                    }
+                }
+            }
+            if dh != 0.0 && src_count > 0 {
+                for i in 0..n {
+                    if inv_deg[i] > 0 {
+                        neg_entries.push((i as u32, g_inv_idx, 2.0 * dh));
+                        live[g_inv_idx as usize] = true;
+                    }
+                }
+            }
+            for &(i, j) in &group.edges {
+                fwd_deg[i as usize] = 0;
+                inv_deg[j as usize] = 0;
+            }
+        }
+        let pos = coo.to_csr();
+        let (neg_ptr, neg_group, neg_coeff) = super::flatten_by_node(n, &neg_entries);
+
+        Self {
+            problem,
+            pos,
+            denom,
+            beta,
+            alpha: params.alpha,
+            tgt_ptr,
+            tgt_ids,
+            live,
+            neg_ptr,
+            neg_group,
+            neg_coeff,
+            node_pairs: Vec::new(),
+            mode: NegativeMode::Blanket,
+            t_sums: Matrix::zeros(n_groups, dim),
+            // `w` is created lazily by `run` (it is handed out as the
+            // result); `next` persists across runs.
+            w: Matrix::zeros(0, 0),
+            next: Matrix::zeros(n, dim),
+        }
+    }
+
+    fn new_enumerated(problem: &'p RetrofitProblem, params: &Hyperparameters) -> Self {
         let n = problem.len();
         let dim = problem.dim();
         let groups = problem.directed_groups(params, true);
         let beta = problem.beta_weights(params);
 
-        // Positive operator P and the constant denominator D.
+        // Positive operator P (γ weights only; related pairs are skipped
+        // exactly in the pair sweep, not re-added via the +2δ̂ trick) and
+        // the constant denominator D.
         let mut coo = CooMatrix::new(n, n);
         let mut denom = vec![0.0f32; n];
         for (i, d) in denom.iter_mut().enumerate() {
@@ -95,120 +279,124 @@ impl<'p> RoKernel<'p> {
         }
         for dg in &groups {
             let dh = dg.delta_hat();
-            match mode {
-                NegativeMode::Blanket => {
-                    // Edge weights carry +2δ̂ to re-add what the blanket
-                    // subtraction of t_r removes (Eq. 15).
-                    for &(i, j) in &dg.group.edges {
-                        let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize] + 2.0 * dh;
-                        coo.push(i as usize, j as usize, w);
-                        denom[i as usize] += w;
-                    }
-                    let t_count = dg.targets.len() as f32;
-                    for &s in &dg.sources {
-                        denom[s as usize] -= 2.0 * dh * t_count;
-                    }
-                }
-                NegativeMode::Enumerated => {
-                    // γ weights only; related pairs are skipped exactly in
-                    // the pair sweep, not re-added via the +2δ̂ trick.
-                    for &(i, j) in &dg.group.edges {
-                        let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize];
-                        coo.push(i as usize, j as usize, w);
-                        denom[i as usize] += w;
-                    }
-                    let t_count = dg.targets.len() as f32;
-                    for (&s, &od) in dg.sources.iter().zip(&dg.source_out_degree) {
-                        denom[s as usize] -= 2.0 * dh * (t_count - od as f32);
-                    }
-                }
+            for &(i, j) in &dg.group.edges {
+                let w = dg.own.gamma_i[i as usize] + dg.rev.gamma_i[j as usize];
+                coo.push(i as usize, j as usize, w);
+                denom[i as usize] += w;
+            }
+            let t_count = dg.targets.len() as f32;
+            for (&s, &od) in dg.sources.iter().zip(&dg.source_out_degree) {
+                denom[s as usize] -= 2.0 * dh * (t_count - od as f32);
             }
         }
         let pos = coo.to_csr();
 
-        // Constant part α·W0 + β·c.
-        let mut base = Matrix::zeros(n, dim);
-        for (i, &b) in beta.iter().enumerate() {
-            let row = base.row_mut(i);
-            row.copy_from_slice(problem.w0.row(i));
-            vector::scale(params.alpha, row);
-            vector::axpy(b, problem.centroid_of(i), row);
+        // Flatten the group target lists into offset+data arrays.
+        let mut tgt_ptr = Vec::with_capacity(groups.len() + 1);
+        tgt_ptr.push(0u32);
+        let mut tgt_ids = Vec::with_capacity(groups.iter().map(|dg| dg.targets.len()).sum());
+        for dg in &groups {
+            tgt_ids.extend_from_slice(&dg.targets);
+            tgt_ptr.push(tgt_ids.len() as u32);
         }
 
-        // Per-node negative-term plans, in group order (the order fixes the
-        // floating-point summation sequence for each row).
-        let mut node_negatives: Vec<Vec<(u32, f32)>> = Vec::new();
-        let mut node_pairs: Vec<Vec<(u32, f32, Vec<u32>)>> = Vec::new();
-        match mode {
-            NegativeMode::Blanket => {
-                node_negatives = vec![Vec::new(); n];
-                for (g, dg) in groups.iter().enumerate() {
-                    let dh = dg.delta_hat();
-                    if dh == 0.0 || dg.targets.is_empty() {
-                        continue;
-                    }
-                    for &s in &dg.sources {
-                        node_negatives[s as usize].push((g as u32, 2.0 * dh));
-                    }
-                }
+        // Explicit Ẽr plans: per node, the related targets to skip.
+        let mut node_pairs: Vec<Vec<(u32, f32, Vec<u32>)>> = vec![Vec::new(); n];
+        for (g, dg) in groups.iter().enumerate() {
+            let dh = dg.delta_hat();
+            if dh == 0.0 || dg.targets.is_empty() {
+                continue;
             }
-            NegativeMode::Enumerated => {
-                node_pairs = vec![Vec::new(); n];
-                for (g, dg) in groups.iter().enumerate() {
-                    let dh = dg.delta_hat();
-                    if dh == 0.0 || dg.targets.is_empty() {
-                        continue;
-                    }
-                    for &s in &dg.sources {
-                        let related: Vec<u32> = dg
-                            .group
-                            .edges
-                            .iter()
-                            .filter(|&&(i, _)| i == s)
-                            .map(|&(_, j)| j)
-                            .collect();
-                        node_pairs[s as usize].push((g as u32, 2.0 * dh, related));
-                    }
-                }
+            for &s in &dg.sources {
+                let related: Vec<u32> =
+                    dg.group.edges.iter().filter(|&&(i, _)| i == s).map(|&(_, j)| j).collect();
+                node_pairs[s as usize].push((g as u32, 2.0 * dh, related));
             }
         }
 
-        Self { problem, groups, pos, denom, base, node_negatives, node_pairs, mode }
+        Self {
+            problem,
+            pos,
+            denom,
+            beta,
+            alpha: params.alpha,
+            tgt_ptr,
+            tgt_ids,
+            live: vec![false; groups.len()],
+            neg_ptr: vec![0u32; n + 1],
+            neg_group: Vec::new(),
+            neg_coeff: Vec::new(),
+            node_pairs,
+            mode: NegativeMode::Enumerated,
+            t_sums: Matrix::zeros(groups.len(), dim),
+            // `w` is created lazily by `run` (it is handed out as the
+            // result); `next` persists across runs.
+            w: Matrix::zeros(0, 0),
+            next: Matrix::zeros(n, dim),
+        }
     }
 
     /// Iterate the kernel. `seed` overrides the starting matrix (warm
-    /// start); `threads ≤ 1` runs the row phase inline on the calling
-    /// thread. Results are bit-identical for every `threads` value.
-    pub(crate) fn run(&self, seed: Option<&Matrix>, iterations: usize, threads: usize) -> Matrix {
+    /// start); `threads ≤ 1` runs both phases inline on the calling thread.
+    /// Results are bit-identical for every `threads` value. The iteration
+    /// loop performs no allocation: the only allocation per run is the
+    /// returned matrix itself (handed out by move, lazily replaced on the
+    /// next run), so repeated/warm-start solves reuse all other scratch.
+    pub(crate) fn run(
+        &mut self,
+        seed: Option<&Matrix>,
+        iterations: usize,
+        threads: usize,
+    ) -> Matrix {
         let n = self.problem.len();
         let dim = self.problem.dim();
         if n == 0 || dim == 0 {
             return Matrix::zeros(n, dim);
         }
-        let mut w = match seed {
-            Some(s) => {
-                assert_eq!(s.shape(), (n, dim), "RO solver: seed shape mismatch");
-                s.clone()
-            }
-            None => self.problem.w0.clone(),
-        };
-        let mut next = Matrix::zeros(n, dim);
-        let mut t_sums: Vec<Vec<f32>> = vec![vec![0.0f32; dim]; self.groups.len()];
-        let rows_per_chunk = n.div_ceil(threads.max(1));
+        if let Some(s) = seed {
+            // Validate before touching the scratch: a panic below the
+            // `mem::replace` calls would leave the kernel with emptied
+            // buffers and a later run would silently compute nothing.
+            assert_eq!(s.shape(), (n, dim), "RO solver: seed shape mismatch");
+        }
+        if self.w.shape() != (n, dim) {
+            // The previous run handed its `w` buffer out as the result.
+            self.w = Matrix::zeros(n, dim);
+        }
+        // Move the scratch out of `self` so worker threads can borrow the
+        // immutable kernel state while writing disjoint chunks of it.
+        let mut w = std::mem::replace(&mut self.w, Matrix::zeros(0, 0));
+        let mut next = std::mem::replace(&mut self.next, Matrix::zeros(0, 0));
+        let mut t_sums = std::mem::replace(&mut self.t_sums, Matrix::zeros(0, 0));
+        match seed {
+            Some(s) => w.as_mut_slice().copy_from_slice(s.as_slice()),
+            None => w.as_mut_slice().copy_from_slice(self.problem.w0.as_slice()),
+        }
+
+        let threads = threads.max(1);
+        let n_groups = self.live.len();
+        let groups_per_chunk = n_groups.div_ceil(threads).max(1);
+        let rows_per_chunk = n.div_ceil(threads);
 
         for _ in 0..iterations {
-            // Serial phase: the Eq. 15 target sums t_r = Σ_{k∈targets} v_k
-            // (cheap, O(n·D) total; only the blanket mode consumes them).
-            if self.mode == NegativeMode::Blanket {
-                for (g, dg) in self.groups.iter().enumerate() {
-                    if dg.delta_hat() == 0.0 || dg.targets.is_empty() {
-                        continue;
-                    }
-                    let t_sum = &mut t_sums[g];
-                    vector::zero(t_sum);
-                    for &k in &dg.targets {
-                        vector::axpy(1.0, w.row(k as usize), t_sum);
-                    }
+            // Group-partition phase: the Eq. 15 target sums
+            // t_r = Σ_{k∈targets} v_k (only the blanket mode consumes
+            // them). Each group's sum is written by exactly one worker, so
+            // the partition never reorders any group's accumulation.
+            if self.mode == NegativeMode::Blanket && n_groups > 0 {
+                if threads <= 1 {
+                    self.sum_rows(&w, 0, t_sums.as_mut_slice());
+                } else {
+                    let w_ref = &w;
+                    let this = &*self;
+                    std::thread::scope(|scope| {
+                        for (chunk_idx, chunk) in
+                            t_sums.as_mut_slice().chunks_mut(groups_per_chunk * dim).enumerate()
+                        {
+                            let start = chunk_idx * groups_per_chunk;
+                            scope.spawn(move || this.sum_rows(w_ref, start, chunk));
+                        }
+                    });
                 }
             }
 
@@ -220,40 +408,151 @@ impl<'p> RoKernel<'p> {
             } else {
                 let w_ref = &w;
                 let t_ref = &t_sums;
+                let this = &*self;
                 std::thread::scope(|scope| {
                     for (chunk_idx, chunk) in
                         next.as_mut_slice().chunks_mut(rows_per_chunk * dim).enumerate()
                     {
                         let start = chunk_idx * rows_per_chunk;
-                        scope.spawn(move || self.update_rows(w_ref, t_ref, start, chunk));
+                        scope.spawn(move || this.update_rows(w_ref, t_ref, start, chunk));
                     }
                 });
             }
             std::mem::swap(&mut w, &mut next);
         }
+
+        self.next = next;
+        self.t_sums = t_sums;
         w
     }
 
-    /// Compute output rows `start..start + chunk.len()/dim` into `chunk`.
-    fn update_rows(&self, w: &Matrix, t_sums: &[Vec<f32>], start: usize, chunk: &mut [f32]) {
+    /// Compute the Eq. 15 sums of groups `start..start + chunk.len()/dim`
+    /// into `chunk` (a row-major slice of the target-sum matrix).
+    fn sum_rows(&self, w: &Matrix, start: usize, chunk: &mut [f32]) {
+        let dim = self.problem.dim();
+        for (local, g) in (start..start + chunk.len() / dim).enumerate() {
+            if !self.live[g] {
+                continue; // never read by any row — skip the work
+            }
+            let t_sum = &mut chunk[local * dim..(local + 1) * dim];
+            vector::zero(t_sum);
+            for &k in &self.tgt_ids[self.tgt_ptr[g] as usize..self.tgt_ptr[g + 1] as usize] {
+                vector::axpy(1.0, w.row(k as usize), t_sum);
+            }
+        }
+    }
+
+    /// Compute output rows `start..start + chunk.len()/dim` into `chunk`:
+    /// constant part, `P·W`, negative term, diagonal divide — one fused
+    /// pass while the row is hot in cache.
+    ///
+    /// Blanket mode dispatches to a const-dimension body for the common
+    /// embedding widths so the accumulator row lives in registers across
+    /// the whole sparse gather (the element-wise operation order is
+    /// identical, so the dispatch never changes a bit of the output).
+    fn update_rows(&self, w: &Matrix, t_sums: &Matrix, start: usize, chunk: &mut [f32]) {
+        if self.mode == NegativeMode::Blanket {
+            match self.problem.dim() {
+                32 => return self.update_rows_fixed::<32>(w, t_sums, start, chunk),
+                64 => return self.update_rows_fixed::<64>(w, t_sums, start, chunk),
+                96 => return self.update_rows_fixed::<96>(w, t_sums, start, chunk),
+                128 => return self.update_rows_fixed::<128>(w, t_sums, start, chunk),
+                _ => {}
+            }
+        }
+        self.update_rows_dyn(w, t_sums, start, chunk)
+    }
+
+    /// [`Self::update_rows`] (blanket mode) with the row dimension known at
+    /// compile time: the accumulator is a fixed-size stack array, which
+    /// LLVM promotes to vector registers across the gather and negative
+    /// loops.
+    fn update_rows_fixed<const D: usize>(
+        &self,
+        w: &Matrix,
+        t_sums: &Matrix,
+        start: usize,
+        chunk: &mut [f32],
+    ) {
+        let end = start + chunk.len() / D;
+        for (local, r) in (start..end).enumerate() {
+            if r + 4 < end {
+                // Overlap upcoming rows' data-dependent gathers with this
+                // row's arithmetic (see `CsrMatrix::prefetch_row`); a few
+                // rows of distance covers the DRAM latency.
+                self.pos.prefetch_row(r + 4, w);
+            }
+            let mut acc = [0.0f32; D];
+            let b = self.beta[r];
+            let w0r = &self.problem.w0.row(r)[..D];
+            let cr = &self.problem.centroid_of(r)[..D];
+            for j in 0..D {
+                acc[j] = self.alpha * w0r[j] + b * cr[j];
+            }
+            for (c, v) in self.pos.row(r) {
+                let x = &w.row(c)[..D];
+                for j in 0..D {
+                    acc[j] += v * x[j];
+                }
+            }
+            for k in self.neg_ptr[r] as usize..self.neg_ptr[r + 1] as usize {
+                let coeff = self.neg_coeff[k];
+                let t = &t_sums.row(self.neg_group[k] as usize)[..D];
+                for j in 0..D {
+                    acc[j] += -coeff * t[j];
+                }
+            }
+            let out_row = &mut chunk[local * D..(local + 1) * D];
+            let d = self.denom[r];
+            if d.abs() > 1e-6 {
+                for j in 0..D {
+                    acc[j] /= d;
+                }
+                out_row.copy_from_slice(&acc);
+            } else {
+                // Degenerate diagonal (δ too large): keep the previous
+                // vector rather than dividing by ~0.
+                out_row.copy_from_slice(w.row(r));
+            }
+        }
+    }
+
+    /// [`Self::update_rows`] for arbitrary dimensions and the enumerated
+    /// mode.
+    fn update_rows_dyn(&self, w: &Matrix, t_sums: &Matrix, start: usize, chunk: &mut [f32]) {
         let dim = self.problem.dim();
         let end = start + chunk.len() / dim;
-        self.pos.mul_dense_range_into(w, start..end, chunk);
         for (local, r) in (start..end).enumerate() {
+            if r + 1 < end {
+                self.pos.prefetch_row(r + 1, w);
+            }
             let out_row = &mut chunk[local * dim..(local + 1) * dim];
+            let b = self.beta[r];
+            for ((o, &w0v), &cv) in
+                out_row.iter_mut().zip(self.problem.w0.row(r)).zip(self.problem.centroid_of(r))
+            {
+                *o = self.alpha * w0v + b * cv;
+            }
+            self.pos.mul_row_into(r, w, 1.0, out_row);
             match self.mode {
                 NegativeMode::Blanket => {
                     // Blanket negative term: −2δ̂r · t_r for every group this
                     // row sources.
-                    for &(g, coeff) in &self.node_negatives[r] {
-                        vector::axpy(-coeff, &t_sums[g as usize], out_row);
+                    for k in self.neg_ptr[r] as usize..self.neg_ptr[r + 1] as usize {
+                        vector::axpy(
+                            -self.neg_coeff[k],
+                            t_sums.row(self.neg_group[k] as usize),
+                            out_row,
+                        );
                     }
                 }
                 NegativeMode::Enumerated => {
                     // Explicit Ẽr sweep: every (source, target) pair that is
                     // NOT a relation contributes −2δ̂·v_target.
                     for (g, coeff, related) in &self.node_pairs[r] {
-                        for &k in &self.groups[*g as usize].targets {
+                        let t0 = self.tgt_ptr[*g as usize] as usize;
+                        let t1 = self.tgt_ptr[*g as usize + 1] as usize;
+                        for &k in &self.tgt_ids[t0..t1] {
                             if !related.contains(&k) {
                                 vector::axpy(-coeff, w.row(k as usize), out_row);
                             }
@@ -261,11 +560,11 @@ impl<'p> RoKernel<'p> {
                     }
                 }
             }
-            // W' = base + WR, then divide by the diagonal.
+            // Divide W' by the diagonal.
             let d = self.denom[r];
             if d.abs() > 1e-6 {
-                for (o, b) in out_row.iter_mut().zip(self.base.row(r)) {
-                    *o = (b + *o) / d;
+                for o in out_row.iter_mut() {
+                    *o /= d;
                 }
             } else {
                 // Degenerate diagonal (δ too large): keep the previous
@@ -458,10 +757,52 @@ mod tests {
     }
 
     #[test]
+    fn fixed_dim_dispatch_is_bit_identical_to_dynamic_body() {
+        // dim 32 takes the register-blocked const-dimension body; drive the
+        // same iteration through the dynamic body and demand equal bits.
+        let dim = 32usize;
+        let mut catalog = TextValueCatalog::default();
+        let ca = catalog.add_category("a", "x");
+        let cb = catalog.add_category("b", "y");
+        let mut edges = Vec::new();
+        let mut tokens = Vec::new();
+        let mut vectors = Vec::new();
+        for k in 0..12u32 {
+            let i = catalog.intern(ca, &format!("s{k}"));
+            let j = catalog.intern(cb, &format!("t{k}"));
+            edges.push((i, j));
+            edges.push((i, (j + 2) % 24));
+            tokens.push(format!("s{k}"));
+            vectors.push((0..dim).map(|d| ((k as f32 + 1.3) * (d as f32 + 0.7)).sin()).collect());
+            tokens.push(format!("t{k}"));
+            vectors.push((0..dim).map(|d| ((k as f32 - 2.1) * (d as f32 + 1.9)).cos()).collect());
+        }
+        let groups =
+            vec![RelationGroup::new("a.x~b.y".into(), ca, cb, RelationKind::ForeignKey, edges)];
+        let base = EmbeddingSet::new(tokens, vectors);
+        let p = RetrofitProblem::from_parts(catalog, groups, &base);
+        let params = Hyperparameters::paper_ro();
+
+        let mut kernel = RoKernel::new(&p, &params, NegativeMode::Blanket);
+        let fixed = kernel.run(None, 5, 1);
+
+        let n = p.len();
+        let mut w = p.w0.clone();
+        let mut next = Matrix::zeros(n, dim);
+        let mut t_sums = Matrix::zeros(kernel.live.len(), dim);
+        for _ in 0..5 {
+            kernel.sum_rows(&w, 0, t_sums.as_mut_slice());
+            kernel.update_rows_dyn(&w, &t_sums, 0, next.as_mut_slice());
+            std::mem::swap(&mut w, &mut next);
+        }
+        assert_eq!(fixed.max_abs_diff(&w), 0.0);
+    }
+
+    #[test]
     fn kernel_thread_counts_are_bit_identical() {
         let p = tiny_problem();
         let params = Hyperparameters::paper_ro();
-        let kernel = RoKernel::new(&p, &params, NegativeMode::Blanket);
+        let mut kernel = RoKernel::new(&p, &params, NegativeMode::Blanket);
         let serial = kernel.run(None, 10, 1);
         for threads in [2, 3, 8] {
             let parallel = kernel.run(None, 10, threads);
@@ -473,7 +814,7 @@ mod tests {
     fn enumerated_kernel_parallelizes_too() {
         let p = tiny_problem();
         let params = Hyperparameters::paper_ro();
-        let kernel = RoKernel::new(&p, &params, NegativeMode::Enumerated);
+        let mut kernel = RoKernel::new(&p, &params, NegativeMode::Enumerated);
         let serial = kernel.run(None, 8, 1);
         let parallel = kernel.run(None, 8, 4);
         assert_eq!(serial.max_abs_diff(&parallel), 0.0);

@@ -43,30 +43,48 @@ impl CooMatrix {
     }
 
     /// Convert to CSR, merging duplicate coordinates by summation.
+    ///
+    /// Rows are bucketed with a counting sort (O(nnz + rows), not a global
+    /// O(nnz log nnz) comparison sort — conversion is on the solver kernels'
+    /// construction path), then each row is sorted by column with a stable
+    /// sort, so duplicates merge in insertion order: deterministic for a
+    /// given push sequence.
     pub fn to_csr(&self) -> CsrMatrix {
-        let mut triplets = self.triplets.clone();
-        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
-
-        let mut row_counts = vec![0u32; self.rows + 1];
-        let mut col_idx: Vec<u32> = Vec::with_capacity(triplets.len());
-        let mut values: Vec<f32> = Vec::with_capacity(triplets.len());
-        let mut last: Option<(u32, u32)> = None;
-
-        for &(r, c, v) in &triplets {
-            if last == Some((r, c)) {
-                *values.last_mut().expect("merge target exists") += v;
-            } else {
-                col_idx.push(c);
-                values.push(v);
-                row_counts[r as usize + 1] += 1;
-                last = Some((r, c));
-            }
+        // Counting sort by row: count, prefix-sum into row starts, scatter.
+        let mut starts = vec![0u32; self.rows + 1];
+        for &(r, _, _) in &self.triplets {
+            starts[r as usize + 1] += 1;
         }
-        // Prefix-sum the per-row counts into row pointers.
         for r in 0..self.rows {
-            row_counts[r + 1] += row_counts[r];
+            starts[r + 1] += starts[r];
         }
-        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr: row_counts, col_idx, values }
+        let mut cursor: Vec<u32> = starts[..self.rows].to_vec();
+        let mut by_row: Vec<(u32, f32)> = vec![(0, 0.0); self.triplets.len()];
+        for &(r, c, v) in &self.triplets {
+            let at = cursor[r as usize] as usize;
+            by_row[at] = (c, v);
+            cursor[r as usize] += 1;
+        }
+
+        // Per-row: stable sort by column (rows are short — this is an
+        // insertion sort in practice), then merge duplicates by summation.
+        let mut row_ptr = vec![0u32; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f32> = Vec::with_capacity(self.triplets.len());
+        for r in 0..self.rows {
+            let seg = &mut by_row[starts[r] as usize..starts[r + 1] as usize];
+            seg.sort_by_key(|&(c, _)| c);
+            for &(c, v) in seg.iter() {
+                if col_idx.last() == Some(&c) && values.len() > row_ptr[r] as usize {
+                    *values.last_mut().expect("merge target exists") += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr[r + 1] = col_idx.len() as u32;
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
     }
 }
 
@@ -183,6 +201,47 @@ impl CsrMatrix {
         let end = self.row_ptr[r + 1] as usize;
         for k in start..end {
             vector::axpy(scale * self.values[k], rhs.row(self.col_idx[k] as usize), out_row);
+        }
+    }
+
+    /// Issue software prefetches for the `rhs` rows that
+    /// [`Self::mul_row_into`] on row `r` will gather.
+    ///
+    /// The sparse-times-dense product is latency-bound: each stored entry
+    /// gathers a dense row at a data-dependent index the hardware
+    /// prefetcher cannot predict. Callers that walk rows in order (the
+    /// solver kernels) prefetch row `r + 1` while computing row `r`, which
+    /// overlaps the gather misses with useful work. A no-op on
+    /// architectures without a prefetch intrinsic; never required for
+    /// correctness.
+    #[inline]
+    pub fn prefetch_row(&self, r: usize, rhs: &Matrix) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            let row_bytes = rhs.cols() * std::mem::size_of::<f32>();
+            for &c in &self.col_idx[start..end] {
+                let row = rhs.row(c as usize);
+                let base = row.as_ptr() as *const i8;
+                let mut off = 0usize;
+                while off < row_bytes {
+                    // SAFETY: prefetch only hints the cache; the address
+                    // stays within (or one line past) the row slice and is
+                    // never dereferenced.
+                    unsafe {
+                        std::arch::x86_64::_mm_prefetch(
+                            base.add(off),
+                            std::arch::x86_64::_MM_HINT_T0,
+                        );
+                    }
+                    off += 64;
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (r, rhs);
         }
     }
 

@@ -4,12 +4,55 @@
 //! that contract is violated; the retrofitting code always works with
 //! fixed-dimension rows so a length mismatch is a programming error, not a
 //! recoverable condition.
+//!
+//! ## Chunked kernels
+//!
+//! The hot kernels ([`axpy`], [`scale`], [`dot`], [`dist_sq`], and through
+//! them [`normalize`]) process [`LANES`] elements per step with a scalar
+//! tail, which lets LLVM autovectorize them (the element-wise kernels
+//! become plain SIMD maps; the reductions keep [`LANES`] independent
+//! accumulators instead of one serial `+` chain).
+//!
+//! Chunking never changes *what* is computed, only how fast: the
+//! element-wise kernels are bit-identical to the obvious one-element loop,
+//! and the reductions are bit-identical to a fixed scalar model — element
+//! `i` accumulates into lane `i % LANES`, and the lanes are combined by a
+//! fixed pairwise tree (`reduce_lanes`). That model depends only on the input
+//! data, never on chunk boundaries, so every caller (both solver kernels,
+//! `CsrMatrix` products, row normalization) sees one deterministic
+//! summation order. `crates/linalg/tests/chunked_kernels.rs` pins the
+//! bit-identity against naive scalar reference loops for every length.
+
+/// Elements processed per chunked step (and independent accumulators in the
+/// chunked reductions).
+pub const LANES: usize = 8;
+
+/// Combine the [`LANES`] partial accumulators of a chunked reduction with a
+/// fixed pairwise tree: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+#[inline]
+fn reduce_lanes(l: [f32; LANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
 
 /// Dot product of two equal-length slices.
+///
+/// Summation order is the chunked-lane model (see the module docs): element
+/// `i` accumulates into lane `i % LANES`, lanes combine pairwise.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for j in 0..LANES {
+            lanes[j] += ca[j] * cb[j];
+        }
+    }
+    for (j, (x, y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[j] += x * y;
+    }
+    reduce_lanes(lanes)
 }
 
 /// Squared Euclidean norm.
@@ -25,10 +68,24 @@ pub fn norm(a: &[f32]) -> f32 {
 }
 
 /// Squared Euclidean distance between two points.
+///
+/// Same chunked-lane summation order as [`dot`].
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    let mut lanes = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for j in 0..LANES {
+            let d = ca[j] - cb[j];
+            lanes[j] += d * d;
+        }
+    }
+    for (j, (x, y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        lanes[j] += (x - y) * (x - y);
+    }
+    reduce_lanes(lanes)
 }
 
 /// Euclidean distance between two points.
@@ -38,18 +95,36 @@ pub fn dist(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// `y += alpha * x` (the classic axpy kernel).
+///
+/// Element-wise, so the chunking is purely a speed matter: every element
+/// ends up exactly `y[i] + alpha * x[i]`.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut yc = y.chunks_exact_mut(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (cy, cx) in (&mut yc).zip(&mut xc) {
+        for j in 0..LANES {
+            cy[j] += alpha * cx[j];
+        }
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
     }
 }
 
 /// `y = alpha * y`.
+///
+/// Element-wise; bit-identical to the one-element loop.
 #[inline]
 pub fn scale(alpha: f32, y: &mut [f32]) {
-    for yi in y.iter_mut() {
+    let mut yc = y.chunks_exact_mut(LANES);
+    for cy in &mut yc {
+        for j in 0..LANES {
+            cy[j] *= alpha;
+        }
+    }
+    for yi in yc.into_remainder() {
         *yi *= alpha;
     }
 }

@@ -1,0 +1,177 @@
+//! Bit-identity of the chunked vector kernels against naive scalar loops.
+//!
+//! The solver determinism story (`tests/solver_determinism.rs` at the
+//! workspace root) rests on every float operation having one fixed order.
+//! The chunked kernels in `retro_linalg::vector` process [`vector::LANES`]
+//! elements per step for speed; this suite pins that the chunking never
+//! changes a single bit relative to a transparent scalar model:
+//!
+//! * element-wise kernels (`axpy`, `scale`, and the scaling step of
+//!   `normalize`) must equal the obvious one-element-at-a-time loop, and
+//! * reductions (`dot`, `dist_sq`, and through them `norm`/`normalize`)
+//!   must equal the documented lane model — element `i` accumulates into
+//!   lane `i % LANES`, lanes combine with the fixed pairwise tree — written
+//!   here as a naive scalar loop with no chunking.
+//!
+//! Checked exhaustively for every length 0..64 (all tail shapes around the
+//! lane width) and by proptest on random lengths and values.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retro_linalg::vector::{self, LANES};
+
+/// The scalar model of the chunked reductions: one element at a time into
+/// `LANES` accumulators, then the fixed pairwise combination tree.
+fn naive_lane_sum(terms: impl Iterator<Item = f32>) -> f32 {
+    let mut lanes = [0.0f32; LANES];
+    for (i, t) in terms.enumerate() {
+        lanes[i % LANES] += t;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+    naive_lane_sum(a.iter().zip(b).map(|(x, y)| x * y))
+}
+
+fn naive_dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    naive_lane_sum(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)))
+}
+
+fn naive_axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+fn naive_scale(alpha: f32, y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// The scalar model of `normalize`: norm from the naive lane-model dot,
+/// then the naive element-wise scaling, with the same zero-vector guard.
+fn naive_normalize(y: &mut [f32]) {
+    let n = naive_dot(y, y).sqrt();
+    if n > f32::EPSILON {
+        naive_scale(1.0 / n, y);
+    }
+}
+
+/// Deterministic "awkward" test values: mixed magnitudes and signs so that
+/// float addition is thoroughly non-associative — any reordering in the
+/// chunked kernels would show up as a bit difference.
+fn awkward_values(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let mantissa: f32 = rng.gen_range(-1.0..1.0);
+            let exponent: i32 = rng.gen_range(-12..12);
+            mantissa * (2.0f32).powi(exponent)
+        })
+        .collect()
+}
+
+#[test]
+fn every_length_to_64_matches_the_scalar_model_exactly() {
+    for len in 0..64usize {
+        for seed in 0..4u64 {
+            let a = awkward_values(len, seed * 1000 + len as u64);
+            let b = awkward_values(len, seed * 1000 + 500 + len as u64);
+            let alpha = 1.0 + seed as f32 * 0.37 - len as f32 * 0.011;
+
+            assert_eq!(
+                vector::dot(&a, &b).to_bits(),
+                naive_dot(&a, &b).to_bits(),
+                "dot diverged at len {len} seed {seed}"
+            );
+            assert_eq!(
+                vector::dist_sq(&a, &b).to_bits(),
+                naive_dist_sq(&a, &b).to_bits(),
+                "dist_sq diverged at len {len} seed {seed}"
+            );
+
+            let mut y = b.clone();
+            let mut y_ref = b.clone();
+            vector::axpy(alpha, &a, &mut y);
+            naive_axpy(alpha, &a, &mut y_ref);
+            assert_eq!(bits(&y), bits(&y_ref), "axpy diverged at len {len} seed {seed}");
+
+            let mut y = a.clone();
+            let mut y_ref = a.clone();
+            vector::scale(alpha, &mut y);
+            naive_scale(alpha, &mut y_ref);
+            assert_eq!(bits(&y), bits(&y_ref), "scale diverged at len {len} seed {seed}");
+
+            let mut y = a.clone();
+            let mut y_ref = a.clone();
+            vector::normalize(&mut y);
+            naive_normalize(&mut y_ref);
+            assert_eq!(bits(&y), bits(&y_ref), "normalize diverged at len {len} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn normalize_zero_vector_guard_matches_model() {
+    for len in [0usize, 1, 7, 8, 9, 63] {
+        let mut y = vec![0.0f32; len];
+        let mut y_ref = vec![0.0f32; len];
+        vector::normalize(&mut y);
+        naive_normalize(&mut y_ref);
+        assert_eq!(bits(&y), bits(&y_ref), "zero-vector normalize diverged at len {len}");
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_length_dot_is_bit_identical(
+        len in 0usize..300,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = awkward_values(len, seed);
+        let b = awkward_values(len, seed.wrapping_add(7919));
+        prop_assert_eq!(vector::dot(&a, &b).to_bits(), naive_dot(&a, &b).to_bits());
+        prop_assert_eq!(
+            vector::dist_sq(&a, &b).to_bits(),
+            naive_dist_sq(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn random_length_axpy_scale_normalize_are_bit_identical(
+        len in 0usize..300,
+        seed in 0u64..1_000_000,
+        alpha in -4.0f32..4.0,
+    ) {
+        let x = awkward_values(len, seed);
+        let start = awkward_values(len, seed.wrapping_add(104_729));
+
+        let mut y = start.clone();
+        let mut y_ref = start.clone();
+        vector::axpy(alpha, &x, &mut y);
+        naive_axpy(alpha, &x, &mut y_ref);
+        prop_assert_eq!(bits(&y), bits(&y_ref));
+
+        let mut y = start.clone();
+        let mut y_ref = start.clone();
+        vector::scale(alpha, &mut y);
+        naive_scale(alpha, &mut y_ref);
+        prop_assert_eq!(bits(&y), bits(&y_ref));
+
+        let mut y = start.clone();
+        let mut y_ref = start;
+        vector::normalize(&mut y);
+        naive_normalize(&mut y_ref);
+        prop_assert_eq!(bits(&y), bits(&y_ref));
+    }
+}

@@ -1,18 +1,24 @@
-//! Determinism suite for the parallel RO solver.
+//! Determinism suite for the parallel RO **and RN** solvers.
 //!
-//! The contract (see `retro_core::solver::parallel`): the parallel RO path
-//! shares one row-partitioned kernel with the sequential path, so
+//! The contract (see `retro_core::solver::parallel`): each solver's
+//! parallel path shares one kernel with its sequential path (`RoKernel`,
+//! `RnKernel`), so
 //!
-//! * `solve_ro_parallel(.., 1)` equals sequential `solve_ro` **exactly**
-//!   (bit-for-bit), and
-//! * N-thread results match within 1e-9 for every N — in fact exactly,
-//!   because row partitioning never reorders the floating-point operations
-//!   that produce any given row.
+//! * `solve_*_parallel(.., 1)` equals the sequential entry point
+//!   **exactly** (bit-for-bit; `threads = 1` runs the same phases inline),
+//!   and
+//! * N-thread results are exactly equal for every N, because the group and
+//!   row partitions never reorder the floating-point operations that
+//!   produce any given centroid or row.
 //!
 //! Checked across multiple seeds and both synthetic datasets, per-iteration
-//! and end-to-end, plus through the high-level `Retro` API's thread knob.
+//! and end-to-end, for cold and seeded warm starts, plus through the
+//! high-level `Retro` API's thread knob.
 
-use retro::core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
+use retro::core::solver::{
+    solve_rn, solve_rn_parallel, solve_rn_seeded, solve_rn_seeded_parallel, solve_ro,
+    solve_ro_parallel,
+};
 use retro::core::{Hyperparameters, Retro, RetroConfig, RetrofitProblem, Solver};
 use retro::datasets::{GooglePlayConfig, GooglePlayDataset, TmdbConfig, TmdbDataset};
 
@@ -48,15 +54,18 @@ fn one_thread_equals_sequential_exactly() {
 }
 
 #[test]
-fn n_threads_match_sequential_within_tolerance() {
+fn n_threads_match_sequential_exactly() {
     for seed in [7u64, 99] {
         let p = tmdb_problem(seed);
         let params = Hyperparameters::paper_ro();
         let sequential = solve_ro(&p, &params, 10);
         for threads in [2usize, 3, 4, 8] {
             let parallel = solve_ro_parallel(&p, &params, 10, threads);
-            let diff = sequential.max_abs_diff(&parallel) as f64;
-            assert!(diff <= 1e-9, "seed {seed}, {threads} threads: diff {diff} exceeds 1e-9");
+            assert_eq!(
+                sequential.max_abs_diff(&parallel),
+                0.0,
+                "seed {seed}, RO {threads} threads diverged from sequential"
+            );
         }
     }
 }
@@ -88,16 +97,57 @@ fn gplay_matches_across_seeds_and_thread_counts() {
 }
 
 #[test]
-fn rn_parallel_keeps_the_same_contract() {
-    // RN predates this suite but shares the contract; pin it here so a
-    // future regression in either solver fails the same gate.
-    let p = tmdb_problem(7);
+fn rn_parallel_is_bit_identical_for_every_thread_count() {
+    // Since RN runs through the shared `RnKernel`, parity is exact — no
+    // epsilon — for every thread count, like RO.
+    for seed in [7u64, 99] {
+        let p = tmdb_problem(seed);
+        let params = Hyperparameters::paper_rn();
+        let sequential = solve_rn(&p, &params, 10);
+        for threads in [1usize, 2, 3, 8] {
+            let parallel = solve_rn_parallel(&p, &params, 10, threads);
+            assert_eq!(
+                sequential.max_abs_diff(&parallel),
+                0.0,
+                "seed {seed}, RN {threads} threads diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn rn_one_thread_inline_matches_serial_per_iteration() {
+    // `threads = 1` runs the kernel's phases inline on the calling thread —
+    // the same code path the sequential entry point uses. Compare every
+    // iteration prefix so compensating divergence cannot hide.
+    let p = gplay_problem(13);
     let params = Hyperparameters::paper_rn();
-    let sequential = solve_rn(&p, &params, 10);
-    for threads in [2usize, 4] {
-        let parallel = solve_rn_parallel(&p, &params, 10, threads);
-        let diff = sequential.max_abs_diff(&parallel) as f64;
-        assert!(diff <= 1e-9, "RN {threads} threads: diff {diff}");
+    for iterations in 1..=6 {
+        let sequential = solve_rn(&p, &params, iterations);
+        let inline = solve_rn_parallel(&p, &params, iterations, 1);
+        assert_eq!(sequential.max_abs_diff(&inline), 0.0, "iteration {iterations} diverged");
+        let parallel = solve_rn_parallel(&p, &params, iterations, 4);
+        assert_eq!(
+            sequential.max_abs_diff(&parallel),
+            0.0,
+            "iteration {iterations} diverged (4 threads)"
+        );
+    }
+}
+
+#[test]
+fn rn_seeded_warm_starts_are_bit_identical() {
+    let p = tmdb_problem(99);
+    let params = Hyperparameters::paper_rn();
+    let warm = solve_rn(&p, &params, 4);
+    let sequential = solve_rn_seeded(&p, &params, 6, Some(&warm));
+    for threads in [1usize, 2, 3, 8] {
+        let parallel = solve_rn_seeded_parallel(&p, &params, 6, Some(&warm), threads);
+        assert_eq!(
+            sequential.max_abs_diff(&parallel),
+            0.0,
+            "seeded RN {threads} threads diverged from sequential"
+        );
     }
 }
 
