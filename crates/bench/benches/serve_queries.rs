@@ -1,0 +1,90 @@
+//! Snapshot query-path microbenches for `retro_core::serve`: the shared
+//! bounded-heap top-k selection (`retro_embed::nn::top_k_cosine`) over a
+//! precomputed norm cache at several scan widths, the pre-PR full-sort
+//! ranking it replaced, and a warm-start `EmbeddingService::refresh`.
+//!
+//! By default the benchmark runs at the `Small` preset so `cargo bench`
+//! stays quick. Set `RETRO_PAPER_SCALE=1` to measure at the paper's real
+//! TMDB cardinality (~493k text values) — where the `O(n log n)` sort vs
+//! `O(n log k)` selection gap actually matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retro_core::serve::EmbeddingService;
+use retro_core::{Hyperparameters, RetroConfig};
+use retro_datasets::{SizePreset, TmdbConfig, TmdbDataset};
+use retro_embed::nn;
+use retro_linalg::vector;
+use retro_store::SharedDatabase;
+
+fn preset() -> (SizePreset, &'static str) {
+    if std::env::var_os("RETRO_PAPER_SCALE").is_some() {
+        (SizePreset::Paper, "paper")
+    } else {
+        (SizePreset::Small, "small")
+    }
+}
+
+fn bench_serve_queries(c: &mut Criterion) {
+    let (preset, tag) = preset();
+    let data = TmdbDataset::generate(TmdbConfig::preset(preset));
+    let shared = SharedDatabase::new(data.db.clone());
+
+    let mut group = c.benchmark_group(format!("serve_queries/{tag}"));
+    group.sample_size(10);
+
+    // ONE retrofit serves every scan width: the thread count only changes
+    // the query partition, never the solver output (`start` runs a full
+    // solve — minutes at paper scale — so no redundant construction). The
+    // 1-thread case goes through the `Snapshot::nearest` API; the wider
+    // scans call the shared helper on the same snapshot data.
+    let config = RetroConfig::default()
+        .with_params(Hyperparameters::paper_rn().with_threads(1))
+        .with_iterations(3);
+    let service = EmbeddingService::start(shared.clone(), data.base.clone(), config).unwrap();
+    let snapshot = service.snapshot();
+    let query = snapshot.output().embeddings.row(0).to_vec();
+    group.bench_function(BenchmarkId::new("nearest_threads_1", snapshot.len()), |b| {
+        b.iter(|| snapshot.nearest(&query, 10))
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(
+            BenchmarkId::new(format!("nearest_threads_{threads}"), snapshot.len()),
+            |b| {
+                b.iter(|| {
+                    nn::top_k_cosine(
+                        &snapshot.output().embeddings,
+                        snapshot.norms(),
+                        &query,
+                        10,
+                        threads,
+                        |_| false,
+                    )
+                })
+            },
+        );
+    }
+
+    // The ranking every `nearest` ran before the shared top-k helper:
+    // cosine per row (no norm cache) + full O(n log n) sort.
+    group.bench_function(BenchmarkId::new("full_sort_baseline", snapshot.len()), |b| {
+        b.iter(|| {
+            let m = &snapshot.output().embeddings;
+            let mut scored: Vec<(usize, f32)> =
+                (0..m.rows()).map(|i| (i, vector::cosine(&query, m.row(i)))).collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            scored.truncate(10);
+            scored
+        })
+    });
+
+    // Warm-start refresh: extract under the read guard + short re-solve +
+    // snapshot swap — the write-side cost a serving deployment pays.
+    group.bench_function(BenchmarkId::new("refresh", snapshot.len()), |b| {
+        b.iter(|| service.refresh().unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_queries);
+criterion_main!(benches);

@@ -21,15 +21,18 @@
 //! "Performance" section has a table template for recording machine
 //! results.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use retro_bench::{
     arg_num, arg_value, materialize_rows, schema_only_clone, time, write_report, ReportRow,
 };
 use retro_core::relations::extract_relations;
+use retro_core::serve::EmbeddingService;
 use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
-use retro_core::{Hyperparameters, RetrofitProblem, TextValueCatalog};
+use retro_core::{Hyperparameters, RetroConfig, RetrofitProblem, TextValueCatalog};
 use retro_datasets::{GooglePlayConfig, GooglePlayDataset, SizePreset, TmdbConfig, TmdbDataset};
 use retro_embed::EmbeddingSet;
-use retro_store::{Database, Value};
+use retro_store::{Database, SharedDatabase, Value};
 
 struct Phase {
     name: &'static str,
@@ -180,6 +183,98 @@ fn profile_pipeline(
     phases
 }
 
+/// Serving phase: reader throughput from an `EmbeddingService` snapshot,
+/// idle and **while a writer refreshes** — the read-while-update shape the
+/// serving layer exists for. The refresh is a real one (write-version bump,
+/// re-extraction under the database read guard, warm-start solve, snapshot
+/// swap); readers run concurrently on the main thread's siblings and are
+/// expected to be unaffected, since the query path takes no lock a refresh
+/// holds.
+fn profile_serving(label: &str, db: &Database, base: &EmbeddingSet, threads: usize) -> Vec<Phase> {
+    let shared = SharedDatabase::new(db.clone());
+    let config = RetroConfig::default()
+        .with_params(Hyperparameters::paper_rn().with_threads(threads))
+        .with_iterations(5);
+    let (service, start_secs) =
+        time(|| EmbeddingService::start(shared.clone(), base.clone(), config).expect("valid base"));
+    println!("  {label}: serve start (full run)   {start_secs:>9.3}s");
+
+    let snapshot = service.snapshot();
+    let n = snapshot.len();
+    let queries: Vec<Vec<f32>> =
+        (0..64).map(|i| snapshot.output().embeddings.row(i * 97 % n).to_vec()).collect();
+    let run_query = |i: usize| {
+        let top = service.nearest(&queries[i % queries.len()], 10);
+        assert!(top.len() <= 10);
+    };
+
+    // Idle baseline: no writer anywhere.
+    const IDLE_QUERIES: usize = 100;
+    let (_, idle_secs) = time(|| {
+        for i in 0..IDLE_QUERIES {
+            run_query(i);
+        }
+    });
+    println!(
+        "  {label}: serve query (idle)       {:>9.3}ms/query  ({:.0} q/s)",
+        idle_secs / IDLE_QUERIES as f64 * 1e3,
+        IDLE_QUERIES as f64 / idle_secs.max(1e-9)
+    );
+
+    // Contended: time each query individually while one writer bumps the
+    // write version and publishes a full refresh; only queries that start
+    // AND finish inside the refresh window count, so the reported latency
+    // is not diluted by idle samples (nor inflated by coarse counting).
+    let refreshing = AtomicBool::new(false);
+    let (during, refresh_secs) = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            shared.with_write(|db| {
+                // Touching a table mutably bumps the write version — the
+                // smallest honest "the database changed" signal.
+                let name = db.table_names()[0].to_owned();
+                let _ = db.table_mut(&name);
+            });
+            refreshing.store(true, Ordering::Release);
+            let (generation, secs) = time(|| service.refresh().expect("refresh"));
+            refreshing.store(false, Ordering::Release);
+            assert_eq!(generation, 2);
+            secs
+        });
+        let mut during: Vec<f64> = Vec::new();
+        let mut i = 0usize;
+        while !writer.is_finished() {
+            let started_contended = refreshing.load(Ordering::Acquire);
+            let ((), secs) = time(|| run_query(i));
+            i += 1;
+            if started_contended && refreshing.load(Ordering::Acquire) {
+                during.push(secs);
+            }
+        }
+        (during, writer.join().expect("writer"))
+    });
+    // A refresh shorter than one query leaves no fully-contained sample;
+    // fall back to the idle figure rather than inventing one.
+    let during_secs = if during.is_empty() {
+        idle_secs / IDLE_QUERIES as f64
+    } else {
+        during.iter().sum::<f64>() / during.len() as f64
+    };
+    println!(
+        "  {label}: serve query (refreshing) {:>9.3}ms/query  ({:.0} q/s while a {:.3}s refresh runs; {} samples)",
+        during_secs * 1e3,
+        1.0 / during_secs.max(1e-9),
+        refresh_secs,
+        during.len()
+    );
+
+    vec![
+        Phase { name: "serve_start", secs: start_secs },
+        Phase { name: "serve_query_idle", secs: idle_secs / IDLE_QUERIES as f64 },
+        Phase { name: "serve_refresh", secs: refresh_secs },
+        Phase { name: "serve_query_during_refresh", secs: during_secs },
+    ]
+}
+
 /// Run `f` three times; return the last result and the fastest wall time.
 fn best_of<R>(mut f: impl FnMut() -> R) -> (R, f64) {
     const SOLVE_REPS: usize = 3;
@@ -221,6 +316,9 @@ fn main() {
     for phase in profile_pipeline("tmdb", &tmdb.db, &tmdb.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
+    for phase in profile_serving("tmdb", &tmdb.db, &tmdb.base, threads) {
+        rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
+    }
     drop(tmdb);
 
     println!("\n-- Google Play ({preset}) --");
@@ -235,6 +333,9 @@ fn main() {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }
     for phase in profile_pipeline("gplay", &gplay.db, &gplay.base, iterations, threads) {
+        rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
+    }
+    for phase in profile_serving("gplay", &gplay.db, &gplay.base, threads) {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }
 

@@ -129,15 +129,23 @@ impl RetroOutput {
     }
 
     /// Cosine-similarity top-`k` neighbours of a value among all values.
+    ///
+    /// Runs the shared [`retro_embed::nn::top_k_cosine`] bounded-heap
+    /// selection: deterministic ranking (descending score, ties by
+    /// ascending id) with zero-norm/`NaN` rows scoring `0.0` instead of
+    /// comparing nondeterministically. Repeated queries are better served
+    /// by [`crate::serve::Snapshot`], which caches the row norms this
+    /// method recomputes per call.
     pub fn nearest(&self, id: usize, k: usize) -> Vec<(usize, f32)> {
-        let query = self.embeddings.row(id);
-        let mut scored: Vec<(usize, f32)> = (0..self.catalog.len())
-            .filter(|&i| i != id)
-            .map(|i| (i, retro_linalg::vector::cosine(query, self.embeddings.row(i))))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored
+        let norms = self.embeddings.row_norms();
+        retro_embed::nn::top_k_cosine(
+            &self.embeddings,
+            &norms,
+            self.embeddings.row(id),
+            k,
+            1,
+            |i| i == id,
+        )
     }
 }
 
@@ -329,5 +337,28 @@ mod tests {
         assert_eq!(nn.len(), 3);
         assert!(nn[0].1 >= nn[1].1 && nn[1].1 >= nn[2].1);
         assert!(nn.iter().all(|&(i, _)| i != id));
+    }
+
+    #[test]
+    fn nearest_ranks_zero_norm_rows_last_deterministically() {
+        let (db, base) = setup();
+        let mut out = Retro::new(RetroConfig::default()).retrofit(&db, &base).unwrap();
+        // Isolated values with no in-vocabulary token keep a zero vector;
+        // force one to pin the ranking contract: score exactly 0.0 (the
+        // cosine zero-norm convention), never the top hit, never NaN —
+        // and the whole ranking deterministic under the helper's explicit
+        // total order.
+        let zeroed = out.catalog.lookup("movies", "title", "alien").unwrap();
+        let dim = out.embeddings.cols();
+        out.embeddings.set_row(zeroed, &vec![0.0; dim]);
+        let query = out.catalog.lookup("movies", "title", "valerian").unwrap();
+        let nn = out.nearest(query, out.catalog.len());
+        let zero_entry = nn.iter().find(|&&(i, _)| i == zeroed).expect("listed");
+        assert_eq!(zero_entry.1, 0.0, "zero-norm rows must score exactly 0.0");
+        assert_ne!(nn[0].0, zeroed, "a zero-norm row must never be the top neighbour");
+        assert!(nn.iter().all(|&(_, s)| s.is_finite()), "no NaN may survive ranking");
+        for _ in 0..8 {
+            assert_eq!(out.nearest(query, out.catalog.len()), nn, "ranking must be stable");
+        }
     }
 }

@@ -17,13 +17,52 @@ use crate::problem::RetrofitProblem;
 use crate::solver::mf::solve_mf;
 use crate::solver::parallel::{solve_rn_seeded_parallel, solve_ro_seeded_parallel};
 
+/// A fully extracted, ready-to-solve refresh: the output of
+/// [`IncrementalRetro::prepare_refresh`], consumed by
+/// [`IncrementalRetro::complete_refresh`].
+///
+/// Splitting refresh into *prepare* (needs the `&Database`, cheap) and
+/// *complete* (solver iterations, no database access) lets a serving layer
+/// hold a database read lock only for extraction and run the solve with the
+/// database fully unlocked — see `retro_core::serve`.
+#[derive(Clone, Debug)]
+pub struct RefreshPlan {
+    problem: RetrofitProblem,
+    /// Warm-start matrix seeded from the previous converged state; `None`
+    /// when the session has no prior state (the plan is a cold full run).
+    warm: Option<Matrix>,
+}
+
+impl RefreshPlan {
+    /// True when this plan warm-starts from a previous converged state
+    /// (false → completing it is a cold full run).
+    pub fn is_warm(&self) -> bool {
+        self.warm.is_some()
+    }
+
+    /// Number of text values the refreshed output will cover.
+    pub fn len(&self) -> usize {
+        self.problem.len()
+    }
+
+    /// True when the extracted problem has no text values.
+    pub fn is_empty(&self) -> bool {
+        self.problem.len() == 0
+    }
+}
+
 /// A retrofitting session that keeps its last solution for warm starts.
+///
+/// The converged state is held behind an `Arc` (it is only ever replaced,
+/// never mutated in place), so a serving layer can share the latest output
+/// with its published snapshot via [`Self::current_shared`] instead of
+/// deep-copying a paper-scale embedding matrix per refresh.
 #[derive(Clone, Debug)]
 pub struct IncrementalRetro {
     engine: Retro,
     /// Iterations used for incremental refreshes (default 5).
     pub refresh_iterations: usize,
-    state: Option<RetroOutput>,
+    state: Option<std::sync::Arc<RetroOutput>>,
 }
 
 impl IncrementalRetro {
@@ -34,7 +73,16 @@ impl IncrementalRetro {
 
     /// The current output, if any run has completed.
     pub fn current(&self) -> Option<&RetroOutput> {
-        self.state.as_ref()
+        self.state.as_deref()
+    }
+
+    /// The current output as a shareable handle, if any run has completed.
+    ///
+    /// The `Arc` is the session's own state handle: cloning it shares one
+    /// allocation between the session (which only reads it for warm-start
+    /// seeds) and any number of long-lived consumers.
+    pub fn current_shared(&self) -> Option<std::sync::Arc<RetroOutput>> {
+        self.state.clone()
     }
 
     /// Full (cold) run.
@@ -44,8 +92,8 @@ impl IncrementalRetro {
         base: &EmbeddingSet,
     ) -> Result<&RetroOutput, RetroError> {
         let out = self.engine.retrofit(db, base)?;
-        self.state = Some(out);
-        Ok(self.state.as_ref().expect("just set"))
+        self.state = Some(std::sync::Arc::new(out));
+        Ok(self.state.as_deref().expect("just set"))
     }
 
     /// Incremental refresh after database changes.
@@ -53,15 +101,37 @@ impl IncrementalRetro {
     /// Re-extracts the problem (text values may have been added or removed),
     /// seeds every value that already existed with its previous converged
     /// vector, leaves new values at their `W0` initialization, and runs only
-    /// [`Self::refresh_iterations`] solver rounds.
+    /// [`Self::refresh_iterations`] solver rounds. Without prior state this
+    /// is a cold full run at the engine's configured iteration count.
+    ///
+    /// All validation happens **before** the session state is touched
+    /// ([`Self::prepare_refresh`]), so a failed refresh leaves
+    /// [`Self::current`] exactly as it was — the session never silently
+    /// loses its warm-start state to an error. (An earlier version `take()`d
+    /// the state before validating, so one failed refresh downgraded every
+    /// subsequent refresh to a cold run.)
     pub fn refresh(
         &mut self,
         db: &Database,
         base: &EmbeddingSet,
     ) -> Result<&RetroOutput, RetroError> {
-        let Some(prev) = self.state.take() else {
-            return self.full_run(db, base);
-        };
+        let plan = self.prepare_refresh(db, base)?;
+        Ok(self.complete_refresh(plan))
+    }
+
+    /// Phase 1 of a refresh: validate, re-extract the problem and gather
+    /// warm-start seeds, without mutating the session.
+    ///
+    /// This is the only fallible part of a refresh and the only part that
+    /// needs the database; `&self` guarantees the previous converged state
+    /// survives any error. Hand the plan to [`Self::complete_refresh`] —
+    /// typically after releasing the database lock a serving layer held for
+    /// this call.
+    pub fn prepare_refresh(
+        &self,
+        db: &Database,
+        base: &EmbeddingSet,
+    ) -> Result<RefreshPlan, RetroError> {
         if base.dim() == 0 {
             return Err(RetroError::EmptyEmbedding);
         }
@@ -72,24 +142,41 @@ impl IncrementalRetro {
         let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
 
         // Warm start: carry over converged vectors by (category label, text).
-        let mut warm = problem.w0.clone();
-        for (id, cat, text) in problem.catalog.iter() {
-            let category = &problem.catalog.categories()[cat as usize];
-            if let Some(old_id) = prev.catalog.lookup(&category.table, &category.column, text) {
-                warm.set_row(id, prev.embeddings.row(old_id));
+        let warm = self.state.as_ref().map(|prev| {
+            let mut warm = problem.w0.clone();
+            for (id, cat, text) in problem.catalog.iter() {
+                let category = &problem.catalog.categories()[cat as usize];
+                if let Some(old_id) = prev.catalog.lookup(&category.table, &category.column, text) {
+                    warm.set_row(id, prev.embeddings.row(old_id));
+                }
             }
-        }
+            warm
+        });
+        Ok(RefreshPlan { problem, warm })
+    }
 
-        let embeddings = self.solve_from(&problem, warm);
-        let convexity = crate::hyper::check_convexity(
-            &problem.groups,
-            &problem.relation_counts,
-            &self.engine.config.params,
-            problem.len(),
-        );
-        self.state =
-            Some(RetroOutput { catalog: problem.catalog.clone(), problem, embeddings, convexity });
-        Ok(self.state.as_ref().expect("just set"))
+    /// Phase 2 of a refresh: run the solver on a prepared plan and install
+    /// the result as the session's current state. Infallible — every
+    /// validation already happened in [`Self::prepare_refresh`].
+    pub fn complete_refresh(&mut self, plan: RefreshPlan) -> &RetroOutput {
+        let RefreshPlan { problem, warm } = plan;
+        let out = match warm {
+            Some(warm) => {
+                let embeddings = self.solve_from(&problem, warm);
+                let convexity = crate::hyper::check_convexity(
+                    &problem.groups,
+                    &problem.relation_counts,
+                    &self.engine.config.params,
+                    problem.len(),
+                );
+                RetroOutput { catalog: problem.catalog.clone(), problem, embeddings, convexity }
+            }
+            // No previous state: a cold full run at the engine's configured
+            // iteration count, exactly like `full_run`.
+            None => self.engine.solve(problem),
+        };
+        self.state = Some(std::sync::Arc::new(out));
+        self.state.as_deref().expect("just set")
     }
 
     /// Run the configured solver starting from `warm` instead of `W0`,
@@ -160,6 +247,62 @@ mod tests {
         let out = inc.refresh(&db, &base()).unwrap();
         assert!(out.vector("movies", "title", "prometheus").is_some());
         assert_eq!(out.embeddings.rows(), 5);
+    }
+
+    #[test]
+    fn failed_refresh_preserves_previous_state() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let db = db();
+        inc.full_run(&db, &base()).unwrap();
+        let before = inc.current().expect("converged").embeddings.clone();
+
+        // A zero-dim base is invalid; the refresh must fail WITHOUT
+        // dropping the session's converged state. (The old code took the
+        // state before validating, so this error silently downgraded every
+        // later refresh to a cold run.)
+        let err = inc.refresh(&db, &EmbeddingSet::empty(0)).unwrap_err();
+        assert_eq!(err, RetroError::EmptyEmbedding);
+        let current = inc.current().expect("state must survive a failed refresh");
+        assert_eq!(
+            current.embeddings.max_abs_diff(&before),
+            0.0,
+            "failed refresh must leave the previous output bit-identical"
+        );
+
+        // And the next successful refresh is still warm: it carries the
+        // previous vectors over rather than re-running cold.
+        let plan = inc.prepare_refresh(&db, &base()).unwrap();
+        assert!(plan.is_warm(), "state survived, so the next plan must warm-start");
+        inc.refresh(&db, &base()).unwrap();
+    }
+
+    #[test]
+    fn prepare_refresh_does_not_mutate_the_session() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let db = db();
+        inc.full_run(&db, &base()).unwrap();
+        let before = inc.current().unwrap().embeddings.clone();
+        let plan = inc.prepare_refresh(&db, &base()).unwrap();
+        assert!(plan.is_warm());
+        assert!(!plan.is_empty());
+        assert_eq!(inc.current().unwrap().embeddings.max_abs_diff(&before), 0.0);
+        // Completing the plan is what installs the new state.
+        let out = inc.complete_refresh(plan);
+        assert_eq!(out.embeddings.rows(), 4);
+    }
+
+    #[test]
+    fn split_refresh_matches_one_shot_refresh() {
+        let mut db = db();
+        let mut one_shot = IncrementalRetro::new(RetroConfig::default());
+        one_shot.full_run(&db, &base()).unwrap();
+        let mut split = one_shot.clone();
+
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
+        let expected = one_shot.refresh(&db, &base()).unwrap().embeddings.clone();
+        let plan = split.prepare_refresh(&db, &base()).unwrap();
+        let got = split.complete_refresh(plan).embeddings.clone();
+        assert_eq!(expected.max_abs_diff(&got), 0.0, "split refresh must be the same refresh");
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! 5. optionally [`graphgen`] — the §3.4 property graph for DeepWalk — and
 //!    [`combine`] — concatenation of retrofitted and node embeddings (§4.6).
 //!
+//! For long-lived deployments, [`incremental`] warm-starts a re-solve after
+//! database changes, and [`serve`] publishes each converged output as a
+//! generation-numbered immutable snapshot that concurrent readers query
+//! lock-free while a background worker refreshes (see `docs/SERVING.md`).
+//!
 //! The one-call entry point is [`Retro`]:
 //!
 //! ```
@@ -57,10 +62,13 @@ pub mod incremental;
 pub mod loss;
 pub mod problem;
 pub mod relations;
+pub mod serve;
 pub mod solver;
 
 pub use api::{Retro, RetroConfig, RetroOutput, Solver};
 pub use catalog::{Category, TextValueCatalog};
 pub use hyper::{Hyperparameters, ParamCheck};
+pub use incremental::IncrementalRetro;
 pub use problem::RetrofitProblem;
 pub use relations::{RelationGroup, RelationKind};
+pub use serve::{EmbeddingService, RefreshWorker, Snapshot};

@@ -1,0 +1,461 @@
+//! Concurrent embedding serving over a [`SharedDatabase`].
+//!
+//! [`EmbeddingService`] closes the loop the paper's incremental-maintenance
+//! story opens: retrofitted vectors stay queryable — lock-free, from many
+//! threads — while the database underneath keeps changing. Each converged
+//! [`RetroOutput`] is published as a generation-numbered immutable
+//! [`Snapshot`] behind one atomically swapped `Arc`; refreshes re-extract
+//! under a brief database read guard, solve with the database unlocked, and
+//! swap the pointer. Readers never take the solver's lock and never wait on
+//! a refresh.
+//!
+//! See the [`guide`] module (rendered from `docs/SERVING.md`) for the
+//! snapshot lifecycle, generation semantics, the staleness model and a
+//! worked example.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use retro_embed::{nn, EmbeddingSet};
+use retro_store::SharedDatabase;
+
+use crate::api::{RetroConfig, RetroError, RetroOutput};
+use crate::incremental::IncrementalRetro;
+
+/// The serving guide, rendered from `docs/SERVING.md` so its code examples
+/// compile and run as doctests.
+#[doc = include_str!("../../../docs/SERVING.md")]
+pub mod guide {}
+
+/// One immutable, generation-numbered converged output.
+///
+/// A snapshot owns everything a query needs — catalog, embeddings, and
+/// precomputed row L2 norms — so [`Snapshot::nearest`] touches no lock at
+/// all: readers holding an `Arc<Snapshot>` are isolated from refreshes,
+/// writers, and each other. Snapshots are created complete and never
+/// mutated, which is what makes the service's pointer swap atomic: every
+/// observer sees a whole generation or the previous whole generation.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    generation: u64,
+    write_version: u64,
+    threads: usize,
+    norms: Vec<f32>,
+    /// Shared with the session's own warm-start state (the session only
+    /// ever *replaces* its state, so publishing is one refcount bump, not
+    /// a deep copy of a paper-scale matrix).
+    output: Arc<RetroOutput>,
+}
+
+impl Snapshot {
+    fn new(generation: u64, write_version: u64, threads: usize, output: Arc<RetroOutput>) -> Self {
+        let norms = output.embeddings.row_norms();
+        Self { generation, write_version, threads, norms, output }
+    }
+
+    /// The snapshot's generation number (1 for the initial full run,
+    /// strictly increasing with every published refresh).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The database write version this snapshot reflects
+    /// ([`retro_store::Database::write_version`]).
+    pub fn write_version(&self) -> u64 {
+        self.write_version
+    }
+
+    /// The converged output backing this snapshot.
+    pub fn output(&self) -> &RetroOutput {
+        &self.output
+    }
+
+    /// Number of text values served.
+    pub fn len(&self) -> usize {
+        self.output.catalog.len()
+    }
+
+    /// True when the snapshot serves no text values.
+    pub fn is_empty(&self) -> bool {
+        self.output.catalog.is_empty()
+    }
+
+    /// The cached row L2 norms (id order).
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// The learned vector for `table.column = text`, if the value exists in
+    /// this generation.
+    pub fn vector(&self, table: &str, column: &str, text: &str) -> Option<&[f32]> {
+        self.output.vector(table, column, text)
+    }
+
+    /// Cosine top-`k` over all values for an arbitrary query vector.
+    ///
+    /// One chunked dot-product scan (row-partitioned across the configured
+    /// thread count) against the precomputed norms, then the shared
+    /// bounded-heap selection: deterministic, `NaN`-free, and bit-identical
+    /// for every thread count.
+    pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        nn::top_k_cosine(&self.output.embeddings, &self.norms, query, k, self.threads, |_| false)
+    }
+
+    /// Cosine top-`k` neighbours of the stored value `table.column = text`,
+    /// excluding the value itself. `None` when the value does not exist in
+    /// this generation.
+    pub fn nearest_token(
+        &self,
+        table: &str,
+        column: &str,
+        text: &str,
+        k: usize,
+    ) -> Option<Vec<(usize, f32)>> {
+        let id = self.output.catalog.lookup(table, column, text)?;
+        Some(nn::top_k_cosine(
+            &self.output.embeddings,
+            &self.norms,
+            self.output.embeddings.row(id),
+            k,
+            self.threads,
+            |i| i == id,
+        ))
+    }
+}
+
+/// A serving handle: one [`SharedDatabase`], one retrofitting session, one
+/// atomically swapped current [`Snapshot`].
+///
+/// * **Readers** call [`EmbeddingService::snapshot`] (an `Arc` clone behind
+///   a momentary pointer lock) or the [`nearest`](EmbeddingService::nearest)
+///   conveniences; they are never blocked by writers or an in-flight
+///   refresh.
+/// * **Writers** mutate the database through
+///   [`EmbeddingService::database`]; every mutating store operation bumps
+///   the database's write version, which
+///   [`EmbeddingService::out_of_date`] compares against the published
+///   snapshot.
+/// * **Refreshes** ([`EmbeddingService::refresh`], or a background
+///   [`RefreshWorker`]) are serialized on an internal session lock that no
+///   read path ever touches.
+pub struct EmbeddingService {
+    db: SharedDatabase,
+    base: EmbeddingSet,
+    threads: usize,
+    /// The incremental session. Refreshes take the write side; nothing
+    /// else touches it — readers are served from `snapshot`.
+    session: RwLock<IncrementalRetro>,
+    /// The published snapshot. Held for pointer-sized critical sections
+    /// only: an `Arc` clone on read, an `Arc` store on publish. The
+    /// snapshot itself carries the generation number, so the published
+    /// generation and the published data can never disagree.
+    snapshot: RwLock<Arc<Snapshot>>,
+}
+
+impl std::fmt::Debug for EmbeddingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingService")
+            .field("generation", &self.generation())
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EmbeddingService {
+    /// Run the initial full retrofit and start serving it as generation 1.
+    ///
+    /// Extraction holds a database read guard; the solve itself runs with
+    /// the database unlocked. `config.params.threads` doubles as the
+    /// snapshot query-scan width.
+    pub fn start(
+        db: SharedDatabase,
+        base: EmbeddingSet,
+        config: RetroConfig,
+    ) -> Result<Arc<Self>, RetroError> {
+        let threads = config.params.threads;
+        let mut session = IncrementalRetro::new(config);
+        let (plan, write_version) = {
+            let guard = db.read();
+            (session.prepare_refresh(&guard, &base)?, guard.write_version())
+        };
+        session.complete_refresh(plan);
+        let output = session.current_shared().expect("just completed");
+        let snapshot = Arc::new(Snapshot::new(1, write_version, threads, output));
+        Ok(Arc::new(Self {
+            db,
+            base,
+            threads,
+            session: RwLock::new(session),
+            snapshot: RwLock::new(snapshot),
+        }))
+    }
+
+    /// The shared database this service serves from (hand it to writers).
+    pub fn database(&self) -> &SharedDatabase {
+        &self.db
+    }
+
+    /// The base embedding fixed at construction.
+    pub fn base(&self) -> &EmbeddingSet {
+        &self.base
+    }
+
+    /// The currently published snapshot.
+    ///
+    /// The returned `Arc` pins its generation for as long as the caller
+    /// holds it — a concurrent refresh publishes a *new* snapshot and never
+    /// touches this one.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// The generation of the currently published snapshot.
+    ///
+    /// Read from the snapshot itself, so this can never run ahead of (or
+    /// disagree with) what [`EmbeddingService::snapshot`] returns.
+    pub fn generation(&self) -> u64 {
+        self.snapshot.read().generation()
+    }
+
+    /// True when the database has been written since the published snapshot
+    /// was extracted (one integer compare against
+    /// [`retro_store::Database::write_version`]).
+    pub fn out_of_date(&self) -> bool {
+        self.snapshot().write_version() != self.db.write_version()
+    }
+
+    /// [`Snapshot::nearest`] on the current snapshot.
+    pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        self.snapshot().nearest(query, k)
+    }
+
+    /// [`Snapshot::nearest_token`] on the current snapshot.
+    pub fn nearest_token(
+        &self,
+        table: &str,
+        column: &str,
+        text: &str,
+        k: usize,
+    ) -> Option<Vec<(usize, f32)>> {
+        self.snapshot().nearest_token(table, column, text, k)
+    }
+
+    /// Warm-start refresh: re-extract under a brief database read guard,
+    /// solve with the database unlocked, publish atomically. Returns the
+    /// new snapshot's generation.
+    ///
+    /// Refreshes are serialized on the session lock; readers are untouched
+    /// throughout. On error nothing is published and the session keeps its
+    /// warm-start state — the last good snapshot keeps serving.
+    pub fn refresh(&self) -> Result<u64, RetroError> {
+        let mut session = self.session.write();
+        let (plan, write_version) = {
+            let guard = self.db.read();
+            // The version is read under the same guard as the extraction,
+            // so the stamp can never claim writes the problem didn't see.
+            (session.prepare_refresh(&guard, &self.base)?, guard.write_version())
+        };
+        session.complete_refresh(plan);
+        let output = session.current_shared().expect("just completed");
+
+        // Publish under the session lock: swap order equals solve order,
+        // which is what makes generations monotone for every observer,
+        // and the generation number lives inside the swapped snapshot, so
+        // it can never be observed ahead of the data it numbers.
+        let generation = self.snapshot.read().generation() + 1;
+        let snapshot = Arc::new(Snapshot::new(generation, write_version, self.threads, output));
+        *self.snapshot.write() = snapshot;
+        Ok(generation)
+    }
+
+    /// [`EmbeddingService::refresh`], but only if [`EmbeddingService::out_of_date`];
+    /// returns the new generation when a refresh was published.
+    pub fn refresh_if_stale(&self) -> Result<Option<u64>, RetroError> {
+        if self.out_of_date() {
+            self.refresh().map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Start a background thread that watches the database write version
+    /// every `poll` and publishes a refresh whenever it moved.
+    ///
+    /// The worker stops — joining its thread — when the returned
+    /// [`RefreshWorker`] is dropped or explicitly
+    /// [`stop`](RefreshWorker::stop)ped.
+    pub fn spawn_refresher(self: &Arc<Self>, poll: Duration) -> RefreshWorker {
+        let service = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Acquire) {
+                // `start` validated the base, and the base never changes,
+                // so a refresh here cannot fail; if it ever does, the last
+                // good snapshot keeps serving and we retry next tick.
+                let _ = service.refresh_if_stale();
+                std::thread::park_timeout(poll);
+            }
+        });
+        RefreshWorker { stop, handle: Some(handle) }
+    }
+}
+
+/// Handle to a background refresh thread (see
+/// [`EmbeddingService::spawn_refresher`]). Dropping it stops and joins the
+/// thread.
+#[derive(Debug)]
+pub struct RefreshWorker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RefreshWorker {
+    /// Stop the worker and join its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RefreshWorker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retro_store::{sql, Database};
+
+    fn base() -> EmbeddingSet {
+        EmbeddingSet::new(
+            vec![
+                "valerian".into(),
+                "alien".into(),
+                "luc besson".into(),
+                "ridley scott".into(),
+                "prometheus".into(),
+            ],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.3], vec![0.3, 0.7], vec![0.1, 0.9]],
+        )
+    }
+
+    fn shared() -> SharedDatabase {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                                  director_id INTEGER REFERENCES persons(id));
+             INSERT INTO persons VALUES (1, 'luc besson'), (2, 'ridley scott');
+             INSERT INTO movies VALUES (1, 'valerian', 1), (2, 'alien', 2);",
+        )
+        .unwrap();
+        SharedDatabase::new(db)
+    }
+
+    fn insert_prometheus(shared: &SharedDatabase) {
+        shared
+            .with_write(|db| {
+                sql::run(db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").map(|_| ())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn start_publishes_generation_one() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let snap = service.snapshot();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(service.generation(), 1);
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.norms().len(), 4);
+        assert!(!service.out_of_date());
+    }
+
+    #[test]
+    fn start_rejects_empty_base() {
+        let err = EmbeddingService::start(shared(), EmbeddingSet::empty(0), RetroConfig::default())
+            .unwrap_err();
+        assert_eq!(err, RetroError::EmptyEmbedding);
+    }
+
+    #[test]
+    fn writes_make_the_snapshot_stale_and_refresh_clears_it() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        assert_eq!(service.refresh_if_stale().unwrap(), None, "fresh service must not refresh");
+
+        insert_prometheus(service.database());
+        assert!(service.out_of_date());
+        let generation = service.refresh().unwrap();
+        assert_eq!(generation, 2);
+        assert!(!service.out_of_date());
+        assert!(service.snapshot().vector("movies", "title", "prometheus").is_some());
+    }
+
+    #[test]
+    fn old_snapshots_keep_serving_their_generation() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let old = service.snapshot();
+        insert_prometheus(service.database());
+        service.refresh().unwrap();
+        assert_eq!(old.generation(), 1);
+        assert_eq!(old.len(), 4);
+        assert!(old.vector("movies", "title", "prometheus").is_none());
+        assert_eq!(service.snapshot().generation(), 2);
+        assert_eq!(service.snapshot().len(), 5);
+    }
+
+    #[test]
+    fn nearest_token_excludes_the_query_value() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let snap = service.snapshot();
+        let id = snap.output().catalog.lookup("movies", "title", "valerian").unwrap();
+        let nn = snap.nearest_token("movies", "title", "valerian", 3).unwrap();
+        assert_eq!(nn.len(), 3);
+        assert!(nn.iter().all(|&(i, _)| i != id));
+        assert!(snap.nearest_token("movies", "title", "missing", 3).is_none());
+        // Service-level conveniences mirror the snapshot.
+        assert_eq!(service.nearest_token("movies", "title", "valerian", 3).unwrap(), nn);
+        assert_eq!(service.nearest(snap.output().embeddings.row(id), 2).len(), 2);
+    }
+
+    #[test]
+    fn background_worker_picks_up_writes() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let worker = service.spawn_refresher(Duration::from_millis(1));
+        insert_prometheus(service.database());
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while service.snapshot().vector("movies", "title", "prometheus").is_none() {
+            assert!(std::time::Instant::now() < deadline, "worker never refreshed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(service.generation() >= 2);
+        worker.stop();
+        // After stop() the worker no longer reacts to writes.
+        let generation = service.generation();
+        insert_prometheus_again(service.database());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(service.generation(), generation);
+        assert!(service.out_of_date());
+    }
+
+    fn insert_prometheus_again(shared: &SharedDatabase) {
+        shared
+            .with_write(|db| {
+                sql::run(db, "INSERT INTO movies VALUES (4, 'covenant', 2)").map(|_| ())
+            })
+            .unwrap();
+    }
+}

@@ -4,38 +4,130 @@ use std::collections::HashMap;
 
 use retro_linalg::{vector, Matrix};
 
+use crate::nn;
+
+/// Construction errors for [`EmbeddingSet`].
+///
+/// Before these existed, a malformed input either panicked
+/// ([`EmbeddingSet::new`] still does, for infallible construction sites
+/// like tests and generators) or — worse — could silently desynchronize
+/// the token→id index from the matrix: a duplicate token overwriting the
+/// earlier id would leave both rows in the matrix while `len()`, `id()`
+/// and `nearest()` disagree about what exists. [`EmbeddingSet::try_new`]
+/// rejects every such input with a typed error instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbeddingError {
+    /// `tokens` and `vectors` have different lengths.
+    CountMismatch {
+        /// Number of tokens supplied.
+        tokens: usize,
+        /// Number of vectors supplied.
+        vectors: usize,
+    },
+    /// A vector's length differs from the first vector's.
+    RaggedVector {
+        /// Index of the offending vector.
+        index: usize,
+        /// Expected dimensionality (from the first vector).
+        expected: usize,
+        /// Actual length of the offending vector.
+        got: usize,
+    },
+    /// The same token appears twice; keeping both would desynchronize the
+    /// token→id index from the matrix rows.
+    DuplicateToken(String),
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmbeddingError::CountMismatch { tokens, vectors } => {
+                write!(f, "token/vector count mismatch ({tokens} tokens, {vectors} vectors)")
+            }
+            EmbeddingError::RaggedVector { index, expected, got } => {
+                write!(f, "ragged vector at index {index} (expected dim {expected}, got {got})")
+            }
+            EmbeddingError::DuplicateToken(t) => write!(f, "duplicate token `{t}`"),
+        }
+    }
+}
+impl std::error::Error for EmbeddingError {}
+
 /// An immutable set of word/phrase embeddings.
 ///
 /// Tokens are stored in insertion order; phrases use spaces between words
-/// (the tokenizer normalizes `_`/`-` to spaces before lookup).
+/// (the tokenizer normalizes `_`/`-` to spaces before lookup). Row L2
+/// norms are cached at construction so cosine [`EmbeddingSet::nearest`]
+/// queries are a dot-product scan, not a per-row renormalization.
 #[derive(Clone, Debug)]
 pub struct EmbeddingSet {
     dim: usize,
     tokens: Vec<String>,
     index: HashMap<String, usize>,
     matrix: Matrix,
+    /// Cached L2 norm of every row, maintained with `matrix`.
+    norms: Vec<f32>,
 }
 
 impl EmbeddingSet {
     /// Build from parallel token/vector lists.
     ///
     /// # Panics
-    /// Panics if vectors are ragged or a token repeats.
+    /// Panics on any [`EmbeddingError`]: count mismatch, ragged vectors, or
+    /// a repeated token. Use [`EmbeddingSet::try_new`] to handle malformed
+    /// input (e.g. parsed files) gracefully.
     pub fn new(tokens: Vec<String>, vectors: Vec<Vec<f32>>) -> Self {
-        assert_eq!(tokens.len(), vectors.len(), "EmbeddingSet: token/vector count mismatch");
+        Self::try_new(tokens, vectors).unwrap_or_else(|e| panic!("EmbeddingSet: {e}"))
+    }
+
+    /// Build from parallel token/vector lists, rejecting malformed input.
+    ///
+    /// Every invariant the set relies on is checked up front — equal
+    /// token/vector counts, rectangular vectors, unique tokens — so a
+    /// constructed set can never have `len()`, `id()` and `nearest()`
+    /// disagree about which rows exist.
+    ///
+    /// ```
+    /// use retro_embed::embedding::{EmbeddingError, EmbeddingSet};
+    ///
+    /// let err = EmbeddingSet::try_new(
+    ///     vec!["a".into(), "a".into()],
+    ///     vec![vec![1.0], vec![2.0]],
+    /// )
+    /// .unwrap_err();
+    /// assert_eq!(err, EmbeddingError::DuplicateToken("a".into()));
+    /// ```
+    pub fn try_new(tokens: Vec<String>, vectors: Vec<Vec<f32>>) -> Result<Self, EmbeddingError> {
+        if tokens.len() != vectors.len() {
+            return Err(EmbeddingError::CountMismatch {
+                tokens: tokens.len(),
+                vectors: vectors.len(),
+            });
+        }
         let dim = vectors.first().map_or(0, Vec::len);
-        let matrix = Matrix::from_rows(&vectors);
+        if let Some((index, v)) = vectors.iter().enumerate().find(|(_, v)| v.len() != dim) {
+            return Err(EmbeddingError::RaggedVector { index, expected: dim, got: v.len() });
+        }
         let mut index = HashMap::with_capacity(tokens.len());
         for (i, t) in tokens.iter().enumerate() {
-            let prev = index.insert(t.clone(), i);
-            assert!(prev.is_none(), "EmbeddingSet: duplicate token `{t}`");
+            if index.insert(t.clone(), i).is_some() {
+                return Err(EmbeddingError::DuplicateToken(t.clone()));
+            }
         }
-        Self { dim, tokens, index, matrix }
+        let matrix = Matrix::from_rows(&vectors);
+        let norms = matrix.row_norms();
+        Ok(Self { dim, tokens, index, matrix, norms })
     }
 
     /// An empty set with the given dimensionality.
     pub fn empty(dim: usize) -> Self {
-        Self { dim, tokens: Vec::new(), index: HashMap::new(), matrix: Matrix::zeros(0, dim) }
+        Self {
+            dim,
+            tokens: Vec::new(),
+            index: HashMap::new(),
+            matrix: Matrix::zeros(0, dim),
+            norms: Vec::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -88,15 +180,23 @@ impl EmbeddingSet {
         &self.matrix
     }
 
+    /// The cached L2 norm of every row, in id order.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
     /// The `k` tokens most cosine-similar to `query` (the query token itself
     /// is not excluded unless `exclude` names it).
+    ///
+    /// Runs the shared [`nn::top_k_cosine`] selection: `O(n log k)`,
+    /// deterministic (ties broken by insertion order), and zero-norm/`NaN`
+    /// rows score `0.0` instead of ranking nondeterministically.
     pub fn nearest(&self, query: &[f32], k: usize, exclude: Option<&str>) -> Vec<(String, f32)> {
-        let mut scored: Vec<(usize, f32)> = (0..self.tokens.len())
-            .filter(|&i| exclude != Some(self.tokens[i].as_str()))
-            .map(|i| (i, vector::cosine(query, self.matrix.row(i))))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(k).map(|(i, s)| (self.tokens[i].clone(), s)).collect()
+        let excluded = exclude.and_then(|t| self.id(t));
+        nn::top_k_cosine(&self.matrix, &self.norms, query, k, 1, |i| Some(i) == excluded)
+            .into_iter()
+            .map(|(i, s)| (self.tokens[i].clone(), s))
+            .collect()
     }
 
     /// Cosine similarity between two stored tokens (`None` if either is OOV).
@@ -131,6 +231,65 @@ mod tests {
     #[should_panic(expected = "duplicate token")]
     fn duplicate_tokens_rejected() {
         EmbeddingSet::new(vec!["a".into(), "a".into()], vec![vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_input_with_typed_errors() {
+        // Duplicate token: would desynchronize the token→id map (2 matrix
+        // rows, 1 index entry) — every accessor must agree, so reject.
+        let err = EmbeddingSet::try_new(
+            vec!["a".into(), "b".into(), "a".into()],
+            vec![vec![1.0], vec![2.0], vec![3.0]],
+        )
+        .unwrap_err();
+        assert_eq!(err, EmbeddingError::DuplicateToken("a".into()));
+
+        let err = EmbeddingSet::try_new(vec!["a".into()], vec![vec![1.0], vec![2.0]]).unwrap_err();
+        assert_eq!(err, EmbeddingError::CountMismatch { tokens: 1, vectors: 2 });
+
+        let err =
+            EmbeddingSet::try_new(vec!["a".into(), "b".into()], vec![vec![1.0, 2.0], vec![3.0]])
+                .unwrap_err();
+        assert_eq!(err, EmbeddingError::RaggedVector { index: 1, expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn accepted_sets_keep_index_and_matrix_in_sync() {
+        let e = EmbeddingSet::try_new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        assert_eq!(e.len(), e.matrix().rows());
+        assert_eq!(e.len(), e.norms().len());
+        for (i, t) in e.tokens().iter().enumerate() {
+            assert_eq!(e.id(t), Some(i));
+        }
+    }
+
+    #[test]
+    fn norms_are_cached_at_construction() {
+        let e = sample();
+        for (i, &n) in e.norms().iter().enumerate() {
+            assert_eq!(n, vector::norm(e.vector(i)));
+        }
+    }
+
+    #[test]
+    fn zero_vector_scores_zero_and_sorts_deterministically() {
+        let e = EmbeddingSet::new(
+            vec!["alien".into(), "oov".into(), "brazil".into()],
+            vec![vec![1.0, 0.0], vec![0.0, 0.0], vec![0.6, 0.8]],
+        );
+        let nn = e.nearest(&[1.0, 0.0], 3, None);
+        assert_eq!(nn[0].0, "alien");
+        let oov = nn.iter().find(|(t, _)| t == "oov").expect("zero vector listed");
+        assert_eq!(oov.1, 0.0, "a zero-norm row must score exactly 0.0");
+        assert_ne!(nn[0].0, "oov", "a zero-norm row must never surface as top neighbour");
+        // Deterministic: repeated queries give the identical ranking.
+        for _ in 0..8 {
+            assert_eq!(e.nearest(&[1.0, 0.0], 3, None), nn);
+        }
     }
 
     #[test]

@@ -6,8 +6,12 @@
 //! The paper uses the 300-dimensional Google News word2vec vectors as the
 //! base embedding `W0`. This crate provides:
 //!
-//! * [`EmbeddingSet`] — an immutable token → vector store with cosine
+//! * [`EmbeddingSet`] — an immutable token → vector store (cached row
+//!   norms, fallible [`EmbeddingSet::try_new`] construction) with cosine
 //!   nearest-neighbour queries,
+//! * [`nn`] — the shared bounded-heap top-`k` cosine selection every
+//!   nearest-neighbour path in the workspace runs (deterministic,
+//!   `NaN`-free, thread-count invariant),
 //! * [`text_format`] — the standard word2vec *text* format (`token v1 … vD`
 //!   per line) plus a compact binary format (via `bytes`) for caching,
 //! * [`Tokenizer`] — the §3.1 trie-based longest-match tokenizer that maps a
@@ -19,11 +23,12 @@
 //!   proprietary Google News vectors in the reproduction (see DESIGN.md).
 
 pub mod embedding;
+pub mod nn;
 pub mod synthetic;
 pub mod text_format;
 pub mod tokenizer;
 pub mod trie;
 
-pub use embedding::EmbeddingSet;
+pub use embedding::{EmbeddingError, EmbeddingSet};
 pub use tokenizer::{TokenizedValue, Tokenizer};
 pub use trie::Trie;

@@ -146,7 +146,7 @@ pub fn parse_binary(mut data: Bytes) -> Result<EmbeddingSet, FormatError> {
         tokens.push(token);
         vectors.push(vec);
     }
-    Ok(EmbeddingSet::new(tokens, vectors))
+    EmbeddingSet::try_new(tokens, vectors).map_err(|e| FormatError(e.to_string()))
 }
 
 #[cfg(test)]

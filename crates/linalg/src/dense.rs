@@ -236,6 +236,53 @@ impl Matrix {
         out
     }
 
+    /// Euclidean norm of every row, in row order.
+    ///
+    /// Computed with the chunked [`vector::norm`] kernel, so the values are
+    /// bit-identical to calling it per row. The nearest-neighbour paths
+    /// (`retro_embed::nn`, `retro_core::serve`) precompute this once per
+    /// matrix and turn each cosine query into a [`Matrix::dot_scan`] plus a
+    /// per-row division.
+    pub fn row_norms(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| vector::norm(self.row(r))).collect()
+    }
+
+    /// Dot product of `query` against every row: `out[i] = dot(row_i, query)`.
+    ///
+    /// The scan is row-partitioned across `threads` (clamped to at least 1
+    /// and at most the row count) with `std::thread::scope`, each worker
+    /// writing a disjoint slice of the output. Every element is produced by
+    /// the same chunked [`vector::dot`] kernel on the same row data, so the
+    /// result is **bit-identical for every thread count** — the partition
+    /// never reorders a single row's accumulation.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.cols()`. This is a hard (release-mode)
+    /// check, unlike the per-element kernels' debug asserts: the scan sits
+    /// on the serving query path where arbitrary external vectors arrive,
+    /// and a silent prefix-only dot would return plausible-looking but
+    /// meaningless rankings. The check is once per scan, not per row.
+    pub fn dot_scan(&self, query: &[f32], threads: usize) -> Vec<f32> {
+        assert_eq!(query.len(), self.cols, "dot_scan: dimension mismatch");
+        let threads = threads.clamp(1, self.rows.max(1));
+        if threads == 1 {
+            return self.matvec(query);
+        }
+        let mut out = vec![0.0f32; self.rows];
+        let chunk = self.rows.div_ceil(threads);
+        std::thread::scope(|s| {
+            for (t, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                s.spawn(move || {
+                    for (j, o) in out_chunk.iter_mut().enumerate() {
+                        *o = vector::dot(self.row(start + j), query);
+                    }
+                });
+            }
+        });
+        out
+    }
+
     /// Gather the listed rows into a new matrix (rows may repeat).
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
@@ -336,6 +383,38 @@ mod tests {
         assert_eq!(s.row(0), &[5.0, 6.0]);
         assert_eq!(s.row(1), &[1.0, 2.0]);
         assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn row_norms_match_per_row_kernel() {
+        let m = sample();
+        let norms = m.row_norms();
+        assert_eq!(norms.len(), 3);
+        for (r, &n) in norms.iter().enumerate() {
+            assert_eq!(n, crate::vector::norm(m.row(r)));
+        }
+        assert!(Matrix::zeros(0, 4).row_norms().is_empty());
+    }
+
+    #[test]
+    fn dot_scan_matches_matvec_for_every_thread_count() {
+        let m = Matrix::from_fn(37, 11, |r, c| ((r * 31 + c * 7) as f32 * 0.13).sin());
+        let query: Vec<f32> = (0..11).map(|i| (i as f32 * 0.71).cos()).collect();
+        let serial = m.dot_scan(&query, 1);
+        assert_eq!(serial, m.matvec(&query));
+        for threads in [2usize, 3, 8, 64] {
+            assert_eq!(
+                serial,
+                m.dot_scan(&query, threads),
+                "dot_scan diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_scan_handles_degenerate_shapes() {
+        assert!(Matrix::zeros(0, 3).dot_scan(&[1.0, 2.0, 3.0], 4).is_empty());
+        assert_eq!(Matrix::zeros(5, 0).dot_scan(&[], 4), vec![0.0; 5]);
     }
 
     #[test]

@@ -263,6 +263,9 @@ impl<'db> BulkLoader<'db> {
         for own in self.tables.drain(..) {
             self.db.tables.insert(own.table.name().to_owned(), own.table);
         }
+        if inserted > 0 {
+            self.db.bump_write_version();
+        }
         Ok(inserted)
     }
 }

@@ -16,12 +16,41 @@ use crate::Result;
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     pub(crate) tables: BTreeMap<String, Table>,
+    /// Monotonic write-version counter; see [`Database::write_version`].
+    pub(crate) write_version: u64,
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The database's monotonic write version.
+    ///
+    /// Every mutating operation — [`Database::create_table`],
+    /// [`Database::insert`] and its batch variants, a committed
+    /// [`Database::bulk`] load (CSV import and SQL `INSERT` route through
+    /// it), SQL `UPDATE`/`DELETE` that touched rows, and any
+    /// [`Database::table_mut`] access — bumps this counter, so an observer
+    /// that remembers the version it last saw can detect "something
+    /// changed" with one integer compare. A rolled-back bulk batch leaves
+    /// the version (like the data) untouched. The counter is a *staleness
+    /// signal*, not an exact mutation count: a path may bump it more than
+    /// once per logical write, and a bump does not guarantee the data
+    /// differs — only equality is meaningful, and only as "no write
+    /// happened in between".
+    ///
+    /// `retro_core::serve::EmbeddingService` polls this through
+    /// [`crate::SharedDatabase::write_version`] to decide when a published
+    /// embedding snapshot is out of date.
+    pub fn write_version(&self) -> u64 {
+        self.write_version
+    }
+
+    /// Record a mutation in [`Database::write_version`].
+    pub(crate) fn bump_write_version(&mut self) {
+        self.write_version += 1;
     }
 
     /// Create a table from a schema, validating foreign-key declarations
@@ -65,6 +94,7 @@ impl Database {
             }
         }
         self.tables.insert(schema.name.clone(), Table::new(schema));
+        self.bump_write_version();
         Ok(())
     }
 
@@ -101,7 +131,9 @@ impl Database {
             }
         }
         let t = self.tables.get_mut(table).expect("checked above");
-        Ok(t.push_unchecked(row))
+        let pos = t.push_unchecked(row);
+        self.bump_write_version();
+        Ok(pos)
     }
 
     /// Start a batched bulk load into this database.
@@ -178,7 +210,13 @@ impl Database {
     }
 
     /// Look up a table mutably.
+    ///
+    /// Conservatively bumps [`Database::write_version`]: the caller gets
+    /// unchecked mutable access, so the counter assumes a write will happen.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        if self.tables.contains_key(name) {
+            self.bump_write_version();
+        }
         self.tables.get_mut(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
     }
 
@@ -332,6 +370,83 @@ mod tests {
         assert_eq!(d.link_table_count(), 1);
         assert_eq!(d.all_foreign_keys().len(), 3);
         assert_eq!(d.table_names(), vec!["genres", "movie_genre", "movies", "persons"]);
+    }
+
+    #[test]
+    fn write_version_tracks_mutations() {
+        let mut d = Database::new();
+        assert_eq!(d.write_version(), 0);
+        d.create_table(
+            TableSchema::builder("persons").pk("id").column("name", DataType::Text).build(),
+        )
+        .unwrap();
+        let after_ddl = d.write_version();
+        assert!(after_ddl > 0, "CREATE TABLE must bump the write version");
+
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        let after_insert = d.write_version();
+        assert!(after_insert > after_ddl, "insert must bump the write version");
+
+        // A failed insert leaves the version unchanged.
+        assert!(d.insert("persons", vec![Value::Int(1), Value::from("dup")]).is_err());
+        assert_eq!(d.write_version(), after_insert);
+
+        // A committed batch bumps; reads do not.
+        d.insert_batch("persons", (2..=4).map(|k| vec![Value::Int(k), Value::from("x")])).unwrap();
+        let after_batch = d.write_version();
+        assert!(after_batch > after_insert);
+        let _ = d.table("persons").unwrap().len();
+        let _ = d.table_names();
+        assert_eq!(d.write_version(), after_batch);
+    }
+
+    #[test]
+    fn rolled_back_bulk_leaves_write_version_untouched() {
+        let mut d = db();
+        let before = d.write_version();
+        let rows = vec![
+            vec![Value::Int(1), Value::from("a")],
+            vec![Value::Int(1), Value::from("dup")], // duplicate key → rollback
+        ];
+        assert!(d.insert_many("persons", rows).is_err());
+        assert_eq!(d.write_version(), before, "a rolled-back batch is not a write");
+
+        // An aborted (dropped, uncommitted) loader is not a write either.
+        let mut loader = d.bulk();
+        let persons = loader.table("persons").unwrap();
+        loader.stage(persons, vec![Value::Int(9), Value::from("ghost")]).unwrap();
+        drop(loader);
+        assert_eq!(d.write_version(), before);
+    }
+
+    #[test]
+    fn sql_dml_bumps_write_version() {
+        use crate::sql;
+        let mut d = Database::new();
+        sql::run_script(
+            &mut d,
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+        )
+        .unwrap();
+        let v0 = d.write_version();
+
+        sql::run(&mut d, "UPDATE t SET name = 'z' WHERE id = 1").unwrap();
+        let v1 = d.write_version();
+        assert!(v1 > v0, "UPDATE must bump the write version");
+
+        // An UPDATE matching nothing changes nothing.
+        sql::run(&mut d, "UPDATE t SET name = 'q' WHERE id = 99").unwrap();
+        assert_eq!(d.write_version(), v1);
+
+        sql::run(&mut d, "DELETE FROM t WHERE id = 2").unwrap();
+        let v2 = d.write_version();
+        assert!(v2 > v1, "DELETE must bump the write version");
+
+        // A DELETE matching nothing changes nothing; SELECT never does.
+        sql::run(&mut d, "DELETE FROM t WHERE id = 99").unwrap();
+        sql::run(&mut d, "SELECT * FROM t").unwrap();
+        assert_eq!(d.write_version(), v2);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! reads of column data. This crate implements that contract natively:
 //!
 //! * [`Database`] / [`Table`] — tables with typed columns ([`DataType`]),
-//!   primary keys, foreign-key constraints (validated on insert) and
-//!   row/column access,
+//!   primary keys, foreign-key constraints (validated on insert),
+//!   row/column access, and a monotonic write-version counter
+//!   ([`Database::write_version`]) so observers can detect staleness with
+//!   one integer compare,
 //! * [`bulk`] — the batched [`BulkLoader`] ingest fast path (stage →
 //!   validate once per batch → atomic commit); see `docs/INGESTION.md`,
 //! * [`schema`] — schema definitions plus the introspection used by
@@ -18,7 +20,9 @@
 //! * [`csv`] — CSV import/export (the paper's datasets ship as CSV),
 //! * [`sql`] — a small SQL subset (`CREATE TABLE`, `INSERT`, `SELECT` with
 //!   `WHERE`/`JOIN`/`ORDER BY`/`LIMIT`) so examples and tests can drive the
-//!   engine the way a user would drive Postgres.
+//!   engine the way a user would drive Postgres,
+//! * [`shared`] — [`SharedDatabase`], the cloneable many-readers /
+//!   exclusive-writer handle the serving layer builds on.
 //!
 //! The engine is deliberately row-oriented and index-light: RETRO's access
 //! pattern is full-column scans, not point queries.

@@ -43,6 +43,16 @@ impl SharedDatabase {
     pub fn with_write<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
         f(&mut self.inner.write())
     }
+
+    /// The wrapped database's monotonic [`Database::write_version`].
+    ///
+    /// Takes (and immediately releases) a read guard, so the answer is a
+    /// consistent point-in-time observation. `retro_core`'s serving layer
+    /// polls this to detect that a published embedding snapshot has gone
+    /// stale.
+    pub fn write_version(&self) -> u64 {
+        self.inner.read().write_version()
+    }
 }
 
 impl From<Database> for SharedDatabase {

@@ -100,6 +100,11 @@ fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
         }
         out
     };
+    if matches.is_empty() {
+        // Nothing to write — and `table_mut` below would bump the
+        // database's write version for a statement that changed nothing.
+        return Ok(QueryResult::empty());
+    }
     let table = db.table_mut(&upd.table)?;
     for &pos in &matches {
         for (idx, value) in &resolved {

@@ -1,0 +1,258 @@
+//! Concurrency + determinism suite for `retro_core::serve`.
+//!
+//! The serving contract under test:
+//!
+//! * a reader calling `EmbeddingService::nearest` / `Snapshot` queries is
+//!   **never** blocked by a database writer or an in-flight refresh — the
+//!   read path touches neither the database lock nor the session lock;
+//! * readers only ever observe **complete** generations (catalog,
+//!   embeddings and norm cache from one converged output — never a torn
+//!   mix), and the generation number is **monotone** per observer;
+//! * snapshot rankings are deterministic, `NaN`-free, and **bit-identical
+//!   for every thread count** (the dot-scan partition never reorders a
+//!   row's accumulation).
+//!
+//! The stress tests default to a few refresh rounds so `cargo test` stays
+//! quick; CI raises `RETRO_SERVE_STRESS` for a longer soak.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use retro::core::serve::EmbeddingService;
+use retro::core::{Hyperparameters, RetroConfig};
+use retro::embed::nn::top_k_cosine;
+use retro::embed::EmbeddingSet;
+use retro::store::{sql, Database, SharedDatabase, Value};
+
+/// Stress-loop iteration count: default small, raised in CI via
+/// `RETRO_SERVE_STRESS` (same env-gating idea as `RETRO_PAPER_SCALE`).
+fn stress_rounds(default: usize) -> usize {
+    std::env::var("RETRO_SERVE_STRESS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn base() -> EmbeddingSet {
+    // 40 tokens over 8 dims: enough vocabulary for the generated titles.
+    let tokens: Vec<String> = (0..40).map(|i| format!("tok{i}")).collect();
+    let vectors: Vec<Vec<f32>> =
+        (0..40).map(|i| (0..8).map(|d| ((i * 7 + d * 3) as f32 * 0.37).sin()).collect()).collect();
+    EmbeddingSet::new(tokens, vectors)
+}
+
+fn shared(n_movies: usize) -> SharedDatabase {
+    let mut db = Database::new();
+    sql::run_script(
+        &mut db,
+        "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+         CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT,
+                              director_id INTEGER REFERENCES persons(id));",
+    )
+    .unwrap();
+    for p in 0..4 {
+        db.insert("persons", vec![Value::Int(p), Value::from(format!("tok{p} tok{}", p + 4))])
+            .unwrap();
+    }
+    for m in 0..n_movies as i64 {
+        db.insert("movies", vec![Value::Int(m), movie_title(m), Value::Int(m % 4)]).unwrap();
+    }
+    SharedDatabase::new(db)
+}
+
+fn service(n_movies: usize, threads: usize) -> Arc<EmbeddingService> {
+    let config = RetroConfig::default()
+        .with_params(Hyperparameters::paper_rn().with_threads(threads))
+        .with_iterations(3);
+    EmbeddingService::start(shared(n_movies), base(), config).unwrap()
+}
+
+/// A title unique per movie id (`movie{id}` is OOV and only disambiguates;
+/// the `tok*` words anchor the value in the base vocabulary). Uniqueness
+/// matters: the §3.3 catalog merges duplicate text values per column, so
+/// colliding titles would not grow the snapshot.
+fn movie_title(id: i64) -> Value {
+    Value::from(format!("movie{id} tok{} tok{}", 8 + (id % 16), 24 + (id % 16)))
+}
+
+/// Insert one more movie through the shared handle.
+fn insert_movie(db: &SharedDatabase, id: i64) {
+    db.with_write(|db| {
+        db.insert("movies", vec![Value::Int(id), movie_title(id), Value::Int(id % 4)]).map(|_| ())
+    })
+    .unwrap();
+}
+
+#[test]
+fn readers_complete_while_the_database_write_guard_is_held() {
+    let service = service(24, 2);
+    let snap = service.snapshot();
+    let query = snap.output().embeddings.row(0).to_vec();
+
+    // Hold the database's EXCLUSIVE write guard: any read path that
+    // touched the database lock would deadlock (same thread) or hang
+    // (other threads). Queries must complete regardless.
+    let guard = service.database().write();
+
+    // Same thread: a db-lock dependency would deadlock right here.
+    let direct = service.nearest(&query, 5);
+    assert_eq!(direct.len(), 5);
+    assert!(service.nearest_token("persons", "name", "tok0 tok4", 3).is_some());
+
+    // Other threads: all queries must finish while the guard stays held.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let snap = service.snapshot();
+                    let nn = snap.nearest(&query, 5);
+                    assert_eq!(nn.len(), 5);
+                }
+            })
+        })
+        .collect();
+    for handle in readers {
+        handle.join().expect("reader must complete while the write guard is held");
+    }
+    drop(guard);
+}
+
+#[test]
+fn concurrent_readers_observe_only_complete_monotone_generations() {
+    let service = service(24, 1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let rounds = stress_rounds(4);
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_generation = 0u64;
+                let mut observed = 0usize;
+                // At least one observation even if the writer finishes
+                // before this thread is first scheduled.
+                while observed == 0 || !stop.load(Ordering::Acquire) {
+                    let snap = service.snapshot();
+
+                    // Monotone generations: never backwards.
+                    assert!(
+                        snap.generation() >= last_generation,
+                        "generation went backwards: {} < {last_generation}",
+                        snap.generation()
+                    );
+                    last_generation = snap.generation();
+
+                    // No torn snapshot: catalog, matrix and norm cache all
+                    // sized by the same converged output.
+                    let rows = snap.output().embeddings.rows();
+                    assert_eq!(snap.len(), rows, "catalog/matrix tear");
+                    assert_eq!(snap.norms().len(), rows, "norm-cache tear");
+                    assert_eq!(snap.output().problem.len(), rows, "problem tear");
+
+                    // Queries on the snapshot are internally consistent.
+                    let nn = snap.nearest(snap.output().embeddings.row(0), 8);
+                    assert!(nn.iter().all(|&(id, s)| id < rows && s.is_finite()));
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Writer: grow the database and refresh, `rounds` times.
+    for round in 0..rounds {
+        insert_movie(service.database(), 1_000 + round as i64);
+        let generation = service.refresh().unwrap();
+        assert_eq!(generation, round as u64 + 2, "one generation per refresh");
+    }
+
+    stop.store(true, Ordering::Release);
+    for handle in readers {
+        let observed = handle.join().expect("reader panicked — a snapshot invariant broke");
+        assert!(observed > 0, "reader never observed a snapshot");
+    }
+    assert_eq!(service.generation(), rounds as u64 + 1);
+    assert_eq!(service.snapshot().len(), 24 + 4 + rounds);
+}
+
+#[test]
+fn refresh_during_reads_keeps_old_snapshot_intact() {
+    let service = service(16, 1);
+    let old = service.snapshot();
+    let before: Vec<f32> = old.output().embeddings.as_slice().to_vec();
+    for round in 0..stress_rounds(3) {
+        insert_movie(service.database(), 2_000 + round as i64);
+        service.refresh().unwrap();
+    }
+    // The pinned generation is bit-identical to what it was at publish.
+    assert_eq!(old.generation(), 1);
+    assert_eq!(old.output().embeddings.as_slice(), &before[..]);
+}
+
+#[test]
+fn snapshot_rankings_are_bit_identical_across_thread_counts() {
+    // Same data, same converged output (the solver is thread-invariant —
+    // `tests/solver_determinism.rs`), so snapshots only differ in scan
+    // width. Rankings must be bit-identical.
+    let reference = service(32, 1);
+    let ref_snap = reference.snapshot();
+    let queries: Vec<Vec<f32>> =
+        (0..8).map(|i| ref_snap.output().embeddings.row(i).to_vec()).collect();
+    let expected: Vec<_> = queries.iter().map(|q| ref_snap.nearest(q, 10)).collect();
+
+    for threads in [2usize, 8] {
+        let snap = service(32, threads).snapshot();
+        assert_eq!(
+            snap.output().embeddings.as_slice(),
+            ref_snap.output().embeddings.as_slice(),
+            "solver output must be thread-invariant"
+        );
+        for (query, want) in queries.iter().zip(&expected) {
+            assert_eq!(
+                snap.nearest(query, 10),
+                *want,
+                "snapshot ranking diverged at {threads} threads"
+            );
+        }
+    }
+
+    // The shared helper itself, across thread counts, on the same matrix.
+    let m = ref_snap.output();
+    let norms = m.embeddings.row_norms();
+    for query in &queries {
+        let serial = top_k_cosine(&m.embeddings, &norms, query, 10, 1, |_| false);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                serial,
+                top_k_cosine(&m.embeddings, &norms, query, 10, threads, |_| false),
+                "top_k_cosine diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn background_worker_converges_under_concurrent_writes() {
+    let service = service(16, 2);
+    let worker = service.spawn_refresher(Duration::from_millis(1));
+    let rounds = stress_rounds(4);
+
+    for round in 0..rounds {
+        insert_movie(service.database(), 3_000 + round as i64);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Eventually the published snapshot catches up with every write.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while service.out_of_date() || service.snapshot().len() != 16 + 4 + rounds {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never caught up: snapshot has {} values, want {}",
+            service.snapshot().len(),
+            16 + 4 + rounds
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    worker.stop();
+}
