@@ -29,7 +29,7 @@ use retro_bench::{
 use retro_core::relations::extract_relations;
 use retro_core::serve::EmbeddingService;
 use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
-use retro_core::{Hyperparameters, RetroConfig, RetrofitProblem, TextValueCatalog};
+use retro_core::{Hyperparameters, RefreshKind, RetroConfig, RetrofitProblem, TextValueCatalog};
 use retro_datasets::{GooglePlayConfig, GooglePlayDataset, SizePreset, TmdbConfig, TmdbDataset};
 use retro_embed::EmbeddingSet;
 use retro_store::{Database, SharedDatabase, Value};
@@ -190,7 +190,13 @@ fn profile_pipeline(
 /// swap); readers run concurrently on the main thread's siblings and are
 /// expected to be unaffected, since the query path takes no lock a refresh
 /// holds.
-fn profile_serving(label: &str, db: &Database, base: &EmbeddingSet, threads: usize) -> Vec<Phase> {
+fn profile_serving(
+    label: &str,
+    db: &Database,
+    base: &EmbeddingSet,
+    threads: usize,
+    insert: &StreamingInsert,
+) -> Vec<Phase> {
     let shared = SharedDatabase::new(db.clone());
     let config = RetroConfig::default()
         .with_params(Hyperparameters::paper_rn().with_threads(threads))
@@ -228,14 +234,14 @@ fn profile_serving(label: &str, db: &Database, base: &EmbeddingSet, threads: usi
     let refreshing = AtomicBool::new(false);
     let (during, refresh_secs) = std::thread::scope(|s| {
         let writer = s.spawn(|| {
-            shared.with_write(|db| {
-                // Touching a table mutably bumps the write version — the
-                // smallest honest "the database changed" signal.
-                let name = db.table_names()[0].to_owned();
-                let _ = db.table_mut(&name);
-            });
+            // A real single-row insert (a whole-table `table_mut` poke
+            // would force the change log to give up on scoping), completed
+            // by an explicitly FULL refresh: this phase measures reader
+            // latency while the *longest* refresh runs — the delta path is
+            // profiled separately by the streaming phase.
+            shared.with_write(|db| insert.insert(db, 0));
             refreshing.store(true, Ordering::Release);
-            let (generation, secs) = time(|| service.refresh().expect("refresh"));
+            let (generation, secs) = time(|| service.refresh_full().expect("refresh"));
             refreshing.store(false, Ordering::Release);
             assert_eq!(generation, 2);
             secs
@@ -273,6 +279,173 @@ fn profile_serving(label: &str, db: &Database, base: &EmbeddingSet, threads: usi
         Phase { name: "serve_refresh", secs: refresh_secs },
         Phase { name: "serve_query_during_refresh", secs: during_secs },
     ]
+}
+
+/// Streaming-update phase: sustained single-row inserts against a live
+/// service, one refresh per insert — the delta-scoped path end to end.
+/// Reports the refresh latency distribution (p50/p99), the ratio to a full
+/// warm refresh of the same service, and reader throughput *while the
+/// stream runs* (queries never block on the writer or the refresh).
+fn profile_streaming(
+    label: &str,
+    db: &Database,
+    base: &EmbeddingSet,
+    threads: usize,
+    insert: &StreamingInsert,
+) -> Vec<Phase> {
+    let shared = SharedDatabase::new(db.clone());
+    let config = RetroConfig::default()
+        .with_params(Hyperparameters::paper_rn().with_threads(threads))
+        .with_iterations(5);
+    let service =
+        EmbeddingService::start(shared.clone(), base.clone(), config).expect("valid base");
+
+    // The denominator: what the same one-row insert costs on the full
+    // (re-extract + re-solve everything) path.
+    shared.with_write(|db| insert.insert(db, 0));
+    let (_, full_secs) = time(|| service.refresh_full().expect("refresh"));
+    println!("  {label}: full refresh (1 insert)  {full_secs:>9.3}s");
+
+    // Prime the delta path: the first delta refresh builds the target-sum
+    // cache that consecutive deltas reuse.
+    shared.with_write(|db| insert.insert(db, 1));
+    service.refresh().expect("refresh");
+    assert_eq!(
+        service.last_refresh(),
+        Some(RefreshKind::Delta),
+        "a single-row insert must take the delta path"
+    );
+
+    // The stream: one insert, one refresh, repeat — with a reader
+    // hammering nearest-neighbour queries the whole time.
+    const STREAM: usize = 32;
+    let query = service.snapshot().output().embeddings.row(0).to_vec();
+    let stop = AtomicBool::new(false);
+    let ((latencies, reads), window_secs) = time(|| {
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let mut count = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let top = service.nearest(&query, 10);
+                    assert!(top.len() <= 10);
+                    count += 1;
+                }
+                count
+            });
+            let mut latencies = Vec::with_capacity(STREAM);
+            for i in 0..STREAM {
+                shared.with_write(|db| insert.insert(db, 2 + i));
+                let (_, secs) = time(|| service.refresh().expect("refresh"));
+                assert_eq!(
+                    service.last_refresh(),
+                    Some(RefreshKind::Delta),
+                    "streamed insert fell off the delta path"
+                );
+                latencies.push(secs);
+            }
+            stop.store(true, Ordering::Release);
+            (latencies, reader.join().expect("reader"))
+        })
+    });
+
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p50 = sorted[sorted.len() / 2];
+    let p99 = sorted[((sorted.len() as f64 * 0.99) as usize).min(sorted.len() - 1)];
+    let read_secs = window_secs / reads.max(1) as f64;
+    println!(
+        "  {label}: streaming refresh        {:>9.3}ms p50  ({:.3}ms p99; {:.2}% of a full refresh)",
+        p50 * 1e3,
+        p99 * 1e3,
+        100.0 * p50 / full_secs.max(1e-9)
+    );
+    println!(
+        "  {label}: reader during stream     {:>9.3}ms/query  ({:.0} q/s over {} refreshes)",
+        read_secs * 1e3,
+        reads as f64 / window_secs.max(1e-9),
+        STREAM
+    );
+
+    vec![
+        Phase { name: "streaming_update_full_refresh", secs: full_secs },
+        Phase { name: "streaming_update_p50", secs: p50 },
+        Phase { name: "streaming_update_p99", secs: p99 },
+        Phase { name: "streaming_update_reader_query", secs: read_secs },
+    ]
+}
+
+/// One synthetic streamed row per call: a pk past everything generated,
+/// fresh text values where a live ingest would have them, existing
+/// foreign-key targets. `captured` holds values copied from the generated
+/// data (an existing language / category id) so the row always validates.
+struct StreamingInsert {
+    table: &'static str,
+    next_id: i64,
+    captured: Vec<Value>,
+    build: fn(i64, usize, &[Value]) -> Vec<Value>,
+}
+
+impl StreamingInsert {
+    fn insert(&self, db: &mut Database, i: usize) {
+        db.insert(self.table, (self.build)(self.next_id + i as i64, i, &self.captured))
+            .expect("valid streamed row");
+    }
+}
+
+fn max_pk(db: &Database, table: &str) -> i64 {
+    db.table(table)
+        .expect("table generated")
+        .rows()
+        .iter()
+        .map(|r| match r[0] {
+            Value::Int(id) => id,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The `i`-th streamed movie: unique title and overview (two genuinely new
+/// text values), an existing language, zeroed numerics.
+fn tmdb_streaming_insert(db: &Database) -> StreamingInsert {
+    let language = db.table("movies").expect("movies").row(0).expect("generated movies")[3].clone();
+    StreamingInsert {
+        table: "movies",
+        next_id: max_pk(db, "movies") + 1,
+        captured: vec![language],
+        build: |id, i, captured| {
+            vec![
+                Value::Int(id),
+                Value::from(format!("streamed movie {i}")),
+                Value::from(format!("an overview of streamed movie {i}")),
+                captured[0].clone(),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+            ]
+        },
+    }
+}
+
+/// The Google Play counterpart: a new app name, an existing category /
+/// pricing / age group (foreign keys to already-interned values).
+fn gplay_streaming_insert(db: &Database) -> StreamingInsert {
+    let template = db.table("apps").expect("apps").row(0).expect("generated apps");
+    StreamingInsert {
+        table: "apps",
+        next_id: max_pk(db, "apps") + 1,
+        captured: template[3..6].to_vec(),
+        build: |id, i, captured| {
+            vec![
+                Value::Int(id),
+                Value::from(format!("streamed app {i}")),
+                Value::Float(3.0),
+                captured[0].clone(),
+                captured[1].clone(),
+                captured[2].clone(),
+            ]
+        },
+    }
 }
 
 /// Run `f` three times; return the last result and the fastest wall time.
@@ -316,9 +489,14 @@ fn main() {
     for phase in profile_pipeline("tmdb", &tmdb.db, &tmdb.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
-    for phase in profile_serving("tmdb", &tmdb.db, &tmdb.base, threads) {
+    let insert = tmdb_streaming_insert(&tmdb.db);
+    for phase in profile_serving("tmdb", &tmdb.db, &tmdb.base, threads, &insert) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
+    for phase in profile_streaming("tmdb", &tmdb.db, &tmdb.base, threads, &insert) {
+        rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
+    }
+    drop(insert);
     drop(tmdb);
 
     println!("\n-- Google Play ({preset}) --");
@@ -335,7 +513,11 @@ fn main() {
     for phase in profile_pipeline("gplay", &gplay.db, &gplay.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }
-    for phase in profile_serving("gplay", &gplay.db, &gplay.base, threads) {
+    let insert = gplay_streaming_insert(&gplay.db);
+    for phase in profile_serving("gplay", &gplay.db, &gplay.base, threads, &insert) {
+        rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
+    }
+    for phase in profile_streaming("gplay", &gplay.db, &gplay.base, threads, &insert) {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }
 

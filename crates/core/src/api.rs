@@ -89,6 +89,15 @@ impl RetroConfig {
         self.skip_relations.push(substring.to_owned());
         self
     }
+
+    /// The skip lists as borrowed slices, in the shape the extraction
+    /// functions take.
+    pub(crate) fn skip_refs(&self) -> (Vec<(&str, &str)>, Vec<&str>) {
+        (
+            self.skip_columns.iter().map(|(t, c)| (t.as_str(), c.as_str())).collect(),
+            self.skip_relations.iter().map(String::as_str).collect(),
+        )
+    }
 }
 
 /// Errors surfaced by the high-level API.
@@ -110,8 +119,9 @@ impl std::error::Error for RetroError {}
 /// The result of a retrofitting run.
 #[derive(Clone, Debug)]
 pub struct RetroOutput {
-    /// The extracted text values (ids index `embeddings` rows).
-    pub catalog: TextValueCatalog,
+    /// The extracted text values (ids index `embeddings` rows). Shares one
+    /// allocation with `problem.catalog` — cloning the handle is free.
+    pub catalog: std::sync::Arc<TextValueCatalog>,
     /// The assembled problem (relation groups, `W0`, centroids) — reusable
     /// for loss evaluation, graph generation and incremental updates.
     pub problem: RetrofitProblem,
@@ -167,9 +177,7 @@ impl Retro {
         if base.dim() == 0 {
             return Err(RetroError::EmptyEmbedding);
         }
-        let skip_cols: Vec<(&str, &str)> =
-            self.config.skip_columns.iter().map(|(t, c)| (t.as_str(), c.as_str())).collect();
-        let skip_rels: Vec<&str> = self.config.skip_relations.iter().map(String::as_str).collect();
+        let (skip_cols, skip_rels) = self.config.skip_refs();
         let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
         Ok(self.solve(problem))
     }

@@ -6,6 +6,7 @@
 //! * The same string twice in one column yields **one** text value.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use retro_store::Database;
 
@@ -29,16 +30,31 @@ impl Category {
 ///
 /// Ids are dense `0..len` and deterministic: tables in name order, columns
 /// in schema order, values in first-occurrence row order.
+///
+/// A catalog is either *flat* (every value stored inline — what
+/// [`TextValueCatalog::extract`] produces) or *layered*: an immutable
+/// shared `base` holding ids `0..base_len` plus a small overlay for the
+/// ids appended since. Layered catalogs are how delta-scoped refresh
+/// extends a half-million-value catalog in `O(Δ)` instead of cloning it;
+/// see [`TextValueCatalog::extend_clone`]. The base of a layered catalog
+/// is always flat, so every accessor is at most two probes deep.
 #[derive(Clone, Debug, Default)]
 pub struct TextValueCatalog {
+    /// Shared immutable prefix (ids `0..base_len`); `None` for a flat
+    /// catalog. Invariant: the base itself is flat.
+    base: Option<Arc<TextValueCatalog>>,
+    /// Cached `base.len()` (0 when flat).
+    base_len: usize,
+    /// All categories, including the base's (small: one per text column).
     categories: Vec<Category>,
-    /// Per text value: its category id.
+    /// Per overlay value (ids `base_len..`): its category id.
     value_category: Vec<u32>,
-    /// Per text value: the text itself.
+    /// Per overlay value: the text itself.
     value_text: Vec<String>,
-    /// `(category id, text) → value id`.
+    /// `(category id, text) → value id` for overlay values only; stored
+    /// ids are global.
     index: HashMap<(u32, String), u32>,
-    /// `(table, column) → category id`.
+    /// `(table, column) → category id` (all categories).
     category_index: HashMap<(String, String), u32>,
 }
 
@@ -82,25 +98,54 @@ impl TextValueCatalog {
 
     /// Intern a text value into a category; returns its id (existing or new).
     pub fn intern(&mut self, category: u32, text: &str) -> u32 {
-        let key = (category, text.to_owned());
-        if let Some(&id) = self.index.get(&key) {
-            return id;
+        if let Some(id) = self.lookup_in_category(category, text) {
+            return id as u32;
         }
-        let id = self.value_text.len() as u32;
+        let id = (self.base_len + self.value_text.len()) as u32;
         self.value_category.push(category);
         self.value_text.push(text.to_owned());
-        self.index.insert(key, id);
+        self.index.insert((category, text.to_owned()), id);
         id
+    }
+
+    /// An `O(Δ)` clone for appending: the result shares this catalog's
+    /// values instead of copying them. A flat catalog becomes the shared
+    /// base of a fresh (empty-overlay) layer; a layered one keeps its
+    /// base and clones only the overlay. Either way, [`Self::intern`] on
+    /// the result leaves `self` untouched — exactly the copy-on-write a
+    /// delta refresh needs, without paying for the hundreds of thousands
+    /// of strings that did not change.
+    pub fn extend_clone(self: &Arc<Self>) -> TextValueCatalog {
+        match &self.base {
+            Some(base) => TextValueCatalog {
+                base: Some(Arc::clone(base)),
+                base_len: self.base_len,
+                categories: self.categories.clone(),
+                value_category: self.value_category.clone(),
+                value_text: self.value_text.clone(),
+                index: self.index.clone(),
+                category_index: self.category_index.clone(),
+            },
+            None => TextValueCatalog {
+                base: Some(Arc::clone(self)),
+                base_len: self.len(),
+                categories: self.categories.clone(),
+                value_category: Vec::new(),
+                value_text: Vec::new(),
+                index: HashMap::new(),
+                category_index: self.category_index.clone(),
+            },
+        }
     }
 
     /// Number of text values (embeddings to learn).
     pub fn len(&self) -> usize {
-        self.value_text.len()
+        self.base_len + self.value_text.len()
     }
 
     /// True when the catalog is empty.
     pub fn is_empty(&self) -> bool {
-        self.value_text.is_empty()
+        self.len() == 0
     }
 
     /// Number of categories.
@@ -115,23 +160,35 @@ impl TextValueCatalog {
 
     /// A text value's category id.
     pub fn category_of(&self, value: usize) -> u32 {
-        self.value_category[value]
+        match value.checked_sub(self.base_len) {
+            Some(local) => self.value_category[local],
+            None => self.base.as_ref().expect("id below base_len").value_category[value],
+        }
     }
 
     /// A text value's text.
     pub fn text(&self, value: usize) -> &str {
-        &self.value_text[value]
+        match value.checked_sub(self.base_len) {
+            Some(local) => &self.value_text[local],
+            None => &self.base.as_ref().expect("id below base_len").value_text[value],
+        }
     }
 
     /// Look up a value id by table, column and text.
     pub fn lookup(&self, table: &str, column: &str, text: &str) -> Option<usize> {
         let cat = self.category_id(table, column)?;
-        self.index.get(&(cat, text.to_owned())).map(|&id| id as usize)
+        self.lookup_in_category(cat, text)
     }
 
     /// Look up a value id within a known category.
     pub fn lookup_in_category(&self, category: u32, text: &str) -> Option<usize> {
-        self.index.get(&(category, text.to_owned())).map(|&id| id as usize)
+        let key = (category, text.to_owned());
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.index.get(&key) {
+                return Some(id as usize);
+            }
+        }
+        self.index.get(&key).map(|&id| id as usize)
     }
 
     /// The category id of `table.column`.
@@ -141,12 +198,12 @@ impl TextValueCatalog {
 
     /// All value ids of one category.
     pub fn values_in_category(&self, category: u32) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.value_category[i] == category).collect()
+        (0..self.len()).filter(|&i| self.category_of(i) == category).collect()
     }
 
     /// Iterate `(id, category, text)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u32, &str)> {
-        (0..self.len()).map(move |i| (i, self.value_category[i], self.value_text[i].as_str()))
+        (0..self.len()).map(move |i| (i, self.category_of(i), self.text(i)))
     }
 }
 
@@ -231,5 +288,34 @@ mod tests {
             assert_eq!(a.text(i), b.text(i));
             assert_eq!(a.category_of(i), b.category_of(i));
         }
+    }
+
+    #[test]
+    fn extend_clone_shares_the_base_and_appends_on_top() {
+        let flat = Arc::new(TextValueCatalog::extract(&db(), &[]));
+        let mut layered = flat.extend_clone();
+        let cat = layered.category_id("movies", "title").unwrap();
+        // Existing values resolve to their base ids, not fresh ones.
+        assert_eq!(
+            layered.intern(cat, "Amelie") as usize,
+            flat.lookup("movies", "title", "Amelie").unwrap()
+        );
+        let id = layered.intern(cat, "Stalker");
+        assert_eq!(id as usize, flat.len());
+        assert_eq!(layered.len(), flat.len() + 1);
+        assert_eq!(layered.text(id as usize), "Stalker");
+        assert_eq!(layered.category_of(id as usize), cat);
+        assert_eq!(layered.lookup("movies", "title", "Stalker"), Some(id as usize));
+        // The shared base is untouched by the append.
+        assert_eq!(flat.len(), 7);
+        assert!(flat.lookup("movies", "title", "Stalker").is_none());
+        // Extending a layered catalog keeps the same flat base (depth ≤ 2)
+        // and carries the overlay forward.
+        let deeper = Arc::new(layered).extend_clone();
+        assert_eq!(deeper.len(), flat.len() + 1);
+        assert_eq!(deeper.text(id as usize), "Stalker");
+        // `iter` walks base + overlay in one dense id order.
+        let ids: Vec<usize> = deeper.iter().map(|(i, _, _)| i).collect();
+        assert_eq!(ids, (0..deeper.len()).collect::<Vec<_>>());
     }
 }

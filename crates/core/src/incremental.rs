@@ -7,15 +7,77 @@
 //! previous solution: unchanged values begin at their converged vectors and
 //! only the neighbourhood of the change needs to move, so far fewer
 //! iterations reach the same fixed point.
+//!
+//! On top of warm-starting, [`IncrementalRetro::refresh`] is **delta
+//! scoped**: it reads the store's change log, and when everything since the
+//! last converged state is an append it extends the previous problem in
+//! place (`crate::delta`) and re-solves only the rows whose neighbourhood
+//! changed (`crate::solver::delta`) — every other row is carried over
+//! verbatim. A one-row insert then costs milliseconds instead of a full
+//! re-extraction and re-solve. Anything the log cannot prove to be an
+//! append (deletes, relational updates, log overflow, an oversized dirty
+//! set) falls back to the full path automatically;
+//! [`IncrementalRetro::last_refresh`] reports which path ran. See the
+//! [`guide`] module (rendered from `docs/INCREMENTAL.md`) for the accuracy
+//! contract.
+
+use std::sync::Arc;
 
 use retro_embed::EmbeddingSet;
-use retro_linalg::Matrix;
+use retro_linalg::{vector, Matrix};
 use retro_store::Database;
 
 use crate::api::{Retro, RetroConfig, RetroError, RetroOutput, Solver};
+use crate::delta::{classify_changes, extract_delta, ChangeSummary, DeltaExtraction};
+use crate::hyper::ParamCheck;
 use crate::problem::RetrofitProblem;
+use crate::solver::delta::{build_target_sums, solve_delta};
 use crate::solver::mf::solve_mf;
 use crate::solver::parallel::{solve_rn_seeded_parallel, solve_ro_seeded_parallel};
+
+/// The incremental-maintenance guide, rendered from `docs/INCREMENTAL.md`
+/// so its code examples compile and run as doc tests.
+#[doc = include_str!("../../../docs/INCREMENTAL.md")]
+pub mod guide {}
+
+/// Which refresh path a completed refresh took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// Full re-extraction and re-solve (cold, or the delta fallback).
+    Full,
+    /// Delta-scoped: the previous problem was extended with the appended
+    /// rows and only the dirty row subset was re-solved.
+    Delta,
+    /// The change log proved the previous output is still exact; it was
+    /// republished untouched.
+    NoChange,
+}
+
+/// A delta-scoped plan: the extended problem plus everything `complete`
+/// needs without touching the database again.
+#[derive(Clone, Debug)]
+struct DeltaPlan {
+    extraction: DeltaExtraction,
+    /// Convexity carried over from the previous output: the Eq. 12/14
+    /// check is `O(E)` over the whole graph, which would dwarf a small
+    /// delta solve. Appends can only relax `mc`/`mr`, so the previous
+    /// verdict stays valid; it is re-evaluated on every full refresh.
+    convexity: ParamCheck,
+}
+
+#[derive(Clone, Debug)]
+enum PlanKind {
+    Full {
+        problem: RetrofitProblem,
+        /// Warm-start matrix seeded from the previous converged state;
+        /// `None` when the session has no prior state (cold full run).
+        warm: Option<Matrix>,
+    },
+    Delta(Box<DeltaPlan>),
+    NoChange {
+        current: Arc<RetroOutput>,
+    },
+}
 
 /// A fully extracted, ready-to-solve refresh: the output of
 /// [`IncrementalRetro::prepare_refresh`], consumed by
@@ -27,28 +89,64 @@ use crate::solver::parallel::{solve_rn_seeded_parallel, solve_ro_seeded_parallel
 /// database fully unlocked — see `retro_core::serve`.
 #[derive(Clone, Debug)]
 pub struct RefreshPlan {
-    problem: RetrofitProblem,
-    /// Warm-start matrix seeded from the previous converged state; `None`
-    /// when the session has no prior state (the plan is a cold full run).
-    warm: Option<Matrix>,
+    kind: PlanKind,
+    /// The database write version the plan was extracted at; completing the
+    /// plan stamps it as the session's synced version for the next delta.
+    db_version: u64,
 }
 
 impl RefreshPlan {
-    /// True when this plan warm-starts from a previous converged state
-    /// (false → completing it is a cold full run).
+    /// The refresh path this plan will take when completed.
+    pub fn kind(&self) -> RefreshKind {
+        match &self.kind {
+            PlanKind::Full { .. } => RefreshKind::Full,
+            PlanKind::Delta(_) => RefreshKind::Delta,
+            PlanKind::NoChange { .. } => RefreshKind::NoChange,
+        }
+    }
+
+    /// True when this plan reuses a previous converged state — a warm full
+    /// run, a delta, or a no-change republish (false → completing it is a
+    /// cold full run).
     pub fn is_warm(&self) -> bool {
-        self.warm.is_some()
+        !matches!(&self.kind, PlanKind::Full { warm: None, .. })
+    }
+
+    /// A delta plan's dirty row ids (ascending; `None` for full and
+    /// no-change plans). Completing a delta plan changes **only** these
+    /// rows and appends past the previous length — the contract a serving
+    /// layer relies on to patch derived per-row data (e.g. cached norms)
+    /// instead of recomputing `O(n·D)` of it.
+    pub fn dirty_rows(&self) -> Option<&[u32]> {
+        match &self.kind {
+            PlanKind::Delta(plan) => Some(&plan.extraction.dirty),
+            _ => None,
+        }
     }
 
     /// Number of text values the refreshed output will cover.
     pub fn len(&self) -> usize {
-        self.problem.len()
+        match &self.kind {
+            PlanKind::Full { problem, .. } => problem.len(),
+            PlanKind::Delta(plan) => plan.extraction.problem.len(),
+            PlanKind::NoChange { current } => current.problem.len(),
+        }
     }
 
-    /// True when the extracted problem has no text values.
+    /// True when the refreshed output will cover no text values.
     pub fn is_empty(&self) -> bool {
-        self.problem.len() == 0
+        self.len() == 0
     }
+}
+
+/// Target sums over the current converged matrix, reusable by the next
+/// delta refresh (they are parameter-free aggregates, so a delta only has
+/// to patch in the rows that became targets since).
+#[derive(Clone, Debug)]
+struct SumsCache {
+    /// The database write version of the state the sums were built over.
+    version: u64,
+    sums: Matrix,
 }
 
 /// A retrofitting session that keeps its last solution for warm starts.
@@ -62,13 +160,31 @@ pub struct IncrementalRetro {
     engine: Retro,
     /// Iterations used for incremental refreshes (default 5).
     pub refresh_iterations: usize,
-    state: Option<std::sync::Arc<RetroOutput>>,
+    /// Delta refreshes whose dirty set exceeds this fraction of the catalog
+    /// fall back to a full refresh (default 0.5): past that point the
+    /// subset solve re-does most of the work anyway, and the full path is
+    /// exact.
+    pub delta_max_dirty_fraction: f32,
+    state: Option<Arc<RetroOutput>>,
+    /// Database write version `state` is converged against; the anchor the
+    /// change log is read from on the next refresh.
+    state_version: Option<u64>,
+    sums_cache: Option<SumsCache>,
+    last_refresh: Option<RefreshKind>,
 }
 
 impl IncrementalRetro {
     /// Create a session.
     pub fn new(config: RetroConfig) -> Self {
-        Self { engine: Retro::new(config), refresh_iterations: 5, state: None }
+        Self {
+            engine: Retro::new(config),
+            refresh_iterations: 5,
+            delta_max_dirty_fraction: 0.5,
+            state: None,
+            state_version: None,
+            sums_cache: None,
+            last_refresh: None,
+        }
     }
 
     /// The current output, if any run has completed.
@@ -81,8 +197,27 @@ impl IncrementalRetro {
     /// The `Arc` is the session's own state handle: cloning it shares one
     /// allocation between the session (which only reads it for warm-start
     /// seeds) and any number of long-lived consumers.
-    pub fn current_shared(&self) -> Option<std::sync::Arc<RetroOutput>> {
+    pub fn current_shared(&self) -> Option<Arc<RetroOutput>> {
         self.state.clone()
+    }
+
+    /// Which path the most recent completed run took (`None` before the
+    /// first run). Full runs report [`RefreshKind::Full`].
+    pub fn last_refresh(&self) -> Option<RefreshKind> {
+        self.last_refresh
+    }
+
+    /// Install `out` as the session state and return a reference to it.
+    ///
+    /// This is the single point where session state changes; routing every
+    /// path through it keeps the invariant *state, state version and
+    /// refresh kind update together* in one place — and `Option::insert`
+    /// returns the freshly stored value, so no panic-prone unwrap of a
+    /// "just set" option is needed.
+    fn install(&mut self, out: Arc<RetroOutput>, version: u64, kind: RefreshKind) -> &RetroOutput {
+        self.state_version = Some(version);
+        self.last_refresh = Some(kind);
+        &**self.state.insert(out)
     }
 
     /// Full (cold) run.
@@ -91,18 +226,18 @@ impl IncrementalRetro {
         db: &Database,
         base: &EmbeddingSet,
     ) -> Result<&RetroOutput, RetroError> {
+        let version = db.write_version();
         let out = self.engine.retrofit(db, base)?;
-        self.state = Some(std::sync::Arc::new(out));
-        Ok(self.state.as_deref().expect("just set"))
+        self.sums_cache = None;
+        Ok(self.install(Arc::new(out), version, RefreshKind::Full))
     }
 
     /// Incremental refresh after database changes.
     ///
-    /// Re-extracts the problem (text values may have been added or removed),
-    /// seeds every value that already existed with its previous converged
-    /// vector, leaves new values at their `W0` initialization, and runs only
-    /// [`Self::refresh_iterations`] solver rounds. Without prior state this
-    /// is a cold full run at the engine's configured iteration count.
+    /// Reads the store's change log to pick the cheapest safe path — see
+    /// [`Self::prepare_refresh`] for the dispatch and [`RefreshKind`] for
+    /// the possible outcomes. Without prior state this is a cold full run
+    /// at the engine's configured iteration count.
     ///
     /// All validation happens **before** the session state is touched
     /// ([`Self::prepare_refresh`]), so a failed refresh leaves
@@ -119,8 +254,32 @@ impl IncrementalRetro {
         Ok(self.complete_refresh(plan))
     }
 
-    /// Phase 1 of a refresh: validate, re-extract the problem and gather
-    /// warm-start seeds, without mutating the session.
+    /// Incremental refresh that skips the delta dispatch: always
+    /// re-extracts and re-solves the whole problem (warm-started when prior
+    /// state exists). This is the reference delta refreshes are compared
+    /// against, and an escape hatch if the change log is not to be trusted.
+    pub fn refresh_full(
+        &mut self,
+        db: &Database,
+        base: &EmbeddingSet,
+    ) -> Result<&RetroOutput, RetroError> {
+        let plan = self.prepare_refresh_full(db, base)?;
+        Ok(self.complete_refresh(plan))
+    }
+
+    /// Phase 1 of a refresh: validate, decide the refresh path and extract
+    /// everything the solve needs, without mutating the session.
+    ///
+    /// Dispatch, most specific first:
+    ///
+    /// 1. no prior state → cold **full** plan;
+    /// 2. database write version unchanged, or the change log shows only
+    ///    irrelevant writes (e.g. numeric updates) → **no-change** plan;
+    /// 3. every relevant change is an append and the dirty neighbourhood is
+    ///    small ([`Self::delta_max_dirty_fraction`]) → **delta** plan;
+    /// 4. otherwise (deletes, relational updates, log overflow, schema
+    ///    changes, oversized dirty set, or the MF solver, which has no
+    ///    warm-start story) → warm **full** plan.
     ///
     /// This is the only fallible part of a refresh and the only part that
     /// needs the database; `&self` guarantees the previous converged state
@@ -135,10 +294,72 @@ impl IncrementalRetro {
         if base.dim() == 0 {
             return Err(RetroError::EmptyEmbedding);
         }
-        let skip_cols: Vec<(&str, &str)> =
-            self.engine.config.skip_columns.iter().map(|(t, c)| (t.as_str(), c.as_str())).collect();
-        let skip_rels: Vec<&str> =
-            self.engine.config.skip_relations.iter().map(String::as_str).collect();
+        let db_version = db.write_version();
+        if let (Some(prev), Some(synced)) = (&self.state, self.state_version) {
+            if db_version == synced {
+                return Ok(RefreshPlan {
+                    kind: PlanKind::NoChange { current: Arc::clone(prev) },
+                    db_version,
+                });
+            }
+            // MF re-solves from W0 every time — there is no converged state
+            // to scope a delta against, so only the version fast-path above
+            // applies to it.
+            if self.engine.config.solver != Solver::Mf {
+                match classify_changes(db, synced) {
+                    ChangeSummary::NoRelevantChange => {
+                        return Ok(RefreshPlan {
+                            kind: PlanKind::NoChange { current: Arc::clone(prev) },
+                            db_version,
+                        });
+                    }
+                    ChangeSummary::Appends(appends) => {
+                        let (skip_cols, skip_rels) = self.engine.config.skip_refs();
+                        if let Some(extraction) = extract_delta(
+                            db,
+                            base,
+                            prev,
+                            &appends,
+                            &skip_cols,
+                            &skip_rels,
+                            self.delta_max_dirty_fraction,
+                        ) {
+                            if extraction.dirty.is_empty() {
+                                // Every appended value and edge already
+                                // existed: the previous output is exact.
+                                return Ok(RefreshPlan {
+                                    kind: PlanKind::NoChange { current: Arc::clone(prev) },
+                                    db_version,
+                                });
+                            }
+                            return Ok(RefreshPlan {
+                                kind: PlanKind::Delta(Box::new(DeltaPlan {
+                                    extraction,
+                                    convexity: prev.convexity.clone(),
+                                })),
+                                db_version,
+                            });
+                        }
+                    }
+                    ChangeSummary::Full => {}
+                }
+            }
+        }
+        self.prepare_refresh_full(db, base)
+    }
+
+    /// Phase 1 of a **full** refresh: re-extract the whole problem and
+    /// gather warm-start seeds, skipping the delta dispatch entirely.
+    pub fn prepare_refresh_full(
+        &self,
+        db: &Database,
+        base: &EmbeddingSet,
+    ) -> Result<RefreshPlan, RetroError> {
+        if base.dim() == 0 {
+            return Err(RetroError::EmptyEmbedding);
+        }
+        let db_version = db.write_version();
+        let (skip_cols, skip_rels) = self.engine.config.skip_refs();
         let problem = RetrofitProblem::build(db, base, &skip_cols, &skip_rels);
 
         // Warm start: carry over converged vectors by (category label, text).
@@ -152,31 +373,101 @@ impl IncrementalRetro {
             }
             warm
         });
-        Ok(RefreshPlan { problem, warm })
+        Ok(RefreshPlan { kind: PlanKind::Full { problem, warm }, db_version })
     }
 
     /// Phase 2 of a refresh: run the solver on a prepared plan and install
     /// the result as the session's current state. Infallible — every
     /// validation already happened in [`Self::prepare_refresh`].
     pub fn complete_refresh(&mut self, plan: RefreshPlan) -> &RetroOutput {
-        let RefreshPlan { problem, warm } = plan;
-        let out = match warm {
-            Some(warm) => {
-                let embeddings = self.solve_from(&problem, warm);
-                let convexity = crate::hyper::check_convexity(
-                    &problem.groups,
-                    &problem.relation_counts,
-                    &self.engine.config.params,
-                    problem.len(),
-                );
-                RetroOutput { catalog: problem.catalog.clone(), problem, embeddings, convexity }
+        let RefreshPlan { kind, db_version } = plan;
+        match kind {
+            PlanKind::NoChange { current } => {
+                // The previous output is exact for `db_version` too: keep
+                // the state (same `Arc`) and the sums cache, restamping
+                // both to the new version so the next delta anchors here.
+                if let Some(cache) = &mut self.sums_cache {
+                    if Some(cache.version) == self.state_version {
+                        cache.version = db_version;
+                    }
+                }
+                self.install(current, db_version, RefreshKind::NoChange)
             }
-            // No previous state: a cold full run at the engine's configured
-            // iteration count, exactly like `full_run`.
-            None => self.engine.solve(problem),
-        };
-        self.state = Some(std::sync::Arc::new(out));
-        self.state.as_deref().expect("just set")
+            PlanKind::Delta(plan) => {
+                let DeltaPlan { extraction, convexity } = *plan;
+                let DeltaExtraction { problem, mut warm, dirty, new_targets, prev_groups } =
+                    extraction;
+                // Reuse cached target sums when they match the previous
+                // state: patch in the rows that became targets with these
+                // appends (rows of brand-new groups start at zero and get
+                // all their targets this way). Otherwise rebuild — O(E),
+                // still database-free.
+                let cached = self.sums_cache.take().filter(|cache| {
+                    Some(cache.version) == self.state_version
+                        && cache.sums.shape() == (prev_groups * 2, problem.dim())
+                });
+                let mut sums = match cached {
+                    Some(cache) => {
+                        let mut sums = Matrix::zeros(problem.groups.len() * 2, problem.dim());
+                        for r in 0..prev_groups * 2 {
+                            sums.set_row(r, cache.sums.row(r));
+                        }
+                        for (gi, (fwd, inv)) in new_targets.iter().enumerate() {
+                            for &id in fwd {
+                                vector::axpy(1.0, warm.row(id as usize), sums.row_mut(2 * gi));
+                            }
+                            for &id in inv {
+                                vector::axpy(1.0, warm.row(id as usize), sums.row_mut(2 * gi + 1));
+                            }
+                        }
+                        sums
+                    }
+                    None => build_target_sums(&problem, &warm),
+                };
+                let ro = self.engine.config.solver == Solver::Ro;
+                solve_delta(
+                    &problem,
+                    &self.engine.config.params,
+                    ro,
+                    self.refresh_iterations,
+                    &mut warm,
+                    &mut sums,
+                    &dirty,
+                );
+                self.sums_cache = Some(SumsCache { version: db_version, sums });
+                let out = RetroOutput {
+                    catalog: problem.catalog.clone(),
+                    problem,
+                    embeddings: warm,
+                    convexity,
+                };
+                self.install(Arc::new(out), db_version, RefreshKind::Delta)
+            }
+            PlanKind::Full { problem, warm } => {
+                let out = match warm {
+                    Some(warm) => {
+                        let embeddings = self.solve_from(&problem, warm);
+                        let convexity = crate::hyper::check_convexity(
+                            &problem.groups,
+                            &problem.relation_counts,
+                            &self.engine.config.params,
+                            problem.len(),
+                        );
+                        RetroOutput {
+                            catalog: problem.catalog.clone(),
+                            problem,
+                            embeddings,
+                            convexity,
+                        }
+                    }
+                    // No previous state: a cold full run at the engine's
+                    // configured iteration count, exactly like `full_run`.
+                    None => self.engine.solve(problem),
+                };
+                self.sums_cache = None;
+                self.install(Arc::new(out), db_version, RefreshKind::Full)
+            }
+        }
     }
 
     /// Run the configured solver starting from `warm` instead of `W0`,
@@ -236,17 +527,78 @@ mod tests {
         let db = db();
         let out = inc.refresh(&db, &base()).unwrap();
         assert_eq!(out.embeddings.rows(), 4);
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Full));
     }
 
     #[test]
     fn refresh_picks_up_new_values() {
         let mut inc = IncrementalRetro::new(RetroConfig::default());
+        // On a 4-value toy graph the two-ring dirty set is most of the
+        // catalog; this test is about dispatch, not the budget.
+        inc.delta_max_dirty_fraction = 1.0;
         let mut db = db();
         inc.full_run(&db, &base()).unwrap();
         sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
         let out = inc.refresh(&db, &base()).unwrap();
         assert!(out.vector("movies", "title", "prometheus").is_some());
         assert_eq!(out.embeddings.rows(), 5);
+        // An insert-only change takes the delta path.
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Delta));
+    }
+
+    #[test]
+    fn unchanged_database_republishes_without_solving() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let db = db();
+        inc.full_run(&db, &base()).unwrap();
+        let before = inc.current_shared().unwrap();
+        let plan = inc.prepare_refresh(&db, &base()).unwrap();
+        assert_eq!(plan.kind(), RefreshKind::NoChange);
+        inc.complete_refresh(plan);
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::NoChange));
+        // Same allocation, not merely equal values.
+        assert!(Arc::ptr_eq(&before, &inc.current_shared().unwrap()));
+    }
+
+    #[test]
+    fn numeric_only_update_is_no_change() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, budget FLOAT);
+             INSERT INTO movies VALUES (1, 'valerian', 180.0), (2, 'alien', 11.0);",
+        )
+        .unwrap();
+        inc.full_run(&db, &base()).unwrap();
+        db.update_rows("movies", &[(0, 2, retro_store::Value::Float(9.0))]).unwrap();
+        let plan = inc.prepare_refresh(&db, &base()).unwrap();
+        assert_eq!(plan.kind(), RefreshKind::NoChange);
+    }
+
+    #[test]
+    fn delete_falls_back_to_a_full_refresh() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        let mut db = db();
+        inc.full_run(&db, &base()).unwrap();
+        db.delete_rows("movies", &[1]).unwrap();
+        let plan = inc.prepare_refresh(&db, &base()).unwrap();
+        assert_eq!(plan.kind(), RefreshKind::Full);
+        assert!(plan.is_warm());
+        let out = inc.complete_refresh(plan);
+        assert_eq!(out.embeddings.rows(), 3);
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Full));
+    }
+
+    #[test]
+    fn dirty_fraction_zero_forces_the_full_path() {
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        inc.delta_max_dirty_fraction = 0.0;
+        let mut db = db();
+        inc.full_run(&db, &base()).unwrap();
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
+        inc.refresh(&db, &base()).unwrap();
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Full));
     }
 
     #[test]
@@ -306,14 +658,60 @@ mod tests {
     }
 
     #[test]
-    fn refresh_result_close_to_cold_recompute() {
+    fn refresh_result_close_to_a_full_refresh() {
         let mut inc = IncrementalRetro::new(RetroConfig::default());
+        inc.delta_max_dirty_fraction = 1.0;
         let mut db = db();
         inc.full_run(&db, &base()).unwrap();
+        let mut reference = inc.clone();
         sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
-        let refreshed = inc.refresh(&db, &base()).unwrap().embeddings.clone();
-        let cold = Retro::new(RetroConfig::default()).retrofit(&db, &base()).unwrap();
-        // Same fixed point: warm refresh must land near the cold solution.
-        assert!(refreshed.max_abs_diff(&cold.embeddings) < 0.05);
+        inc.refresh(&db, &base()).unwrap();
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Delta));
+        let full = reference.refresh_full(&db, &base()).unwrap().clone();
+        assert_eq!(reference.last_refresh(), Some(RefreshKind::Full));
+        // Same fixed point up to the documented bounded drift — but value
+        // ids can differ (the delta catalog appends new values, a full
+        // re-extraction interleaves them), so compare per
+        // (table, column, text). This 4-value toy is past the worst case
+        // for the production bound (the insert is 20% of the graph and
+        // every frozen row is a direct neighbour of the change), so the
+        // assertion here is looser; the 0.05 contract is pinned at
+        // realistic sizes by the root `delta_refresh` suite.
+        for (id, cat, text) in full.catalog.iter() {
+            let category = &full.catalog.categories()[cat as usize];
+            let mapped = inc
+                .current()
+                .unwrap()
+                .vector(&category.table, &category.column, text)
+                .expect("delta output must cover every value the full refresh has");
+            let max = full
+                .embeddings
+                .row(id)
+                .iter()
+                .zip(mapped)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max < 0.1, "'{text}' drifted by {max}");
+        }
+    }
+
+    /// The cached target sums must give the same delta result as a cold
+    /// rebuild of the sums (second consecutive delta hits the cache).
+    #[test]
+    fn sums_cache_does_not_change_the_result() {
+        let mut db = db();
+        let mut inc = IncrementalRetro::new(RetroConfig::default());
+        inc.delta_max_dirty_fraction = 1.0;
+        inc.full_run(&db, &base()).unwrap();
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (3, 'prometheus', 2)").unwrap();
+        inc.refresh(&db, &base()).unwrap();
+        let mut uncached = inc.clone();
+        uncached.sums_cache = None;
+
+        sql::run_script(&mut db, "INSERT INTO movies VALUES (4, 'alien', 1)").unwrap();
+        let cached_out = inc.refresh(&db, &base()).unwrap().embeddings.clone();
+        assert_eq!(inc.last_refresh(), Some(RefreshKind::Delta));
+        let rebuilt_out = uncached.refresh(&db, &base()).unwrap().embeddings.clone();
+        assert!(cached_out.max_abs_diff(&rebuilt_out) < 1e-5);
     }
 }

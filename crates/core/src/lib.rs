@@ -56,6 +56,7 @@
 pub mod api;
 pub mod catalog;
 pub mod combine;
+pub(crate) mod delta;
 pub mod graphgen;
 pub mod hyper;
 pub mod incremental;
@@ -68,7 +69,7 @@ pub mod solver;
 pub use api::{Retro, RetroConfig, RetroOutput, Solver};
 pub use catalog::{Category, TextValueCatalog};
 pub use hyper::{Hyperparameters, ParamCheck};
-pub use incremental::IncrementalRetro;
+pub use incremental::{IncrementalRetro, RefreshKind, RefreshPlan};
 pub use problem::RetrofitProblem;
 pub use relations::{RelationGroup, RelationKind};
 pub use serve::{EmbeddingService, RefreshWorker, Snapshot};

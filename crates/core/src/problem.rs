@@ -1,7 +1,7 @@
 //! Assembly of the retrofitting problem: `W0`, category centroids, relation
 //! groups in both directions, and per-node weight derivations.
 
-use retro_embed::{EmbeddingSet, Tokenizer};
+use retro_embed::EmbeddingSet;
 use retro_linalg::Matrix;
 use retro_store::Database;
 
@@ -13,10 +13,15 @@ use crate::relations::{extract_relations, relation_type_counts, RelationGroup};
 ///
 /// `groups` holds the *forward* relation groups as extracted; the solvers
 /// materialize both directions via [`RetrofitProblem::directed_groups`].
+///
+/// The catalog is held behind an `Arc`: it is immutable once assembled, and
+/// sharing it lets [`crate::RetroOutput`] (and every published serving
+/// snapshot) reference the same allocation instead of deep-copying a
+/// paper-scale string table on every solve or refresh.
 #[derive(Clone, Debug)]
 pub struct RetrofitProblem {
-    /// Text values and categories.
-    pub catalog: TextValueCatalog,
+    /// Text values and categories (shared, immutable).
+    pub catalog: std::sync::Arc<TextValueCatalog>,
     /// Forward relation groups.
     pub groups: Vec<RelationGroup>,
     /// `n × D` initial vectors (§3.1 tokenized centroids; zero rows for OOV).
@@ -54,7 +59,7 @@ impl RetrofitProblem {
         groups: Vec<RelationGroup>,
         base: &EmbeddingSet,
     ) -> Self {
-        let tokenizer = Tokenizer::new(base);
+        let tokenizer = base.tokenizer();
         let n = catalog.len();
         let dim = base.dim();
         let mut w0 = Matrix::zeros(n, dim);
@@ -86,7 +91,14 @@ impl RetrofitProblem {
         // Directed participation counts need forward + inverted groups.
         let relation_counts = relation_type_counts(&groups, n);
 
-        Self { catalog, groups, w0, oov, category_centroids, relation_counts }
+        Self {
+            catalog: std::sync::Arc::new(catalog),
+            groups,
+            w0,
+            oov,
+            category_centroids,
+            relation_counts,
+        }
     }
 
     /// Number of text values.

@@ -14,7 +14,7 @@
 //! group `Er̄` by transposition. Edge lists are deduplicated (the same value
 //! pair related by many rows is one relation).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use retro_store::{Database, Value};
 
@@ -121,9 +121,31 @@ pub fn extract_relations(
     catalog: &TextValueCatalog,
     skip_relations: &[&str],
 ) -> Vec<RelationGroup> {
+    extract_relations_scoped(db, catalog, skip_relations, None)
+}
+
+/// [`extract_relations`] restricted to a row scope: when `scope` is `Some`,
+/// only tables named in the map are scanned, and each is scanned from its
+/// mapped row index onward. The delta-refresh path uses this to extract the
+/// edges contributed by freshly appended rows with the *same* code — group
+/// names, edge semantics and skip handling cannot drift from the full
+/// extraction, because they are the full extraction.
+pub(crate) fn extract_relations_scoped(
+    db: &Database,
+    catalog: &TextValueCatalog,
+    skip_relations: &[&str],
+    scope: Option<&BTreeMap<String, usize>>,
+) -> Vec<RelationGroup> {
     let mut groups = Vec::new();
 
     for table in db.tables() {
+        let start = match scope {
+            None => 0,
+            Some(map) => match map.get(table.name()) {
+                Some(&s) => s.min(table.len()),
+                None => continue,
+            },
+        };
         let schema = table.schema();
         let text_cols = schema.text_columns();
 
@@ -138,7 +160,7 @@ pub fn extract_relations(
                     continue;
                 };
                 let mut edges = Vec::new();
-                for row in table.rows() {
+                for row in &table.rows()[start..] {
                     if let (Some(ta), Some(tb)) = (row[a].as_text(), row[b].as_text()) {
                         if let (Some(i), Some(j)) = (
                             catalog.lookup_in_category(cat_a, ta),
@@ -173,7 +195,7 @@ pub fn extract_relations(
             let fks = &schema.foreign_keys;
             for (fi, fk_a) in fks.iter().enumerate() {
                 for fk_b in &fks[fi + 1..] {
-                    extract_m2m(db, catalog, table, fk_a, fk_b, &mut groups, skip_relations);
+                    extract_m2m(db, catalog, table, start, fk_a, fk_b, &mut groups, skip_relations);
                 }
             }
         } else {
@@ -197,7 +219,7 @@ pub fn extract_relations(
                         continue;
                     };
                     let mut edges = Vec::new();
-                    for row in table.rows() {
+                    for row in &table.rows()[start..] {
                         let Some(key) = row[fk_col].as_int() else { continue };
                         let Some(target_row) = ref_table.row_by_pk(key) else { continue };
                         if let (Some(ta), Some(tb)) = (row[a].as_text(), target_row[b].as_text()) {
@@ -237,6 +259,7 @@ fn extract_m2m(
     db: &Database,
     catalog: &TextValueCatalog,
     link: &retro_store::Table,
+    start: usize,
     fk_a: &retro_store::ForeignKey,
     fk_b: &retro_store::ForeignKey,
     groups: &mut Vec<RelationGroup>,
@@ -260,7 +283,7 @@ fn extract_m2m(
             return;
         };
         let mut edges = Vec::new();
-        for row in link.rows() {
+        for row in &link.rows()[start..] {
             let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
                 continue;
             };

@@ -13,16 +13,17 @@
 //! snapshot lifecycle, generation semantics, the staleness model and a
 //! worked example.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
 use retro_embed::{nn, EmbeddingSet};
-use retro_store::SharedDatabase;
+use retro_linalg::vector;
+use retro_store::{Database, SharedDatabase};
 
 use crate::api::{RetroConfig, RetroError, RetroOutput};
-use crate::incremental::IncrementalRetro;
+use crate::incremental::{IncrementalRetro, RefreshKind, RefreshPlan};
 
 /// The serving guide, rendered from `docs/SERVING.md` so its code examples
 /// compile and run as doctests.
@@ -152,6 +153,12 @@ pub struct EmbeddingService {
     /// snapshot itself carries the generation number, so the published
     /// generation and the published data can never disagree.
     snapshot: RwLock<Arc<Snapshot>>,
+    /// Refreshes published since start (the initial generation is not
+    /// counted). The interesting property is what this does NOT count:
+    /// however many writes land while one refresh is in flight, they are
+    /// all caught by at most one follow-up refresh, so this grows with
+    /// *refreshes*, not with *writes*.
+    refreshes: AtomicU64,
 }
 
 impl std::fmt::Debug for EmbeddingService {
@@ -189,6 +196,7 @@ impl EmbeddingService {
             threads,
             session: RwLock::new(session),
             snapshot: RwLock::new(snapshot),
+            refreshes: AtomicU64::new(0),
         }))
     }
 
@@ -242,21 +250,54 @@ impl EmbeddingService {
         self.snapshot().nearest_token(table, column, text, k)
     }
 
-    /// Warm-start refresh: re-extract under a brief database read guard,
+    /// Incremental refresh: re-extract under a brief database read guard,
     /// solve with the database unlocked, publish atomically. Returns the
     /// new snapshot's generation.
+    ///
+    /// The refresh is **delta scoped** whenever the change log allows it
+    /// (see [`crate::IncrementalRetro::prepare_refresh`]): a small append
+    /// re-solves only the affected rows, and a no-op change set republishes
+    /// the same output — same `Arc`, cached norms — restamped with the new
+    /// generation and write version, so the staleness check still clears.
+    /// [`EmbeddingService::last_refresh`] reports which path ran.
     ///
     /// Refreshes are serialized on the session lock; readers are untouched
     /// throughout. On error nothing is published and the session keeps its
     /// warm-start state — the last good snapshot keeps serving.
     pub fn refresh(&self) -> Result<u64, RetroError> {
+        self.refresh_with(|session, db, base| session.prepare_refresh(db, base))
+    }
+
+    /// [`EmbeddingService::refresh`], but always re-extracting and
+    /// re-solving the whole problem (the delta dispatch is skipped). Use it
+    /// to re-converge exactly — e.g. before an evaluation — at full cost.
+    pub fn refresh_full(&self) -> Result<u64, RetroError> {
+        self.refresh_with(|session, db, base| session.prepare_refresh_full(db, base))
+    }
+
+    /// Adjust the inner session's tuning knobs (refresh iteration count,
+    /// delta dirty-set budget) under the session lock. Takes effect on the
+    /// next refresh; concurrent refreshes are serialized against it.
+    pub fn tune_session(&self, tune: impl FnOnce(&mut IncrementalRetro)) {
+        tune(&mut self.session.write());
+    }
+
+    fn refresh_with(
+        &self,
+        prepare: impl FnOnce(
+            &IncrementalRetro,
+            &Database,
+            &EmbeddingSet,
+        ) -> Result<RefreshPlan, RetroError>,
+    ) -> Result<u64, RetroError> {
         let mut session = self.session.write();
         let (plan, write_version) = {
             let guard = self.db.read();
             // The version is read under the same guard as the extraction,
             // so the stamp can never claim writes the problem didn't see.
-            (session.prepare_refresh(&guard, &self.base)?, guard.write_version())
+            (prepare(&session, &guard, &self.base)?, guard.write_version())
         };
+        let dirty = plan.dirty_rows().map(<[u32]>::to_vec);
         session.complete_refresh(plan);
         let output = session.current_shared().expect("just completed");
 
@@ -264,10 +305,52 @@ impl EmbeddingService {
         // which is what makes generations monotone for every observer,
         // and the generation number lives inside the swapped snapshot, so
         // it can never be observed ahead of the data it numbers.
-        let generation = self.snapshot.read().generation() + 1;
-        let snapshot = Arc::new(Snapshot::new(generation, write_version, self.threads, output));
+        let old = Arc::clone(&self.snapshot.read());
+        let generation = old.generation() + 1;
+        let snapshot = if Arc::ptr_eq(&output, &old.output) {
+            // No-change refresh: the session kept its output allocation, so
+            // reuse the published norms too — the republish is O(n), not
+            // O(n·D).
+            Arc::new(Snapshot {
+                generation,
+                write_version,
+                threads: self.threads,
+                norms: old.norms.clone(),
+                output,
+            })
+        } else if let Some(dirty) = dirty.filter(|_| old.norms.len() <= output.embeddings.rows()) {
+            // Delta refresh: only the dirty rows moved and new rows were
+            // appended (the previous snapshot is always the plan's prior
+            // state — both live under the session lock). Patch the cached
+            // norms instead of renormalizing the whole matrix.
+            let mut norms = Vec::with_capacity(output.embeddings.rows());
+            norms.extend_from_slice(&old.norms);
+            norms.resize(output.embeddings.rows(), 0.0);
+            for &r in &dirty {
+                norms[r as usize] = vector::norm(output.embeddings.row(r as usize));
+            }
+            Arc::new(Snapshot { generation, write_version, threads: self.threads, norms, output })
+        } else {
+            Arc::new(Snapshot::new(generation, write_version, self.threads, output))
+        };
         *self.snapshot.write() = snapshot;
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
         Ok(generation)
+    }
+
+    /// Which path the most recent solve took — [`RefreshKind::Full`] right
+    /// after start (the initial run is a full run), then whatever the last
+    /// refresh dispatched to.
+    pub fn last_refresh(&self) -> Option<RefreshKind> {
+        self.session.read().last_refresh()
+    }
+
+    /// Number of refreshes published since start (the initial generation
+    /// does not count). Grows with refreshes, not writes: all writes
+    /// landing during one in-flight refresh coalesce into at most one
+    /// follow-up.
+    pub fn refreshes_published(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
     }
 
     /// [`EmbeddingService::refresh`], but only if [`EmbeddingService::out_of_date`];
@@ -457,5 +540,74 @@ mod tests {
                 sql::run(db, "INSERT INTO movies VALUES (4, 'covenant', 2)").map(|_| ())
             })
             .unwrap();
+    }
+
+    #[test]
+    fn single_insert_refresh_takes_the_delta_path() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        // The toy graph's two-ring dirty set is most of the catalog; this
+        // test is about the dispatch, not the budget.
+        service.tune_session(|s| s.delta_max_dirty_fraction = 1.0);
+        assert_eq!(service.last_refresh(), Some(RefreshKind::Full));
+        insert_prometheus(service.database());
+        service.refresh().unwrap();
+        assert_eq!(service.last_refresh(), Some(RefreshKind::Delta));
+        let snap = service.snapshot();
+        assert!(snap.vector("movies", "title", "prometheus").is_some());
+        // The delta publish patches the cached norms (frozen rows reuse
+        // the old entries) — they must still equal a full renormalize.
+        let exact = snap.output().embeddings.row_norms();
+        assert_eq!(snap.norms(), exact.as_slice());
+        // The explicit full path remains available as the exact reference.
+        service.refresh_full().unwrap();
+        assert_eq!(service.last_refresh(), Some(RefreshKind::Full));
+    }
+
+    #[test]
+    fn no_change_refresh_republishes_the_same_output() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let before = service.snapshot();
+        // Numeric-only write: staleness triggers, but nothing can move.
+        service
+            .database()
+            .with_write(|db| {
+                sql::run(db, "CREATE TABLE stats (id INTEGER PRIMARY KEY, n FLOAT)").map(|_| ())
+            })
+            .unwrap();
+        assert!(service.out_of_date());
+        // A new table IS a graph change (Full), so use a numeric update
+        // instead: add the rows first, republish, then update in place.
+        service.refresh().unwrap();
+        let settled = service.snapshot();
+        service
+            .database()
+            .with_write(|db| {
+                sql::run(db, "INSERT INTO stats VALUES (1, 1.0)").map(|_| ())?;
+                db.update_rows("stats", &[(0, 1, retro_store::Value::Float(2.0))]).map(|_| ())
+            })
+            .unwrap();
+        assert!(service.out_of_date());
+        let generation = service.refresh().unwrap();
+        assert_eq!(service.last_refresh(), Some(RefreshKind::NoChange));
+        assert!(!service.out_of_date(), "a no-change refresh must still clear staleness");
+        let after = service.snapshot();
+        assert_eq!(after.generation(), generation);
+        assert!(
+            Arc::ptr_eq(&after.output, &settled.output),
+            "no-change republish must reuse the output allocation"
+        );
+        drop(before);
+    }
+
+    #[test]
+    fn refreshes_published_counts_refreshes_not_writes() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        assert_eq!(service.refreshes_published(), 0);
+        insert_prometheus(service.database());
+        insert_prometheus_again(service.database());
+        service.refresh_if_stale().unwrap();
+        assert_eq!(service.refreshes_published(), 1, "two writes, one refresh");
+        assert_eq!(service.refresh_if_stale().unwrap(), None);
+        assert_eq!(service.refreshes_published(), 1);
     }
 }

@@ -1,0 +1,381 @@
+//! The row-subset solver behind delta-scoped refresh.
+//!
+//! Given a merged problem ([`crate::delta::extract_delta`]), a warm matrix
+//! holding the previous converged vectors, and the *dirty set* of rows
+//! whose neighbourhood changed, [`solve_delta`] iterates the configured
+//! kernel's row update **only over the dirty rows**, reading every other
+//! row's converged vector as a constant. Cost per iteration is
+//! `O(|dirty adjacency| · D)` plus an `O(|dirty| · D)` target-sum patch —
+//! independent of the catalog size — which is what turns a one-row insert
+//! from a full re-solve into a millisecond refresh.
+//!
+//! The construction mirrors the full kernels (`RoKernel`, `RnKernel`)
+//! term for term: the same [`crate::hyper::per_source_weight`] /
+//! [`crate::hyper::delta_hat_weight`] formulas, the same group-major
+//! visit order for the positive and negative plans, the same Jacobi
+//! semantics (all dirty rows are staged from the previous iterate, then
+//! committed together). Frozen rows introduce the *bounded drift*
+//! documented in `docs/INCREMENTAL.md`: a full solve would also nudge the
+//! neighbours of the dirty rows, so delta output is equal to a full
+//! refresh only up to a tolerance (pinned at `≤ 0.05` L∞ by the root
+//! `delta_refresh` suite), not bit-for-bit.
+//!
+//! The solver is single-threaded by design: dirty sets are tiny (the
+//! fallback threshold caps them), so thread fan-out would cost more than
+//! the arithmetic — and it makes delta output trivially independent of
+//! the configured thread count.
+
+use retro_linalg::{vector, Matrix};
+
+use crate::hyper::{delta_hat_weight, per_source_weight, Hyperparameters};
+use crate::problem::RetrofitProblem;
+
+/// Target-sum matrix `t_r = Σ_{k ∈ targets(r)} W[k]` for every directed
+/// group (row `2·gi` = forward direction of group `gi`, row `2·gi+1` =
+/// inverted), matching the layout of `RoKernel`'s `t_sums`. The RN
+/// kernel's Eq. 16 centroids are these sums divided by the target counts;
+/// [`solve_delta`] performs that division at apply time, so one sum matrix
+/// serves both solvers — and, being parameter-independent, it can be
+/// cached across refreshes by `IncrementalRetro`.
+pub(crate) fn build_target_sums(problem: &RetrofitProblem, w: &Matrix) -> Matrix {
+    let n = problem.len();
+    let dim = problem.dim();
+    let mut sums = Matrix::zeros(problem.groups.len() * 2, dim);
+    let mut fwd_deg = vec![0u32; n];
+    let mut inv_deg = vec![0u32; n];
+    for (gi, group) in problem.groups.iter().enumerate() {
+        for &(i, j) in &group.edges {
+            fwd_deg[i as usize] += 1;
+            inv_deg[j as usize] += 1;
+        }
+        // Forward targets = distinct j (inv degree), inverted targets =
+        // distinct i (fwd degree); reset the scratch in the same pass.
+        for &(i, j) in &group.edges {
+            if inv_deg[j as usize] > 0 {
+                inv_deg[j as usize] = 0;
+                vector::axpy(1.0, w.row(j as usize), sums.row_mut(2 * gi));
+            }
+            if fwd_deg[i as usize] > 0 {
+                fwd_deg[i as usize] = 0;
+                vector::axpy(1.0, w.row(i as usize), sums.row_mut(2 * gi + 1));
+            }
+        }
+    }
+    sums
+}
+
+/// Iterate the configured solver's row update over `dirty` only.
+///
+/// * `w` — the full embedding matrix; dirty rows are updated in place,
+///   every other row is read-only.
+/// * `sums` — the per-directed-group target sums over the *current* `w`
+///   (see [`build_target_sums`]); kept in sync as dirty rows move, so the
+///   caller can cache it for the next delta refresh.
+/// * `ro` — `true` for the RO (Eq. 10 + Eq. 15 blanket) update, `false`
+///   for the RN (Eq. 11/16, row-normalized) update.
+pub(crate) fn solve_delta(
+    problem: &RetrofitProblem,
+    params: &Hyperparameters,
+    ro: bool,
+    iterations: usize,
+    w: &mut Matrix,
+    sums: &mut Matrix,
+    dirty: &[u32],
+) {
+    let n = problem.len();
+    let dim = problem.dim();
+    let nd = dirty.len();
+    if nd == 0 || n == 0 || dim == 0 || iterations == 0 {
+        return;
+    }
+    debug_assert_eq!(w.shape(), (n, dim));
+    debug_assert_eq!(sums.shape(), (problem.groups.len() * 2, dim));
+
+    let beta = problem.beta_weights(params);
+    let counts = &problem.relation_counts;
+
+    // Dense membership: dirty id → slot, u32::MAX for clean rows.
+    let mut slot_of = vec![u32::MAX; n];
+    for (k, &r) in dirty.iter().enumerate() {
+        slot_of[r as usize] = k as u32;
+    }
+
+    // ── Construction: the dirty rows' view of the kernels' operators ──
+    // Per dirty slot: positive adjacency (neighbour id, weight), negative
+    // plan (directed group, coefficient), directed groups the row is a
+    // target of (for the sum patch), and — RO — the Eq. 10 diagonal.
+    let mut adj: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nd];
+    let mut neg: Vec<Vec<(u32, f32)>> = vec![Vec::new(); nd];
+    let mut target_of: Vec<Vec<u32>> = vec![Vec::new(); nd];
+    let mut denom: Vec<f32> = dirty.iter().map(|&r| params.alpha + beta[r as usize]).collect();
+    // Per directed group: distinct target count (RN centroid divisor).
+    let mut tgt_count = vec![0u32; problem.groups.len() * 2];
+
+    let mut fwd_deg = vec![0u32; n];
+    let mut inv_deg = vec![0u32; n];
+    for (gi, group) in problem.groups.iter().enumerate() {
+        // One counting pass: degrees, Eq. 13 mr, and (via 0→1 transitions)
+        // the distinct source/target counts — O(E), never O(n).
+        let mut mr = 1usize;
+        let mut src_count = 0usize;
+        let mut t_count = 0usize;
+        for &(i, j) in &group.edges {
+            if fwd_deg[i as usize] == 0 {
+                src_count += 1;
+            }
+            if inv_deg[j as usize] == 0 {
+                t_count += 1;
+            }
+            fwd_deg[i as usize] += 1;
+            inv_deg[j as usize] += 1;
+            mr = mr.max(counts[i as usize] as usize + 1).max(counts[j as usize] as usize + 1);
+        }
+        let mc = src_count.max(t_count).max(1);
+        let dh = if group.edges.is_empty() { 0.0 } else { delta_hat_weight(params.delta, mc, mr) };
+        let g_fwd = (2 * gi) as u32;
+        let g_inv = g_fwd + 1;
+        tgt_count[g_fwd as usize] = t_count as u32;
+        tgt_count[g_inv as usize] = src_count as u32;
+
+        // Positive adjacency, in the kernels' push order: all forward
+        // edges of the group, then all inverted — so each dirty row's
+        // gather sequence matches the full kernels' CSR row order.
+        for &(i, j) in &group.edges {
+            let k = slot_of[i as usize];
+            if k == u32::MAX {
+                continue;
+            }
+            let weight = if ro {
+                per_source_weight(params.gamma, fwd_deg[i as usize], counts[i as usize])
+                    + per_source_weight(params.gamma, inv_deg[j as usize], counts[j as usize])
+                    + 2.0 * dh
+            } else {
+                per_source_weight(params.gamma, fwd_deg[i as usize], counts[i as usize])
+            };
+            adj[k as usize].push((j, weight));
+            denom[k as usize] += weight;
+        }
+        for &(i, j) in &group.edges {
+            let k = slot_of[j as usize];
+            if k == u32::MAX {
+                continue;
+            }
+            let weight = if ro {
+                per_source_weight(params.gamma, fwd_deg[i as usize], counts[i as usize])
+                    + per_source_weight(params.gamma, inv_deg[j as usize], counts[j as usize])
+                    + 2.0 * dh
+            } else {
+                per_source_weight(params.gamma, inv_deg[j as usize], counts[j as usize])
+            };
+            adj[k as usize].push((i, weight));
+            denom[k as usize] += weight;
+        }
+
+        // Negative plans and target membership, per dirty row, in
+        // group-major order (same as `flatten_by_node` yields).
+        for (k, &r) in dirty.iter().enumerate() {
+            let fd = fwd_deg[r as usize];
+            let id = inv_deg[r as usize];
+            if fd > 0 {
+                // Sources the forward direction → subtract its targets'
+                // aggregate; and it is a target of the inverted direction.
+                if ro {
+                    denom[k] -= 2.0 * dh * t_count as f32;
+                    if dh != 0.0 && t_count > 0 {
+                        neg[k].push((g_fwd, 2.0 * dh));
+                    }
+                } else if params.delta != 0.0 {
+                    let d = per_source_weight(params.delta, fd, counts[r as usize]);
+                    if d != 0.0 {
+                        neg[k].push((g_fwd, d));
+                    }
+                }
+                target_of[k].push(g_inv);
+            }
+            if id > 0 {
+                if ro {
+                    denom[k] -= 2.0 * dh * src_count as f32;
+                    if dh != 0.0 && src_count > 0 {
+                        neg[k].push((g_inv, 2.0 * dh));
+                    }
+                } else if params.delta != 0.0 {
+                    let d = per_source_weight(params.delta, id, counts[r as usize]);
+                    if d != 0.0 {
+                        neg[k].push((g_inv, d));
+                    }
+                }
+                target_of[k].push(g_fwd);
+            }
+        }
+
+        for &(i, j) in &group.edges {
+            fwd_deg[i as usize] = 0;
+            inv_deg[j as usize] = 0;
+        }
+    }
+
+    // ── Iteration: Jacobi over the dirty subset ───────────────────────
+    let mut staged = Matrix::zeros(nd, dim);
+    for _ in 0..iterations {
+        // Stage every dirty row from the current iterate (`w` + `sums`),
+        // exactly like the full kernels' row phase.
+        for (k, &r) in dirty.iter().enumerate() {
+            let r = r as usize;
+            let out = staged.row_mut(k);
+            let b = beta[r];
+            for ((o, &w0v), &cv) in
+                out.iter_mut().zip(problem.w0.row(r)).zip(problem.centroid_of(r))
+            {
+                *o = params.alpha * w0v + b * cv;
+            }
+            for &(c, v) in &adj[k] {
+                vector::axpy(v, w.row(c as usize), out);
+            }
+            if ro {
+                for &(g, coeff) in &neg[k] {
+                    vector::axpy(-coeff, sums.row(g as usize), out);
+                }
+                let d = denom[k];
+                if d.abs() > 1e-6 {
+                    vector::scale(1.0 / d, out);
+                } else {
+                    // Degenerate diagonal (δ too large): keep the previous
+                    // vector, like the full kernel.
+                    out.copy_from_slice(w.row(r));
+                }
+            } else {
+                for &(g, delta) in &neg[k] {
+                    let divisor = tgt_count[g as usize].max(1) as f32;
+                    vector::axpy(-delta / divisor, sums.row(g as usize), out);
+                }
+                vector::normalize(out);
+            }
+        }
+        // Commit, patching the target sums the moved rows contribute to.
+        for (k, &r) in dirty.iter().enumerate() {
+            let r = r as usize;
+            for &g in &target_of[k] {
+                vector::axpy(-1.0, w.row(r), sums.row_mut(g as usize));
+            }
+            w.set_row(r, staged.row(k));
+            for &g in &target_of[k] {
+                let new_row = staged.row(k).to_vec();
+                vector::axpy(1.0, &new_row, sums.row_mut(g as usize));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve_rn_seeded, solve_ro_seeded};
+    use retro_embed::EmbeddingSet;
+    use retro_store::{sql, Database};
+
+    fn setup() -> (RetrofitProblem, Matrix) {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, lang TEXT,
+                                  director_id INTEGER REFERENCES persons(id));
+             INSERT INTO persons VALUES (1, 'luc besson'), (2, 'ridley scott');
+             INSERT INTO movies VALUES (1, 'valerian', 'en', 1), (2, 'alien', 'en', 2),
+                                       (3, 'leon', 'fr', 1);",
+        )
+        .unwrap();
+        let base = EmbeddingSet::new(
+            vec!["valerian".into(), "alien".into(), "leon".into(), "luc".into(), "scott".into()],
+            vec![
+                vec![1.0, 0.0, 0.2],
+                vec![0.0, 1.0, 0.1],
+                vec![0.3, 0.3, 0.9],
+                vec![0.7, 0.1, 0.4],
+                vec![0.2, 0.8, 0.3],
+            ],
+        );
+        let problem = RetrofitProblem::build(&db, &base, &[], &[]);
+        let w0 = problem.w0.clone();
+        (problem, w0)
+    }
+
+    #[test]
+    fn target_sums_match_kernel_definition() {
+        let (problem, w0) = setup();
+        let sums = build_target_sums(&problem, &w0);
+        assert_eq!(sums.rows(), problem.groups.len() * 2);
+        // Forward sums aggregate distinct targets, inverted sums distinct
+        // sources — verified against the convenience accessors.
+        for (gi, group) in problem.groups.iter().enumerate() {
+            for (row, ids) in [(2 * gi, group.targets()), (2 * gi + 1, group.sources())] {
+                let mut expect = vec![0.0f32; problem.dim()];
+                for id in ids {
+                    vector::axpy(1.0, w0.row(id as usize), &mut expect);
+                }
+                for (a, b) in sums.row(row).iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// With EVERY row dirty, the delta solver runs the same update as the
+    /// full kernels — modulo the RN centroid division and sum-patch
+    /// floating-point orderings, which stay within a tight tolerance.
+    #[test]
+    fn all_dirty_matches_full_kernels() {
+        let (problem, w0) = setup();
+        let dirty: Vec<u32> = (0..problem.len() as u32).collect();
+        for (ro, params) in [
+            (true, Hyperparameters::paper_ro()),
+            (false, Hyperparameters::paper_rn()),
+            (true, Hyperparameters::new(1.0, 0.5, 2.0, 0.25)),
+            (false, Hyperparameters::new(1.0, 0.5, 2.0, 0.25)),
+        ] {
+            let mut w = w0.clone();
+            let mut sums = build_target_sums(&problem, &w);
+            solve_delta(&problem, &params, ro, 5, &mut w, &mut sums, &dirty);
+            let full = if ro {
+                solve_ro_seeded(&problem, &params, 5, Some(&w0))
+            } else {
+                solve_rn_seeded(&problem, &params, 5, Some(&w0))
+            };
+            assert!(w.max_abs_diff(&full) < 1e-4, "ro={ro} diverged by {}", w.max_abs_diff(&full));
+            // The maintained sums equal a rebuild over the final matrix.
+            let rebuilt = build_target_sums(&problem, &w);
+            assert!(sums.max_abs_diff(&rebuilt) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clean_rows_never_move() {
+        let (problem, w0) = setup();
+        let dirty = vec![0u32, 2];
+        for ro in [true, false] {
+            let params = if ro { Hyperparameters::paper_ro() } else { Hyperparameters::paper_rn() };
+            let mut w = w0.clone();
+            let mut sums = build_target_sums(&problem, &w);
+            solve_delta(&problem, &params, ro, 5, &mut w, &mut sums, &dirty);
+            for r in 0..problem.len() {
+                let moved = w.row(r) != w0.row(r);
+                if dirty.contains(&(r as u32)) {
+                    assert!(moved, "dirty row {r} should move (ro={ro})");
+                } else {
+                    assert!(!moved, "clean row {r} must stay verbatim (ro={ro})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dirty_set_is_a_no_op() {
+        let (problem, w0) = setup();
+        let mut w = w0.clone();
+        let mut sums = build_target_sums(&problem, &w);
+        let before = sums.clone();
+        solve_delta(&problem, &Hyperparameters::paper_rn(), false, 5, &mut w, &mut sums, &[]);
+        assert_eq!(w.max_abs_diff(&w0), 0.0);
+        assert_eq!(sums.max_abs_diff(&before), 0.0);
+    }
+}

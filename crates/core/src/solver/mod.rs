@@ -18,6 +18,7 @@
 //! bit-identical to the sequential entry points for every thread count —
 //! by construction, not just by test.
 
+pub(crate) mod delta;
 pub mod mf;
 pub mod parallel;
 pub mod rn;

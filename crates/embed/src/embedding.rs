@@ -1,10 +1,12 @@
 //! Token → vector storage with similarity queries.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use retro_linalg::{vector, Matrix};
 
 use crate::nn;
+use crate::tokenizer::Tokenizer;
 
 /// Construction errors for [`EmbeddingSet`].
 ///
@@ -67,6 +69,11 @@ pub struct EmbeddingSet {
     matrix: Matrix,
     /// Cached L2 norm of every row, maintained with `matrix`.
     norms: Vec<f32>,
+    /// Lazily-built segmentation trie over the vocabulary
+    /// ([`EmbeddingSet::tokenizer`]). The set is immutable after
+    /// construction, so the cache can never go stale; building it costs
+    /// `O(vocabulary)`, which matters to callers that tokenize per refresh.
+    tokenizer: OnceLock<Arc<Tokenizer>>,
 }
 
 impl EmbeddingSet {
@@ -116,7 +123,7 @@ impl EmbeddingSet {
         }
         let matrix = Matrix::from_rows(&vectors);
         let norms = matrix.row_norms();
-        Ok(Self { dim, tokens, index, matrix, norms })
+        Ok(Self { dim, tokens, index, matrix, norms, tokenizer: OnceLock::new() })
     }
 
     /// An empty set with the given dimensionality.
@@ -127,7 +134,16 @@ impl EmbeddingSet {
             index: HashMap::new(),
             matrix: Matrix::zeros(0, dim),
             norms: Vec::new(),
+            tokenizer: OnceLock::new(),
         }
+    }
+
+    /// The segmentation tokenizer over this vocabulary, built on first use
+    /// and shared by every subsequent caller. A delta-scoped refresh
+    /// tokenizes a handful of new values per refresh — rebuilding the
+    /// `O(vocabulary)` trie each time would dwarf the actual work.
+    pub fn tokenizer(&self) -> Arc<Tokenizer> {
+        Arc::clone(self.tokenizer.get_or_init(|| Arc::new(Tokenizer::new(self))))
     }
 
     /// Embedding dimensionality.

@@ -175,7 +175,7 @@ impl EmbeddingSuite {
         let rn_out = Retro::new(config.retro_config(Solver::Rn))
             .retrofit(db, base)
             .expect("suite: retrofit failed");
-        let catalog = rn_out.catalog.clone();
+        let catalog = (*rn_out.catalog).clone();
         let problem = &rn_out.problem;
         let n = catalog.len();
 

@@ -70,6 +70,7 @@
 
 use std::collections::HashMap;
 
+use crate::changelog::TableChange;
 use crate::error::StoreError;
 use crate::schema::TableSchema;
 use crate::table::Table;
@@ -254,17 +255,25 @@ impl<'db> BulkLoader<'db> {
     ///
     /// Staging already validated and applied each row, so a commit after
     /// all-successful stages cannot fail; the `Result` only reports misuse
-    /// (committing a loader that already rolled back).
+    /// (committing a loader that already rolled back). For each registered
+    /// table that actually grew, one `TableChange::Appended` record (with
+    /// the pre-batch length as the start position) lands in the database's
+    /// change log — a rolled-back or empty batch records nothing.
     pub fn commit(mut self) -> Result<usize> {
         if self.poisoned {
             return Err(StoreError::BulkPoisoned);
         }
         let inserted = self.staged;
+        let mut appended: Vec<(String, usize, usize)> = Vec::new();
         for own in self.tables.drain(..) {
+            let added = own.table.len() - own.pre_len;
+            if added > 0 {
+                appended.push((own.table.name().to_owned(), own.pre_len, added));
+            }
             self.db.tables.insert(own.table.name().to_owned(), own.table);
         }
-        if inserted > 0 {
-            self.db.bump_write_version();
+        for (name, start, rows) in appended {
+            self.db.record_change(&name, TableChange::Appended { start, rows });
         }
         Ok(inserted)
     }

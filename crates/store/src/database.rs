@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 
 use crate::bulk::BulkLoader;
+use crate::changelog::{ChangeLog, ChangeRecord, TableChange};
 use crate::error::StoreError;
 use crate::schema::{ForeignKey, TableSchema};
 use crate::table::Table;
@@ -18,6 +19,11 @@ pub struct Database {
     pub(crate) tables: BTreeMap<String, Table>,
     /// Monotonic write-version counter; see [`Database::write_version`].
     pub(crate) write_version: u64,
+    /// Per-table write versions; see [`Database::table_version`].
+    table_versions: BTreeMap<String, u64>,
+    /// Bounded history of what each version bump did; see
+    /// [`Database::changes_since`].
+    change_log: ChangeLog,
 }
 
 impl Database {
@@ -31,7 +37,8 @@ impl Database {
     /// Every mutating operation — [`Database::create_table`],
     /// [`Database::insert`] and its batch variants, a committed
     /// [`Database::bulk`] load (CSV import and SQL `INSERT` route through
-    /// it), SQL `UPDATE`/`DELETE` that touched rows, and any
+    /// it), [`Database::update_rows`] / [`Database::delete_rows`] (SQL
+    /// `UPDATE`/`DELETE` that touched rows route through them), and any
     /// [`Database::table_mut`] access — bumps this counter, so an observer
     /// that remembers the version it last saw can detect "something
     /// changed" with one integer compare. A rolled-back bulk batch leaves
@@ -39,7 +46,10 @@ impl Database {
     /// signal*, not an exact mutation count: a path may bump it more than
     /// once per logical write, and a bump does not guarantee the data
     /// differs — only equality is meaningful, and only as "no write
-    /// happened in between".
+    /// happened in between". Each bump also stamps the mutated table's
+    /// [`Database::table_version`] and appends a [`ChangeRecord`]
+    /// describing the mutation to the bounded log behind
+    /// [`Database::changes_since`].
     ///
     /// `retro_core::serve::EmbeddingService` polls this through
     /// [`crate::SharedDatabase::write_version`] to decide when a published
@@ -48,9 +58,42 @@ impl Database {
         self.write_version
     }
 
-    /// Record a mutation in [`Database::write_version`].
-    pub(crate) fn bump_write_version(&mut self) {
+    /// The write version of the last mutation that touched `name`, or 0 if
+    /// the table has never been mutated (or does not exist).
+    ///
+    /// Together with [`Database::changes_since`] this lets an observer
+    /// scope reactions to the tables that actually changed instead of
+    /// re-reading the whole database on every global version bump.
+    pub fn table_version(&self, name: &str) -> u64 {
+        self.table_versions.get(name).copied().unwrap_or(0)
+    }
+
+    /// Every change recorded after write version `since`, oldest first, or
+    /// `None` when the bounded change log has evicted history past `since`
+    /// — the caller must then assume anything changed (in `retro-core`
+    /// that triggers the full-refresh fallback). See [`crate::changelog`].
+    pub fn changes_since(&self, since: u64) -> Option<Vec<&ChangeRecord>> {
+        self.change_log.changes_since(since)
+    }
+
+    /// Change how many [`ChangeRecord`]s the bounded log retains (min 1).
+    /// Shrinking evicts the oldest records immediately.
+    pub fn set_change_log_capacity(&mut self, capacity: usize) {
+        self.change_log.set_capacity(capacity);
+    }
+
+    /// Record a mutation: bump [`Database::write_version`], stamp the
+    /// table's [`Database::table_version`], and append a [`ChangeRecord`]
+    /// to the bounded log. Every mutating path routes through here so the
+    /// three signals cannot drift.
+    pub(crate) fn record_change(&mut self, table: &str, change: TableChange) {
         self.write_version += 1;
+        self.table_versions.insert(table.to_owned(), self.write_version);
+        self.change_log.push(ChangeRecord {
+            version: self.write_version,
+            table: table.to_owned(),
+            change,
+        });
     }
 
     /// Create a table from a schema, validating foreign-key declarations
@@ -93,8 +136,9 @@ impl Database {
                 )));
             }
         }
-        self.tables.insert(schema.name.clone(), Table::new(schema));
-        self.bump_write_version();
+        let name = schema.name.clone();
+        self.tables.insert(name.clone(), Table::new(schema));
+        self.record_change(&name, TableChange::Created);
         Ok(())
     }
 
@@ -132,7 +176,7 @@ impl Database {
         }
         let t = self.tables.get_mut(table).expect("checked above");
         let pos = t.push_unchecked(row);
-        self.bump_write_version();
+        self.record_change(table, TableChange::Appended { start: pos, rows: 1 });
         Ok(pos)
     }
 
@@ -209,15 +253,146 @@ impl Database {
         self.tables.get(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
     }
 
-    /// Look up a table mutably.
+    /// Look up a table mutably — the **assume-write escape hatch**, not the
+    /// everyday API.
     ///
-    /// Conservatively bumps [`Database::write_version`]: the caller gets
-    /// unchecked mutable access, so the counter assumes a write will happen.
+    /// The caller gets unchecked mutable access, so this conservatively
+    /// records a [`TableChange::Unknown`] (bumping
+    /// [`Database::write_version`]) whether or not a write follows: the
+    /// version counter must never miss a mutation, and an `Unknown` record
+    /// correctly forces observers maintaining derived state onto their
+    /// full-rebuild path. That conservatism is exactly why **read-only
+    /// callers must use [`Database::table`] instead** — routing a read
+    /// through here invalidates every derived observer for nothing (at
+    /// serving scale, one spurious bump costs a full multi-second re-solve
+    /// where a real small write would have cost milliseconds). Callers that
+    /// want their writes tracked precisely should use
+    /// [`Database::update_rows`] / [`Database::delete_rows`], which record
+    /// what actually changed; nothing inside this crate calls `table_mut`
+    /// anymore.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
         if self.tables.contains_key(name) {
-            self.bump_write_version();
+            self.record_change(name, TableChange::Unknown);
         }
         self.tables.get_mut(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+    }
+
+    /// Rewrite individual cells in place, atomically and precisely tracked.
+    ///
+    /// `updates` lists `(row position, column index, new value)` triples.
+    /// Every triple is validated first — row/column bounds, column type,
+    /// the primary-key column is frozen, and a foreign-key column may only
+    /// receive `NULL` or a key present in the referenced table — and only
+    /// then are all of them applied, so a bad triple anywhere leaves the
+    /// table (and the write version) untouched. On success one
+    /// [`TableChange::Updated`] record is logged; its `relational` flag is
+    /// set only when a TEXT or foreign-key column was assigned, which lets
+    /// observers ignore updates that cannot affect the text-value graph.
+    pub fn update_rows(&mut self, table: &str, updates: &[(usize, usize, Value)]) -> Result<usize> {
+        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
+        let schema = t.schema();
+        let mut relational = false;
+        for &(row, col, ref value) in updates {
+            if row >= t.len() || col >= schema.columns.len() {
+                return Err(StoreError::UnknownColumn {
+                    table: table.to_owned(),
+                    column: format!("index {col}"),
+                });
+            }
+            if Some(col) == schema.primary_key {
+                return Err(StoreError::Sql("cannot update a primary key column".into()));
+            }
+            let def = &schema.columns[col];
+            if !value.fits(def.ty) {
+                return Err(StoreError::TypeMismatch {
+                    table: table.to_owned(),
+                    column: def.name.clone(),
+                    expected: def.ty.to_string(),
+                    got: value.data_type().map_or_else(|| "NULL".into(), |ty| ty.to_string()),
+                });
+            }
+            if let Some(fk) =
+                schema.foreign_keys.iter().find(|fk| schema.column_index(&fk.column) == Some(col))
+            {
+                match value {
+                    Value::Null => {}
+                    Value::Int(k) => {
+                        let target =
+                            self.tables.get(&fk.ref_table).expect("fk validated at create");
+                        if !target.contains_pk(*k) {
+                            return Err(StoreError::ForeignKeyViolation {
+                                table: table.to_owned(),
+                                column: fk.column.clone(),
+                                value: k.to_string(),
+                            });
+                        }
+                    }
+                    _ => unreachable!("fk columns are INTEGER; fits() checked above"),
+                }
+                relational = true;
+            }
+            if def.ty == DataType::Text {
+                relational = true;
+            }
+        }
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let t = self.tables.get_mut(table).expect("checked above");
+        let mut rows: Vec<usize> = Vec::with_capacity(updates.len());
+        for (row, col, value) in updates {
+            t.update_cell(*row, *col, value.clone()).expect("validated above");
+            rows.push(*row);
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        let n = rows.len();
+        self.record_change(table, TableChange::Updated { rows: n, relational });
+        Ok(n)
+    }
+
+    /// Remove the rows at the given positions, enforcing referential
+    /// integrity (RESTRICT: no other table may still reference a primary
+    /// key that is about to disappear), and record a precise
+    /// [`TableChange::Deleted`]. Positions may arrive in any order; out-of-
+    /// range positions are ignored. Returns the number of rows removed; a
+    /// call that removes nothing leaves the write version untouched.
+    pub fn delete_rows(&mut self, table: &str, positions: &[usize]) -> Result<usize> {
+        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
+        let mut sorted: Vec<usize> = positions.iter().copied().filter(|&p| p < t.len()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.is_empty() {
+            return Ok(0);
+        }
+        if let Some(pk) = t.schema().primary_key {
+            let doomed: std::collections::HashSet<i64> =
+                sorted.iter().filter_map(|&pos| t.rows()[pos][pk].as_int()).collect();
+            for other in self.tables.values() {
+                for fk in &other.schema().foreign_keys {
+                    if fk.ref_table != table {
+                        continue;
+                    }
+                    let col =
+                        other.schema().column_index(&fk.column).expect("fk validated at create");
+                    for value in other.column_values(col) {
+                        if let Some(k) = value.as_int() {
+                            if doomed.contains(&k) {
+                                return Err(StoreError::ForeignKeyViolation {
+                                    table: other.name().to_owned(),
+                                    column: fk.column.clone(),
+                                    value: k.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let n = sorted.len();
+        self.tables.get_mut(table).expect("checked above").remove_rows(&sorted);
+        self.record_change(table, TableChange::Deleted { rows: n });
+        Ok(n)
     }
 
     /// True when the table exists.
@@ -447,6 +622,157 @@ mod tests {
         sql::run(&mut d, "DELETE FROM t WHERE id = 99").unwrap();
         sql::run(&mut d, "SELECT * FROM t").unwrap();
         assert_eq!(d.write_version(), v2);
+    }
+
+    #[test]
+    fn change_log_records_precise_mutations() {
+        use crate::changelog::TableChange;
+        let mut d = db();
+        let v0 = d.write_version();
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert_batch("persons", (2..=4).map(|k| vec![Value::Int(k), Value::from("x")])).unwrap();
+        let changes = d.changes_since(v0).unwrap();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].table, "persons");
+        assert_eq!(changes[0].change, TableChange::Appended { start: 0, rows: 1 });
+        assert_eq!(changes[1].change, TableChange::Appended { start: 1, rows: 3 });
+        assert_eq!(changes[1].version, d.write_version());
+
+        // A rolled-back batch records nothing.
+        let v1 = d.write_version();
+        let _ = d.insert_many(
+            "persons",
+            vec![vec![Value::Int(9), Value::from("y")], vec![Value::Int(9), Value::from("dup")]],
+        );
+        assert!(d.changes_since(v1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_table_versions_track_only_the_mutated_table() {
+        let mut d = db();
+        assert!(d.table_version("persons") > 0, "create_table stamps the table version");
+        let persons_v = d.table_version("persons");
+        let movies_v = d.table_version("movies");
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        assert!(d.table_version("persons") > persons_v);
+        assert_eq!(d.table_version("movies"), movies_v, "untouched table keeps its version");
+        assert_eq!(d.table_version("persons"), d.write_version());
+        assert_eq!(d.table_version("nope"), 0);
+    }
+
+    #[test]
+    fn change_log_overflow_reports_truncation() {
+        let mut d = db();
+        d.set_change_log_capacity(2);
+        let v0 = d.write_version();
+        for k in 1..=5 {
+            d.insert("persons", vec![Value::Int(k), Value::from("p")]).unwrap();
+        }
+        assert_eq!(d.changes_since(v0), None, "evicted history must be reported as truncated");
+        assert_eq!(d.changes_since(d.write_version() - 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_mut_records_unknown_change() {
+        use crate::changelog::TableChange;
+        let mut d = db();
+        let v0 = d.write_version();
+        let _ = d.table_mut("persons").unwrap();
+        let changes = d.changes_since(v0).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].change, TableChange::Unknown);
+        // A failed lookup bumps nothing.
+        let v1 = d.write_version();
+        assert!(d.table_mut("nope").is_err());
+        assert_eq!(d.write_version(), v1);
+    }
+
+    #[test]
+    fn update_rows_validates_before_applying() {
+        use crate::changelog::TableChange;
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert("persons", vec![Value::Int(2), Value::from("b")]).unwrap();
+        let v0 = d.write_version();
+
+        // A bad triple anywhere applies nothing and bumps nothing.
+        let err = d
+            .update_rows("persons", &[(0, 1, Value::from("z")), (1, 1, Value::Int(7))])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::TypeMismatch { .. }));
+        assert_eq!(d.write_version(), v0);
+        assert_eq!(d.table("persons").unwrap().rows()[0][1], Value::from("a"));
+
+        // A good batch applies atomically with one precise record.
+        let n = d.update_rows("persons", &[(0, 1, Value::from("z")), (1, 1, Value::from("y"))]);
+        assert_eq!(n.unwrap(), 2);
+        let changes = d.changes_since(v0).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].change, TableChange::Updated { rows: 2, relational: true });
+
+        // The primary key stays frozen; empty updates are free.
+        assert!(d.update_rows("persons", &[(0, 0, Value::Int(9))]).is_err());
+        let v1 = d.write_version();
+        assert_eq!(d.update_rows("persons", &[]).unwrap(), 0);
+        assert_eq!(d.write_version(), v1);
+    }
+
+    #[test]
+    fn update_rows_flags_non_text_updates_as_non_relational() {
+        use crate::changelog::TableChange;
+        let mut d = Database::new();
+        d.create_table(
+            TableSchema::builder("t")
+                .pk("id")
+                .column("name", DataType::Text)
+                .column("score", DataType::Float)
+                .build(),
+        )
+        .unwrap();
+        d.insert("t", vec![Value::Int(1), Value::from("a"), Value::Float(0.0)]).unwrap();
+        let v0 = d.write_version();
+        d.update_rows("t", &[(0, 2, Value::Float(1.5))]).unwrap();
+        let changes = d.changes_since(v0).unwrap();
+        assert_eq!(changes[0].change, TableChange::Updated { rows: 1, relational: false });
+    }
+
+    #[test]
+    fn update_rows_checks_foreign_keys() {
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert("movies", vec![Value::Int(10), Value::from("m"), Value::Int(1)]).unwrap();
+        // Dangling key rejected, NULL and valid keys allowed.
+        let err = d.update_rows("movies", &[(0, 2, Value::Int(99))]).unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+        d.update_rows("movies", &[(0, 2, Value::Null)]).unwrap();
+        d.update_rows("movies", &[(0, 2, Value::Int(1))]).unwrap();
+    }
+
+    #[test]
+    fn delete_rows_enforces_restrict_and_records() {
+        use crate::changelog::TableChange;
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert("persons", vec![Value::Int(2), Value::from("b")]).unwrap();
+        d.insert("movies", vec![Value::Int(10), Value::from("m"), Value::Int(1)]).unwrap();
+
+        // Person 1 is referenced: RESTRICT.
+        let v0 = d.write_version();
+        let err = d.delete_rows("persons", &[0]).unwrap_err();
+        assert!(matches!(err, StoreError::ForeignKeyViolation { .. }));
+        assert_eq!(d.write_version(), v0);
+
+        // Person 2 is free; duplicate/out-of-range positions are tolerated.
+        assert_eq!(d.delete_rows("persons", &[1, 1, 99]).unwrap(), 1);
+        let changes = d.changes_since(v0).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].change, TableChange::Deleted { rows: 1 });
+        assert!(!d.table("persons").unwrap().contains_pk(2));
+
+        // Deleting nothing bumps nothing.
+        let v1 = d.write_version();
+        assert_eq!(d.delete_rows("persons", &[99]).unwrap(), 0);
+        assert_eq!(d.write_version(), v1);
     }
 
     #[test]

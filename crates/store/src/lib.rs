@@ -13,6 +13,10 @@
 //!   row/column access, and a monotonic write-version counter
 //!   ([`Database::write_version`]) so observers can detect staleness with
 //!   one integer compare,
+//! * [`changelog`] — per-table versions ([`Database::table_version`]) and
+//!   the bounded change log ([`Database::changes_since`]) that tell an
+//!   observer *what* changed, not just that something did — the substrate
+//!   of `retro-core`'s delta-scoped refresh; see `docs/INCREMENTAL.md`,
 //! * [`bulk`] — the batched [`BulkLoader`] ingest fast path (stage →
 //!   validate once per batch → atomic commit); see `docs/INGESTION.md`,
 //! * [`schema`] — schema definitions plus the introspection used by
@@ -35,6 +39,7 @@
 pub mod ingestion {}
 
 pub mod bulk;
+pub mod changelog;
 pub mod csv;
 pub mod database;
 pub mod error;
@@ -45,6 +50,7 @@ pub mod table;
 pub mod value;
 
 pub use bulk::{BulkLoader, TableHandle};
+pub use changelog::{ChangeRecord, TableChange};
 pub use database::Database;
 pub use error::StoreError;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};

@@ -101,17 +101,18 @@ fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
         out
     };
     if matches.is_empty() {
-        // Nothing to write — and `table_mut` below would bump the
-        // database's write version for a statement that changed nothing.
+        // Nothing to write: a statement that changed nothing must not bump
+        // the database's write version.
         return Ok(QueryResult::empty());
     }
-    let table = db.table_mut(&upd.table)?;
-    for &pos in &matches {
-        for (idx, value) in &resolved {
-            table.update_cell(pos, *idx, value.clone())?;
-        }
-    }
-    Ok(QueryResult { rows_affected: matches.len(), ..QueryResult::default() })
+    // Apply through the tracked bulk-update path: one precise change-log
+    // record for the statement, and validate-then-apply atomicity.
+    let updates: Vec<(usize, usize, Value)> = matches
+        .iter()
+        .flat_map(|&pos| resolved.iter().map(move |(idx, value)| (pos, *idx, value.clone())))
+        .collect();
+    let n = db.update_rows(&upd.table, &updates)?;
+    Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
 }
 
 fn exec_delete(db: &mut Database, del: &Delete) -> Result<QueryResult> {
@@ -129,35 +130,9 @@ fn exec_delete(db: &mut Database, del: &Delete) -> Result<QueryResult> {
     if matches.is_empty() {
         return Ok(QueryResult::empty());
     }
-    // Referential integrity (RESTRICT): no other table may still reference
-    // a primary key that is about to disappear.
-    if let Some(pk) = schema.primary_key {
-        let doomed: std::collections::HashSet<i64> = {
-            let table = db.table(&del.table)?;
-            matches.iter().filter_map(|&pos| table.rows()[pos][pk].as_int()).collect()
-        };
-        for other in db.tables() {
-            for fk in &other.schema().foreign_keys {
-                if fk.ref_table != del.table {
-                    continue;
-                }
-                let col = other.schema().column_index(&fk.column).expect("fk validated at create");
-                for value in other.column_values(col) {
-                    if let Some(k) = value.as_int() {
-                        if doomed.contains(&k) {
-                            return Err(StoreError::ForeignKeyViolation {
-                                table: other.name().to_owned(),
-                                column: fk.column.clone(),
-                                value: k.to_string(),
-                            });
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let n = matches.len();
-    db.table_mut(&del.table)?.remove_rows(&matches);
+    // The tracked delete path enforces referential integrity (RESTRICT)
+    // and records one precise change-log entry for the statement.
+    let n = db.delete_rows(&del.table, &matches)?;
     Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
 }
 

@@ -73,16 +73,18 @@ fn main() {
         .column_index("original_language")
         .expect("column");
     let mut correct = 0;
+    let mut updates = Vec::with_capacity(missing.len());
     for (k, &m) in missing.iter().enumerate() {
         let predicted = languages[predictions[k]];
         if predicted == data.movie_language[m] {
             correct += 1;
         }
-        db.table_mut("movies")
-            .expect("movies")
-            .update_cell(m, lang_col, Value::from(predicted))
-            .expect("write back");
+        updates.push((m, lang_col, Value::from(predicted)));
     }
+    // One batched write-back: a single change-log record (and a single
+    // write-version bump) instead of one spurious whole-table
+    // invalidation per cell.
+    db.update_rows("movies", &updates).expect("write back");
     println!(
         "imputed {} missing languages; {} / {} correct ({:.1}%)",
         missing.len(),

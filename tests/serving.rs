@@ -232,6 +232,54 @@ fn snapshot_rankings_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// A write burst must coalesce, not fan out: however many inserts land
+/// while a refresh is in flight, the worker folds them into the next
+/// refresh instead of queueing one refresh per write. This is the
+/// refresh-storm regression — the seed behaviour re-solved the world once
+/// per write version.
+#[test]
+fn write_burst_coalesces_into_few_refreshes() {
+    let service = service(24, 2);
+    let worker = service.spawn_refresher(Duration::from_millis(1));
+    let writes = 8 * stress_rounds(4);
+
+    // Hammer inserts from a writer thread while the worker refreshes.
+    let writer = {
+        let db = service.database().clone();
+        std::thread::spawn(move || {
+            for w in 0..writes {
+                insert_movie(&db, 4_000 + w as i64);
+            }
+        })
+    };
+    writer.join().unwrap();
+
+    // One settle pass clears the staleness left by the tail of the burst.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while service.out_of_date() || service.snapshot().len() != 24 + 4 + writes {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker never caught up: snapshot has {} values, want {}",
+            service.snapshot().len(),
+            24 + 4 + writes
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    worker.stop();
+
+    // The coalescing evidence: refreshes ran per *burst*, not per write.
+    // (1 initial publish + the worker's catch-up refreshes; a strictly
+    // serial one-refresh-per-write worker would need `writes` + 1.)
+    let published = service.refreshes_published();
+    assert!(
+        published < 1 + writes as u64,
+        "refresh storm: {published} refreshes for {writes} writes"
+    );
+    // And the final state is complete: every write made it into the
+    // published snapshot despite the coalescing.
+    assert_eq!(service.snapshot().len(), 24 + 4 + writes);
+}
+
 #[test]
 fn background_worker_converges_under_concurrent_writes() {
     let service = service(16, 2);
