@@ -1,15 +1,23 @@
 //! Snapshot query-path microbenches for `retro_core::serve`: the shared
 //! bounded-heap top-k selection (`retro_embed::nn::top_k_cosine`) over a
-//! precomputed norm cache at several scan widths, the pre-PR full-sort
-//! ranking it replaced, and a warm-start `EmbeddingService::refresh`.
+//! precomputed norm cache at several scan widths, the IVF-flat ANN path at
+//! several probe depths, the pre-PR full-sort ranking both replaced, and a
+//! warm-start `EmbeddingService::refresh`.
+//!
+//! Besides the criterion timings, the bench measures the speed/quality
+//! trade-off directly — queries/second AND recall@10 against the exact
+//! oracle for every mode — and writes it to `results/serve_queries.json`
+//! (`retro_bench::write_report`), so the BENCH artifact captures both axes
+//! from this PR onward.
 //!
 //! By default the benchmark runs at the `Small` preset so `cargo bench`
 //! stays quick. Set `RETRO_PAPER_SCALE=1` to measure at the paper's real
-//! TMDB cardinality (~493k text values) — where the `O(n log n)` sort vs
-//! `O(n log k)` selection gap actually matters.
+//! TMDB cardinality (~493k text values) — where the sub-linear probe scan
+//! vs the `O(n)` exact scan actually matters.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use retro_core::serve::EmbeddingService;
+use retro_bench::ReportRow;
+use retro_core::serve::{EmbeddingService, SearchMode, Snapshot};
 use retro_core::{Hyperparameters, RetroConfig};
 use retro_datasets::{SizePreset, TmdbConfig, TmdbDataset};
 use retro_embed::nn;
@@ -22,6 +30,32 @@ fn preset() -> (SizePreset, &'static str) {
     } else {
         (SizePreset::Small, "small")
     }
+}
+
+/// `cargo test` runs harness-free benches once with `--test`: keep the
+/// custom measurement loop to a smoke test there.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Mean wall-clock queries/second and recall@10 vs the exact oracle for
+/// one search mode over a query panel.
+fn qps_and_recall(
+    snapshot: &Snapshot,
+    queries: &[Vec<f32>],
+    oracle: &[Vec<(usize, f32)>],
+    mode: SearchMode,
+) -> (f64, f64) {
+    let mut overlap = 0usize;
+    let mut denom = 0usize;
+    let (_, secs) = retro_bench::time(|| {
+        for (query, exact) in queries.iter().zip(oracle) {
+            let got = snapshot.nearest(query, 10, mode);
+            overlap += got.iter().filter(|(id, _)| exact.iter().any(|(e, _)| e == id)).count();
+            denom += exact.len();
+        }
+    });
+    (queries.len() as f64 / secs.max(1e-12), overlap as f64 / denom.max(1) as f64)
 }
 
 fn bench_serve_queries(c: &mut Criterion) {
@@ -44,7 +78,7 @@ fn bench_serve_queries(c: &mut Criterion) {
     let snapshot = service.snapshot();
     let query = snapshot.output().embeddings.row(0).to_vec();
     group.bench_function(BenchmarkId::new("nearest_threads_1", snapshot.len()), |b| {
-        b.iter(|| snapshot.nearest(&query, 10))
+        b.iter(|| snapshot.nearest(&query, 10, SearchMode::Exact))
     });
     for threads in [2usize, 4] {
         group.bench_function(
@@ -61,6 +95,19 @@ fn bench_serve_queries(c: &mut Criterion) {
                     )
                 })
             },
+        );
+    }
+
+    // The ANN path: a narrow sweep (nlist/16 — half the serving default)
+    // and the serving default (nlist/8).
+    let default_probes = snapshot.default_probes();
+    let narrow_probes = (snapshot.index().nlist() / 16).max(1).min(default_probes);
+    let mut probe_sweep = vec![narrow_probes, default_probes];
+    probe_sweep.dedup();
+    for probes in probe_sweep.iter().copied() {
+        group.bench_function(
+            BenchmarkId::new(format!("nearest_ann_probes_{probes}"), snapshot.len()),
+            |b| b.iter(|| snapshot.nearest(&query, 10, SearchMode::Approx { probes })),
         );
     }
 
@@ -84,6 +131,38 @@ fn bench_serve_queries(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Speed/quality report: q/s and recall@10 per mode, over a panel of
+    // stored-row queries spread across the catalog, against the exact
+    // oracle. Written to results/serve_queries.json.
+    let panel = if test_mode() { 4 } else { 200.min(snapshot.len()) };
+    let stride = (snapshot.len() / panel.max(1)).max(1);
+    let queries: Vec<Vec<f32>> =
+        (0..panel).map(|i| snapshot.output().embeddings.row(i * stride).to_vec()).collect();
+    let oracle: Vec<Vec<(usize, f32)>> =
+        queries.iter().map(|q| snapshot.nearest(q, 10, SearchMode::Exact)).collect();
+
+    let mut rows = Vec::new();
+    let (exact_qps, exact_recall) = qps_and_recall(&snapshot, &queries, &oracle, SearchMode::Exact);
+    rows.push(ReportRow::from_samples("exact/qps", &[exact_qps]));
+    rows.push(ReportRow::from_samples("exact/recall@10", &[exact_recall]));
+    for probes in probe_sweep {
+        let (qps, recall) =
+            qps_and_recall(&snapshot, &queries, &oracle, SearchMode::Approx { probes });
+        rows.push(ReportRow::from_samples(format!("ann_probes_{probes}/qps"), &[qps]));
+        rows.push(ReportRow::from_samples(format!("ann_probes_{probes}/recall@10"), &[recall]));
+        println!(
+            "serve_queries/{tag}: ann probes={probes} -> {qps:.0} q/s ({:.1}x exact), \
+             recall@10 {recall:.4}",
+            qps / exact_qps.max(1e-12)
+        );
+    }
+    let path = retro_bench::write_report(
+        "serve_queries",
+        &format!("snapshot kNN speed/quality ({tag}, n={})", snapshot.len()),
+        &rows,
+    );
+    println!("serve_queries/{tag}: report written to {}", path.display());
 }
 
 criterion_group!(benches, bench_serve_queries);

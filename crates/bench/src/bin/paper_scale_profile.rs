@@ -27,7 +27,7 @@ use retro_bench::{
     arg_num, arg_value, materialize_rows, schema_only_clone, time, write_report, ReportRow,
 };
 use retro_core::relations::extract_relations;
-use retro_core::serve::EmbeddingService;
+use retro_core::serve::{EmbeddingService, SearchMode};
 use retro_core::solver::{solve_rn, solve_rn_parallel, solve_ro, solve_ro_parallel};
 use retro_core::{Hyperparameters, RefreshKind, RetroConfig, RetrofitProblem, TextValueCatalog};
 use retro_datasets::{GooglePlayConfig, GooglePlayDataset, SizePreset, TmdbConfig, TmdbDataset};
@@ -210,9 +210,27 @@ fn profile_serving(
     let queries: Vec<Vec<f32>> =
         (0..64).map(|i| snapshot.output().embeddings.row(i * 97 % n).to_vec()).collect();
     let run_query = |i: usize| {
-        let top = service.nearest(&queries[i % queries.len()], 10);
+        let top = service.nearest(&queries[i % queries.len()], 10, SearchMode::Exact);
         assert!(top.len() <= 10);
     };
+
+    // The ANN path on the same panel: sub-linear probe scan at the
+    // snapshot's default probe depth (serve_queries reports the matching
+    // recall@10; this phase is the speed side at profile scale).
+    let probes = snapshot.default_probes();
+    const ANN_QUERIES: usize = 1000;
+    let (_, ann_secs) = time(|| {
+        for i in 0..ANN_QUERIES {
+            let top =
+                service.nearest(&queries[i % queries.len()], 10, SearchMode::Approx { probes });
+            assert!(top.len() <= 10);
+        }
+    });
+    println!(
+        "  {label}: serve query (ann p={probes})  {:>8.3}ms/query  ({:.0} q/s)",
+        ann_secs / ANN_QUERIES as f64 * 1e3,
+        ANN_QUERIES as f64 / ann_secs.max(1e-9)
+    );
 
     // Idle baseline: no writer anywhere.
     const IDLE_QUERIES: usize = 100;
@@ -276,6 +294,7 @@ fn profile_serving(
     vec![
         Phase { name: "serve_start", secs: start_secs },
         Phase { name: "serve_query_idle", secs: idle_secs / IDLE_QUERIES as f64 },
+        Phase { name: "serve_query_ann", secs: ann_secs / ANN_QUERIES as f64 },
         Phase { name: "serve_refresh", secs: refresh_secs },
         Phase { name: "serve_query_during_refresh", secs: during_secs },
     ]
@@ -326,7 +345,7 @@ fn profile_streaming(
             let reader = s.spawn(|| {
                 let mut count = 0u64;
                 while !stop.load(Ordering::Acquire) {
-                    let top = service.nearest(&query, 10);
+                    let top = service.nearest(&query, 10, SearchMode::Exact);
                     assert!(top.len() <= 10);
                     count += 1;
                 }

@@ -161,11 +161,14 @@ pub fn report_json(title: &str, rows: &[ReportRow]) -> String {
     serde_json::to_string_pretty(&Doc { title, rows }).expect("report serialization")
 }
 
-/// Write a JSON report under `results/` (created on demand), returning the
-/// path — the machine-readable artifacts EXPERIMENTS.md references.
+/// Write a JSON report under the workspace root's `results/` (created on
+/// demand), returning the path — the machine-readable artifacts
+/// EXPERIMENTS.md references. Anchored at the workspace root rather than
+/// the CWD because criterion benches run with the *package* directory as
+/// CWD while the experiment binaries run from the repo root.
 pub fn write_report(name: &str, title: &str, rows: &[ReportRow]) -> std::path::PathBuf {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results dir");
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, report_json(title, rows)).expect("write report");
     path

@@ -20,7 +20,10 @@ use std::time::Duration;
 use parking_lot::RwLock;
 use retro_embed::{nn, EmbeddingSet};
 use retro_linalg::vector;
+use retro_nn::ann::{IvfConfig, IvfIndex};
 use retro_store::{Database, SharedDatabase};
+
+pub use retro_nn::ann::SearchMode;
 
 use crate::api::{RetroConfig, RetroError, RetroOutput};
 use crate::incremental::{IncrementalRetro, RefreshKind, RefreshPlan};
@@ -32,18 +35,29 @@ pub mod guide {}
 
 /// One immutable, generation-numbered converged output.
 ///
-/// A snapshot owns everything a query needs — catalog, embeddings, and
-/// precomputed row L2 norms — so [`Snapshot::nearest`] touches no lock at
-/// all: readers holding an `Arc<Snapshot>` are isolated from refreshes,
-/// writers, and each other. Snapshots are created complete and never
-/// mutated, which is what makes the service's pointer swap atomic: every
-/// observer sees a whole generation or the previous whole generation.
+/// A snapshot owns everything a query needs — catalog, embeddings,
+/// precomputed row L2 norms, and an IVF-flat ANN index — so
+/// [`Snapshot::nearest`] touches no lock at all: readers holding an
+/// `Arc<Snapshot>` are isolated from refreshes, writers, and each other.
+/// Snapshots are created complete and never mutated, which is what makes
+/// the service's pointer swap atomic: every observer sees a whole
+/// generation or the previous whole generation.
+///
+/// Queries pick their scan with a [`SearchMode`]: [`SearchMode::Exact`] is
+/// the full `O(n)` oracle scan, [`SearchMode::Approx`] probes the
+/// snapshot's [`IvfIndex`] — sub-linear, with the exact path kept in-tree
+/// as the recall oracle (`tests/ann_recall.rs` gates recall@10 ≥ 0.95).
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     generation: u64,
     write_version: u64,
     threads: usize,
     norms: Vec<f32>,
+    /// The ANN index over `output.embeddings`. Built off the read path (at
+    /// publish, under the session lock); delta refreshes patch it against
+    /// frozen centroids instead of rebuilding, no-change refreshes reuse
+    /// the previous generation's `Arc`.
+    index: Arc<IvfIndex>,
     /// Shared with the session's own warm-start state (the session only
     /// ever *replaces* its state, so publishing is one refcount bump, not
     /// a deep copy of a paper-scale matrix).
@@ -53,7 +67,13 @@ pub struct Snapshot {
 impl Snapshot {
     fn new(generation: u64, write_version: u64, threads: usize, output: Arc<RetroOutput>) -> Self {
         let norms = output.embeddings.row_norms();
-        Self { generation, write_version, threads, norms, output }
+        let index = Arc::new(IvfIndex::build(
+            &output.embeddings,
+            &norms,
+            IvfConfig::auto(output.embeddings.rows()),
+            threads,
+        ));
+        Self { generation, write_version, threads, norms, index, output }
     }
 
     /// The snapshot's generation number (1 for the initial full run,
@@ -94,35 +114,69 @@ impl Snapshot {
         self.output.vector(table, column, text)
     }
 
+    /// The snapshot's ANN index (IVF-flat over the embedding rows).
+    pub fn index(&self) -> &IvfIndex {
+        &self.index
+    }
+
+    /// The default probe count for [`SearchMode::Approx`] on this snapshot
+    /// (an eighth of the inverted lists, at least one).
+    pub fn default_probes(&self) -> usize {
+        self.index.default_probes()
+    }
+
     /// Cosine top-`k` over all values for an arbitrary query vector.
     ///
-    /// One chunked dot-product scan (row-partitioned across the configured
-    /// thread count) against the precomputed norms, then the shared
-    /// bounded-heap selection: deterministic, `NaN`-free, and bit-identical
-    /// for every thread count.
-    pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
-        nn::top_k_cosine(&self.output.embeddings, &self.norms, query, k, self.threads, |_| false)
+    /// [`SearchMode::Exact`] runs one chunked dot-product scan
+    /// (row-partitioned across the configured thread count) against the
+    /// precomputed norms, then the shared bounded-heap selection:
+    /// deterministic, `NaN`-free, and bit-identical for every thread count.
+    /// [`SearchMode::Approx`] probes the snapshot's [`IvfIndex`] instead —
+    /// the candidate scoring is the *same* kernel and the same sanitize
+    /// rules, so probing every list reproduces the exact ranking bit for
+    /// bit, and lower probe counts trade recall for speed only through the
+    /// candidate set.
+    pub fn nearest(&self, query: &[f32], k: usize, mode: SearchMode) -> Vec<(usize, f32)> {
+        match mode {
+            SearchMode::Exact => nn::top_k_cosine(
+                &self.output.embeddings,
+                &self.norms,
+                query,
+                k,
+                self.threads,
+                |_| false,
+            ),
+            SearchMode::Approx { probes } => self.index.search(query, k, probes),
+        }
     }
 
     /// Cosine top-`k` neighbours of the stored value `table.column = text`,
     /// excluding the value itself. `None` when the value does not exist in
-    /// this generation.
+    /// this generation. The `mode` picks the scan exactly as in
+    /// [`Snapshot::nearest`].
     pub fn nearest_token(
         &self,
         table: &str,
         column: &str,
         text: &str,
         k: usize,
+        mode: SearchMode,
     ) -> Option<Vec<(usize, f32)>> {
         let id = self.output.catalog.lookup(table, column, text)?;
-        Some(nn::top_k_cosine(
-            &self.output.embeddings,
-            &self.norms,
-            self.output.embeddings.row(id),
-            k,
-            self.threads,
-            |i| i == id,
-        ))
+        let query = self.output.embeddings.row(id);
+        Some(match mode {
+            SearchMode::Exact => nn::top_k_cosine(
+                &self.output.embeddings,
+                &self.norms,
+                query,
+                k,
+                self.threads,
+                |i| i == id,
+            ),
+            SearchMode::Approx { probes } => {
+                self.index.search_filtered(query, k, probes, |i| i == id)
+            }
+        })
     }
 }
 
@@ -235,8 +289,8 @@ impl EmbeddingService {
     }
 
     /// [`Snapshot::nearest`] on the current snapshot.
-    pub fn nearest(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
-        self.snapshot().nearest(query, k)
+    pub fn nearest(&self, query: &[f32], k: usize, mode: SearchMode) -> Vec<(usize, f32)> {
+        self.snapshot().nearest(query, k, mode)
     }
 
     /// [`Snapshot::nearest_token`] on the current snapshot.
@@ -246,8 +300,9 @@ impl EmbeddingService {
         column: &str,
         text: &str,
         k: usize,
+        mode: SearchMode,
     ) -> Option<Vec<(usize, f32)>> {
-        self.snapshot().nearest_token(table, column, text, k)
+        self.snapshot().nearest_token(table, column, text, k, mode)
     }
 
     /// Incremental refresh: re-extract under a brief database read guard,
@@ -309,27 +364,40 @@ impl EmbeddingService {
         let generation = old.generation() + 1;
         let snapshot = if Arc::ptr_eq(&output, &old.output) {
             // No-change refresh: the session kept its output allocation, so
-            // reuse the published norms too — the republish is O(n), not
-            // O(n·D).
+            // reuse the published norms and the ANN index too — the
+            // republish is O(n), not O(n·D).
             Arc::new(Snapshot {
                 generation,
                 write_version,
                 threads: self.threads,
                 norms: old.norms.clone(),
+                index: Arc::clone(&old.index),
                 output,
             })
         } else if let Some(dirty) = dirty.filter(|_| old.norms.len() <= output.embeddings.rows()) {
             // Delta refresh: only the dirty rows moved and new rows were
             // appended (the previous snapshot is always the plan's prior
             // state — both live under the session lock). Patch the cached
-            // norms instead of renormalizing the whole matrix.
+            // norms instead of renormalizing the whole matrix, and patch
+            // the ANN index against its frozen centroids instead of
+            // retraining — `O(Δ)` either way. Centroids retrain on the
+            // next full refresh (tests/ann_serving.rs pins the patched
+            // index structurally identical to a fresh assignment).
             let mut norms = Vec::with_capacity(output.embeddings.rows());
             norms.extend_from_slice(&old.norms);
             norms.resize(output.embeddings.rows(), 0.0);
             for &r in &dirty {
                 norms[r as usize] = vector::norm(output.embeddings.row(r as usize));
             }
-            Arc::new(Snapshot { generation, write_version, threads: self.threads, norms, output })
+            let index = Arc::new(old.index.refreshed(&output.embeddings, &norms, &dirty));
+            Arc::new(Snapshot {
+                generation,
+                write_version,
+                threads: self.threads,
+                norms,
+                index,
+                output,
+            })
         } else {
             Arc::new(Snapshot::new(generation, write_version, self.threads, output))
         };
@@ -505,13 +573,55 @@ mod tests {
         let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
         let snap = service.snapshot();
         let id = snap.output().catalog.lookup("movies", "title", "valerian").unwrap();
-        let nn = snap.nearest_token("movies", "title", "valerian", 3).unwrap();
+        let nn = snap.nearest_token("movies", "title", "valerian", 3, SearchMode::Exact).unwrap();
         assert_eq!(nn.len(), 3);
         assert!(nn.iter().all(|&(i, _)| i != id));
-        assert!(snap.nearest_token("movies", "title", "missing", 3).is_none());
+        assert!(snap.nearest_token("movies", "title", "missing", 3, SearchMode::Exact).is_none());
         // Service-level conveniences mirror the snapshot.
-        assert_eq!(service.nearest_token("movies", "title", "valerian", 3).unwrap(), nn);
-        assert_eq!(service.nearest(snap.output().embeddings.row(id), 2).len(), 2);
+        assert_eq!(
+            service.nearest_token("movies", "title", "valerian", 3, SearchMode::Exact).unwrap(),
+            nn
+        );
+        assert_eq!(
+            service.nearest(snap.output().embeddings.row(id), 2, SearchMode::Exact).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn approx_full_probe_matches_the_exact_oracle() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        let snap = service.snapshot();
+        let all = SearchMode::Approx { probes: snap.index().nlist() };
+        let id = snap.output().catalog.lookup("movies", "title", "valerian").unwrap();
+        let query = snap.output().embeddings.row(id).to_vec();
+        assert_eq!(snap.nearest(&query, 3, all), snap.nearest(&query, 3, SearchMode::Exact));
+        assert_eq!(
+            snap.nearest_token("movies", "title", "valerian", 3, all),
+            snap.nearest_token("movies", "title", "valerian", 3, SearchMode::Exact),
+        );
+        assert!(snap.default_probes() >= 1);
+    }
+
+    #[test]
+    fn delta_refresh_patches_the_index_coherently() {
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        service.tune_session(|s| s.delta_max_dirty_fraction = 1.0);
+        insert_prometheus(service.database());
+        service.refresh().unwrap();
+        assert_eq!(service.last_refresh(), Some(RefreshKind::Delta));
+        let snap = service.snapshot();
+        // The patched index covers every row and agrees with a fresh
+        // assignment against the same (frozen) centroids.
+        assert_eq!(snap.index().len(), snap.len());
+        let fresh = IvfIndex::with_centroids(
+            &snap.output().embeddings,
+            snap.norms(),
+            snap.index().centroids().clone(),
+            *snap.index().config(),
+            1,
+        );
+        assert_eq!(snap.index().assignments(), fresh.assignments());
     }
 
     #[test]

@@ -114,26 +114,143 @@ pub fn top_k_cosine(
     }
     let query_norm = vector::norm(query);
     let dots = matrix.dot_scan(query, threads);
+    select_top_k(
+        dots.iter().enumerate().filter(|&(id, _)| !exclude(id)).map(|(id, &dot)| (id, dot)),
+        query_norm,
+        norms,
+        k,
+    )
+}
 
-    // Bounded min-heap of the k best candidates seen so far: `Reverse`
-    // puts the *worst* kept candidate at the top for O(log k) eviction.
-    let mut heap: BinaryHeap<std::cmp::Reverse<Candidate>> = BinaryHeap::with_capacity(k + 1);
-    for (id, &dot) in dots.iter().enumerate() {
-        if exclude(id) {
-            continue;
+/// [`top_k_cosine`] restricted to an explicit candidate id set — the
+/// scoring phase of an ANN probe (`retro_nn::ann`), and the reason the
+/// approximate path can never disagree with the exact one on a shared
+/// candidate: both run this exact sanitize + total order, and each
+/// candidate's dot product is the same chunked [`retro_linalg::vector::dot`]
+/// kernel [`Matrix::dot_scan`] applies per row, so scores are bit-equal.
+///
+/// The result depends only on the candidate *set* (the bounded heap keeps
+/// the k best under a total order), so callers may stream ids in any order;
+/// duplicate ids must not be passed. Ids must be in range.
+///
+/// ```
+/// use retro_embed::nn::{top_k_cosine, top_k_cosine_among};
+/// use retro_linalg::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![0.7, 0.7]]);
+/// let norms = m.row_norms();
+/// // Over all ids, the subset selection IS the exact scan.
+/// assert_eq!(
+///     top_k_cosine_among(&m, &norms, &[1.0, 0.1], 2, 0..3),
+///     top_k_cosine(&m, &norms, &[1.0, 0.1], 2, 1, |_| false),
+/// );
+/// ```
+pub fn top_k_cosine_among(
+    matrix: &Matrix,
+    norms: &[f32],
+    query: &[f32],
+    k: usize,
+    candidates: impl IntoIterator<Item = usize>,
+) -> Vec<(usize, f32)> {
+    assert_eq!(norms.len(), matrix.rows(), "top_k_cosine_among: norm cache length mismatch");
+    if k == 0 || matrix.rows() == 0 {
+        return Vec::new();
+    }
+    let query_norm = vector::norm(query);
+    select_top_k(
+        candidates.into_iter().map(|id| (id, vector::dot(matrix.row(id), query))),
+        query_norm,
+        norms,
+        k,
+    )
+}
+
+/// [`top_k_cosine_among`] over *packed* candidate blocks — the scoring
+/// phase of a cache-friendly ANN probe. Each block is `(ids, rows, norms)`
+/// where `rows` holds `ids.len()` vectors of `dim` floats back to back and
+/// `norms[j]` is the L2 norm of row `ids[j]`; blocks are scanned
+/// sequentially, so an inverted list stored contiguously costs streaming
+/// reads instead of an `O(candidates)` gather across the full matrix.
+///
+/// Scores are bit-equal to [`top_k_cosine`] / [`top_k_cosine_among`] on
+/// the same candidate set as long as the packed bytes equal the matrix
+/// rows: same chunked [`retro_linalg::vector::dot`] kernel, same sanitize,
+/// same total order. Rows for which `exclude` returns `true` are skipped
+/// (their dot product is never computed). Duplicate ids must not appear
+/// across blocks.
+pub fn top_k_cosine_blocks<'a>(
+    dim: usize,
+    query: &[f32],
+    k: usize,
+    blocks: impl IntoIterator<Item = (&'a [u32], &'a [f32], &'a [f32])>,
+    mut exclude: impl FnMut(usize) -> bool,
+) -> Vec<(usize, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let query_norm = vector::norm(query);
+    let mut top = TopK::new(k);
+    for (ids, rows, norms) in blocks {
+        debug_assert_eq!(rows.len(), ids.len() * dim, "top_k_cosine_blocks: ragged block");
+        debug_assert_eq!(norms.len(), ids.len(), "top_k_cosine_blocks: norm block mismatch");
+        for (j, &id) in ids.iter().enumerate() {
+            let id = id as usize;
+            if exclude(id) {
+                continue;
+            }
+            let dot = vector::dot(&rows[j * dim..(j + 1) * dim], query);
+            top.offer(id, sanitize(dot, query_norm, norms[j]));
         }
-        let cand = Candidate { score: sanitize(dot, query_norm, norms[id]), id };
-        if heap.len() < k {
-            heap.push(std::cmp::Reverse(cand));
-        } else if cand > heap.peek().expect("heap is full").0 {
-            heap.pop();
-            heap.push(std::cmp::Reverse(cand));
+    }
+    top.finish()
+}
+
+/// The shared bounded-heap selection over `(id, raw dot)` pairs.
+fn select_top_k(
+    scored: impl Iterator<Item = (usize, f32)>,
+    query_norm: f32,
+    norms: &[f32],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut top = TopK::new(k);
+    for (id, dot) in scored {
+        top.offer(id, sanitize(dot, query_norm, norms[id]));
+    }
+    top.finish()
+}
+
+/// Bounded min-heap of the `k` best candidates seen so far: `Reverse` puts
+/// the *worst* kept candidate at the top for `O(log k)` eviction. Every
+/// selection path funnels through this one struct, so the ranking
+/// semantics cannot fork.
+struct TopK {
+    heap: BinaryHeap<std::cmp::Reverse<Candidate>>,
+    k: usize,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(k + 1), k }
+    }
+
+    /// Offer one sanitized-score candidate.
+    fn offer(&mut self, id: usize, score: f32) {
+        let cand = Candidate { score, id };
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(cand));
+        } else if cand > self.heap.peek().expect("heap is full").0 {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(cand));
         }
     }
 
-    let mut out: Vec<Candidate> = heap.into_iter().map(|r| r.0).collect();
-    out.sort_unstable_by(|a, b| b.cmp(a));
-    out.into_iter().map(|c| (c.id, c.score)).collect()
+    /// The kept candidates in descending score order (ties by ascending
+    /// id).
+    fn finish(self) -> Vec<(usize, f32)> {
+        let mut out: Vec<Candidate> = self.heap.into_iter().map(|r| r.0).collect();
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.into_iter().map(|c| (c.id, c.score)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +324,49 @@ mod tests {
             let top = top_k_cosine(&m, &norms, &query, k, 1, |_| false);
             assert_eq!(top, reference[..k.min(101)].to_vec(), "k = {k}");
         }
+    }
+
+    #[test]
+    fn among_matches_full_scan_and_is_order_independent() {
+        let m = Matrix::from_fn(57, 6, |r, c| ((r * 11 + c * 5) as f32 * 0.23).sin());
+        let norms = m.row_norms();
+        let query: Vec<f32> = (0..6).map(|i| (i as f32 * 0.31).cos()).collect();
+        let full = top_k_cosine(&m, &norms, &query, 8, 1, |_| false);
+        assert_eq!(top_k_cosine_among(&m, &norms, &query, 8, 0..m.rows()), full);
+        // Reversed streaming order: same set in, same ranking out.
+        assert_eq!(top_k_cosine_among(&m, &norms, &query, 8, (0..m.rows()).rev()), full);
+        // A strict subset only ever loses candidates, never reorders the
+        // survivors.
+        let subset: Vec<usize> = (0..m.rows()).filter(|i| i % 2 == 0).collect();
+        let among = top_k_cosine_among(&m, &norms, &query, 8, subset.iter().copied());
+        let expected: Vec<_> = full.iter().copied().filter(|&(id, _)| id % 2 == 0).collect();
+        assert_eq!(&among[..expected.len().min(among.len())], &expected[..]);
+    }
+
+    #[test]
+    fn blocks_match_among_bit_for_bit() {
+        let m = Matrix::from_fn(90, 5, |r, c| ((r * 7 + c * 11) as f32 * 0.19).sin());
+        let norms = m.row_norms();
+        let query: Vec<f32> = (0..5).map(|i| (i as f32 * 0.53).cos()).collect();
+        // Pack the rows into two blocks (evens, odds).
+        let mut blocks: Vec<(Vec<u32>, Vec<f32>, Vec<f32>)> = Vec::new();
+        for parity in 0..2u32 {
+            let ids: Vec<u32> = (0..90u32).filter(|i| i % 2 == parity).collect();
+            let mut rows = Vec::new();
+            let mut block_norms = Vec::new();
+            for &id in &ids {
+                rows.extend_from_slice(m.row(id as usize));
+                block_norms.push(norms[id as usize]);
+            }
+            blocks.push((ids, rows, block_norms));
+        }
+        let view = || blocks.iter().map(|(i, r, n)| (i.as_slice(), r.as_slice(), n.as_slice()));
+        let packed = top_k_cosine_blocks(5, &query, 8, view(), |_| false);
+        assert_eq!(packed, top_k_cosine_among(&m, &norms, &query, 8, 0..90));
+        // Exclusion skips rows entirely; k = 0 short-circuits.
+        let tail = top_k_cosine_blocks(5, &query, 8, view(), |id| id < 40);
+        assert!(!tail.is_empty() && tail.iter().all(|&(id, _)| id >= 40));
+        assert!(top_k_cosine_blocks(5, &query, 0, view(), |_| false).is_empty());
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //!
 //! The library is deliberately CPU-only, `f32`, deterministic under a seed,
 //! and free of external dependencies beyond `rand`.
+//!
+//! It also hosts the serving-side approximate nearest-neighbour index
+//! ([`ann::IvfIndex`]): a deterministic IVF-flat partition of a snapshot's
+//! embedding rows that makes kNN queries sub-linear while keeping the exact
+//! scan as a recall oracle (probing every list reproduces it bit for bit).
 
 pub mod activation;
+pub mod ann;
 pub mod layer;
 pub mod link;
 pub mod loss;
@@ -23,6 +29,7 @@ pub mod network;
 pub mod optimizer;
 
 pub use activation::Activation;
+pub use ann::{IvfConfig, IvfIndex, SearchMode};
 pub use layer::Dense;
 pub use link::LinkNet;
 pub use loss::Loss;

@@ -1,0 +1,308 @@
+//! Index/refresh coherence for the served ANN path.
+//!
+//! The contract: whatever refresh plan published a snapshot — delta patch,
+//! no-change republish, or full rebuild — the snapshot's IVF index must be
+//! indistinguishable from an index freshly assigned from the snapshot's
+//! own rows. Concretely, after every refresh:
+//!
+//! * the index covers exactly the snapshot's rows (no tear);
+//! * its assignments are bit-identical to a fresh `with_centroids`
+//!   assignment of the same rows against the same centroids (the
+//!   frozen-centroid patching contract of `IvfIndex::refreshed`);
+//! * it answers **identically — same ids, same scores —** to that fresh
+//!   index at serving probe depth, and to the exact `top_k_cosine` oracle
+//!   at full probe depth;
+//! * after a *full* refresh, the index is bit-identical to
+//!   `IvfIndex::build` from scratch (full refreshes retrain centroids).
+//!
+//! Pinned over randomized DML sequences (inserts, numeric updates,
+//! relational updates — exercising the delta, no-change and full plans)
+//! for both solvers at 1 and 8 threads, plus a concurrent stress mirror
+//! of `tests/serving.rs` where readers query through `SearchMode::Approx`
+//! while a writer forces refreshes (`RETRO_SERVE_STRESS` raises the soak).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use retro::core::serve::{EmbeddingService, SearchMode, Snapshot};
+use retro::core::{RefreshKind, RetroConfig, Solver};
+use retro::embed::nn::top_k_cosine;
+use retro::embed::EmbeddingSet;
+use retro::nn::ann::IvfIndex;
+use retro::store::{sql, Database, SharedDatabase, Value};
+
+/// Stress-loop iteration count (see `tests/serving.rs`).
+fn stress_rounds(default: usize) -> usize {
+    std::env::var("RETRO_SERVE_STRESS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn base() -> EmbeddingSet {
+    let tokens: Vec<String> = (0..40).map(|i| format!("tok{i}")).collect();
+    let vectors: Vec<Vec<f32>> =
+        (0..40).map(|i| (0..8).map(|d| ((i * 7 + d * 3) as f32 * 0.37).sin()).collect()).collect();
+    EmbeddingSet::new(tokens, vectors)
+}
+
+fn movie_title(id: i64) -> Value {
+    Value::from(format!("movie{id} tok{} tok{}", 8 + (id % 16), 24 + (id % 16)))
+}
+
+fn person_name(id: i64) -> Value {
+    Value::from(format!("person{id} tok{} tok{}", id % 8, 4 + (id % 8)))
+}
+
+/// A service over the serving schema plus a numeric column, with the id
+/// bookkeeping needed to aim updates at valid rows.
+struct Harness {
+    service: Arc<EmbeddingService>,
+    movie_ids: Vec<i64>,
+    person_ids: Vec<i64>,
+    next: i64,
+}
+
+impl Harness {
+    fn start(n_movies: usize, solver: Solver, threads: usize) -> Self {
+        let mut db = Database::new();
+        sql::run_script(
+            &mut db,
+            "CREATE TABLE persons (id INTEGER PRIMARY KEY, name TEXT);
+             CREATE TABLE movies (id INTEGER PRIMARY KEY, title TEXT, budget FLOAT,
+                                  director_id INTEGER REFERENCES persons(id));",
+        )
+        .unwrap();
+        let mut person_ids = Vec::new();
+        for p in 0..4i64 {
+            db.insert("persons", vec![Value::Int(p), person_name(p)]).unwrap();
+            person_ids.push(p);
+        }
+        let mut movie_ids = Vec::new();
+        for m in 0..n_movies as i64 {
+            db.insert(
+                "movies",
+                vec![Value::Int(m), movie_title(m), Value::Float(m as f64), Value::Int(m % 4)],
+            )
+            .unwrap();
+            movie_ids.push(m);
+        }
+        let cfg = RetroConfig::default().with_solver(solver);
+        let params = cfg.params.with_threads(threads);
+        let config = cfg.with_params(params).with_iterations(3);
+        let service = EmbeddingService::start(SharedDatabase::new(db), base(), config).unwrap();
+        // Keep single-row inserts on the delta plan even on a small graph,
+        // so the sequence actually exercises index *patching*.
+        service.tune_session(|s| s.delta_max_dirty_fraction = 1.0);
+        Harness { service, movie_ids, person_ids, next: 10_000 }
+    }
+
+    /// Apply the op encoded by `b`: mostly inserts (delta plan), plus
+    /// numeric updates (no-change plan) and relational updates (full
+    /// fallback).
+    fn apply(&mut self, b: u8) {
+        self.next += 1;
+        let id = self.next;
+        let db = self.service.database();
+        match b % 6 {
+            0..=2 => {
+                db.with_write(|db| {
+                    db.insert(
+                        "movies",
+                        vec![
+                            Value::Int(id),
+                            movie_title(id),
+                            Value::Float(0.0),
+                            Value::Int(id % 4),
+                        ],
+                    )
+                    .map(|_| ())
+                })
+                .unwrap();
+                self.movie_ids.push(id);
+            }
+            3 => {
+                db.with_write(|db| {
+                    db.insert("persons", vec![Value::Int(id), person_name(id)]).map(|_| ())
+                })
+                .unwrap();
+                self.person_ids.push(id);
+            }
+            4 => {
+                let row = b as usize % self.movie_ids.len();
+                db.with_write(|db| {
+                    db.update_rows("movies", &[(row, 2, Value::Float(f64::from(b)))]).map(|_| ())
+                })
+                .unwrap();
+            }
+            _ => {
+                let row = b as usize % self.movie_ids.len();
+                let director = self.person_ids[b as usize % self.person_ids.len()];
+                db.with_write(|db| {
+                    db.update_rows("movies", &[(row, 3, Value::Int(director))]).map(|_| ())
+                })
+                .unwrap();
+            }
+        }
+    }
+}
+
+/// The coherence oracle: the published index must be indistinguishable
+/// from a fresh assignment of the snapshot's own rows.
+fn assert_index_coherent(snap: &Snapshot, context: &str) {
+    let m = &snap.output().embeddings;
+    let norms = snap.norms();
+    let index = snap.index();
+    assert_eq!(index.len(), snap.len(), "index/matrix tear {context}");
+
+    // Structural: bit-identical to re-assigning every row against the
+    // index's own (frozen) centroids.
+    let fresh = IvfIndex::with_centroids(m, norms, index.centroids().clone(), *index.config(), 1);
+    assert_eq!(index.assignments(), fresh.assignments(), "stale assignment {context}");
+
+    // Behavioural: same ids, same scores — vs the fresh index at serving
+    // probe depth, and vs the exact oracle at full depth.
+    let probes = snap.default_probes();
+    for q in [0, snap.len() / 2, snap.len() - 1] {
+        let query = m.row(q);
+        assert_eq!(
+            index.search(query, 10, probes),
+            fresh.search(query, 10, probes),
+            "probed answers diverged {context}"
+        );
+        assert_eq!(
+            index.search(query, 10, index.nlist()),
+            top_k_cosine(m, norms, query, 10, 1, |_| false),
+            "full-probe answers left the oracle {context}"
+        );
+    }
+}
+
+fn run_sequence(solver: Solver, threads: usize, ops: &[u8]) {
+    let mut harness = Harness::start(40, solver, threads);
+    assert_index_coherent(&harness.service.snapshot(), "at initial publish");
+    let mut kinds = Vec::new();
+    for (step, &b) in ops.iter().enumerate() {
+        harness.apply(b);
+        harness.service.refresh().unwrap();
+        let kind = harness.service.last_refresh().unwrap();
+        kinds.push(kind);
+        let snap = harness.service.snapshot();
+        let context = format!("after step {step} (op {b}, {kind:?}, {solver:?} x{threads})");
+        assert_index_coherent(&snap, &context);
+
+        // A full refresh rebuilds from scratch: the published index must
+        // be bit-identical to `IvfIndex::build` on the snapshot's rows.
+        if kind == RefreshKind::Full {
+            let built =
+                IvfIndex::build(&snap.output().embeddings, snap.norms(), *snap.index().config(), 1);
+            assert_eq!(snap.index().assignments(), built.assignments(), "{context}");
+            assert_eq!(
+                snap.index().centroids().as_slice(),
+                built.centroids().as_slice(),
+                "{context}"
+            );
+        }
+    }
+    // The sequence must actually have exercised the delta (patching) plan
+    // whenever it inserted anything — otherwise this test pins nothing.
+    if ops.iter().any(|&b| b % 6 <= 3) {
+        assert!(
+            kinds.contains(&RefreshKind::Delta),
+            "no delta refresh in {kinds:?} — the patch path went untested"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Randomized DML + refresh keeps the published index coherent, for
+    /// both solvers, at 1 and 8 threads.
+    #[test]
+    fn refreshed_index_matches_a_fresh_build(ops in prop::collection::vec(0u8..=255, 1..6)) {
+        for (solver, threads) in [(Solver::Rn, 1), (Solver::Rn, 8), (Solver::Ro, 1), (Solver::Ro, 8)] {
+            run_sequence(solver, threads, &ops);
+        }
+    }
+}
+
+/// The dispatch pins, deterministically: one insert is a delta patch, one
+/// numeric update is a no-change republish, one relational update is a
+/// full rebuild — and the index stays coherent through each.
+#[test]
+fn each_refresh_plan_keeps_the_index_coherent() {
+    let mut harness = Harness::start(32, Solver::Rn, 2);
+    for (op, want) in
+        [(0u8, RefreshKind::Delta), (4, RefreshKind::NoChange), (5, RefreshKind::Full)]
+    {
+        harness.apply(op);
+        harness.service.refresh().unwrap();
+        assert_eq!(harness.service.last_refresh(), Some(want), "op {op}");
+        assert_index_coherent(&harness.service.snapshot(), &format!("after {want:?}"));
+    }
+}
+
+/// Concurrent mirror of `tests/serving.rs`: readers query through the ANN
+/// path while a writer forces refreshes. No torn index, monotone
+/// generations, sane rankings at every observation.
+#[test]
+fn concurrent_ann_readers_observe_only_coherent_indexes() {
+    let mut harness = Harness::start(24, Solver::Rn, 1);
+    let service = Arc::clone(&harness.service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let rounds = stress_rounds(4);
+
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_generation = 0u64;
+                let mut observed = 0usize;
+                while observed == 0 || !stop.load(Ordering::Acquire) {
+                    let snap = service.snapshot();
+                    assert!(
+                        snap.generation() >= last_generation,
+                        "generation went backwards: {} < {last_generation}",
+                        snap.generation()
+                    );
+                    last_generation = snap.generation();
+
+                    // No torn snapshot — the index included.
+                    let rows = snap.output().embeddings.rows();
+                    assert_eq!(snap.len(), rows, "catalog/matrix tear");
+                    assert_eq!(snap.norms().len(), rows, "norm-cache tear");
+                    assert_eq!(snap.index().len(), rows, "index tear");
+
+                    // ANN queries on the snapshot are internally
+                    // consistent, and full probing is still the oracle.
+                    let query = snap.output().embeddings.row(0);
+                    let probes = snap.default_probes();
+                    let nn = snap.nearest(query, 8, SearchMode::Approx { probes });
+                    assert!(nn.iter().all(|&(id, s)| id < rows && s.is_finite()));
+                    assert!(nn.windows(2).all(|p| p[0].1 >= p[1].1), "ranking not descending");
+                    assert_eq!(
+                        snap.nearest(query, 8, SearchMode::Approx { probes: snap.index().nlist() }),
+                        snap.nearest(query, 8, SearchMode::Exact),
+                        "full-probe ANN left the oracle mid-stress"
+                    );
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    for round in 0..rounds {
+        // Writer: the op mix drives delta, no-change and full plans.
+        harness.apply(round as u8);
+        harness.service.refresh().unwrap();
+    }
+
+    stop.store(true, Ordering::Release);
+    for handle in readers {
+        let observed = handle.join().expect("reader panicked — an ANN invariant broke");
+        assert!(observed > 0, "reader never observed a snapshot");
+    }
+    assert_eq!(service.generation(), rounds as u64 + 1);
+    assert_index_coherent(&service.snapshot(), "after the stress loop");
+}

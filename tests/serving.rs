@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use retro::core::serve::EmbeddingService;
+use retro::core::serve::{EmbeddingService, SearchMode};
 use retro::core::{Hyperparameters, RetroConfig};
 use retro::embed::nn::top_k_cosine;
 use retro::embed::EmbeddingSet;
@@ -93,9 +93,9 @@ fn readers_complete_while_the_database_write_guard_is_held() {
     let guard = service.database().write();
 
     // Same thread: a db-lock dependency would deadlock right here.
-    let direct = service.nearest(&query, 5);
+    let direct = service.nearest(&query, 5, SearchMode::Exact);
     assert_eq!(direct.len(), 5);
-    assert!(service.nearest_token("persons", "name", "tok0 tok4", 3).is_some());
+    assert!(service.nearest_token("persons", "name", "tok0 tok4", 3, SearchMode::Exact).is_some());
 
     // Other threads: all queries must finish while the guard stays held.
     let readers: Vec<_> = (0..4)
@@ -105,7 +105,7 @@ fn readers_complete_while_the_database_write_guard_is_held() {
             std::thread::spawn(move || {
                 for _ in 0..50 {
                     let snap = service.snapshot();
-                    let nn = snap.nearest(&query, 5);
+                    let nn = snap.nearest(&query, 5, SearchMode::Exact);
                     assert_eq!(nn.len(), 5);
                 }
             })
@@ -151,7 +151,7 @@ fn concurrent_readers_observe_only_complete_monotone_generations() {
                     assert_eq!(snap.output().problem.len(), rows, "problem tear");
 
                     // Queries on the snapshot are internally consistent.
-                    let nn = snap.nearest(snap.output().embeddings.row(0), 8);
+                    let nn = snap.nearest(snap.output().embeddings.row(0), 8, SearchMode::Exact);
                     assert!(nn.iter().all(|&(id, s)| id < rows && s.is_finite()));
                     observed += 1;
                 }
@@ -199,7 +199,8 @@ fn snapshot_rankings_are_bit_identical_across_thread_counts() {
     let ref_snap = reference.snapshot();
     let queries: Vec<Vec<f32>> =
         (0..8).map(|i| ref_snap.output().embeddings.row(i).to_vec()).collect();
-    let expected: Vec<_> = queries.iter().map(|q| ref_snap.nearest(q, 10)).collect();
+    let expected: Vec<_> =
+        queries.iter().map(|q| ref_snap.nearest(q, 10, SearchMode::Exact)).collect();
 
     for threads in [2usize, 8] {
         let snap = service(32, threads).snapshot();
@@ -210,7 +211,7 @@ fn snapshot_rankings_are_bit_identical_across_thread_counts() {
         );
         for (query, want) in queries.iter().zip(&expected) {
             assert_eq!(
-                snap.nearest(query, 10),
+                snap.nearest(query, 10, SearchMode::Exact),
                 *want,
                 "snapshot ranking diverged at {threads} threads"
             );
