@@ -1,0 +1,144 @@
+//! Durability-path microbench (`docs/DURABILITY.md`): what the write-ahead
+//! log costs on the mutation hot path, and what recovery costs on restart.
+//!
+//! Four shapes: row-by-row inserts ephemeral vs durable (per-commit WAL
+//! append overhead), a bulk batch on a durable database (one `Batch`
+//! record carrying every row — the log's write-bandwidth cost), snapshot
+//! write (`checkpoint`), and the two recovery paths — replay from the log
+//! alone vs loading a compacted snapshot. The recovery pair is the
+//! motivation for compaction: replay scales with history, snapshot load
+//! with live state.
+//!
+//! `tests/recovery_equivalence.rs` and `tests/wal_faults.rs` pin that the
+//! durable and ephemeral paths produce identical state, so the deltas here
+//! are pure logging cost. Set `RETRO_PAPER_SCALE=1` for a larger row count.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retro_store::{DataType, Database, TableSchema, Value};
+
+static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per use (no tempfile crate in-tree); callers
+/// remove it when done.
+fn scratch() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "retro_wal_append_bench_{}_{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn schema(db: &mut Database) {
+    db.create_table(
+        TableSchema::builder("events").pk("id").column("payload", DataType::Text).build(),
+    )
+    .expect("fresh database");
+}
+
+fn row(i: usize) -> Vec<Value> {
+    vec![Value::Int(i as i64), Value::from(format!("event payload number {i}"))]
+}
+
+fn insert_all(db: &mut Database, n: usize) {
+    for i in 0..n {
+        db.insert("events", row(i)).expect("valid row");
+    }
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let n: usize = if std::env::var_os("RETRO_PAPER_SCALE").is_some() { 8_192 } else { 512 };
+    let mut group = c.benchmark_group("wal_append");
+    group.sample_size(10);
+
+    // Baseline: the same inserts with no log anywhere.
+    group.bench_function(BenchmarkId::new("insert_ephemeral", n), |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            schema(&mut db);
+            insert_all(&mut db, n);
+            db
+        })
+    });
+
+    // Durable row-by-row: one WAL record appended and flushed per commit.
+    // Directory setup/teardown runs inside the timed loop (the shimmed
+    // criterion has no `iter_batched`), a fixed cost amortized over `n`
+    // inserts.
+    group.bench_function(BenchmarkId::new("insert_durable", n), |b| {
+        b.iter(|| {
+            let dir = scratch();
+            let mut db = Database::open(&dir).expect("scratch dir is writable");
+            schema(&mut db);
+            insert_all(&mut db, n);
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        })
+    });
+
+    // Durable bulk batch: all rows in one all-or-nothing commit, logged as
+    // a single `Batch` record — the log's large-write bandwidth.
+    group.bench_function(BenchmarkId::new("bulk_commit_durable", n), |b| {
+        b.iter(|| {
+            let dir = scratch();
+            let mut db = Database::open(&dir).expect("scratch dir is writable");
+            schema(&mut db);
+            let mut loader = db.bulk();
+            let events = loader.table("events").expect("present");
+            loader.reserve(events, n);
+            for i in 0..n {
+                loader.stage(events, row(i)).expect("valid row");
+            }
+            loader.commit().expect("all stages succeeded");
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        })
+    });
+
+    // Snapshot write: the first iteration compacts the n-record log; later
+    // iterations re-serialize the same state onto an empty log, which is
+    // the steady-state checkpoint cost.
+    let checkpoint_dir = scratch();
+    let mut checkpointed = Database::open(&checkpoint_dir).expect("scratch dir is writable");
+    schema(&mut checkpointed);
+    insert_all(&mut checkpointed, n);
+    group.bench_function(BenchmarkId::new("checkpoint", n), |b| {
+        b.iter(|| checkpointed.checkpoint().expect("durable"))
+    });
+
+    // Recovery, replay path: no snapshot, every mutation re-applied from
+    // the log through the normal constraint-checked engine.
+    let replay_dir = scratch();
+    {
+        let mut db = Database::open(&replay_dir).expect("scratch dir is writable");
+        schema(&mut db);
+        insert_all(&mut db, n);
+    }
+    group.bench_function(BenchmarkId::new("recover_replay", n), |b| {
+        b.iter(|| Database::recover(&replay_dir).expect("intact log"))
+    });
+
+    // Recovery, snapshot path: the same state behind a compacted log —
+    // a straight deserialize, no replay.
+    let snapshot_dir = scratch();
+    {
+        let mut db = Database::open(&snapshot_dir).expect("scratch dir is writable");
+        schema(&mut db);
+        insert_all(&mut db, n);
+        db.checkpoint().expect("durable");
+    }
+    group.bench_function(BenchmarkId::new("recover_snapshot", n), |b| {
+        b.iter(|| Database::recover(&snapshot_dir).expect("intact snapshot"))
+    });
+
+    group.finish();
+    drop(checkpointed);
+    for dir in [checkpoint_dir, replay_dir, snapshot_dir] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

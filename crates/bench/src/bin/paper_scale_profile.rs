@@ -115,6 +115,68 @@ fn profile_ingest(label: &str, db: &Database) -> Vec<Phase> {
     ]
 }
 
+/// Durability phase (`docs/DURABILITY.md`): the WAL + snapshot subsystem
+/// at dataset scale. Reports the logged bulk load against the ephemeral
+/// baseline (WAL write-bandwidth overhead — the batch commits as a single
+/// `Batch` record carrying every row), recovery by replaying that log,
+/// snapshot write (`checkpoint`), and recovery from the compacted
+/// snapshot. The replay-vs-snapshot pair is the case for compaction:
+/// replay scales with logged history, snapshot load with live state.
+fn profile_durability(label: &str, db: &Database) -> Vec<Phase> {
+    let (schema_only, order) = schema_only_clone(db);
+    let n_rows: usize = db.tables().map(retro_store::Table::len).sum();
+    let dir = std::env::temp_dir()
+        .join(format!("retro_profile_durability_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Ephemeral baseline for the overhead ratio, measured here so the two
+    // sides share one materialization policy.
+    let batch = materialize_rows(db, &order);
+    let (ephemeral, ephemeral_secs) = time(|| load_bulk(schema_only.clone(), batch));
+    drop(ephemeral);
+
+    let batch = materialize_rows(db, &order);
+    let (mut durable, durable_secs) = time(|| {
+        let mut out = Database::open(&dir).expect("scratch dir is writable");
+        for name in &order {
+            out.create_table(db.table(name).expect("present").schema().clone())
+                .expect("fresh database");
+        }
+        load_bulk(out, batch)
+    });
+    println!(
+        "  {label}: durable bulk load        {durable_secs:>9.3}s  ({n_rows} rows; {:.2}x ephemeral)",
+        durable_secs / ephemeral_secs.max(1e-9)
+    );
+
+    // Replay recovery: no snapshot yet, so every logged mutation re-runs
+    // through the constraint-checked engine.
+    let (replayed, replay_secs) = time(|| Database::recover(&dir).expect("intact log"));
+    assert_reload_matches(db, &replayed, "WAL replay");
+    drop(replayed);
+    println!("  {label}: WAL replay recovery      {replay_secs:>9.3}s");
+
+    let ((), snapshot_secs) = time(|| durable.checkpoint().expect("durable"));
+    println!("  {label}: snapshot write           {snapshot_secs:>9.3}s");
+
+    let (loaded, load_secs) = time(|| Database::recover(&dir).expect("intact snapshot"));
+    assert_reload_matches(db, &loaded, "snapshot load");
+    drop(loaded);
+    println!(
+        "  {label}: snapshot load            {load_secs:>9.3}s  (replay/load {:.2}x)",
+        replay_secs / load_secs.max(1e-9)
+    );
+
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![
+        Phase { name: "durable_bulk_load", secs: durable_secs },
+        Phase { name: "wal_replay_recovery", secs: replay_secs },
+        Phase { name: "snapshot_write", secs: snapshot_secs },
+        Phase { name: "snapshot_load", secs: load_secs },
+    ]
+}
+
 fn profile_pipeline(
     label: &str,
     db: &Database,
@@ -505,6 +567,9 @@ fn main() {
     for phase in profile_ingest("tmdb", &tmdb.db) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
+    for phase in profile_durability("tmdb", &tmdb.db) {
+        rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
+    }
     for phase in profile_pipeline("tmdb", &tmdb.db, &tmdb.base, iterations, threads) {
         rows.push(ReportRow::from_samples(format!("tmdb/{}", phase.name), &[phase.secs]));
     }
@@ -527,6 +592,9 @@ fn main() {
     );
     rows.push(ReportRow::from_samples("gplay/generation", &[secs]));
     for phase in profile_ingest("gplay", &gplay.db) {
+        rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
+    }
+    for phase in profile_durability("gplay", &gplay.db) {
         rows.push(ReportRow::from_samples(format!("gplay/{}", phase.name), &[phase.secs]));
     }
     for phase in profile_pipeline("gplay", &gplay.db, &gplay.base, iterations, threads) {

@@ -105,12 +105,18 @@ impl RetroConfig {
 pub enum RetroError {
     /// The base embedding has zero dimensions.
     EmptyEmbedding,
+    /// Persisting or recovering a published generation failed — an I/O
+    /// error, a corrupt snapshot file, or a snapshot that does not match
+    /// the supplied base embedding. The message is kept as a string so the
+    /// error stays `Clone + PartialEq + Eq`.
+    Persist(String),
 }
 
 impl std::fmt::Display for RetroError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RetroError::EmptyEmbedding => write!(f, "base embedding has dimension 0"),
+            RetroError::Persist(msg) => write!(f, "embedding persistence error: {msg}"),
         }
     }
 }

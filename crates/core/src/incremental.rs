@@ -187,6 +187,22 @@ impl IncrementalRetro {
         }
     }
 
+    /// Seed the session from a previously converged output — the warm-start
+    /// path of `EmbeddingService::recover`.
+    ///
+    /// `db_version` must be the database write version `output` was
+    /// converged against *when it was persisted*: it anchors the change log
+    /// for the next refresh, so everything written since the snapshot is
+    /// picked up (as a delta when the log allows it). The sums cache and
+    /// refresh-kind report are cleared — they describe solver runs this
+    /// process never performed.
+    pub fn restore(&mut self, output: Arc<RetroOutput>, db_version: u64) {
+        self.state = Some(output);
+        self.state_version = Some(db_version);
+        self.sums_cache = None;
+        self.last_refresh = None;
+    }
+
     /// The current output, if any run has completed.
     pub fn current(&self) -> Option<&RetroOutput> {
         self.state.as_deref()

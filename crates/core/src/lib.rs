@@ -24,6 +24,9 @@
 //! database changes, and [`serve`] publishes each converged output as a
 //! generation-numbered immutable snapshot that concurrent readers query
 //! lock-free while a background worker refreshes (see `docs/SERVING.md`).
+//! A published generation can be persisted to a checksummed snapshot file
+//! and recovered after a restart ([`EmbeddingService::save_snapshot`] /
+//! [`EmbeddingService::recover`] — see `docs/DURABILITY.md`).
 //!
 //! The one-call entry point is [`Retro`]:
 //!
@@ -61,6 +64,7 @@ pub mod graphgen;
 pub mod hyper;
 pub mod incremental;
 pub mod loss;
+pub(crate) mod persist;
 pub mod problem;
 pub mod relations;
 pub mod serve;

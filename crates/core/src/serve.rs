@@ -406,6 +406,122 @@ impl EmbeddingService {
         Ok(generation)
     }
 
+    /// Persist the currently published snapshot to `path` — one
+    /// checksummed file (written to a temp sibling and atomically renamed)
+    /// holding the generation number, the database write version it
+    /// reflects, the catalog and relation groups of the solved problem,
+    /// and the converged embedding matrix bit for bit.
+    ///
+    /// [`EmbeddingService::recover`] reads it back after a restart. The
+    /// snapshot captures one *published generation*, so the natural time
+    /// to call this is right after a refresh — typically alongside
+    /// [`retro_store::Database::checkpoint`] on the store side.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> Result<(), RetroError> {
+        let snap = self.snapshot();
+        let bytes = crate::persist::encode(
+            snap.generation(),
+            snap.write_version(),
+            &snap.output.catalog,
+            &snap.output.problem.groups,
+            &snap.output.embeddings,
+        );
+        let io =
+            |err: std::io::Error| RetroError::Persist(format!("writing {}: {err}", path.display()));
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).map_err(io)?;
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
+    /// Restart serving from a snapshot file written by
+    /// [`EmbeddingService::save_snapshot`] — the warm-start counterpart of
+    /// [`EmbeddingService::start`].
+    ///
+    /// The persisted generation is republished as-is: same generation
+    /// number, bit-identical embeddings (so rankings match the pre-crash
+    /// service exactly), and an incremental session anchored at the
+    /// snapshot's database write version. Writes that landed *after* the
+    /// snapshot are not lost — [`EmbeddingService::out_of_date`] reports
+    /// them and the next refresh catches up, delta-scoped when the store's
+    /// change log allows it.
+    ///
+    /// `base` must be the same base embedding the snapshot was solved
+    /// against (the derived problem parts are recomputed from it); a
+    /// dimension mismatch is a typed [`RetroError::Persist`].
+    pub fn recover(
+        db: SharedDatabase,
+        base: EmbeddingSet,
+        config: RetroConfig,
+        path: &std::path::Path,
+    ) -> Result<Arc<Self>, RetroError> {
+        if base.dim() == 0 {
+            return Err(RetroError::EmptyEmbedding);
+        }
+        let bytes = std::fs::read(path)
+            .map_err(|err| RetroError::Persist(format!("reading {}: {err}", path.display())))?;
+        let persisted = crate::persist::decode(&bytes)?;
+        if persisted.embeddings.cols() != base.dim() {
+            return Err(RetroError::Persist(format!(
+                "snapshot dimension {} does not match base embedding dimension {}",
+                persisted.embeddings.cols(),
+                base.dim()
+            )));
+        }
+
+        // Replay the catalog through the public construction path in id
+        // order — `add_category`/`intern` assign dense ids sequentially,
+        // so the recovered ids are exactly the persisted ones.
+        let mut catalog = crate::TextValueCatalog::default();
+        for (table, column) in &persisted.categories {
+            catalog.add_category(table, column);
+        }
+        for (id, (category, text)) in persisted.values.iter().enumerate() {
+            let got = catalog.intern(*category, text);
+            if got as usize != id {
+                return Err(RetroError::Persist(format!(
+                    "duplicate text value '{text}' (id {id} resolved to {got})"
+                )));
+            }
+        }
+
+        let problem = crate::RetrofitProblem::from_parts(catalog, persisted.groups, &base);
+        if problem.len() != persisted.embeddings.rows() {
+            return Err(RetroError::Persist(format!(
+                "snapshot holds {} embedding rows for {} values",
+                persisted.embeddings.rows(),
+                problem.len()
+            )));
+        }
+        let convexity = crate::hyper::check_convexity(
+            &problem.groups,
+            &problem.relation_counts,
+            &config.params,
+            problem.len(),
+        );
+        let output = Arc::new(RetroOutput {
+            catalog: problem.catalog.clone(),
+            problem,
+            embeddings: persisted.embeddings,
+            convexity,
+        });
+
+        let threads = config.params.threads;
+        let mut session = IncrementalRetro::new(config);
+        session.restore(Arc::clone(&output), persisted.write_version);
+        let snapshot =
+            Arc::new(Snapshot::new(persisted.generation, persisted.write_version, threads, output));
+        Ok(Arc::new(Self {
+            db,
+            base,
+            threads,
+            session: RwLock::new(session),
+            snapshot: RwLock::new(snapshot),
+            refreshes: AtomicU64::new(0),
+        }))
+    }
+
     /// Which path the most recent solve took — [`RefreshKind::Full`] right
     /// after start (the initial run is a full run), then whatever the last
     /// refresh dispatched to.
@@ -707,6 +823,91 @@ mod tests {
             "no-change republish must reuse the output allocation"
         );
         drop(before);
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("retro_serve_persist_{}_{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn save_and_recover_republishes_the_same_generation() {
+        let path = temp_path("round_trip");
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        insert_prometheus(service.database());
+        service.refresh().unwrap();
+        service.save_snapshot(&path).unwrap();
+        let before = service.snapshot();
+
+        let recovered = EmbeddingService::recover(
+            service.database().clone(),
+            base(),
+            RetroConfig::default(),
+            &path,
+        )
+        .unwrap();
+        let after = recovered.snapshot();
+        assert_eq!(after.generation(), before.generation());
+        assert_eq!(after.write_version(), before.write_version());
+        assert_eq!(after.len(), before.len());
+        assert_eq!(
+            after.output().embeddings.max_abs_diff(&before.output().embeddings),
+            0.0,
+            "recovered embeddings must be bit-identical"
+        );
+        assert!(!recovered.out_of_date(), "nothing was written since the snapshot");
+        assert_eq!(recovered.last_refresh(), None, "no solve ran in this process yet");
+
+        // The recovered session is a live one: a later write refreshes
+        // normally and bumps the persisted generation number.
+        insert_prometheus_again(recovered.database());
+        assert!(recovered.out_of_date());
+        let generation = recovered.refresh().unwrap();
+        assert_eq!(generation, before.generation() + 1);
+        assert!(recovered.snapshot().vector("movies", "title", "covenant").is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_base_and_damage() {
+        let path = temp_path("faults");
+        let service = EmbeddingService::start(shared(), base(), RetroConfig::default()).unwrap();
+        service.save_snapshot(&path).unwrap();
+
+        // A base with the wrong dimensionality must be refused.
+        let skinny = EmbeddingSet::new(vec!["alien".into()], vec![vec![1.0, 0.0, 0.0]]);
+        let err = EmbeddingService::recover(
+            service.database().clone(),
+            skinny,
+            RetroConfig::default(),
+            &path,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RetroError::Persist(_)), "got {err:?}");
+
+        // A flipped body byte must be caught by the checksum.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = EmbeddingService::recover(
+            service.database().clone(),
+            base(),
+            RetroConfig::default(),
+            &path,
+        )
+        .unwrap_err();
+        assert_eq!(err, RetroError::Persist("checksum mismatch".into()));
+
+        // A missing file is a typed error, not a panic.
+        std::fs::remove_file(&path).unwrap();
+        let err = EmbeddingService::recover(
+            service.database().clone(),
+            base(),
+            RetroConfig::default(),
+            &path,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RetroError::Persist(_)));
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! ```
 //!
 //! The binary format is a little-endian cache written with `bytes`:
-//! magic `RETV`, u32 version, u32 count, u32 dim, then per entry a u32
-//! token length + UTF-8 token + `dim` f32 values.
+//! magic `RETV`, u32 version, and — since version 2 — a u32 CRC-32 over
+//! the body, then the body: u32 count, u32 dim, and per entry a u32
+//! token length + UTF-8 token + `dim` f32 values. The writer emits
+//! version 2; the parser still accepts the unchecksummed version 1 so
+//! caches written by earlier builds keep loading.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -91,26 +94,49 @@ pub fn to_text(set: &EmbeddingSet) -> String {
 }
 
 const MAGIC: &[u8; 4] = b"RETV";
-const VERSION: u32 = 1;
+/// Current writer version: body checksummed with CRC-32.
+const VERSION: u32 = 2;
+/// Legacy unchecksummed layout, still accepted by [`parse_binary`].
+const VERSION_UNCHECKSUMMED: u32 = 1;
 
-/// Serialize to the binary cache format.
-pub fn to_binary(set: &EmbeddingSet) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + set.len() * (8 + set.dim() * 4));
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(set.len() as u32);
-    buf.put_u32_le(set.dim() as u32);
-    for (i, token) in set.tokens().iter().enumerate() {
-        buf.put_u32_le(token.len() as u32);
-        buf.put_slice(token.as_bytes());
-        for &v in set.vector(i) {
-            buf.put_f32_le(v);
+/// CRC-32 (IEEE, reflected polynomial `0xEDB88320`) — the same checksum
+/// `retro_store::wal::crc32` computes, duplicated privately because this
+/// crate sits below `retro-store` in the dependency graph.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
         }
     }
+    !crc
+}
+
+/// Serialize to the binary cache format (version 2: checksummed).
+pub fn to_binary(set: &EmbeddingSet) -> Bytes {
+    let mut body = BytesMut::with_capacity(8 + set.len() * (8 + set.dim() * 4));
+    body.put_u32_le(set.len() as u32);
+    body.put_u32_le(set.dim() as u32);
+    for (i, token) in set.tokens().iter().enumerate() {
+        body.put_u32_le(token.len() as u32);
+        body.put_slice(token.as_bytes());
+        for &v in set.vector(i) {
+            body.put_f32_le(v);
+        }
+    }
+    let body = body.freeze();
+    let mut buf = BytesMut::with_capacity(body.len() + 12);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(crc32(&body));
+    buf.put_slice(&body);
     buf.freeze()
 }
 
-/// Parse the binary cache format.
+/// Parse the binary cache format. Accepts version 2 (the body's CRC-32
+/// is verified before any field is trusted) and the legacy
+/// unchecksummed version 1.
 pub fn parse_binary(mut data: Bytes) -> Result<EmbeddingSet, FormatError> {
     if data.remaining() < 16 {
         return Err(FormatError("truncated header".into()));
@@ -121,8 +147,18 @@ pub fn parse_binary(mut data: Bytes) -> Result<EmbeddingSet, FormatError> {
         return Err(FormatError("bad magic".into()));
     }
     let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(FormatError(format!("unsupported version {version}")));
+    match version {
+        VERSION => {
+            if data.remaining() < 12 {
+                return Err(FormatError("truncated header".into()));
+            }
+            let stored = data.get_u32_le();
+            if crc32(&data) != stored {
+                return Err(FormatError("checksum mismatch".into()));
+            }
+        }
+        VERSION_UNCHECKSUMMED => {}
+        other => return Err(FormatError(format!("unsupported version {other}"))),
     }
     let count = data.get_u32_le() as usize;
     let dim = data.get_u32_le() as usize;
@@ -211,5 +247,42 @@ mod tests {
         let mut corrupted = bin.to_vec();
         corrupted[0] = b'X';
         assert!(parse_binary(Bytes::from(corrupted)).is_err());
+    }
+
+    #[test]
+    fn binary_checksum_catches_body_bit_flip() {
+        let set = parse_text("alien 1 -0.5\nbrazil 0 1\n").unwrap();
+        let bin = to_binary(&set);
+        // Flip one bit in every body byte in turn; the checksum must catch
+        // each one (a v1 parser would silently accept most of these).
+        for pos in 12..bin.len() {
+            let mut corrupted = bin.to_vec();
+            corrupted[pos] ^= 0x40;
+            let err = parse_binary(Bytes::from(corrupted)).unwrap_err();
+            assert_eq!(err, FormatError("checksum mismatch".into()), "byte {pos}");
+        }
+    }
+
+    #[test]
+    fn binary_accepts_legacy_unchecksummed_v1() {
+        let set = parse_text("alien 1 -0.5\nbrazil 0 1\n").unwrap();
+        let v2 = to_binary(&set);
+        // Rebuild the v1 layout: same body, version 1, no checksum word.
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&VERSION_UNCHECKSUMMED.to_le_bytes());
+        v1.extend_from_slice(&v2[12..]);
+        let parsed = parse_binary(Bytes::from(v1)).unwrap();
+        assert_eq!(parsed.tokens(), set.tokens());
+        assert!(parsed.matrix().max_abs_diff(set.matrix()) < 1e-7);
+    }
+
+    #[test]
+    fn binary_rejects_future_version() {
+        let set = parse_text("a 1\n").unwrap();
+        let mut bin = to_binary(&set).to_vec();
+        bin[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let err = parse_binary(Bytes::from(bin)).unwrap_err();
+        assert_eq!(err, FormatError("unsupported version 9".into()));
     }
 }

@@ -75,6 +75,7 @@ use crate::error::StoreError;
 use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::value::Value;
+use crate::wal::WalOp;
 use crate::{Database, Result};
 
 /// A registered target table of a [`BulkLoader`] (cheap to copy; only valid
@@ -262,6 +263,26 @@ impl<'db> BulkLoader<'db> {
     pub fn commit(mut self) -> Result<usize> {
         if self.poisoned {
             return Err(StoreError::BulkPoisoned);
+        }
+        // On a durable database the whole batch is one WAL record: each
+        // grown table's appended row suffix, in slot (parents-first)
+        // order. Logged before the tables are handed back — a failed
+        // append rolls the batch back, exactly like a constraint
+        // violation, so nothing unlogged ever commits.
+        if self.db.durability_active() {
+            let batch: Vec<(&str, &[Vec<Value>])> = self
+                .tables
+                .iter()
+                .filter(|own| own.table.len() > own.pre_len)
+                .map(|own| (own.table.name(), &own.table.rows()[own.pre_len..]))
+                .collect();
+            if !batch.is_empty() {
+                if let Err(err) = self.db.log_op(WalOp::Batch { tables: &batch }) {
+                    drop(batch);
+                    self.rollback();
+                    return Err(err);
+                }
+            }
         }
         let inserted = self.staged;
         let mut appended: Vec<(String, usize, usize)> = Vec::new();

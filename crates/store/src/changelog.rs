@@ -128,6 +128,24 @@ impl ChangeLog {
         }
     }
 
+    /// Oldest `since` argument still answerable (snapshot serialization).
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Retained records, oldest first (snapshot serialization).
+    pub(crate) fn records(&self) -> impl Iterator<Item = &ChangeRecord> {
+        self.records.iter()
+    }
+
+    /// Rebuild the log from persisted parts (snapshot recovery). The
+    /// records must already respect `capacity`; the writer serialized a
+    /// log that did, so a violation here means the snapshot is corrupt
+    /// and the caller rejects it before calling this.
+    pub(crate) fn restore(capacity: usize, base: u64, records: Vec<ChangeRecord>) -> Self {
+        Self { records: records.into(), capacity: capacity.max(1), base }
+    }
+
     /// Every change recorded after write version `since`, oldest first, or
     /// `None` when eviction has truncated the log past `since` (the
     /// history is incomplete and the observer must assume anything

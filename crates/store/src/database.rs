@@ -1,35 +1,239 @@
 //! The database: a named collection of tables with cross-table constraints.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use crate::bulk::BulkLoader;
 use crate::changelog::{ChangeLog, ChangeRecord, TableChange};
 use crate::error::StoreError;
+use crate::persist::{self, SNAPSHOT_FILE};
 use crate::schema::{ForeignKey, TableSchema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
+use crate::wal::{self, Wal, WalEntry, WalOp, WAL_FILE};
 use crate::Result;
+
+/// The durable half of a [`Database`]: the open WAL plus the directory
+/// the snapshot lives in. Present only on databases created through
+/// [`Database::open`] / [`Database::recover`].
+#[derive(Debug)]
+pub(crate) struct Durability {
+    pub(crate) wal: Wal,
+    pub(crate) dir: PathBuf,
+    /// Sticky error after a failed WAL append. A partial frame may be
+    /// sitting at the log's tail, so further appends would be misaligned;
+    /// durable mutations are refused until [`Database::checkpoint`]
+    /// re-syncs log and memory.
+    pub(crate) poisoned: Option<StoreError>,
+}
+
+impl Durability {
+    /// Append one record, flushing before returning. Any failure poisons
+    /// the log (see the `poisoned` field) and is sticky until a
+    /// checkpoint heals it.
+    pub(crate) fn append(&mut self, op: &WalOp<'_>) -> Result<()> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if let Err(err) = self.wal.append(op) {
+            self.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        Ok(())
+    }
+}
 
 /// An in-memory relational database.
 ///
 /// Tables are kept in a `BTreeMap` so iteration order (and therefore text
 /// value numbering downstream in `retro-core`) is deterministic across runs.
-#[derive(Clone, Debug, Default)]
+///
+/// A database is either *ephemeral* ([`Database::new`] — mutations live
+/// only in memory) or *durable* ([`Database::open`] /
+/// [`Database::recover`] — every committed mutation is appended to a
+/// write-ahead log before the call returns, and
+/// [`Database::checkpoint`] compacts the log into a checksummed
+/// snapshot). See `docs/DURABILITY.md`.
+#[derive(Debug, Default)]
 pub struct Database {
     pub(crate) tables: BTreeMap<String, Table>,
     /// Monotonic write-version counter; see [`Database::write_version`].
     pub(crate) write_version: u64,
     /// Per-table write versions; see [`Database::table_version`].
-    table_versions: BTreeMap<String, u64>,
+    pub(crate) table_versions: BTreeMap<String, u64>,
     /// Bounded history of what each version bump did; see
     /// [`Database::changes_since`].
-    change_log: ChangeLog,
+    pub(crate) change_log: ChangeLog,
+    /// WAL + snapshot directory, when this database is durable.
+    durability: Option<Durability>,
+}
+
+impl Clone for Database {
+    /// Cloning copies the in-memory state only: the clone is ephemeral
+    /// even when `self` is durable, because two databases appending to
+    /// one WAL would interleave their records. (Observers — snapshots for
+    /// equivalence tests, the refresh pipeline's working copies — clone
+    /// freely and must not write to the original's log.)
+    fn clone(&self) -> Self {
+        Self {
+            tables: self.tables.clone(),
+            write_version: self.write_version,
+            table_versions: self.table_versions.clone(),
+            change_log: self.change_log.clone(),
+            durability: None,
+        }
+    }
 }
 
 impl Database {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open a durable database rooted at `dir`, creating the directory if
+    /// needed. If `dir` already holds a snapshot and/or a write-ahead
+    /// log, the persisted state is recovered first — this is an alias for
+    /// [`Database::recover`], so "open" and "recover after a crash" are
+    /// the same code path and cannot drift apart.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::recover(dir)
+    }
+
+    /// Recover the exact pre-crash state persisted under `dir`: load the
+    /// latest snapshot (if any), replay the WAL tail through the normal
+    /// mutation paths — so [`Database::write_version`], per-table
+    /// versions, and [`Database::changes_since`] history are reproduced
+    /// exactly, not approximated — and leave the database durable, ready
+    /// to append.
+    ///
+    /// Tail damage in the log (a torn final record, a truncated file, a
+    /// bit-flipped checksum) is expected after a crash and recovery stops
+    /// cleanly at the last intact record. Structural damage — a corrupt
+    /// snapshot, a checksummed record that fails to decode, a sequence
+    /// gap — is a typed [`StoreError::Corruption`].
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(wal::io_err)?;
+        let (mut db, covered_seq) = match persist::load_snapshot(&dir.join(SNAPSHOT_FILE))? {
+            Some((db, seq)) => (db, seq),
+            None => (Database::default(), 0),
+        };
+        let wal_path = dir.join(WAL_FILE);
+        let replay = wal::read_wal(&wal_path, covered_seq)?;
+        for entry in replay.entries {
+            // `durability` is still `None` here, so replay does not re-log.
+            db.apply(entry).map_err(|err| match err {
+                StoreError::Corruption(_) | StoreError::Io(_) => err,
+                other => StoreError::Corruption(format!(
+                    "wal replay rejected a logged mutation: {other}"
+                )),
+            })?;
+        }
+        db.durability = Some(Durability {
+            wal: Wal::open(&wal_path, replay.next_seq)?,
+            dir: dir.to_path_buf(),
+            poisoned: None,
+        });
+        Ok(db)
+    }
+
+    /// True when this database appends committed mutations to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Crate-internal alias of [`Database::is_durable`] for callers
+    /// (the bulk loader) that cannot see the private field.
+    pub(crate) fn durability_active(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Compact the log: write a checksummed snapshot of the full current
+    /// state (atomically, via temp file + rename), then truncate the WAL.
+    /// Recovery afterwards loads the snapshot and replays only records
+    /// appended since. Because the snapshot captures the in-memory truth
+    /// directly, a checkpoint also heals a poisoned log (after a failed
+    /// append the log may end in a partial frame; snapshotting makes the
+    /// log's content irrelevant).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(durability) = &self.durability else {
+            return Err(StoreError::Io(
+                "checkpoint requires a durable database (use Database::open)".into(),
+            ));
+        };
+        let covered_seq = durability.wal.next_seq - 1;
+        let path = durability.dir.join(SNAPSHOT_FILE);
+        persist::write_snapshot(self, &path, covered_seq)?;
+        let durability = self.durability.as_mut().expect("checked above");
+        durability.wal.reset()?;
+        durability.poisoned = None;
+        Ok(())
+    }
+
+    /// Write a standalone snapshot of this database under `dir` (created
+    /// if needed), without attaching durability to `self`. A later
+    /// [`Database::recover`] on `dir` reproduces the current state. Any
+    /// stale WAL left in `dir` by an unrelated database is removed —
+    /// unless it is this database's own live log (then it is already
+    /// consistent: its records are at or below the snapshot's sequence).
+    pub fn persist(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(wal::io_err)?;
+        let covered_seq = self.durability.as_ref().map_or(0, |d| d.wal.next_seq - 1);
+        persist::write_snapshot(self, &dir.join(SNAPSHOT_FILE), covered_seq)?;
+        if self.durability.as_ref().map_or(true, |d| d.dir != dir) {
+            match std::fs::remove_file(dir.join(WAL_FILE)) {
+                Ok(()) => {}
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => return Err(wal::io_err(err)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Append one record to the WAL (no-op on an ephemeral database).
+    /// Mutation paths call this *before* touching memory, so a failed
+    /// append refuses the mutation with state unchanged.
+    pub(crate) fn log_op(&mut self, op: WalOp<'_>) -> Result<()> {
+        match &mut self.durability {
+            Some(durability) => durability.append(&op),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-apply one recovered log entry through the public mutation
+    /// paths, so every side effect — validation, version bumps, change
+    /// records — happens exactly as it did originally.
+    fn apply(&mut self, entry: WalEntry) -> Result<()> {
+        match entry {
+            WalEntry::CreateTable(schema) => self.create_table(schema),
+            WalEntry::Insert { table, row } => self.insert(&table, row).map(|_| ()),
+            WalEntry::Batch { tables } => {
+                let mut loader = self.bulk();
+                let mut handles = Vec::with_capacity(tables.len());
+                for (name, _) in &tables {
+                    handles.push(loader.table(name)?);
+                }
+                for (handle, (_, rows)) in handles.into_iter().zip(tables) {
+                    for row in rows {
+                        loader.stage(handle, row)?;
+                    }
+                }
+                loader.commit().map(|_| ())
+            }
+            WalEntry::Update { table, updates } => self.update_rows(&table, &updates).map(|_| ()),
+            WalEntry::Delete { table, positions } => {
+                self.delete_rows(&table, &positions).map(|_| ())
+            }
+            WalEntry::TableState { table, rows } => {
+                // `table_mut` records the same `Unknown` change the
+                // original edit session did; the guard then replaces the
+                // contents wholesale.
+                self.table_mut(&table)?.set_rows(rows);
+                Ok(())
+            }
+        }
     }
 
     /// The database's monotonic write version.
@@ -136,6 +340,7 @@ impl Database {
                 )));
             }
         }
+        self.log_op(WalOp::CreateTable(&schema))?;
         let name = schema.name.clone();
         self.tables.insert(name.clone(), Table::new(schema));
         self.record_change(&name, TableChange::Created);
@@ -174,6 +379,7 @@ impl Database {
                 }
             }
         }
+        self.log_op(WalOp::Insert { table, row: &row })?;
         let t = self.tables.get_mut(table).expect("checked above");
         let pos = t.push_unchecked(row);
         self.record_change(table, TableChange::Appended { start: pos, rows: 1 });
@@ -270,11 +476,22 @@ impl Database {
     /// [`Database::update_rows`] / [`Database::delete_rows`], which record
     /// what actually changed; nothing inside this crate calls `table_mut`
     /// anymore.
-    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
-        if self.tables.contains_key(name) {
-            self.record_change(name, TableChange::Unknown);
+    ///
+    /// The returned [`TableGuard`] dereferences to the table. On a
+    /// durable database, dropping the guard logs the table's complete
+    /// post-edit row state to the WAL (the engine cannot see what the
+    /// borrower did, so it persists the result wholesale — the durable
+    /// mirror of the `Unknown` change record). On a poisoned log the
+    /// hand-out itself is refused, so no edit can go unlogged.
+    pub fn table_mut(&mut self, name: &str) -> Result<TableGuard<'_>> {
+        if !self.tables.contains_key(name) {
+            return Err(StoreError::UnknownTable(name.to_owned()));
         }
-        self.tables.get_mut(name).ok_or_else(|| StoreError::UnknownTable(name.to_owned()))
+        if let Some(err) = self.durability.as_ref().and_then(|d| d.poisoned.clone()) {
+            return Err(err);
+        }
+        self.record_change(name, TableChange::Unknown);
+        Ok(TableGuard { name: name.to_owned(), db: self })
     }
 
     /// Rewrite individual cells in place, atomically and precisely tracked.
@@ -338,6 +555,7 @@ impl Database {
         if updates.is_empty() {
             return Ok(0);
         }
+        self.log_op(WalOp::Update { table, updates })?;
         let t = self.tables.get_mut(table).expect("checked above");
         let mut rows: Vec<usize> = Vec::with_capacity(updates.len());
         for (row, col, value) in updates {
@@ -389,6 +607,7 @@ impl Database {
                 }
             }
         }
+        self.log_op(WalOp::Delete { table, positions: &sorted })?;
         let n = sorted.len();
         self.tables.get_mut(table).expect("checked above").remove_rows(&sorted);
         self.record_change(table, TableChange::Deleted { rows: n });
@@ -446,6 +665,45 @@ impl Database {
             }
         }
         seen.len()
+    }
+}
+
+/// Mutable access to one table, handed out by [`Database::table_mut`].
+///
+/// Dereferences to [`Table`]. The guard exists so a durable database can
+/// log the edit session's outcome: on drop, the table's complete row
+/// state is appended to the WAL as one record. The guard holds the
+/// database borrow for its whole lifetime, so no other mutation can
+/// interleave between hand-out and the logged state.
+pub struct TableGuard<'db> {
+    db: &'db mut Database,
+    name: String,
+}
+
+impl std::ops::Deref for TableGuard<'_> {
+    type Target = Table;
+
+    fn deref(&self) -> &Table {
+        self.db.tables.get(&self.name).expect("existence checked at hand-out")
+    }
+}
+
+impl std::ops::DerefMut for TableGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Table {
+        self.db.tables.get_mut(&self.name).expect("existence checked at hand-out")
+    }
+}
+
+impl Drop for TableGuard<'_> {
+    fn drop(&mut self) {
+        let db = &mut *self.db;
+        if let Some(durability) = db.durability.as_mut() {
+            let table = db.tables.get(&self.name).expect("existence checked at hand-out");
+            // A failed append cannot be reported from a destructor;
+            // `Durability::append` poisons the log, and the next durable
+            // mutation (or `table_mut` hand-out) surfaces the error.
+            let _ = durability.append(&WalOp::TableState { table: &self.name, rows: table.rows() });
+        }
     }
 }
 

@@ -89,6 +89,15 @@ pub enum StoreError {
     BulkPoisoned,
     /// SQL input could not be tokenized/parsed/executed.
     Sql(String),
+    /// A durability I/O operation (WAL append, snapshot write/read)
+    /// failed. The message is the rendered `std::io::Error` — the error
+    /// itself is not stored so `StoreError` stays `Clone + PartialEq`.
+    Io(String),
+    /// Persisted state (WAL or snapshot) is structurally damaged in a way
+    /// recovery must not paper over: a checksummed record that fails to
+    /// decode, a sequence gap inside the log, a snapshot whose checksum
+    /// does not match, or a replayed mutation the live engine rejects.
+    Corruption(String),
 }
 
 impl fmt::Display for StoreError {
@@ -127,6 +136,8 @@ impl fmt::Display for StoreError {
                 write!(f, "bulk batch already failed and rolled back; start a new loader")
             }
             StoreError::Sql(msg) => write!(f, "sql error: {msg}"),
+            StoreError::Io(msg) => write!(f, "durability i/o error: {msg}"),
+            StoreError::Corruption(msg) => write!(f, "persisted state corrupt: {msg}"),
         }
     }
 }

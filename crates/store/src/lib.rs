@@ -22,6 +22,11 @@
 //! * [`schema`] — schema definitions plus the introspection used by
 //!   `retro-core`'s relationship extraction (§3.2 of the paper),
 //! * [`csv`] — CSV import/export (the paper's datasets ship as CSV),
+//!   including a streaming reader-based import that runs in bounded
+//!   memory,
+//! * [`wal`] / [`persist`] — the durability subsystem: a write-ahead log
+//!   of committed mutations plus checksummed binary snapshots, recovered
+//!   by [`Database::recover`]; see `docs/DURABILITY.md`,
 //! * [`sql`] — a small SQL subset (`CREATE TABLE`, `INSERT`, `SELECT` with
 //!   `WHERE`/`JOIN`/`ORDER BY`/`LIMIT`) so examples and tests can drive the
 //!   engine the way a user would drive Postgres,
@@ -38,25 +43,35 @@
 #[doc = include_str!("../../../docs/INGESTION.md")]
 pub mod ingestion {}
 
+/// The durability story — WAL format, snapshot/compaction lifecycle, the
+/// recovery contract — rendered from `docs/DURABILITY.md` so the guide's
+/// code examples compile and run as doctests.
+#[doc = include_str!("../../../docs/DURABILITY.md")]
+pub mod durability {}
+
 pub mod bulk;
 pub mod changelog;
 pub mod csv;
 pub mod database;
 pub mod error;
+pub mod persist;
 pub mod schema;
 pub mod shared;
 pub mod sql;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use bulk::{BulkLoader, TableHandle};
 pub use changelog::{ChangeRecord, TableChange};
-pub use database::Database;
+pub use database::{Database, TableGuard};
 pub use error::StoreError;
+pub use persist::SNAPSHOT_FILE;
 pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use shared::SharedDatabase;
 pub use table::Table;
 pub use value::{DataType, Value};
+pub use wal::{crc32, WAL_FILE};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

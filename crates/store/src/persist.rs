@@ -1,0 +1,194 @@
+//! Binary snapshot persistence for [`Database`].
+//!
+//! A snapshot is the WAL's compaction point: one checksummed file holding
+//! the complete database state — schemas, rows, `write_version`, per-table
+//! versions, and the bounded change log — plus the WAL sequence number it
+//! covers. Recovery loads the snapshot, then replays only the log records
+//! with a higher sequence.
+//!
+//! # File layout
+//!
+//! ```text
+//! [magic: "RSNP"] [version: u32 LE] [crc: u32 LE] [len: u64 LE] [payload]
+//! payload = wal_seq | write_version | tables | table_versions | change_log
+//! ```
+//!
+//! `crc` is [`crate::wal::crc32`] over the payload. The writer goes
+//! through a temp file and an atomic rename, so a crash mid-snapshot
+//! leaves the previous snapshot intact; a truncated or bit-flipped file
+//! is a typed [`StoreError::Corruption`], never a partial load.
+
+use std::path::Path;
+
+use crate::changelog::{ChangeLog, ChangeRecord, TableChange};
+use crate::database::Database;
+use crate::error::StoreError;
+use crate::table::Table;
+use crate::wal::{crc32, io_err, put_rows, put_schema, put_str, put_u32, put_u64, Cursor};
+use crate::Result;
+
+/// File name of the snapshot inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+const MAGIC: &[u8; 4] = b"RSNP";
+const VERSION: u32 = 1;
+/// Bytes before the payload: magic + version + crc + payload length.
+const HEADER_LEN: usize = 4 + 4 + 4 + 8;
+
+fn put_change(buf: &mut Vec<u8>, change: &TableChange) {
+    match change {
+        TableChange::Created => buf.push(0),
+        TableChange::Appended { start, rows } => {
+            buf.push(1);
+            put_u64(buf, *start as u64);
+            put_u64(buf, *rows as u64);
+        }
+        TableChange::Updated { rows, relational } => {
+            buf.push(2);
+            put_u64(buf, *rows as u64);
+            buf.push(u8::from(*relational));
+        }
+        TableChange::Deleted { rows } => {
+            buf.push(3);
+            put_u64(buf, *rows as u64);
+        }
+        TableChange::Unknown => buf.push(4),
+    }
+}
+
+fn read_change(cur: &mut Cursor<'_>) -> Result<TableChange> {
+    Ok(match cur.u8("change tag")? {
+        0 => TableChange::Created,
+        1 => TableChange::Appended {
+            start: cur.u64("appended start")? as usize,
+            rows: cur.u64("appended rows")? as usize,
+        },
+        2 => TableChange::Updated {
+            rows: cur.u64("updated rows")? as usize,
+            relational: cur.u8("updated relational flag")? != 0,
+        },
+        3 => TableChange::Deleted { rows: cur.u64("deleted rows")? as usize },
+        4 => TableChange::Unknown,
+        tag => return Err(StoreError::Corruption(format!("unknown change tag {tag}"))),
+    })
+}
+
+/// Serialize `db` to `path` atomically (temp file + rename). `wal_seq` is
+/// the highest WAL sequence the snapshot covers; recovery skips log
+/// records at or below it.
+pub(crate) fn write_snapshot(db: &Database, path: &Path, wal_seq: u64) -> Result<()> {
+    let mut payload = Vec::with_capacity(4096);
+    put_u64(&mut payload, wal_seq);
+    put_u64(&mut payload, db.write_version);
+    put_u32(&mut payload, db.tables.len() as u32);
+    for table in db.tables.values() {
+        put_schema(&mut payload, table.schema());
+        put_rows(&mut payload, table.rows());
+    }
+    put_u32(&mut payload, db.table_versions.len() as u32);
+    for (name, version) in &db.table_versions {
+        put_str(&mut payload, name);
+        put_u64(&mut payload, *version);
+    }
+    let log = &db.change_log;
+    put_u64(&mut payload, log.capacity() as u64);
+    put_u64(&mut payload, log.base());
+    put_u32(&mut payload, log.len() as u32);
+    for record in log.records() {
+        put_u64(&mut payload, record.version);
+        put_str(&mut payload, &record.table);
+        put_change(&mut payload, &record.change);
+    }
+
+    let mut out = Vec::with_capacity(payload.len() + HEADER_LEN);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, crc32(&payload));
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("bin.tmp");
+    std::fs::write(&tmp, &out).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Load the snapshot at `path`. Returns `None` when no snapshot exists
+/// (fresh directory — recovery starts from an empty database); any
+/// structural damage is a typed error.
+pub(crate) fn load_snapshot(path: &Path) -> Result<Option<(Database, u64)>> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(err) => return Err(io_err(err)),
+    };
+    if data.len() < HEADER_LEN {
+        return Err(StoreError::Corruption("snapshot shorter than its header".into()));
+    }
+    if &data[..4] != MAGIC {
+        return Err(StoreError::Corruption("snapshot magic mismatch".into()));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(StoreError::Corruption(format!("unsupported snapshot version {version}")));
+    }
+    let stored_crc = u32::from_le_bytes(data[8..12].try_into().expect("4-byte slice"));
+    let len = u64::from_le_bytes(data[12..20].try_into().expect("8-byte slice")) as usize;
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(StoreError::Corruption(format!(
+            "snapshot payload length mismatch: header says {len}, file holds {}",
+            payload.len()
+        )));
+    }
+    if crc32(payload) != stored_crc {
+        return Err(StoreError::Corruption("snapshot checksum mismatch".into()));
+    }
+
+    let mut cur = Cursor::new(payload);
+    let wal_seq = cur.u64("snapshot wal sequence")?;
+    let write_version = cur.u64("snapshot write version")?;
+
+    let mut db = Database::default();
+    let n_tables = cur.u32("table count")? as usize;
+    for _ in 0..n_tables {
+        let schema = cur.schema()?;
+        let rows = cur.rows()?;
+        let name = schema.name.clone();
+        let mut table = Table::new(schema);
+        table.reserve(rows.len());
+        table.set_rows(rows);
+        if db.tables.insert(name.clone(), table).is_some() {
+            return Err(StoreError::Corruption(format!("snapshot repeats table `{name}`")));
+        }
+    }
+
+    let n_versions = cur.u32("table version count")? as usize;
+    for _ in 0..n_versions {
+        let name = cur.string("versioned table name")?;
+        let version = cur.u64("table version")?;
+        db.table_versions.insert(name, version);
+    }
+
+    let capacity = cur.u64("change log capacity")? as usize;
+    let base = cur.u64("change log base")?;
+    let n_records = cur.u32("change record count")? as usize;
+    if n_records > capacity.max(1) {
+        return Err(StoreError::Corruption(format!(
+            "change log holds {n_records} records but its capacity is {capacity}"
+        )));
+    }
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let version = cur.u64("change record version")?;
+        let table = cur.string("change record table")?;
+        let change = read_change(&mut cur)?;
+        records.push(ChangeRecord { version, table, change });
+    }
+    if !cur.is_empty() {
+        return Err(StoreError::Corruption("trailing bytes after snapshot payload".into()));
+    }
+
+    db.write_version = write_version;
+    db.change_log = ChangeLog::restore(capacity, base, records);
+    Ok(Some((db, wal_seq)))
+}

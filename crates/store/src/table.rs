@@ -233,6 +233,22 @@ impl Table {
         }
     }
 
+    /// Replace the table's entire row set and rebuild the primary-key
+    /// index. WAL replay support for [`crate::TableChange::Unknown`]
+    /// edits: the log records the post-edit state wholesale, so recovery
+    /// installs it wholesale.
+    pub(crate) fn set_rows(&mut self, rows: Vec<Vec<Value>>) {
+        self.rows = rows;
+        self.pk_index.clear();
+        if let Some(pk) = self.schema.primary_key {
+            for (pos, row) in self.rows.iter().enumerate() {
+                if let Some(&Value::Int(k)) = row.get(pk) {
+                    self.pk_index.insert(k, pos);
+                }
+            }
+        }
+    }
+
     /// Update one cell in place (used by imputation examples to write
     /// predicted values back). The primary key column cannot be updated.
     pub fn update_cell(&mut self, row: usize, col: usize, value: Value) -> Result<()> {
