@@ -1,0 +1,90 @@
+//! SQL access-path microbench: the cost-based planner's index paths vs
+//! forced full scans on the same statements (`docs/QUERY_PLANNING.md`).
+//!
+//! Three shapes over the generated TMDB database, each timed under
+//! `PlanMode::Planned` (pk lookups, secondary-index probes, re-ordered
+//! joins) and `PlanMode::ForceScan` (declared-order hash joins, no index
+//! access) — `tests/index_equivalence.rs` pins that the two return
+//! bit-identical rows, so the delta is pure access-path cost:
+//!
+//! * **point lookup** — `WHERE id = k` on `movies` (pk hash vs scan);
+//! * **indexed equality** — `WHERE title = '…'` through a declared
+//!   secondary index vs the same predicate as a filter;
+//! * **fk join** — genre → link table → movies, driven by the FK
+//!   auto-indexes vs hash joins in declared order.
+//!
+//! Defaults to the Small preset so `cargo bench` stays quick. Set
+//! `RETRO_PAPER_SCALE=1` to measure at the paper's real TMDB cardinality
+//! (~1.7M rows) — the size the ISSUE acceptance numbers refer to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retro_datasets::{SizePreset, TmdbConfig, TmdbDataset};
+use retro_store::sql::{self, PlanMode, Statement};
+use retro_store::{Database, Value};
+
+struct Fixture {
+    db: Database,
+    tag: &'static str,
+    /// An existing movie pk, title and genre name to probe for.
+    movie_id: i64,
+    title: String,
+    genre: String,
+}
+
+fn fixture() -> Fixture {
+    let (preset, tag) = if std::env::var_os("RETRO_PAPER_SCALE").is_some() {
+        (SizePreset::Paper, "paper")
+    } else {
+        (SizePreset::Small, "small")
+    };
+    let mut db = TmdbDataset::generate(TmdbConfig::preset(preset)).db;
+    assert!(db.create_index("movies", "title").expect("text column"));
+
+    let pick = |db: &Database, table: &str, col: usize| -> Value {
+        let t = db.table(table).expect("generated");
+        t.rows()[t.len() / 2][col].clone()
+    };
+    let Value::Int(movie_id) = pick(&db, "movies", 0) else { panic!("int pk") };
+    let Value::Text(title) = pick(&db, "movies", 1) else { panic!("text title") };
+    let Value::Text(genre) = pick(&db, "genres", 1) else { panic!("text genre") };
+    Fixture { db, tag, movie_id, title, genre }
+}
+
+/// Parse once; execution is the measured region.
+fn parse(text: &str) -> Statement {
+    sql::parse_statement(text).expect("valid statement")
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut f = fixture();
+    let point = parse(&format!("SELECT title, popularity FROM movies WHERE id = {}", f.movie_id));
+    let eq = parse(&format!(
+        "SELECT id, original_language FROM movies WHERE title = '{}'",
+        f.title.replace('\'', "")
+    ));
+    let join = parse(&format!(
+        "SELECT m.title FROM genres g \
+         JOIN movie_genre mg ON mg.movie_genre_ref = g.id \
+         JOIN movies m ON mg.movie_id = m.id \
+         WHERE g.name = '{}'",
+        f.genre.replace('\'', "")
+    ));
+
+    let mut group = c.benchmark_group(format!("sql_queries/{}", f.tag));
+    group.sample_size(20);
+    for (name, stmt) in [("point_lookup", &point), ("indexed_eq", &eq), ("fk_join", &join)] {
+        for (mode_tag, mode) in [("planned", PlanMode::Planned), ("scan", PlanMode::ForceScan)] {
+            group.bench_function(format!("{name}/{mode_tag}"), |b| {
+                b.iter(|| {
+                    let r = sql::execute_with(&mut f.db, stmt, mode).expect("valid query");
+                    assert!(!r.columns.is_empty());
+                    r
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

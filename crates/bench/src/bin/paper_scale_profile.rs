@@ -186,13 +186,32 @@ fn profile_pipeline(
 ) -> Vec<Phase> {
     let mut phases = Vec::new();
 
+    // The pre-index baseline: tuple-keyed catalog probes (one String
+    // allocation each) and per-referencing-row target lookups — what
+    // extraction cost before the store's secondary indexes and the
+    // catalog's per-category interning maps.
+    let (scan, scan_secs) = time(|| retro_bench::scan_extract::extract_scan(db));
+    println!("  {label}: extraction (scan)        {scan_secs:>9.3}s  (pre-index baseline)");
+    phases.push(Phase { name: "extraction_scan_baseline", secs: scan_secs });
+
     let (catalog, secs) = time(|| TextValueCatalog::extract(db, &[]));
     println!("  {label}: catalog extraction       {secs:>9.3}s  ({} text values)", catalog.len());
     phases.push(Phase { name: "catalog_extraction", secs });
+    let cat_secs = secs;
 
     let (groups, secs) = time(|| extract_relations(db, &catalog, &[]));
     println!("  {label}: relation extraction      {secs:>9.3}s  ({} groups)", groups.len());
     phases.push(Phase { name: "relation_extraction", secs });
+
+    // Indexed and scan extraction must agree bit-for-bit — same value
+    // ids, same categories, same edges — or the speedup column is noise.
+    retro_bench::scan_extract::assert_matches(&scan, &catalog, &groups);
+    drop(scan);
+    println!(
+        "  {label}: extraction (indexed)     {:>9.3}s  (speedup {:.2}x, bit-identical)",
+        cat_secs + secs,
+        scan_secs / (cat_secs + secs).max(1e-9)
+    );
 
     let (problem, secs) = time(|| RetrofitProblem::from_parts(catalog, groups, base));
     println!("  {label}: problem assembly         {secs:>9.3}s  (dim {})", problem.dim());

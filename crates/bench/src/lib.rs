@@ -5,6 +5,7 @@
 //! evaluation) and the criterion microbenches.
 
 pub mod grid;
+pub mod scan_extract;
 
 use std::time::Instant;
 

@@ -6,9 +6,45 @@
 //! * The same string twice in one column yields **one** text value.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use retro_store::Database;
+
+/// Word-at-a-time string hasher for the interning maps.
+///
+/// The default SipHash (and byte-at-a-time FNV) price long keys at roughly
+/// a cycle per byte — and extraction hashes *every* cell of every text
+/// column, including multi-hundred-byte overview and review bodies.
+/// Folding eight bytes per multiply (FxHash-style rotate–xor–multiply)
+/// cuts that by most of an order of magnitude. Determinism is free:
+/// interned ids are assigned in first-occurrence row order, so the hash
+/// function can never change an id, only the probe cost.
+#[derive(Default)]
+pub struct TextHasher(u64);
+
+impl Hasher for TextHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let v = u64::from_le_bytes(chunk.try_into().expect("exact chunk"));
+            h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= u64::from(b) << (8 * i);
+        }
+        self.0 = (h.rotate_left(5) ^ tail).wrapping_mul(K);
+    }
+}
+
+type InternMap = HashMap<String, u32, BuildHasherDefault<TextHasher>>;
 
 /// One category = one text column.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,11 +87,13 @@ pub struct TextValueCatalog {
     value_category: Vec<u32>,
     /// Per overlay value: the text itself.
     value_text: Vec<String>,
-    /// `(category id, text) → value id` for overlay values only; stored
-    /// ids are global.
-    index: HashMap<(u32, String), u32>,
-    /// `(table, column) → category id` (all categories).
-    category_index: HashMap<(String, String), u32>,
+    /// Per category: `text → value id` for overlay values only; stored
+    /// ids are global. One map per category (not one map keyed by
+    /// `(category, String)`) so a lookup probes with a **borrowed** `&str`
+    /// — extraction probes every cell of every text column, and a
+    /// per-probe key allocation was the single hottest line of the
+    /// full-extraction profile. Invariant: `index.len() == categories.len()`.
+    index: Vec<InternMap>,
 }
 
 impl TextValueCatalog {
@@ -86,17 +124,19 @@ impl TextValueCatalog {
 
     /// Register a category (idempotent) and return its id.
     pub fn add_category(&mut self, table: &str, column: &str) -> u32 {
-        let key = (table.to_owned(), column.to_owned());
-        if let Some(&id) = self.category_index.get(&key) {
+        if let Some(id) = self.category_id(table, column) {
             return id;
         }
         let id = self.categories.len() as u32;
         self.categories.push(Category { table: table.to_owned(), column: column.to_owned() });
-        self.category_index.insert(key, id);
+        self.index.push(InternMap::default());
         id
     }
 
     /// Intern a text value into a category; returns its id (existing or new).
+    ///
+    /// `category` must come from [`Self::add_category`] /
+    /// [`Self::category_id`] — an id this catalog never issued panics.
     pub fn intern(&mut self, category: u32, text: &str) -> u32 {
         if let Some(id) = self.lookup_in_category(category, text) {
             return id as u32;
@@ -104,7 +144,7 @@ impl TextValueCatalog {
         let id = (self.base_len + self.value_text.len()) as u32;
         self.value_category.push(category);
         self.value_text.push(text.to_owned());
-        self.index.insert((category, text.to_owned()), id);
+        self.index[category as usize].insert(text.to_owned(), id);
         id
     }
 
@@ -124,7 +164,6 @@ impl TextValueCatalog {
                 value_category: self.value_category.clone(),
                 value_text: self.value_text.clone(),
                 index: self.index.clone(),
-                category_index: self.category_index.clone(),
             },
             None => TextValueCatalog {
                 base: Some(Arc::clone(self)),
@@ -132,8 +171,7 @@ impl TextValueCatalog {
                 categories: self.categories.clone(),
                 value_category: Vec::new(),
                 value_text: Vec::new(),
-                index: HashMap::new(),
-                category_index: self.category_index.clone(),
+                index: vec![InternMap::default(); self.categories.len()],
             },
         }
     }
@@ -180,20 +218,26 @@ impl TextValueCatalog {
         self.lookup_in_category(cat, text)
     }
 
-    /// Look up a value id within a known category.
+    /// Look up a value id within a known category. Probes with the
+    /// borrowed `text` — no allocation (this runs once per cell during
+    /// extraction and once per row-pair during relation extraction).
     pub fn lookup_in_category(&self, category: u32, text: &str) -> Option<usize> {
-        let key = (category, text.to_owned());
         if let Some(base) = &self.base {
-            if let Some(&id) = base.index.get(&key) {
+            if let Some(&id) = base.index.get(category as usize).and_then(|m| m.get(text)) {
                 return Some(id as usize);
             }
         }
-        self.index.get(&key).map(|&id| id as usize)
+        self.index.get(category as usize).and_then(|m| m.get(text)).map(|&id| id as usize)
     }
 
-    /// The category id of `table.column`.
+    /// The category id of `table.column`. A linear scan: categories number
+    /// one per text column (tens, not thousands) and this runs once per
+    /// column pair, so a scan beats maintaining a string-keyed side map.
     pub fn category_id(&self, table: &str, column: &str) -> Option<u32> {
-        self.category_index.get(&(table.to_owned(), column.to_owned())).copied()
+        self.categories
+            .iter()
+            .position(|c| c.table == table && c.column == column)
+            .map(|i| i as u32)
     }
 
     /// All value ids of one category.

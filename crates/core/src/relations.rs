@@ -150,9 +150,27 @@ pub(crate) fn extract_relations_scoped(
         let text_cols = schema.text_columns();
 
         // (a) Row-wise pairs within one table (unordered pairs, forward =
-        // schema order).
+        // schema order). On the full path each text column's value ids are
+        // resolved once into a row-parallel cache: a column shared by
+        // several pairs is hashed once, not once per pair — and long
+        // columns (overviews, review bodies) are exactly the ones that
+        // appear in every pair.
+        let col_caches: Vec<Option<(u32, Vec<Option<u32>>)>> =
+            if scope.is_none() && text_cols.len() > 1 {
+                text_cols
+                    .iter()
+                    .map(|&c| {
+                        catalog
+                            .category_id(&schema.name, &schema.columns[c].name)
+                            .map(|cat| (cat, value_id_cache(table, c, cat, catalog)))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
         for (ai, &a) in text_cols.iter().enumerate() {
-            for &b in &text_cols[ai + 1..] {
+            for (bo, &b) in text_cols[ai + 1..].iter().enumerate() {
+                let bi = ai + 1 + bo;
                 let (Some(cat_a), Some(cat_b)) = (
                     catalog.category_id(&schema.name, &schema.columns[a].name),
                     catalog.category_id(&schema.name, &schema.columns[b].name),
@@ -160,13 +178,23 @@ pub(crate) fn extract_relations_scoped(
                     continue;
                 };
                 let mut edges = Vec::new();
-                for row in &table.rows()[start..] {
-                    if let (Some(ta), Some(tb)) = (row[a].as_text(), row[b].as_text()) {
-                        if let (Some(i), Some(j)) = (
-                            catalog.lookup_in_category(cat_a, ta),
-                            catalog.lookup_in_category(cat_b, tb),
-                        ) {
-                            edges.push((i as u32, j as u32));
+                if let (Some(Some((_, ids_a))), Some(Some((_, ids_b)))) =
+                    (col_caches.get(ai), col_caches.get(bi))
+                {
+                    for (ia, ib) in ids_a.iter().zip(ids_b) {
+                        if let (Some(i), Some(j)) = (ia, ib) {
+                            edges.push((*i, *j));
+                        }
+                    }
+                } else {
+                    for row in &table.rows()[start..] {
+                        if let (Some(ta), Some(tb)) = (row[a].as_text(), row[b].as_text()) {
+                            if let (Some(i), Some(j)) = (
+                                catalog.lookup_in_category(cat_a, ta),
+                                catalog.lookup_in_category(cat_b, tb),
+                            ) {
+                                edges.push((i as u32, j as u32));
+                            }
                         }
                     }
                 }
@@ -195,7 +223,16 @@ pub(crate) fn extract_relations_scoped(
             let fks = &schema.foreign_keys;
             for (fi, fk_a) in fks.iter().enumerate() {
                 for fk_b in &fks[fi + 1..] {
-                    extract_m2m(db, catalog, table, start, fk_a, fk_b, &mut groups, skip_relations);
+                    extract_m2m(
+                        db,
+                        catalog,
+                        table,
+                        if scope.is_none() { None } else { Some(start) },
+                        fk_a,
+                        fk_b,
+                        &mut groups,
+                        skip_relations,
+                    );
                 }
             }
         } else {
@@ -219,15 +256,40 @@ pub(crate) fn extract_relations_scoped(
                         continue;
                     };
                     let mut edges = Vec::new();
-                    for row in &table.rows()[start..] {
-                        let Some(key) = row[fk_col].as_int() else { continue };
-                        let Some(target_row) = ref_table.row_by_pk(key) else { continue };
-                        if let (Some(ta), Some(tb)) = (row[a].as_text(), target_row[b].as_text()) {
-                            if let (Some(i), Some(j)) = (
-                                catalog.lookup_in_category(cat_a, ta),
-                                catalog.lookup_in_category(cat_b, tb),
-                            ) {
-                                edges.push((i as u32, j as u32));
+                    let target_ids = if scope.is_none() {
+                        PkValueIds::build(ref_table, b, cat_b, catalog)
+                    } else {
+                        None
+                    };
+                    if let Some(target_ids) = target_ids {
+                        // Full extraction: resolve the referenced column's
+                        // value ids once per *target* row keyed by pk, then
+                        // walk the referencing rows with an O(1) resolver
+                        // hit — instead of re-hashing the same target
+                        // string once per referencing row.
+                        for row in table.rows() {
+                            let Some(key) = row[fk_col].as_int() else { continue };
+                            let Some(j) = target_ids.get(key) else { continue };
+                            let Some(ta) = row[a].as_text() else { continue };
+                            let Some(i) = catalog.lookup_in_category(cat_a, ta) else { continue };
+                            edges.push((i as u32, j));
+                        }
+                    } else {
+                        // Delta scope (O(Δ) rows scanned — a table-sized
+                        // resolver would cost more than it saves) or a
+                        // referenced table without a pk column.
+                        for row in &table.rows()[start..] {
+                            let Some(key) = row[fk_col].as_int() else { continue };
+                            let Some(target_row) = ref_table.row_by_pk(key) else { continue };
+                            if let (Some(ta), Some(tb)) =
+                                (row[a].as_text(), target_row[b].as_text())
+                            {
+                                if let (Some(i), Some(j)) = (
+                                    catalog.lookup_in_category(cat_a, ta),
+                                    catalog.lookup_in_category(cat_b, tb),
+                                ) {
+                                    edges.push((i as u32, j as u32));
+                                }
                             }
                         }
                     }
@@ -255,11 +317,15 @@ pub(crate) fn extract_relations_scoped(
     groups
 }
 
+/// `scope_start` mirrors [`extract_relations_scoped`]: `None` = full
+/// extraction (cache the endpoint tables' value ids, probe the pk index),
+/// `Some(start)` = delta scope (scan `O(Δ)` link rows, probe directly).
+#[allow(clippy::too_many_arguments)]
 fn extract_m2m(
     db: &Database,
     catalog: &TextValueCatalog,
     link: &retro_store::Table,
-    start: usize,
+    scope_start: Option<usize>,
     fk_a: &retro_store::ForeignKey,
     fk_b: &retro_store::ForeignKey,
     groups: &mut Vec<RelationGroup>,
@@ -283,18 +349,44 @@ fn extract_m2m(
             return;
         };
         let mut edges = Vec::new();
-        for row in &link.rows()[start..] {
-            let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
-                continue;
-            };
-            let (Some(row_a), Some(row_b)) = (table_a.row_by_pk(ka), table_b.row_by_pk(kb)) else {
-                continue;
-            };
-            if let (Some(sa), Some(sb)) = (row_a[ta].as_text(), row_b[tb].as_text()) {
-                if let (Some(i), Some(j)) =
-                    (catalog.lookup_in_category(cat_a, sa), catalog.lookup_in_category(cat_b, sb))
-                {
-                    edges.push((i as u32, j as u32));
+        let resolvers = if scope_start.is_none() {
+            PkValueIds::build(table_a, ta, cat_a, catalog)
+                .zip(PkValueIds::build(table_b, tb, cat_b, catalog))
+        } else {
+            None
+        };
+        match resolvers {
+            Some((ids_a, ids_b)) => {
+                // Full extraction: both endpoints get a pk-keyed value-id
+                // resolver; each link row is then two O(1) resolver hits —
+                // no string hashing in the link loop at all.
+                for row in link.rows() {
+                    let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
+                        continue;
+                    };
+                    if let (Some(i), Some(j)) = (ids_a.get(ka), ids_b.get(kb)) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            None => {
+                let start = scope_start.unwrap_or(0);
+                for row in &link.rows()[start..] {
+                    let (Some(ka), Some(kb)) = (row[col_a].as_int(), row[col_b].as_int()) else {
+                        continue;
+                    };
+                    let (Some(row_a), Some(row_b)) = (table_a.row_by_pk(ka), table_b.row_by_pk(kb))
+                    else {
+                        continue;
+                    };
+                    if let (Some(sa), Some(sb)) = (row_a[ta].as_text(), row_b[tb].as_text()) {
+                        if let (Some(i), Some(j)) = (
+                            catalog.lookup_in_category(cat_a, sa),
+                            catalog.lookup_in_category(cat_b, sb),
+                        ) {
+                            edges.push((i as u32, j as u32));
+                        }
+                    }
                 }
             }
         }
@@ -316,6 +408,84 @@ fn extract_m2m(
             ),
             skip_relations,
         );
+    }
+}
+
+/// Row-parallel `position → value id` cache for one text column: one
+/// catalog probe per stored row, `O(1)` per row afterwards. Built only on
+/// the full-extraction path — a delta-scoped pass touches `O(Δ)` rows and
+/// a table-sized cache would cost more than it saves.
+fn value_id_cache(
+    table: &retro_store::Table,
+    col: usize,
+    cat: u32,
+    catalog: &TextValueCatalog,
+) -> Vec<Option<u32>> {
+    table
+        .column_values(col)
+        .map(|v| v.as_text().and_then(|t| catalog.lookup_in_category(cat, t)).map(|id| id as u32))
+        .collect()
+}
+
+/// `pk → value id` resolver for one text column of an FK-referenced table,
+/// built once per relation group on the full-extraction path.
+///
+/// Generated and imported datasets number their rows densely (`0..n` or
+/// `1..n`), so the common case resolves a referencing row with a single
+/// array index — no hashing at all in the link loop. Sparse pk ranges fall
+/// back to an integer-keyed map. A missing entry means the same thing a
+/// failed `row_by_pk` + text lookup chain meant before: no edge.
+enum PkValueIds {
+    Dense { min: i64, ids: Vec<Option<u32>> },
+    Sparse(HashMap<i64, u32>),
+}
+
+impl PkValueIds {
+    /// `None` when the table has no primary-key column (the caller falls
+    /// back to per-row probes).
+    fn build(
+        table: &retro_store::Table,
+        col: usize,
+        cat: u32,
+        catalog: &TextValueCatalog,
+    ) -> Option<Self> {
+        let pk_col = table.schema().primary_key?;
+        let mut pairs: Vec<(i64, u32)> = Vec::with_capacity(table.len());
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for row in table.rows() {
+            let Some(pk) = row[pk_col].as_int() else { continue };
+            let Some(id) = row[col].as_text().and_then(|t| catalog.lookup_in_category(cat, t))
+            else {
+                continue;
+            };
+            min = min.min(pk);
+            max = max.max(pk);
+            pairs.push((pk, id as u32));
+        }
+        if pairs.is_empty() {
+            return Some(PkValueIds::Sparse(HashMap::new()));
+        }
+        let span = (max as i128 - min as i128) as u128 + 1;
+        Some(if span <= pairs.len() as u128 * 2 {
+            let mut ids = vec![None; span as usize];
+            for (pk, id) in pairs {
+                ids[(pk - min) as usize] = Some(id);
+            }
+            PkValueIds::Dense { min, ids }
+        } else {
+            PkValueIds::Sparse(pairs.into_iter().collect())
+        })
+    }
+
+    #[inline]
+    fn get(&self, pk: i64) -> Option<u32> {
+        match self {
+            PkValueIds::Dense { min, ids } => {
+                let off = usize::try_from(pk.checked_sub(*min)?).ok()?;
+                ids.get(off).copied().flatten()
+            }
+            PkValueIds::Sparse(map) => map.get(&pk).copied(),
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::bulk::BulkLoader;
 use crate::changelog::{ChangeLog, ChangeRecord, TableChange};
@@ -66,6 +67,11 @@ pub struct Database {
     pub(crate) change_log: ChangeLog,
     /// WAL + snapshot directory, when this database is durable.
     durability: Option<Durability>,
+    /// Diagnostic counter: how many times a delete's RESTRICT check had to
+    /// scan a referencing table because its FK column carried no index.
+    /// Foreign-key columns are auto-indexed at `create_table`, so this
+    /// staying at zero is an invariant the test suite pins.
+    fk_scan_fallbacks: AtomicU64,
 }
 
 impl Clone for Database {
@@ -81,6 +87,7 @@ impl Clone for Database {
             table_versions: self.table_versions.clone(),
             change_log: self.change_log.clone(),
             durability: None,
+            fk_scan_fallbacks: AtomicU64::new(self.fk_scan_fallbacks.load(Ordering::Relaxed)),
         }
     }
 }
@@ -233,6 +240,9 @@ impl Database {
                 self.table_mut(&table)?.set_rows(rows);
                 Ok(())
             }
+            WalEntry::CreateIndex { table, column } => {
+                self.create_index(&table, &column).map(|_| ())
+            }
         }
     }
 
@@ -342,9 +352,62 @@ impl Database {
         }
         self.log_op(WalOp::CreateTable(&schema))?;
         let name = schema.name.clone();
-        self.tables.insert(name.clone(), Table::new(schema));
+        let fk_cols: Vec<usize> = schema
+            .foreign_keys
+            .iter()
+            .map(|fk| schema.column_index(&fk.column).expect("checked above"))
+            .collect();
+        let mut table = Table::new(schema);
+        // Auto-index every foreign-key column: FK validation on delete and
+        // the extraction/planner join paths all probe these. The indexes
+        // are derived from the schema, so WAL replay of the CreateTable
+        // record above re-creates them without any extra log record.
+        for col in fk_cols {
+            table.create_secondary_index(col).expect("fk columns are INTEGER");
+        }
+        self.tables.insert(name.clone(), table);
         self.record_change(&name, TableChange::Created);
         Ok(())
+    }
+
+    /// Declare a secondary equality index on `table.column`, backfilling
+    /// it from the existing rows. Supported on `INTEGER` and `TEXT`
+    /// columns; foreign-key columns are indexed automatically at
+    /// [`Database::create_table`]. Returns `false` when the column was
+    /// already indexed (the call is then a no-op, and nothing is logged).
+    ///
+    /// On a durable database the declaration is WAL-logged and recorded in
+    /// snapshots, so recovery rebuilds the same index set. Declaring an
+    /// index does not bump [`Database::write_version`]: it changes no
+    /// query result, only access paths.
+    pub fn create_index(&mut self, table: &str, column: &str) -> Result<bool> {
+        let t = self.tables.get(table).ok_or_else(|| StoreError::UnknownTable(table.to_owned()))?;
+        let col = t.schema().column_index(column).ok_or_else(|| StoreError::UnknownColumn {
+            table: table.to_owned(),
+            column: column.to_owned(),
+        })?;
+        // Type-gate before logging: a logged declaration must replay.
+        t.indexable_key_type(col)?;
+        if t.has_secondary_index(col) {
+            return Ok(false);
+        }
+        self.log_op(WalOp::CreateIndex { table, column })?;
+        let created = self
+            .tables
+            .get_mut(table)
+            .expect("checked above")
+            .create_secondary_index(col)
+            .expect("validated above");
+        debug_assert!(created);
+        Ok(true)
+    }
+
+    /// How many times a [`Database::delete_rows`] RESTRICT check fell back
+    /// to scanning a referencing table because its foreign-key column had
+    /// no index. Foreign-key columns are auto-indexed at table creation,
+    /// so this stays 0 in normal operation — the test suite asserts it.
+    pub fn fk_scan_fallbacks(&self) -> u64 {
+        self.fk_scan_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Insert a row, enforcing arity, types, key uniqueness and foreign keys.
@@ -584,8 +647,6 @@ impl Database {
             return Ok(0);
         }
         if let Some(pk) = t.schema().primary_key {
-            let doomed: std::collections::HashSet<i64> =
-                sorted.iter().filter_map(|&pos| t.rows()[pos][pk].as_int()).collect();
             for other in self.tables.values() {
                 for fk in &other.schema().foreign_keys {
                     if fk.ref_table != table {
@@ -593,14 +654,35 @@ impl Database {
                     }
                     let col =
                         other.schema().column_index(&fk.column).expect("fk validated at create");
-                    for value in other.column_values(col) {
-                        if let Some(k) = value.as_int() {
-                            if doomed.contains(&k) {
-                                return Err(StoreError::ForeignKeyViolation {
-                                    table: other.name().to_owned(),
-                                    column: fk.column.clone(),
-                                    value: k.to_string(),
-                                });
+                    if other.has_secondary_index(col) {
+                        // O(doomed) index probes instead of an O(table)
+                        // scan: the FK column is auto-indexed, so each
+                        // doomed key answers "still referenced?" in one
+                        // hash lookup.
+                        for &pos in &sorted {
+                            if let Some(k) = t.rows()[pos][pk].as_int() {
+                                if other.index_probe_int(col, k).is_some_and(|l| !l.is_empty()) {
+                                    return Err(StoreError::ForeignKeyViolation {
+                                        table: other.name().to_owned(),
+                                        column: fk.column.clone(),
+                                        value: k.to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    } else {
+                        self.fk_scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        let doomed: std::collections::HashSet<i64> =
+                            sorted.iter().filter_map(|&pos| t.rows()[pos][pk].as_int()).collect();
+                        for value in other.column_values(col) {
+                            if let Some(k) = value.as_int() {
+                                if doomed.contains(&k) {
+                                    return Err(StoreError::ForeignKeyViolation {
+                                        table: other.name().to_owned(),
+                                        column: fk.column.clone(),
+                                        value: k.to_string(),
+                                    });
+                                }
                             }
                         }
                     }
@@ -1047,5 +1129,86 @@ mod tests {
             vec![vec![Value::Int(1), Value::from("a")], vec![Value::Int(2), Value::from("b")]];
         assert_eq!(d.insert_many("persons", rows).unwrap(), 2);
         assert_eq!(d.table("persons").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fk_columns_are_auto_indexed() {
+        let d = db();
+        let movies = d.table("movies").unwrap();
+        let fk_col = movies.schema().column_index("director_id").unwrap();
+        assert!(movies.has_secondary_index(fk_col));
+        assert_eq!(movies.secondary_index_columns(), vec![fk_col]);
+        // The non-FK text column is not.
+        let title = movies.schema().column_index("title").unwrap();
+        assert!(!movies.has_secondary_index(title));
+    }
+
+    #[test]
+    fn create_index_validates_and_is_idempotent() {
+        let mut d = db();
+        d.create_table(
+            TableSchema::builder("scores").pk("id").column("score", DataType::Float).build(),
+        )
+        .unwrap();
+        d.insert("persons", vec![Value::Int(1), Value::from("Amelie")]).unwrap();
+
+        // Declared index backfills from existing rows.
+        assert!(d.create_index("persons", "name").unwrap());
+        let persons = d.table("persons").unwrap();
+        let name = persons.schema().column_index("name").unwrap();
+        assert_eq!(persons.index_probe_text(name, "Amelie"), Some(&[0u32][..]));
+
+        // Re-declaring is a no-op, not an error.
+        assert!(!d.create_index("persons", "name").unwrap());
+        // FK columns are already indexed at create_table.
+        assert!(!d.create_index("movies", "director_id").unwrap());
+
+        // Floats cannot carry equality indexes; bad names are typed errors.
+        assert!(matches!(d.create_index("scores", "score").unwrap_err(), StoreError::Sql(_)));
+        assert!(matches!(d.create_index("nope", "x").unwrap_err(), StoreError::UnknownTable(_)));
+        assert!(matches!(
+            d.create_index("persons", "nope").unwrap_err(),
+            StoreError::UnknownColumn { .. }
+        ));
+    }
+
+    #[test]
+    fn restrict_check_uses_fk_index_not_scans() {
+        let mut d = db();
+        d.insert("persons", vec![Value::Int(1), Value::from("a")]).unwrap();
+        d.insert("persons", vec![Value::Int(2), Value::from("b")]).unwrap();
+        d.insert("movies", vec![Value::Int(10), Value::from("m"), Value::Int(1)]).unwrap();
+        assert!(d.delete_rows("persons", &[0]).is_err());
+        assert_eq!(d.delete_rows("persons", &[1]).unwrap(), 1);
+        assert_eq!(d.fk_scan_fallbacks(), 0, "RESTRICT checks must probe the FK index");
+    }
+
+    #[test]
+    fn declared_indexes_survive_wal_replay_and_snapshot() {
+        let dir =
+            std::env::temp_dir().join(format!("retro_db_index_recovery_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut d = Database::open(&dir).unwrap();
+            d.create_table(
+                TableSchema::builder("persons").pk("id").column("name", DataType::Text).build(),
+            )
+            .unwrap();
+            d.insert("persons", vec![Value::Int(1), Value::from("Amelie")]).unwrap();
+            assert!(d.create_index("persons", "name").unwrap());
+            d.insert("persons", vec![Value::Int(2), Value::from("Alien")]).unwrap();
+        }
+        // WAL replay re-creates the declared index and backfills both rows.
+        let mut d = Database::recover(&dir).unwrap();
+        let name = d.table("persons").unwrap().schema().column_index("name").unwrap();
+        assert_eq!(d.table("persons").unwrap().index_probe_text(name, "Alien"), Some(&[1u32][..]));
+
+        // Snapshot + truncated WAL must carry the declaration too.
+        d.checkpoint().unwrap();
+        drop(d);
+        let d = Database::recover(&dir).unwrap();
+        assert_eq!(d.table("persons").unwrap().index_probe_text(name, "Amelie"), Some(&[0u32][..]));
+        assert!(d.table("persons").unwrap().has_secondary_index(name));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -27,14 +27,21 @@
 //! * [`wal`] / [`persist`] — the durability subsystem: a write-ahead log
 //!   of committed mutations plus checksummed binary snapshots, recovered
 //!   by [`Database::recover`]; see `docs/DURABILITY.md`,
+//! * [`index`] — per-table secondary equality indexes (FK columns are
+//!   auto-indexed; [`Database::create_index`] declares more), maintained
+//!   through every mutation path and rebuilt bit-identically by recovery,
 //! * [`sql`] — a small SQL subset (`CREATE TABLE`, `INSERT`, `SELECT` with
-//!   `WHERE`/`JOIN`/`ORDER BY`/`LIMIT`) so examples and tests can drive the
-//!   engine the way a user would drive Postgres,
+//!   `WHERE`/`JOIN`/`ORDER BY`/`LIMIT`, `EXPLAIN`) executed through a
+//!   cost-based planner — predicate pushdown, index-vs-scan access choice,
+//!   greedy join ordering from exact table statistics; see
+//!   `docs/QUERY_PLANNING.md`,
 //! * [`shared`] — [`SharedDatabase`], the cloneable many-readers /
 //!   exclusive-writer handle the serving layer builds on.
 //!
-//! The engine is deliberately row-oriented and index-light: RETRO's access
-//! pattern is full-column scans, not point queries.
+//! The engine is row-oriented with hash indexes where access patterns
+//! demand them: RETRO's extraction mixes full-column scans (text
+//! harvesting) with point probes (FK targets, value interning), and the
+//! index layer serves the latter without changing any result.
 
 #![warn(missing_docs)]
 
@@ -49,11 +56,19 @@ pub mod ingestion {}
 #[doc = include_str!("../../../docs/DURABILITY.md")]
 pub mod durability {}
 
+/// The query-planning story — secondary indexes, statistics, cost-based
+/// join ordering, `EXPLAIN`, the forced-scan oracle — rendered from
+/// `docs/QUERY_PLANNING.md` so the guide's code examples compile and run
+/// as doctests.
+#[doc = include_str!("../../../docs/QUERY_PLANNING.md")]
+pub mod query_planning {}
+
 pub mod bulk;
 pub mod changelog;
 pub mod csv;
 pub mod database;
 pub mod error;
+pub mod index;
 pub mod persist;
 pub mod schema;
 pub mod shared;

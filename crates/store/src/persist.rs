@@ -13,6 +13,10 @@
 //! payload = wal_seq | write_version | tables | table_versions | change_log
 //! ```
 //!
+//! Each table is encoded as schema, declared secondary-index columns, then
+//! rows; loading re-creates the indexes before installing the rows, so the
+//! rebuilt `crate::index::IndexSet` is bit-identical to the live one.
+//!
 //! `crc` is [`crate::wal::crc32`] over the payload. The writer goes
 //! through a temp file and an atomic rename, so a crash mid-snapshot
 //! leaves the previous snapshot intact; a truncated or bit-flipped file
@@ -31,7 +35,8 @@ use crate::Result;
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 
 const MAGIC: &[u8; 4] = b"RSNP";
-const VERSION: u32 = 1;
+/// Version 2 added the per-table secondary-index declarations.
+const VERSION: u32 = 2;
 /// Bytes before the payload: magic + version + crc + payload length.
 const HEADER_LEN: usize = 4 + 4 + 4 + 8;
 
@@ -83,6 +88,11 @@ pub(crate) fn write_snapshot(db: &Database, path: &Path, wal_seq: u64) -> Result
     put_u32(&mut payload, db.tables.len() as u32);
     for table in db.tables.values() {
         put_schema(&mut payload, table.schema());
+        let index_cols = table.secondary_index_columns();
+        put_u32(&mut payload, index_cols.len() as u32);
+        for col in index_cols {
+            put_u32(&mut payload, col as u32);
+        }
         put_rows(&mut payload, table.rows());
     }
     put_u32(&mut payload, db.table_versions.len() as u32);
@@ -152,9 +162,25 @@ pub(crate) fn load_snapshot(path: &Path) -> Result<Option<(Database, u64)>> {
     let n_tables = cur.u32("table count")? as usize;
     for _ in 0..n_tables {
         let schema = cur.schema()?;
+        let n_indexes = cur.u32("secondary index count")? as usize;
+        let mut index_cols = Vec::with_capacity(n_indexes.min(1024));
+        for _ in 0..n_indexes {
+            index_cols.push(cur.u32("secondary index column")? as usize);
+        }
         let rows = cur.rows()?;
         let name = schema.name.clone();
         let mut table = Table::new(schema);
+        for col in index_cols {
+            if col >= table.schema().columns.len() {
+                return Err(StoreError::Corruption(format!(
+                    "snapshot declares an index on column {col} of `{name}`, which has only {} columns",
+                    table.schema().columns.len()
+                )));
+            }
+            table.create_secondary_index(col).map_err(|err| {
+                StoreError::Corruption(format!("snapshot declares an invalid index: {err}"))
+            })?;
+        }
         table.reserve(rows.len());
         table.set_rows(rows);
         if db.tables.insert(name.clone(), table).is_some() {

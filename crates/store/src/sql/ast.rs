@@ -15,6 +15,9 @@ pub enum Statement {
     Update(Update),
     /// `DELETE FROM ...`.
     Delete(Delete),
+    /// `EXPLAIN <select | update | delete>` — render the chosen plan
+    /// instead of executing the statement.
+    Explain(Box<Statement>),
 }
 
 /// `UPDATE t SET col = lit [, ...] [WHERE conj]`.

@@ -1,10 +1,21 @@
-//! Statement execution: DDL, inserts, and hash-join SELECTs.
+//! Statement execution: DDL, inserts, and planned SELECT/UPDATE/DELETE.
+//!
+//! SELECT/UPDATE/DELETE go through [`crate::sql::planner`]: the planner
+//! resolves names, chooses access paths and a join order, and the
+//! executor here interprets the plan. Joins track *row positions*, not
+//! materialized rows — values are cloned once, at projection time — and
+//! hash joins key on a 64-bit hash of the borrowed join value (collision
+//! buckets verified by [`join_eq`]), so the probe loop allocates nothing
+//! per row.
 
 use std::collections::HashMap;
 
 use crate::error::StoreError;
+use crate::index::FastBuild;
 use crate::schema::{ForeignKey, TableSchema};
 use crate::sql::ast::*;
+use crate::sql::planner::{self, Access, DmlPlan, JoinVia, PlanMode, Pred, ProjItem};
+use crate::table::Table;
 use crate::value::Value;
 use crate::{Database, Result};
 
@@ -26,53 +37,137 @@ impl QueryResult {
     }
 }
 
-/// Execute a parsed statement.
+/// Execute a parsed statement with cost-based planning.
 pub fn execute(db: &mut Database, stmt: &Statement) -> Result<QueryResult> {
+    execute_with(db, stmt, PlanMode::Planned)
+}
+
+/// Execute a parsed statement under an explicit [`PlanMode`].
+///
+/// [`PlanMode::ForceScan`] is the correctness oracle: no index is
+/// consulted, joins run as declared-order hash joins, and every
+/// predicate is evaluated after all joins. Results are bit-identical to
+/// [`PlanMode::Planned`] by contract (`tests/index_equivalence.rs`).
+pub fn execute_with(db: &mut Database, stmt: &Statement, mode: PlanMode) -> Result<QueryResult> {
     match stmt {
         Statement::CreateTable(ct) => exec_create(db, ct),
         Statement::Insert(ins) => exec_insert(db, ins),
-        Statement::Select(sel) => exec_select(db, sel),
-        Statement::Update(upd) => exec_update(db, upd),
-        Statement::Delete(del) => exec_delete(db, del),
+        Statement::Select(sel) => exec_select(db, sel, mode),
+        Statement::Update(upd) => exec_update(db, upd, mode),
+        Statement::Delete(del) => exec_delete(db, del, mode),
+        Statement::Explain(inner) => planner::explain(db, inner),
     }
 }
 
-/// Evaluate a single-table predicate conjunction against one row.
-fn row_matches(schema: &TableSchema, predicates: &[Expr], row: &[Value]) -> Result<bool> {
-    let resolve = |c: &ColumnRef| -> Result<usize> {
-        if let Some(t) = &c.table {
-            if t != &schema.name {
-                return Err(StoreError::UnknownColumn {
-                    table: t.clone(),
-                    column: c.column.clone(),
-                });
-            }
+// ---------------------------------------------------------------------
+// Join-key semantics
+// ---------------------------------------------------------------------
+
+/// The canonical form of a join key. Ints and integral floats collapse
+/// to the same key (SQL equality says `1 = 1.0`); non-integral floats
+/// compare by bits; text joins text; NULL never joins. This is a proper
+/// equivalence relation — unlike raw SQL comparison, which is not
+/// transitive across int/float precision edges — and every join path
+/// (hash, secondary index, pk probe) matches it exactly.
+#[derive(PartialEq, Eq)]
+enum JoinKey<'a> {
+    Int(i64),
+    Bits(u64),
+    Text(&'a str),
+}
+
+/// Same integral-float window the index probe uses
+/// (`crate::index::IndexMap::probe`): keep the two paths bit-identical.
+fn join_canon(v: &Value) -> Option<JoinKey<'_>> {
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(JoinKey::Int(*i)),
+        Value::Float(x) if x.fract() == 0.0 && x.abs() < 2f64.powi(63) => {
+            Some(JoinKey::Int(*x as i64))
         }
-        schema.column_index(&c.column).ok_or_else(|| StoreError::UnknownColumn {
-            table: schema.name.clone(),
-            column: c.column.clone(),
-        })
+        Value::Float(x) => {
+            Some(JoinKey::Bits(if x.is_nan() { f64::NAN.to_bits() } else { x.to_bits() }))
+        }
+        Value::Text(s) => Some(JoinKey::Text(s)),
+    }
+}
+
+/// Join equality: canonical keys equal, NULL never matches.
+pub(crate) fn join_eq(a: &Value, b: &Value) -> bool {
+    match (join_canon(a), join_canon(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Hash of the canonical join key — no allocation, even for text.
+/// Equal keys hash equal; collisions are resolved by [`join_eq`].
+fn join_hash(v: &Value) -> Option<u64> {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    Some(match join_canon(v)? {
+        JoinKey::Int(i) => (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        JoinKey::Bits(b) => b.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15,
+        JoinKey::Text(s) => {
+            s.bytes().fold(FNV_OFFSET, |h, b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Predicate evaluation
+// ---------------------------------------------------------------------
+
+/// Evaluate a pushed-down (single-binding) predicate on one table row.
+fn pred_on_row(pred: &Pred, row: &[Value]) -> bool {
+    match pred {
+        Pred::IsNull { c, .. } => row[*c].is_null(),
+        Pred::IsNotNull { c, .. } => !row[*c].is_null(),
+        Pred::CmpLit { c, op, value, .. } => op.eval(&row[*c], value),
+        Pred::CmpCol { lc, op, rc, .. } => op.eval(&row[*lc], &row[*rc]),
+        Pred::JoinEq { lc, rc, .. } => join_eq(&row[*lc], &row[*rc]),
+    }
+}
+
+/// Evaluate a residual predicate on a joined position tuple. `slot[b]`
+/// maps a binding to its position within the tuple.
+fn pred_on_tuple(pred: &Pred, tables: &[&Table], slot: &[usize], tuple: &[u32]) -> bool {
+    let cell = |b: usize, c: usize| -> &Value { &tables[b].rows()[tuple[slot[b]] as usize][c] };
+    match pred {
+        Pred::IsNull { b, c } => cell(*b, *c).is_null(),
+        Pred::IsNotNull { b, c } => !cell(*b, *c).is_null(),
+        Pred::CmpLit { b, c, op, value } => op.eval(cell(*b, *c), value),
+        Pred::CmpCol { lb, lc, op, rb, rc } => op.eval(cell(*lb, *lc), cell(*rb, *rc)),
+        Pred::JoinEq { lb, lc, rb, rc } => join_eq(cell(*lb, *lc), cell(*rb, *rc)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------
+
+/// Collect the positions of rows matching a DML plan, ascending.
+fn matching_positions(table: &Table, plan: &DmlPlan) -> Vec<usize> {
+    let keep = |pos: usize| -> bool {
+        let row = &table.rows()[pos];
+        plan.filters.iter().all(|p| pred_on_row(p, row))
     };
-    for pred in predicates {
-        let keep = match pred {
-            Expr::IsNull(c) => row[resolve(c)?].is_null(),
-            Expr::IsNotNull(c) => !row[resolve(c)?].is_null(),
-            Expr::Cmp { left, op, right } => {
-                let l = &row[resolve(left)?];
-                match right {
-                    Operand::Lit(lit) => op.eval(l, &lit.to_value()),
-                    Operand::Col(rc) => op.eval(l, &row[resolve(rc)?]),
-                }
-            }
-        };
-        if !keep {
-            return Ok(false);
+    match &plan.access {
+        Access::Scan => (0..table.len()).filter(|&p| keep(p)).collect(),
+        Access::PkEq(key) => {
+            table.row_position_by_pk(*key).into_iter().filter(|&p| keep(p)).collect()
         }
+        Access::IndexEq { col, key } => table
+            .index_probe(*col, key)
+            .expect("planner only chooses existing indexes")
+            .iter()
+            .map(|&p| p as usize)
+            .filter(|&p| keep(p))
+            .collect(),
     }
-    Ok(true)
 }
 
-fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
+fn exec_update(db: &mut Database, upd: &Update, mode: PlanMode) -> Result<QueryResult> {
     let schema = db.table(&upd.table)?.schema().clone();
     // Resolve and validate assignments once.
     let mut resolved = Vec::with_capacity(upd.assignments.len());
@@ -89,17 +184,8 @@ fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
         }
         resolved.push((idx, lit.to_value()));
     }
-    // Collect matching row positions first (immutable pass), then write.
-    let matches: Vec<usize> = {
-        let table = db.table(&upd.table)?;
-        let mut out = Vec::new();
-        for (pos, row) in table.rows().iter().enumerate() {
-            if row_matches(&schema, &upd.predicates, row)? {
-                out.push(pos);
-            }
-        }
-        out
-    };
+    let plan = planner::plan_dml(db, &upd.table, &upd.predicates, mode)?;
+    let matches = matching_positions(db.table(&upd.table)?, &plan);
     if matches.is_empty() {
         // Nothing to write: a statement that changed nothing must not bump
         // the database's write version.
@@ -115,18 +201,9 @@ fn exec_update(db: &mut Database, upd: &Update) -> Result<QueryResult> {
     Ok(QueryResult { rows_affected: n, ..QueryResult::default() })
 }
 
-fn exec_delete(db: &mut Database, del: &Delete) -> Result<QueryResult> {
-    let schema = db.table(&del.table)?.schema().clone();
-    let matches: Vec<usize> = {
-        let table = db.table(&del.table)?;
-        let mut out = Vec::new();
-        for (pos, row) in table.rows().iter().enumerate() {
-            if row_matches(&schema, &del.predicates, row)? {
-                out.push(pos);
-            }
-        }
-        out
-    };
+fn exec_delete(db: &mut Database, del: &Delete, mode: PlanMode) -> Result<QueryResult> {
+    let plan = planner::plan_dml(db, &del.table, &del.predicates, mode)?;
+    let matches = matching_positions(db.table(&del.table)?, &plan);
     if matches.is_empty() {
         return Ok(QueryResult::empty());
     }
@@ -202,224 +279,195 @@ fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
     Ok(QueryResult { rows_affected: affected, ..QueryResult::default() })
 }
 
-/// Scope of bound tables during SELECT execution: binding name → (table
-/// name, column names), plus the flattened row layout offsets.
-struct Scope {
-    /// binding → (offset into the joined row, column names).
-    bindings: Vec<(String, usize, Vec<String>)>,
-    width: usize,
-}
+// ---------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------
 
-impl Scope {
-    fn resolve(&self, col: &ColumnRef) -> Result<usize> {
-        let mut found = None;
-        for (binding, offset, columns) in &self.bindings {
-            if let Some(tbl) = &col.table {
-                if tbl != binding {
-                    continue;
-                }
-            }
-            if let Some(pos) = columns.iter().position(|c| c == &col.column) {
-                if found.is_some() {
-                    return Err(StoreError::Sql(format!("ambiguous column `{}`", col.display())));
-                }
-                found = Some(offset + pos);
-            }
-        }
-        found.ok_or_else(|| StoreError::Sql(format!("unknown column `{}`", col.display())))
+fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResult> {
+    let plan = planner::plan_select(db, sel, mode)?;
+    let tables: Vec<&Table> =
+        plan.bindings.iter().map(|b| db.table(&b.table)).collect::<Result<_>>()?;
+
+    // slot[binding] = index of that binding's position within a tuple.
+    let mut slot = vec![0usize; plan.bindings.len()];
+    for (k, step) in plan.steps.iter().enumerate() {
+        slot[step.binding] = k;
     }
 
-    fn all_columns(&self) -> Vec<String> {
-        self.bindings
-            .iter()
-            .flat_map(|(binding, _, cols)| cols.iter().map(move |c| format!("{binding}.{c}")))
-            .collect()
-    }
-}
-
-fn exec_select(db: &mut Database, sel: &Select) -> Result<QueryResult> {
-    // Bind the FROM table.
-    let base = db.table(&sel.from.table)?;
-    let base_cols: Vec<String> = base.schema().columns.iter().map(|c| c.name.clone()).collect();
-    let mut scope = Scope {
-        bindings: vec![(sel.from.binding().to_owned(), 0, base_cols)],
-        width: base.schema().columns.len(),
-    };
-    // Working set: joined rows, flattened.
-    let mut rows: Vec<Vec<Value>> = base.rows().to_vec();
-
-    // Hash joins, left to right.
-    for join in &sel.joins {
-        let right_table = db.table(&join.table.table)?;
-        let right_cols: Vec<String> =
-            right_table.schema().columns.iter().map(|c| c.name.clone()).collect();
-        let right_width = right_cols.len();
-        let right_offset = scope.width;
-        scope.bindings.push((join.table.binding().to_owned(), right_offset, right_cols));
-        scope.width += right_width;
-
-        // Decide which side of the ON condition refers to the new table.
-        let (probe_col, build_col) = {
-            let l = scope.resolve(&join.left);
-            let r = scope.resolve(&join.right);
-            match (l, r) {
-                (Ok(li), Ok(ri)) => {
-                    if li >= right_offset && ri < right_offset {
-                        (ri, li - right_offset)
-                    } else if ri >= right_offset && li < right_offset {
-                        (li, ri - right_offset)
-                    } else {
-                        return Err(StoreError::Sql(
-                            "JOIN condition must relate the joined table to a prior table"
-                                .to_owned(),
-                        ));
-                    }
-                }
-                (Err(e), _) | (_, Err(e)) => return Err(e),
-            }
+    // Joined rows as position tuples, one u32 per placed binding.
+    let mut tuples: Vec<Vec<u32>> = Vec::new();
+    for (k, step) in plan.steps.iter().enumerate() {
+        let table = tables[step.binding];
+        let keep = |pos: u32| -> bool {
+            step.filters.iter().all(|p| pred_on_row(p, &table.rows()[pos as usize]))
         };
-
-        // Build hash table on the new (right) table.
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (i, row) in right_table.rows().iter().enumerate() {
-            let key = &row[build_col];
-            if !key.is_null() {
-                index.entry(key.to_string()).or_default().push(i);
+        match &step.join {
+            None => {
+                let candidates: Vec<u32> = match &step.access {
+                    Access::Scan => (0..table.len() as u32).collect(),
+                    Access::PkEq(key) => {
+                        table.row_position_by_pk(*key).map(|p| p as u32).into_iter().collect()
+                    }
+                    Access::IndexEq { col, key } => table
+                        .index_probe(*col, key)
+                        .expect("planner only chooses existing indexes")
+                        .to_vec(),
+                };
+                tuples = candidates.into_iter().filter(|&p| keep(p)).map(|p| vec![p]).collect();
             }
-        }
-
-        let mut joined = Vec::new();
-        for left_row in rows {
-            let key = &left_row[probe_col];
-            if key.is_null() {
-                continue;
-            }
-            if let Some(matches) = index.get(&key.to_string()) {
-                for &ri in matches {
-                    let mut combined = left_row.clone();
-                    combined.extend_from_slice(&right_table.rows()[ri]);
-                    joined.push(combined);
+            Some(join) => {
+                let outer_table = tables[join.outer];
+                let outer_slot = slot[join.outer];
+                let mut next = Vec::new();
+                match join.via {
+                    JoinVia::Pk | JoinVia::Index => {
+                        for tuple in &tuples {
+                            let outer_row = &outer_table.rows()[tuple[outer_slot] as usize];
+                            let probe = &outer_row[join.outer_col];
+                            // Borrow the matching positions straight from
+                            // the index — no per-row key materialization.
+                            let single;
+                            let matches: &[u32] = if join.via == JoinVia::Pk {
+                                match join_canon(probe) {
+                                    Some(JoinKey::Int(key)) => {
+                                        match table.row_position_by_pk(key) {
+                                            Some(p) => {
+                                                single = [p as u32];
+                                                &single
+                                            }
+                                            None => &[],
+                                        }
+                                    }
+                                    _ => &[],
+                                }
+                            } else {
+                                table
+                                    .index_probe(join.inner_col, probe)
+                                    .expect("planner only chooses existing indexes")
+                            };
+                            for &p in matches {
+                                if keep(p) {
+                                    let mut t = tuple.clone();
+                                    t.push(p);
+                                    next.push(t);
+                                }
+                            }
+                        }
+                    }
+                    JoinVia::Hash => {
+                        // Build over the new binding's filtered rows,
+                        // keyed by join-value hash; buckets hold position
+                        // lists and are verified by join_eq on probe.
+                        let mut built: HashMap<u64, Vec<u32>, FastBuild> = HashMap::default();
+                        for (p, row) in table.rows().iter().enumerate() {
+                            let Some(h) = join_hash(&row[join.inner_col]) else { continue };
+                            if keep(p as u32) {
+                                built.entry(h).or_default().push(p as u32);
+                            }
+                        }
+                        for tuple in &tuples {
+                            let outer_row = &outer_table.rows()[tuple[outer_slot] as usize];
+                            let probe = &outer_row[join.outer_col];
+                            let Some(h) = join_hash(probe) else { continue };
+                            let Some(bucket) = built.get(&h) else { continue };
+                            for &p in bucket {
+                                if join_eq(probe, &table.rows()[p as usize][join.inner_col]) {
+                                    let mut t = tuple.clone();
+                                    t.push(p);
+                                    next.push(t);
+                                }
+                            }
+                        }
+                    }
                 }
+                tuples = next;
             }
         }
-        rows = joined;
+        debug_assert_eq!(k + 1, tuples.first().map_or(k + 1, Vec::len));
     }
 
-    // WHERE filtering.
-    type Predicate = Box<dyn Fn(&[Value]) -> Result<bool>>;
-    for pred in &sel.predicates {
-        let keep: Predicate = match pred {
-            Expr::IsNull(col) => {
-                let idx = scope.resolve(col)?;
-                Box::new(move |row| Ok(row[idx].is_null()))
-            }
-            Expr::IsNotNull(col) => {
-                let idx = scope.resolve(col)?;
-                Box::new(move |row| Ok(!row[idx].is_null()))
-            }
-            Expr::Cmp { left, op, right } => {
-                let li = scope.resolve(left)?;
-                match right {
-                    Operand::Lit(lit) => {
-                        let v = lit.to_value();
-                        let op = *op;
-                        Box::new(move |row| Ok(op.eval(&row[li], &v)))
-                    }
-                    Operand::Col(rc) => {
-                        let ri = scope.resolve(rc)?;
-                        let op = *op;
-                        Box::new(move |row| Ok(op.eval(&row[li], &row[ri])))
-                    }
-                }
-            }
-        };
-        let mut filtered = Vec::with_capacity(rows.len());
-        for row in rows {
-            if keep(&row)? {
-                filtered.push(row);
-            }
-        }
-        rows = filtered;
+    // Residual predicates (cross-binding, or everything in ForceScan).
+    if !plan.residual.is_empty() {
+        tuples.retain(|t| plan.residual.iter().all(|p| pred_on_tuple(p, &tables, &slot, t)));
     }
 
-    // ORDER BY.
-    if let Some((col, desc)) = &sel.order_by {
-        let idx = scope.resolve(col)?;
+    // Canonical order: ascending row positions in *declared* binding
+    // order — exactly the order a declared-order nested execution emits.
+    // This is what makes every plan produce bit-identical output.
+    let nb = plan.bindings.len();
+    tuples.sort_unstable_by(|a, b| {
+        for bi in 0..nb {
+            match a[slot[bi]].cmp(&b[slot[bi]]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    if plan.count_star {
+        let mut n = tuples.len();
+        if let Some(limit) = plan.limit {
+            n = n.min(limit);
+        }
+        return Ok(QueryResult {
+            columns: plan.columns,
+            rows: vec![vec![Value::Int(n as i64)]],
+            rows_affected: 0,
+        });
+    }
+
+    // Materialize flattened rows (declared binding order) — the only
+    // place values are cloned.
+    let width: usize = tables.iter().map(|t| t.schema().columns.len()).sum();
+    let mut rows: Vec<Vec<Value>> = tuples
+        .iter()
+        .map(|t| {
+            let mut row = Vec::with_capacity(width);
+            for bi in 0..nb {
+                row.extend_from_slice(&tables[bi].rows()[t[slot[bi]] as usize]);
+            }
+            row
+        })
+        .collect();
+
+    // ORDER BY (stable: ties keep canonical row order), then LIMIT.
+    if let Some((idx, desc)) = plan.order_by {
         rows.sort_by(|a, b| {
             let ord = a[idx].cmp_sql(&b[idx]);
-            if *desc {
+            if desc {
                 ord.reverse()
             } else {
                 ord
             }
         });
     }
-
-    // LIMIT.
-    if let Some(n) = sel.limit {
+    if let Some(n) = plan.limit {
         rows.truncate(n);
     }
 
     // Projection.
-    let mut out_cols = Vec::new();
-    enum Proj {
-        Col(usize),
-        All,
-        Count,
-    }
-    let mut projs = Vec::new();
-    for item in &sel.items {
-        match item {
-            SelectItem::Wildcard => {
-                out_cols.extend(scope.all_columns());
-                projs.push(Proj::All);
-            }
-            SelectItem::Column(c) => {
-                out_cols.push(c.display());
-                projs.push(Proj::Col(scope.resolve(c)?));
-            }
-            SelectItem::CountStar => {
-                out_cols.push("count".to_owned());
-                projs.push(Proj::Count);
-            }
-        }
-    }
-
-    if projs.iter().any(|p| matches!(p, Proj::Count)) {
-        if projs.len() != 1 {
-            return Err(StoreError::Sql(
-                "COUNT(*) cannot be combined with other select items".to_owned(),
-            ));
-        }
-        return Ok(QueryResult {
-            columns: out_cols,
-            rows: vec![vec![Value::Int(rows.len() as i64)]],
-            rows_affected: 0,
-        });
-    }
-
     let projected = rows
         .into_iter()
         .map(|row| {
             let mut out = Vec::new();
-            for p in &projs {
+            for p in &plan.projection {
                 match p {
-                    Proj::All => out.extend(row.iter().cloned()),
-                    Proj::Col(i) => out.push(row[*i].clone()),
-                    Proj::Count => unreachable!("handled above"),
+                    ProjItem::All => out.extend(row.iter().cloned()),
+                    ProjItem::Col(i) => out.push(row[*i].clone()),
                 }
             }
             out
         })
         .collect();
 
-    Ok(QueryResult { columns: out_cols, rows: projected, rows_affected: 0 })
+    Ok(QueryResult { columns: plan.columns, rows: projected, rows_affected: 0 })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::run_script;
+    use crate::sql::{parse_statement, run_script};
 
     fn seeded() -> Database {
         let mut db = Database::new();
@@ -438,14 +486,23 @@ mod tests {
         db
     }
 
+    /// Run `sql` under both plan modes and assert bit-identical results
+    /// before returning the planned one.
+    fn run_both(db: &mut Database, sql: &str) -> QueryResult {
+        let stmt = parse_statement(sql).unwrap();
+        let forced = execute_with(db, &stmt, PlanMode::ForceScan).unwrap();
+        let planned = execute_with(db, &stmt, PlanMode::Planned).unwrap();
+        assert_eq!(planned, forced, "plan changed results for {sql}");
+        planned
+    }
+
     #[test]
     fn where_and_order() {
         let mut db = seeded();
-        let r = run_script(
+        let r = run_both(
             &mut db,
             "SELECT title FROM movies WHERE budget >= 10000000 ORDER BY budget DESC",
-        )
-        .unwrap();
+        );
         let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
         assert_eq!(titles, vec!["Alien", "Amelie"]);
     }
@@ -453,7 +510,7 @@ mod tests {
     #[test]
     fn null_filtering() {
         let mut db = seeded();
-        let r = run_script(&mut db, "SELECT title FROM movies WHERE budget IS NULL").unwrap();
+        let r = run_both(&mut db, "SELECT title FROM movies WHERE budget IS NULL");
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0][0], Value::from("Brazil"));
     }
@@ -461,14 +518,13 @@ mod tests {
     #[test]
     fn two_hop_join_through_link_table() {
         let mut db = seeded();
-        let r = run_script(
+        let r = run_both(
             &mut db,
             "SELECT m.title FROM genres g
              JOIN movie_genre mg ON mg.genre_id = g.id
              JOIN movies m ON m.id = mg.movie_id
              WHERE g.name = 'Comedy' ORDER BY m.title",
-        )
-        .unwrap();
+        );
         let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
         assert_eq!(titles, vec!["Amelie", "Brazil"]);
     }
@@ -476,11 +532,10 @@ mod tests {
     #[test]
     fn wildcard_projection_includes_all_bindings() {
         let mut db = seeded();
-        let r = run_script(
+        let r = run_both(
             &mut db,
             "SELECT * FROM movie_genre mg JOIN genres g ON mg.genre_id = g.id LIMIT 1",
-        )
-        .unwrap();
+        );
         assert_eq!(r.columns.len(), 4); // movie_id, genre_id, id, name
         assert!(r.columns[3].contains("name"));
     }
@@ -488,7 +543,7 @@ mod tests {
     #[test]
     fn limit_truncates() {
         let mut db = seeded();
-        let r = run_script(&mut db, "SELECT id FROM movies ORDER BY id LIMIT 2").unwrap();
+        let r = run_both(&mut db, "SELECT id FROM movies ORDER BY id LIMIT 2");
         assert_eq!(r.rows.len(), 2);
     }
 
@@ -571,6 +626,15 @@ mod tests {
     }
 
     #[test]
+    fn update_through_pk_access_path() {
+        let mut db = seeded();
+        let r = run_script(&mut db, "UPDATE movies SET budget = 2.5 WHERE id = 3").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let check = run_both(&mut db, "SELECT budget FROM movies WHERE title = 'Amelie'");
+        assert_eq!(check.rows[0][0], Value::Float(2.5));
+    }
+
+    #[test]
     fn delete_removes_matching_rows_and_reindexes() {
         let mut db = seeded();
         // Movie 1 is referenced by movie_genre — clear the link first.
@@ -591,16 +655,129 @@ mod tests {
         // The row survived.
         let count = run_script(&mut db, "SELECT COUNT(*) FROM movies").unwrap();
         assert_eq!(count.rows[0][0], Value::Int(3));
+        // The RESTRICT check probed movie_genre's FK index, never scanned.
+        assert_eq!(db.fk_scan_fallbacks(), 0, "RESTRICT must not scan the referencing table");
     }
 
     #[test]
     fn column_vs_column_where() {
         let mut db = seeded();
-        let r = run_script(
+        let r = run_both(
             &mut db,
             "SELECT mg.movie_id FROM movie_genre mg WHERE mg.movie_id = mg.genre_id",
+        );
+        assert_eq!(r.rows.len(), 2); // (1,1) and (2,2)
+    }
+
+    #[test]
+    fn join_keys_are_type_aware() {
+        // The hash join keys on borrowed values with canonical typing:
+        // integral floats join ints, text never joins numbers. Pinned
+        // here because the old implementation stringified every key
+        // (allocating per row, and conflating '1' with 1).
+        let mut db = Database::new();
+        run_script(
+            &mut db,
+            "CREATE TABLE a (id INTEGER PRIMARY KEY, v REAL);
+             CREATE TABLE b (id INTEGER PRIMARY KEY, v REAL);
+             INSERT INTO a VALUES (1, 2), (2, 2.5), (3, NULL);
+             INSERT INTO b VALUES (10, 2.0), (11, 2.5), (12, NULL);",
         )
         .unwrap();
-        assert_eq!(r.rows.len(), 2); // (1,1) and (2,2)
+        // v is unindexed REAL → hash join. Int 2 must meet Float 2.0.
+        let r = run_both(&mut db, "SELECT a.id, b.id FROM a JOIN b ON a.v = b.v ORDER BY a.id");
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1), Value::Int(10)], // 2 joins 2.0
+                vec![Value::Int(2), Value::Int(11)], // 2.5 joins 2.5
+            ],
+            "NULLs must not join; integral floats must meet ints"
+        );
+
+        let mut db2 = Database::new();
+        run_script(
+            &mut db2,
+            "CREATE TABLE nums (id INTEGER PRIMARY KEY, k INTEGER);
+             CREATE TABLE words (id INTEGER PRIMARY KEY, k TEXT);
+             INSERT INTO nums VALUES (1, 1);
+             INSERT INTO words VALUES (9, '1');",
+        )
+        .unwrap();
+        let r = run_both(&mut db2, "SELECT nums.id FROM nums JOIN words ON nums.k = words.k");
+        assert!(r.rows.is_empty(), "text '1' must not join integer 1");
+    }
+
+    #[test]
+    fn planned_join_order_does_not_change_output_order() {
+        let mut db = seeded();
+        // No ORDER BY: row order must still be the declared-order nested
+        // execution order, whatever join order the planner picked.
+        let r = run_both(
+            &mut db,
+            "SELECT m.title, g.name FROM movies m
+             JOIN movie_genre mg ON mg.movie_id = m.id
+             JOIN genres g ON g.id = mg.genre_id
+             WHERE g.name = 'Comedy'",
+        );
+        let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(titles, vec!["Brazil", "Amelie"], "movies-declared-order: id 2 then id 3");
+    }
+
+    #[test]
+    fn explain_select_golden() {
+        let mut db = seeded();
+        let r = run_script(
+            &mut db,
+            "EXPLAIN SELECT m.title FROM genres g
+             JOIN movie_genre mg ON mg.genre_id = g.id
+             JOIN movies m ON m.id = mg.movie_id
+             WHERE g.id = 2 ORDER BY m.title",
+        )
+        .unwrap();
+        let lines: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "SELECT",
+                "  access genres g: pk lookup (id = 2) [1 of 2 rows]",
+                "  join movie_genre mg: index probe (mg.genre_id = g.id) [~2 rows]",
+                "  join movies m: pk probe (m.id = mg.movie_id) [~2 rows]",
+                "  order by m.title",
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_scan_and_dml_golden() {
+        let mut db = seeded();
+        let r =
+            run_script(&mut db, "EXPLAIN SELECT title FROM movies WHERE budget IS NULL").unwrap();
+        let lines: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(
+            lines,
+            vec!["SELECT", "  access movies: scan [3 rows]", "    filter movies.budget IS NULL",]
+        );
+
+        let r = run_script(&mut db, "EXPLAIN DELETE FROM movie_genre WHERE movie_id = 1").unwrap();
+        let lines: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "DELETE FROM movie_genre",
+                "  access movie_genre: index lookup (movie_id = 1) [1 of 3 rows]",
+                "  [~1 rows match]",
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let mut db = seeded();
+        let v0 = db.write_version();
+        run_script(&mut db, "EXPLAIN DELETE FROM movies").unwrap();
+        assert_eq!(db.write_version(), v0);
+        let count = run_script(&mut db, "SELECT COUNT(*) FROM movies").unwrap();
+        assert_eq!(count.rows[0][0], Value::Int(3));
     }
 }

@@ -18,7 +18,7 @@
 //! repeatable):
 //!
 //! ```text
-//! statement   := create | insert | select | update | delete [";"]
+//! statement   := [EXPLAIN] (create | insert | select | update | delete) [";"]
 //! create      := CREATE TABLE ident "(" coldef {"," coldef} ")"
 //! coldef      := ident type [PRIMARY KEY] [REFERENCES ident "(" ident ")"]
 //! type        := INTEGER|INT|BIGINT | REAL|FLOAT|DOUBLE|NUMERIC
@@ -50,22 +50,32 @@
 //!
 //! This is intentionally a *subset*: enough to drive the engine the way the
 //! paper drives PostgreSQL (schema creation, bulk loads, relationship and
-//! column scans), not a general query processor. Joins are equi-joins
-//! executed with a hash join; predicates are conjunctions of comparisons.
-//! [`run_script`] splits on top-level semicolons, so a whole dump restores
-//! in one call.
+//! column scans), not a general query processor. Joins are equi-joins;
+//! predicates are conjunctions of comparisons. [`run_script`] splits on
+//! top-level semicolons, so a whole dump restores in one call.
+//!
+//! SELECT/UPDATE/DELETE execute through a cost-based planner (see
+//! [`PlanMode`] and `docs/QUERY_PLANNING.md`): equality predicates on
+//! indexed columns become primary-key or secondary-index lookups, joins
+//! are greedily re-ordered from exact table statistics, and
+//! single-table predicates push down to the table they constrain.
+//! `EXPLAIN <statement>` renders the chosen plan as rows of text, and
+//! [`execute_with`] exposes a forced-scan mode whose results every plan
+//! must match bit-for-bit.
 
 mod ast;
 mod executor;
 mod parser;
+mod planner;
 mod tokenizer;
 
 pub use ast::{
     BinOp, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, Select, SelectItem, Statement,
     Update,
 };
-pub use executor::{execute, QueryResult};
+pub use executor::{execute, execute_with, QueryResult};
 pub use parser::parse_statement;
+pub use planner::PlanMode;
 pub use tokenizer::{tokenize, Token};
 
 use crate::{Database, Result};

@@ -93,12 +93,18 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         match self.peek() {
+            Some(t) if t.is_kw("explain") => {
+                self.pos += 1;
+                // Nested EXPLAIN parses but the executor rejects it; the
+                // planner only explains SELECT/UPDATE/DELETE.
+                Ok(Statement::Explain(Box::new(self.statement()?)))
+            }
             Some(t) if t.is_kw("create") => self.create_table().map(Statement::CreateTable),
             Some(t) if t.is_kw("insert") => self.insert().map(Statement::Insert),
             Some(t) if t.is_kw("select") => self.select().map(Statement::Select),
             Some(t) if t.is_kw("update") => self.update().map(Statement::Update),
             Some(t) if t.is_kw("delete") => self.delete().map(Statement::Delete),
-            _ => Err(self.error("expected CREATE, INSERT, SELECT, UPDATE or DELETE")),
+            _ => Err(self.error("expected EXPLAIN, CREATE, INSERT, SELECT, UPDATE or DELETE")),
         }
     }
 

@@ -1,63 +1,31 @@
-//! A single table: schema + rows + primary-key index.
-
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+//! A single table: schema + rows + its [`IndexSet`](crate::index).
 
 use crate::error::StoreError;
+use crate::index::IndexSet;
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use crate::Result;
-
-/// Multiply–xorshift hasher for the `i64` primary-key index.
-///
-/// Primary keys are integers under the engine's control (dense, often
-/// sequential), so SipHash's DoS resistance buys nothing here while its
-/// per-probe cost shows up directly in ingest throughput — every insert
-/// probes the key index at least once, and every foreign key probes the
-/// referenced table's. A Fibonacci multiply plus an xor-shift mixes the low
-/// bits sequential keys differ in across the whole word in a couple of
-/// cycles.
-#[derive(Clone, Default)]
-pub(crate) struct PkHasher(u64);
-
-impl Hasher for PkHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Generic fallback (unused by the i64 key path): FNV-1a.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    fn write_i64(&mut self, i: i64) {
-        let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 32;
-        self.0 = x;
-    }
-}
-
-type PkIndex = HashMap<i64, usize, BuildHasherDefault<PkHasher>>;
 
 /// An in-memory table.
 ///
-/// Rows are stored in insertion order; the primary key (when declared) is
-/// indexed with a hash map for O(1) FK validation. RETRO's own access pattern
-/// is full-column scans, served by [`Table::column_values`] / [`Table::rows`].
+/// Rows are stored in insertion order. The primary key (when declared) is
+/// indexed with a hash map for O(1) FK validation, and any number of
+/// secondary equality indexes (foreign-key columns by default, more via
+/// [`crate::Database::create_index`]) map values to sorted posting lists
+/// of row positions. Full-column scans — RETRO's bulk access pattern —
+/// are served by [`Table::column_values`] / [`Table::rows`].
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Vec<Value>>,
-    /// primary-key value (as i64) → row index.
-    pk_index: PkIndex,
+    indexes: IndexSet,
 }
 
 impl Table {
     /// Create an empty table for `schema`.
     pub fn new(schema: TableSchema) -> Self {
-        Self { schema, rows: Vec::new(), pk_index: PkIndex::default() }
+        let indexes = IndexSet::new(schema.primary_key);
+        Self { schema, rows: Vec::new(), indexes }
     }
 
     /// The table's schema.
@@ -92,12 +60,79 @@ impl Table {
 
     /// Find a row by primary-key value.
     pub fn row_by_pk(&self, key: i64) -> Option<&[Value]> {
-        self.pk_index.get(&key).map(|&i| self.rows[i].as_slice())
+        self.indexes.pk_lookup(key).map(|i| self.rows[i].as_slice())
+    }
+
+    /// Find a row's *position* by primary-key value — for callers that
+    /// cache per-position data alongside the table (extraction builds
+    /// row-parallel value-id caches this way).
+    pub fn row_position_by_pk(&self, key: i64) -> Option<usize> {
+        self.indexes.pk_lookup(key)
     }
 
     /// True when a row with this primary key exists.
     pub fn contains_pk(&self, key: i64) -> bool {
-        self.pk_index.contains_key(&key)
+        self.indexes.contains_pk(key)
+    }
+
+    /// True when `col` carries a secondary equality index.
+    pub fn has_secondary_index(&self, col: usize) -> bool {
+        self.indexes.has_secondary(col)
+    }
+
+    /// Columns carrying a secondary index, in column order.
+    pub fn secondary_index_columns(&self) -> Vec<usize> {
+        self.indexes.secondary_columns().collect()
+    }
+
+    /// Row positions (sorted ascending) whose `col` equals `key`, or
+    /// `None` when `col` carries no secondary index. `Some(&[])` means
+    /// the index exists and proves no row matches. `NULL` keys match
+    /// nothing (SQL equality semantics).
+    pub fn index_probe<'a>(&'a self, col: usize, key: &Value) -> Option<&'a [u32]> {
+        self.indexes.probe(col, key)
+    }
+
+    /// [`Self::index_probe`] with a raw integer key.
+    pub fn index_probe_int(&self, col: usize, key: i64) -> Option<&[u32]> {
+        self.indexes.probe_int(col, key)
+    }
+
+    /// [`Self::index_probe`] with a borrowed string key — the extraction
+    /// hot path; no per-probe allocation.
+    pub fn index_probe_text<'a>(&'a self, col: usize, key: &str) -> Option<&'a [u32]> {
+        self.indexes.probe_text(col, key)
+    }
+
+    /// Exact distinct (non-NULL) value count of an indexed column, or
+    /// `None` when `col` is not indexed. Planner selectivity input.
+    pub fn index_distinct(&self, col: usize) -> Option<usize> {
+        self.indexes.distinct(col)
+    }
+
+    /// Whether column `col` can carry an equality index, and with which
+    /// key type (`true` = integer-keyed). Errors on FLOAT columns —
+    /// equality on floats is a footgun and nothing in the engine needs it.
+    pub(crate) fn indexable_key_type(&self, col: usize) -> Result<bool> {
+        let def = &self.schema.columns[col];
+        match def.ty {
+            DataType::Int => Ok(true),
+            DataType::Text => Ok(false),
+            DataType::Float => Err(StoreError::Sql(format!(
+                "cannot index FLOAT column `{}.{}`: equality indexes cover INTEGER and TEXT",
+                self.schema.name, def.name
+            ))),
+        }
+    }
+
+    /// Create (and backfill) a secondary equality index on column `col`.
+    /// Supported on `INTEGER` and `TEXT` columns; returns `false` when the
+    /// column is already indexed. Exposed through
+    /// [`crate::Database::create_index`], which also logs the declaration
+    /// for recovery.
+    pub(crate) fn create_secondary_index(&mut self, col: usize) -> Result<bool> {
+        let int_keyed = self.indexable_key_type(col)?;
+        Ok(self.indexes.create_secondary(col, int_keyed, &self.rows))
     }
 
     /// Iterator over the values of one column (by index).
@@ -146,7 +181,7 @@ impl Table {
         if let Some(pk) = self.schema.primary_key {
             match &row[pk] {
                 Value::Int(k) => {
-                    if self.pk_index.contains_key(k) {
+                    if self.indexes.contains_pk(*k) {
                         return Err(StoreError::DuplicateKey {
                             table: self.schema.name.clone(),
                             key: k.to_string(),
@@ -174,46 +209,37 @@ impl Table {
 
     /// Append a validated row. Callers must run [`Self::validate_row`] (or
     /// go through [`crate::Database::insert`]) first; this method only keeps
-    /// the PK index coherent.
+    /// the indexes coherent.
     pub(crate) fn push_unchecked(&mut self, row: Vec<Value>) -> usize {
-        if let Some(pk) = self.schema.primary_key {
-            if let Value::Int(k) = row[pk] {
-                self.pk_index.insert(k, self.rows.len());
-            }
-        }
+        let pos = self.rows.len();
+        self.indexes.note_append(&row, pos);
         self.rows.push(row);
-        self.rows.len() - 1
+        pos
     }
 
     /// Pre-size the row store and primary-key index for `additional` more
     /// rows, so a bulk load appends without reallocation.
     pub(crate) fn reserve(&mut self, additional: usize) {
         self.rows.reserve(additional);
-        if self.schema.primary_key.is_some() {
-            self.pk_index.reserve(additional);
-        }
+        self.indexes.reserve_pk(additional);
     }
 
     /// Drop every row at position `len` and beyond, pruning the removed
-    /// rows' primary-key index entries. Rollback support for atomic bulk
-    /// loads ([`crate::BulkLoader`]): appends since a remembered length are
-    /// undone in O(dropped).
+    /// rows' index entries. Rollback support for atomic bulk loads
+    /// ([`crate::BulkLoader`]): appends since a remembered length are
+    /// undone in O(dropped), each posting-list tail pruned with one binary
+    /// search.
     pub(crate) fn truncate(&mut self, len: usize) {
         if len >= self.rows.len() {
             return;
         }
-        if let Some(pk) = self.schema.primary_key {
-            for row in &self.rows[len..] {
-                if let Value::Int(k) = row[pk] {
-                    self.pk_index.remove(&k);
-                }
-            }
-        }
+        self.indexes.note_truncate(&self.rows[len..], len);
         self.rows.truncate(len);
     }
 
     /// Remove the rows at the given (sorted, deduplicated) positions and
-    /// rebuild the primary-key index.
+    /// rebuild the indexes (survivors renumber, so incremental repair
+    /// would cost as much as rebuilding).
     pub(crate) fn remove_rows(&mut self, sorted_indices: &[usize]) {
         let mut keep = vec![true; self.rows.len()];
         for &i in sorted_indices {
@@ -223,30 +249,16 @@ impl Table {
         }
         let mut iter = keep.iter();
         self.rows.retain(|_| *iter.next().expect("keep mask aligned"));
-        self.pk_index.clear();
-        if let Some(pk) = self.schema.primary_key {
-            for (pos, row) in self.rows.iter().enumerate() {
-                if let Value::Int(k) = row[pk] {
-                    self.pk_index.insert(k, pos);
-                }
-            }
-        }
+        self.indexes.rebuild(&self.rows);
     }
 
-    /// Replace the table's entire row set and rebuild the primary-key
-    /// index. WAL replay support for [`crate::TableChange::Unknown`]
-    /// edits: the log records the post-edit state wholesale, so recovery
-    /// installs it wholesale.
+    /// Replace the table's entire row set and rebuild the indexes. WAL
+    /// replay support for [`crate::TableChange::Unknown`] edits: the log
+    /// records the post-edit state wholesale, so recovery installs it
+    /// wholesale.
     pub(crate) fn set_rows(&mut self, rows: Vec<Vec<Value>>) {
         self.rows = rows;
-        self.pk_index.clear();
-        if let Some(pk) = self.schema.primary_key {
-            for (pos, row) in self.rows.iter().enumerate() {
-                if let Some(&Value::Int(k)) = row.get(pk) {
-                    self.pk_index.insert(k, pos);
-                }
-            }
-        }
+        self.indexes.rebuild(&self.rows);
     }
 
     /// Update one cell in place (used by imputation examples to write
@@ -270,7 +282,8 @@ impl Table {
                 got: value.data_type().map_or_else(|| "NULL".into(), |t| t.to_string()),
             });
         }
-        self.rows[row][col] = value;
+        let old = std::mem::replace(&mut self.rows[row][col], value);
+        self.indexes.note_cell_update(col, &old, &self.rows[row][col], row);
         Ok(())
     }
 }
@@ -290,6 +303,13 @@ mod tests {
         Table::new(schema)
     }
 
+    /// `table()` with a secondary index on the `name` column.
+    fn indexed_table() -> Table {
+        let mut t = table();
+        t.create_secondary_index(1).unwrap();
+        t
+    }
+
     #[test]
     fn insert_and_lookup_by_pk() {
         let mut t = table();
@@ -298,6 +318,7 @@ mod tests {
         t.push_unchecked(row);
         assert_eq!(t.len(), 1);
         assert_eq!(t.row_by_pk(7).unwrap()[1], Value::from("abc"));
+        assert_eq!(t.row_position_by_pk(7), Some(0));
         assert!(t.contains_pk(7));
         assert!(!t.contains_pk(8));
     }
@@ -372,5 +393,49 @@ mod tests {
         assert!(t.update_cell(0, 0, Value::Int(9)).is_err()); // PK frozen
         assert!(t.update_cell(0, 1, Value::Int(9)).is_err()); // wrong type
         assert!(t.update_cell(5, 1, Value::Null).is_err()); // out of range
+    }
+
+    #[test]
+    fn secondary_index_tracks_all_mutations() {
+        let mut t = indexed_table();
+        assert!(t.has_secondary_index(1));
+        assert!(!t.has_secondary_index(2));
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        t.push_unchecked(vec![Value::Int(2), Value::from("b"), Value::Null]);
+        t.push_unchecked(vec![Value::Int(3), Value::from("a"), Value::Null]);
+        assert_eq!(t.index_probe_text(1, "a"), Some(&[0u32, 2][..]));
+
+        t.update_cell(1, 1, Value::from("a")).unwrap();
+        assert_eq!(t.index_probe_text(1, "a"), Some(&[0u32, 1, 2][..]));
+        assert_eq!(t.index_probe_text(1, "b"), Some(&[][..]));
+        assert_eq!(t.index_distinct(1), Some(1));
+
+        t.remove_rows(&[0]);
+        assert_eq!(t.index_probe_text(1, "a"), Some(&[0u32, 1][..]));
+
+        t.truncate(1);
+        assert_eq!(t.index_probe_text(1, "a"), Some(&[0u32][..]));
+
+        t.set_rows(vec![vec![Value::Int(9), Value::from("z"), Value::Null]]);
+        assert_eq!(t.index_probe_text(1, "z"), Some(&[0u32][..]));
+        assert_eq!(t.index_probe_text(1, "a"), Some(&[][..]));
+    }
+
+    #[test]
+    fn float_columns_cannot_be_indexed() {
+        let mut t = table();
+        assert!(t.create_secondary_index(2).is_err());
+        assert!(t.create_secondary_index(1).unwrap());
+        assert!(!t.create_secondary_index(1).unwrap()); // idempotent
+        assert_eq!(t.secondary_index_columns(), vec![1]);
+    }
+
+    #[test]
+    fn unindexed_probe_returns_none() {
+        let mut t = table();
+        t.push_unchecked(vec![Value::Int(1), Value::from("a"), Value::Null]);
+        assert_eq!(t.index_probe(1, &Value::from("a")), None);
+        assert_eq!(t.index_probe_int(0, 1), None); // pk has no secondary index
+        assert_eq!(t.index_distinct(1), None);
     }
 }

@@ -285,6 +285,10 @@ pub(crate) enum WalOp<'a> {
     /// guard drop (the engine cannot see what the borrower did, so it
     /// logs the result wholesale — mirroring `TableChange::Unknown`).
     TableState { table: &'a str, rows: &'a [Vec<Value>] },
+    /// `Database::create_index` — a declared secondary index. Only
+    /// user-declared indexes are logged; foreign-key auto-indexes are
+    /// re-derived from the replayed `CreateTable` schema.
+    CreateIndex { table: &'a str, column: &'a str },
 }
 
 impl WalOp<'_> {
@@ -330,6 +334,11 @@ impl WalOp<'_> {
                 put_str(buf, table);
                 put_rows(buf, rows);
             }
+            WalOp::CreateIndex { table, column } => {
+                buf.push(7);
+                put_str(buf, table);
+                put_str(buf, column);
+            }
         }
     }
 }
@@ -343,6 +352,7 @@ pub(crate) enum WalEntry {
     Update { table: String, updates: Vec<(usize, usize, Value)> },
     Delete { table: String, positions: Vec<usize> },
     TableState { table: String, rows: Vec<Vec<Value>> },
+    CreateIndex { table: String, column: String },
 }
 
 impl WalEntry {
@@ -380,6 +390,10 @@ impl WalEntry {
                 WalEntry::Delete { table, positions }
             }
             6 => WalEntry::TableState { table: cur.string("table name")?, rows: cur.rows()? },
+            7 => WalEntry::CreateIndex {
+                table: cur.string("table name")?,
+                column: cur.string("index column")?,
+            },
             kind => return Err(StoreError::Corruption(format!("unknown wal record kind {kind}"))),
         };
         if !cur.is_empty() {
