@@ -60,6 +60,7 @@ pub mod api;
 pub mod catalog;
 pub mod combine;
 pub(crate) mod delta;
+pub mod engine;
 pub mod graphgen;
 pub mod hyper;
 pub mod incremental;
@@ -72,6 +73,7 @@ pub mod solver;
 
 pub use api::{Retro, RetroConfig, RetroOutput, Solver};
 pub use catalog::{Category, TextValueCatalog};
+pub use engine::{AdmissionConfig, Engine, EngineConfig, EngineError, Overloaded, Session};
 pub use hyper::{Hyperparameters, ParamCheck};
 pub use incremental::{IncrementalRetro, RefreshKind, RefreshPlan};
 pub use problem::RetrofitProblem;

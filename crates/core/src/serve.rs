@@ -320,14 +320,34 @@ impl EmbeddingService {
     /// throughout. On error nothing is published and the session keeps its
     /// warm-start state — the last good snapshot keeps serving.
     pub fn refresh(&self) -> Result<u64, RetroError> {
-        self.refresh_with(|session, db, base| session.prepare_refresh(db, base))
+        self.refresh_observed(|_| ()).map(|(snapshot, ())| snapshot.generation())
+    }
+
+    /// [`EmbeddingService::refresh`], but running `observe` under the
+    /// *same database read guard* as the extraction and returning the
+    /// published snapshot together with the observation.
+    ///
+    /// That shared guard is the whole point: whatever `observe` reads —
+    /// a [`Database::clone`], a row count, a write version — describes
+    /// exactly the database state the snapshot reflects; no write can
+    /// slip between the extraction and the observation. The multi-database
+    /// [`crate::engine::Engine`] uses this to freeze a store clone per
+    /// published generation, which is what lets a
+    /// [`crate::engine::Session`] answer SQL and `NEAREST` from one
+    /// coherent state.
+    pub fn refresh_observed<T>(
+        &self,
+        observe: impl FnOnce(&Database) -> T,
+    ) -> Result<(Arc<Snapshot>, T), RetroError> {
+        self.refresh_with(|session, db, base| session.prepare_refresh(db, base), observe)
     }
 
     /// [`EmbeddingService::refresh`], but always re-extracting and
     /// re-solving the whole problem (the delta dispatch is skipped). Use it
     /// to re-converge exactly — e.g. before an evaluation — at full cost.
     pub fn refresh_full(&self) -> Result<u64, RetroError> {
-        self.refresh_with(|session, db, base| session.prepare_refresh_full(db, base))
+        self.refresh_with(|session, db, base| session.prepare_refresh_full(db, base), |_| ())
+            .map(|(snapshot, ())| snapshot.generation())
     }
 
     /// Adjust the inner session's tuning knobs (refresh iteration count,
@@ -337,20 +357,24 @@ impl EmbeddingService {
         tune(&mut self.session.write());
     }
 
-    fn refresh_with(
+    fn refresh_with<T>(
         &self,
         prepare: impl FnOnce(
             &IncrementalRetro,
             &Database,
             &EmbeddingSet,
         ) -> Result<RefreshPlan, RetroError>,
-    ) -> Result<u64, RetroError> {
+        observe: impl FnOnce(&Database) -> T,
+    ) -> Result<(Arc<Snapshot>, T), RetroError> {
         let mut session = self.session.write();
-        let (plan, write_version) = {
+        let (plan, write_version, observed) = {
             let guard = self.db.read();
-            // The version is read under the same guard as the extraction,
-            // so the stamp can never claim writes the problem didn't see.
-            (prepare(&session, &guard, &self.base)?, guard.write_version())
+            // The version is read (and `observe` runs) under the same guard
+            // as the extraction, so the stamp can never claim writes the
+            // problem didn't see and the observation describes exactly the
+            // extracted state.
+            let plan = prepare(&session, &guard, &self.base)?;
+            (plan, guard.write_version(), observe(&guard))
         };
         let dirty = plan.dirty_rows().map(<[u32]>::to_vec);
         session.complete_refresh(plan);
@@ -401,9 +425,9 @@ impl EmbeddingService {
         } else {
             Arc::new(Snapshot::new(generation, write_version, self.threads, output))
         };
-        *self.snapshot.write() = snapshot;
+        *self.snapshot.write() = Arc::clone(&snapshot);
         self.refreshes.fetch_add(1, Ordering::Relaxed);
-        Ok(generation)
+        Ok((snapshot, observed))
     }
 
     /// Persist the currently published snapshot to `path` — one

@@ -11,7 +11,7 @@ use crate::persist::{self, SNAPSHOT_FILE};
 use crate::schema::{ForeignKey, TableSchema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
-use crate::wal::{self, Wal, WalEntry, WalOp, WAL_FILE};
+use crate::wal::{self, DurabilityPolicy, Wal, WalEntry, WalOp, WAL_FILE};
 use crate::Result;
 
 /// The durable half of a [`Database`]: the open WAL plus the directory
@@ -148,6 +148,44 @@ impl Database {
     /// True when this database appends committed mutations to a WAL.
     pub fn is_durable(&self) -> bool {
         self.durability.is_some()
+    }
+
+    /// Choose when WAL records reach the OS (default
+    /// [`DurabilityPolicy::PerCommit`]). Switching flushes any buffered
+    /// group first, so records appended under the old policy keep its
+    /// guarantee. Requires a durable database.
+    pub fn set_durability_policy(&mut self, policy: DurabilityPolicy) -> Result<()> {
+        let Some(durability) = &mut self.durability else {
+            return Err(StoreError::Io(
+                "durability policy requires a durable database (use Database::open)".into(),
+            ));
+        };
+        if let Some(err) = &durability.poisoned {
+            return Err(err.clone());
+        }
+        if let Err(err) = durability.wal.set_policy(policy) {
+            durability.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Flush any group-commit buffer to the OS, making every committed
+    /// mutation so far crash-durable. A no-op under
+    /// [`DurabilityPolicy::PerCommit`] (appends flush themselves) and on
+    /// an ephemeral database.
+    pub fn flush_wal(&mut self) -> Result<()> {
+        let Some(durability) = &mut self.durability else {
+            return Ok(());
+        };
+        if let Some(err) = &durability.poisoned {
+            return Err(err.clone());
+        }
+        if let Err(err) = durability.wal.flush() {
+            durability.poisoned = Some(err.clone());
+            return Err(err);
+        }
+        Ok(())
     }
 
     /// Crate-internal alias of [`Database::is_durable`] for callers
@@ -1181,6 +1219,88 @@ mod tests {
         assert!(d.delete_rows("persons", &[0]).is_err());
         assert_eq!(d.delete_rows("persons", &[1]).unwrap(), 1);
         assert_eq!(d.fk_scan_fallbacks(), 0, "RESTRICT checks must probe the FK index");
+    }
+
+    #[test]
+    fn group_commit_recovers_equivalent_to_per_commit() {
+        use std::time::Duration;
+        let base =
+            std::env::temp_dir().join(format!("retro_db_group_commit_{}", std::process::id()));
+        let per = base.join("per");
+        let group = base.join("group");
+        let _ = std::fs::remove_dir_all(&base);
+
+        let script = |d: &mut Database| {
+            d.create_table(
+                TableSchema::builder("persons").pk("id").column("name", DataType::Text).build(),
+            )
+            .unwrap();
+            for k in 1..=10 {
+                d.insert("persons", vec![Value::Int(k), Value::from(format!("p{k}"))]).unwrap();
+            }
+            d.update_rows("persons", &[(0, 1, Value::from("z"))]).unwrap();
+            d.delete_rows("persons", &[9]).unwrap();
+        };
+
+        let mut a = Database::open(&per).unwrap();
+        script(&mut a);
+
+        let mut b = Database::open(&group).unwrap();
+        b.set_durability_policy(DurabilityPolicy::Group(1024, Duration::from_secs(3600))).unwrap();
+        script(&mut b);
+
+        // The group never filled and the delay is huge, so the on-disk log
+        // lags the PerCommit twin until an explicit flush...
+        let per_bytes = std::fs::read(per.join(WAL_FILE)).unwrap();
+        assert!(std::fs::read(group.join(WAL_FILE)).unwrap().len() < per_bytes.len());
+        b.flush_wal().unwrap();
+        // ...after which the two logs are byte-identical: same frames, same
+        // checksums, same sequence numbers.
+        assert_eq!(std::fs::read(group.join(WAL_FILE)).unwrap(), per_bytes);
+
+        drop(a);
+        drop(b);
+        let ra = Database::recover(&per).unwrap();
+        let rb = Database::recover(&group).unwrap();
+        assert_eq!(ra.write_version(), rb.write_version());
+        assert_eq!(ra.table_names(), rb.table_names());
+        for name in ra.table_names() {
+            assert_eq!(ra.table(name).unwrap().rows(), rb.table(name).unwrap().rows());
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn group_commit_flushes_on_count_and_on_drop() {
+        use std::time::Duration;
+        let dir = std::env::temp_dir().join(format!("retro_db_group_flush_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut d = Database::open(&dir).unwrap();
+        d.set_durability_policy(DurabilityPolicy::Group(2, Duration::from_secs(3600))).unwrap();
+        d.create_table(TableSchema::builder("t").pk("id").build()).unwrap();
+        let after_one = std::fs::read(dir.join(WAL_FILE)).unwrap().len();
+        assert_eq!(after_one, 0, "one buffered record must not hit the file yet");
+        d.insert("t", vec![Value::Int(1)]).unwrap();
+        // Second record fills the group: both frames land together.
+        assert!(std::fs::read(dir.join(WAL_FILE)).unwrap().len() > 0);
+        let flushed = std::fs::read(dir.join(WAL_FILE)).unwrap().len();
+
+        // A clean drop flushes the trailing partial group.
+        d.insert("t", vec![Value::Int(2)]).unwrap();
+        assert_eq!(std::fs::read(dir.join(WAL_FILE)).unwrap().len(), flushed);
+        drop(d);
+        assert!(std::fs::read(dir.join(WAL_FILE)).unwrap().len() > flushed);
+        let d = Database::recover(&dir).unwrap();
+        assert_eq!(d.table("t").unwrap().len(), 2);
+
+        // Policy control requires durability; flushing an ephemeral
+        // database is a harmless no-op.
+        let mut eph = Database::new();
+        assert!(eph
+            .set_durability_policy(DurabilityPolicy::Group(2, Duration::from_millis(1)))
+            .is_err());
+        eph.flush_wal().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

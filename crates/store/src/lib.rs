@@ -86,7 +86,7 @@ pub use schema::{ColumnDef, ForeignKey, TableSchema};
 pub use shared::SharedDatabase;
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use wal::{crc32, WAL_FILE};
+pub use wal::{crc32, DurabilityPolicy, WAL_FILE};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

@@ -91,6 +91,16 @@ impl Literal {
             Literal::Str(s) => Value::Text(s.clone()),
         }
     }
+
+    /// Render back to source form (strings single-quoted).
+    pub fn display(&self) -> String {
+        match self {
+            Literal::Null => "NULL".to_owned(),
+            Literal::Int(i) => i.to_string(),
+            Literal::Float(x) => x.to_string(),
+            Literal::Str(s) => format!("'{s}'"),
+        }
+    }
 }
 
 /// A possibly-qualified column reference `[table.]column`.
@@ -181,11 +191,16 @@ pub enum SelectItem {
     CountStar,
 }
 
-/// A `FROM`/`JOIN` table with optional alias.
+/// A `FROM`/`JOIN` source: a stored table, or a table function with
+/// literal arguments (`NEAREST('alien', 10) n`), with optional alias.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TableRef {
-    /// Table name as it exists in the database.
+    /// Table name as it exists in the database, or the function name.
     pub table: String,
+    /// Literal arguments when this is a table-function call; `None` for
+    /// a plain stored-table reference. `Some(vec![])` is a zero-argument
+    /// call (`f()`), distinct from a table named `f`.
+    pub args: Option<Vec<Literal>>,
     /// Optional binding alias (`movies m`).
     pub alias: Option<String>,
 }
@@ -194,6 +209,23 @@ impl TableRef {
     /// Name the table binds to in scope (alias wins).
     pub fn binding(&self) -> &str {
         self.alias.as_deref().unwrap_or(&self.table)
+    }
+
+    /// Whether this reference is a table-function call.
+    pub fn is_function(&self) -> bool {
+        self.args.is_some()
+    }
+
+    /// Render back to source-ish form (`movies`, `NEAREST('x', 10)`) for
+    /// plans and error messages.
+    pub fn display(&self) -> String {
+        match &self.args {
+            None => self.table.clone(),
+            Some(args) => {
+                let rendered: Vec<String> = args.iter().map(Literal::display).collect();
+                format!("{}({})", self.table, rendered.join(", "))
+            }
+        }
     }
 }
 
@@ -251,9 +283,24 @@ mod tests {
 
     #[test]
     fn table_ref_binding() {
-        let t = TableRef { table: "movies".into(), alias: Some("m".into()) };
+        let t = TableRef { table: "movies".into(), args: None, alias: Some("m".into()) };
         assert_eq!(t.binding(), "m");
-        let t = TableRef { table: "movies".into(), alias: None };
+        assert!(!t.is_function());
+        let t = TableRef { table: "movies".into(), args: None, alias: None };
         assert_eq!(t.binding(), "movies");
+    }
+
+    #[test]
+    fn table_function_display() {
+        let t = TableRef {
+            table: "NEAREST".into(),
+            args: Some(vec![Literal::Str("alien".into()), Literal::Int(10)]),
+            alias: Some("n".into()),
+        };
+        assert!(t.is_function());
+        assert_eq!(t.binding(), "n");
+        assert_eq!(t.display(), "NEAREST('alien', 10)");
+        let zero = TableRef { table: "f".into(), args: Some(vec![]), alias: None };
+        assert_eq!(zero.display(), "f()");
     }
 }

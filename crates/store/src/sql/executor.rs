@@ -15,6 +15,7 @@ use crate::index::FastBuild;
 use crate::schema::{ForeignKey, TableSchema};
 use crate::sql::ast::*;
 use crate::sql::planner::{self, Access, DmlPlan, JoinVia, PlanMode, Pred, ProjItem};
+use crate::sql::relation::{self, Rel, TableFunctionProvider};
 use crate::table::Table;
 use crate::value::Value;
 use crate::{Database, Result};
@@ -49,13 +50,45 @@ pub fn execute(db: &mut Database, stmt: &Statement) -> Result<QueryResult> {
 /// predicate is evaluated after all joins. Results are bit-identical to
 /// [`PlanMode::Planned`] by contract (`tests/index_equivalence.rs`).
 pub fn execute_with(db: &mut Database, stmt: &Statement, mode: PlanMode) -> Result<QueryResult> {
+    execute_provided(db, stmt, mode, None)
+}
+
+/// Execute a parsed statement with a [`TableFunctionProvider`] serving
+/// `FROM`/`JOIN` table-function references. Statements that reference a
+/// function without a provider fail with a typed SQL error.
+pub fn execute_provided(
+    db: &mut Database,
+    stmt: &Statement,
+    mode: PlanMode,
+    funcs: Option<&dyn TableFunctionProvider>,
+) -> Result<QueryResult> {
     match stmt {
         Statement::CreateTable(ct) => exec_create(db, ct),
         Statement::Insert(ins) => exec_insert(db, ins),
-        Statement::Select(sel) => exec_select(db, sel, mode),
+        Statement::Select(sel) => exec_select(db, sel, mode, funcs),
         Statement::Update(upd) => exec_update(db, upd, mode),
         Statement::Delete(del) => exec_delete(db, del, mode),
-        Statement::Explain(inner) => planner::explain(db, inner),
+        Statement::Explain(inner) => planner::explain(db, inner, mode, funcs),
+    }
+}
+
+/// Execute a *read-only* statement (`SELECT` or `EXPLAIN`) against a
+/// shared database reference. This is the entry point for callers that
+/// hold only `&Database` — e.g. a generation-pinned serving session —
+/// and is exactly what [`execute_provided`] runs for the same statement.
+/// Anything that could mutate is rejected with a typed SQL error.
+pub fn query_provided(
+    db: &Database,
+    stmt: &Statement,
+    mode: PlanMode,
+    funcs: Option<&dyn TableFunctionProvider>,
+) -> Result<QueryResult> {
+    match stmt {
+        Statement::Select(sel) => exec_select(db, sel, mode, funcs),
+        Statement::Explain(inner) => planner::explain(db, inner, mode, funcs),
+        _ => {
+            Err(StoreError::Sql("read-only execution supports only SELECT and EXPLAIN".to_owned()))
+        }
     }
 }
 
@@ -131,8 +164,8 @@ fn pred_on_row(pred: &Pred, row: &[Value]) -> bool {
 
 /// Evaluate a residual predicate on a joined position tuple. `slot[b]`
 /// maps a binding to its position within the tuple.
-fn pred_on_tuple(pred: &Pred, tables: &[&Table], slot: &[usize], tuple: &[u32]) -> bool {
-    let cell = |b: usize, c: usize| -> &Value { &tables[b].rows()[tuple[slot[b]] as usize][c] };
+fn pred_on_tuple(pred: &Pred, rels: &[Rel<'_>], slot: &[usize], tuple: &[u32]) -> bool {
+    let cell = |b: usize, c: usize| -> &Value { &rels[b].rows()[tuple[slot[b]] as usize][c] };
     match pred {
         Pred::IsNull { b, c } => cell(*b, *c).is_null(),
         Pred::IsNotNull { b, c } => !cell(*b, *c).is_null(),
@@ -283,10 +316,18 @@ fn exec_insert(db: &mut Database, ins: &Insert) -> Result<QueryResult> {
 // SELECT
 // ---------------------------------------------------------------------
 
-fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResult> {
-    let plan = planner::plan_select(db, sel, mode)?;
-    let tables: Vec<&Table> =
-        plan.bindings.iter().map(|b| db.table(&b.table)).collect::<Result<_>>()?;
+fn exec_select(
+    db: &Database,
+    sel: &Select,
+    mode: PlanMode,
+    funcs: Option<&dyn TableFunctionProvider>,
+) -> Result<QueryResult> {
+    // Materialize table functions once, before planning: both plan modes
+    // (and EXPLAIN) see identical rows, and the planner's row estimates
+    // for function bindings are exact.
+    let virt = relation::materialize_functions(sel, funcs)?;
+    let rels = relation::bind_rels(db, sel, &virt)?;
+    let plan = planner::plan_select(sel, &rels, mode)?;
 
     // slot[binding] = index of that binding's position within a tuple.
     let mut slot = vec![0usize; plan.bindings.len()];
@@ -297,18 +338,18 @@ fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResul
     // Joined rows as position tuples, one u32 per placed binding.
     let mut tuples: Vec<Vec<u32>> = Vec::new();
     for (k, step) in plan.steps.iter().enumerate() {
-        let table = tables[step.binding];
+        let rel = rels[step.binding];
         let keep = |pos: u32| -> bool {
-            step.filters.iter().all(|p| pred_on_row(p, &table.rows()[pos as usize]))
+            step.filters.iter().all(|p| pred_on_row(p, &rel.rows()[pos as usize]))
         };
         match &step.join {
             None => {
                 let candidates: Vec<u32> = match &step.access {
-                    Access::Scan => (0..table.len() as u32).collect(),
+                    Access::Scan => (0..rel.len() as u32).collect(),
                     Access::PkEq(key) => {
-                        table.row_position_by_pk(*key).map(|p| p as u32).into_iter().collect()
+                        rel.row_position_by_pk(*key).map(|p| p as u32).into_iter().collect()
                     }
-                    Access::IndexEq { col, key } => table
+                    Access::IndexEq { col, key } => rel
                         .index_probe(*col, key)
                         .expect("planner only chooses existing indexes")
                         .to_vec(),
@@ -316,33 +357,30 @@ fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResul
                 tuples = candidates.into_iter().filter(|&p| keep(p)).map(|p| vec![p]).collect();
             }
             Some(join) => {
-                let outer_table = tables[join.outer];
+                let outer_rel = rels[join.outer];
                 let outer_slot = slot[join.outer];
                 let mut next = Vec::new();
                 match join.via {
                     JoinVia::Pk | JoinVia::Index => {
                         for tuple in &tuples {
-                            let outer_row = &outer_table.rows()[tuple[outer_slot] as usize];
+                            let outer_row = &outer_rel.rows()[tuple[outer_slot] as usize];
                             let probe = &outer_row[join.outer_col];
                             // Borrow the matching positions straight from
                             // the index — no per-row key materialization.
                             let single;
                             let matches: &[u32] = if join.via == JoinVia::Pk {
                                 match join_canon(probe) {
-                                    Some(JoinKey::Int(key)) => {
-                                        match table.row_position_by_pk(key) {
-                                            Some(p) => {
-                                                single = [p as u32];
-                                                &single
-                                            }
-                                            None => &[],
+                                    Some(JoinKey::Int(key)) => match rel.row_position_by_pk(key) {
+                                        Some(p) => {
+                                            single = [p as u32];
+                                            &single
                                         }
-                                    }
+                                        None => &[],
+                                    },
                                     _ => &[],
                                 }
                             } else {
-                                table
-                                    .index_probe(join.inner_col, probe)
+                                rel.index_probe(join.inner_col, probe)
                                     .expect("planner only chooses existing indexes")
                             };
                             for &p in matches {
@@ -359,19 +397,19 @@ fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResul
                         // keyed by join-value hash; buckets hold position
                         // lists and are verified by join_eq on probe.
                         let mut built: HashMap<u64, Vec<u32>, FastBuild> = HashMap::default();
-                        for (p, row) in table.rows().iter().enumerate() {
+                        for (p, row) in rel.rows().iter().enumerate() {
                             let Some(h) = join_hash(&row[join.inner_col]) else { continue };
                             if keep(p as u32) {
                                 built.entry(h).or_default().push(p as u32);
                             }
                         }
                         for tuple in &tuples {
-                            let outer_row = &outer_table.rows()[tuple[outer_slot] as usize];
+                            let outer_row = &outer_rel.rows()[tuple[outer_slot] as usize];
                             let probe = &outer_row[join.outer_col];
                             let Some(h) = join_hash(probe) else { continue };
                             let Some(bucket) = built.get(&h) else { continue };
                             for &p in bucket {
-                                if join_eq(probe, &table.rows()[p as usize][join.inner_col]) {
+                                if join_eq(probe, &rel.rows()[p as usize][join.inner_col]) {
                                     let mut t = tuple.clone();
                                     t.push(p);
                                     next.push(t);
@@ -388,7 +426,7 @@ fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResul
 
     // Residual predicates (cross-binding, or everything in ForceScan).
     if !plan.residual.is_empty() {
-        tuples.retain(|t| plan.residual.iter().all(|p| pred_on_tuple(p, &tables, &slot, t)));
+        tuples.retain(|t| plan.residual.iter().all(|p| pred_on_tuple(p, &rels, &slot, t)));
     }
 
     // Canonical order: ascending row positions in *declared* binding
@@ -419,13 +457,13 @@ fn exec_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<QueryResul
 
     // Materialize flattened rows (declared binding order) — the only
     // place values are cloned.
-    let width: usize = tables.iter().map(|t| t.schema().columns.len()).sum();
+    let width: usize = rels.iter().map(|r| r.columns().len()).sum();
     let mut rows: Vec<Vec<Value>> = tuples
         .iter()
         .map(|t| {
             let mut row = Vec::with_capacity(width);
             for bi in 0..nb {
-                row.extend_from_slice(&tables[bi].rows()[t[slot[bi]] as usize]);
+                row.extend_from_slice(&rels[bi].rows()[t[slot[bi]] as usize]);
             }
             row
         })
@@ -779,5 +817,127 @@ mod tests {
         assert_eq!(db.write_version(), v0);
         let count = run_script(&mut db, "SELECT COUNT(*) FROM movies").unwrap();
         assert_eq!(count.rows[0][0], Value::Int(3));
+    }
+
+    /// A deterministic stand-in for the serving layer's NEAREST provider:
+    /// `RANKED(k)` yields rows `(id, score)` = `(k, 1/k)`, `(k-1, ...)`,
+    /// ... in rank order.
+    struct Ranked;
+    impl crate::sql::TableFunctionProvider for Ranked {
+        fn eval(&self, name: &str, args: &[Literal]) -> Result<crate::sql::VirtualRelation> {
+            if !name.eq_ignore_ascii_case("ranked") {
+                return Err(StoreError::Sql(format!("unknown table function `{name}`")));
+            }
+            let [Literal::Int(k)] = args else {
+                return Err(StoreError::Sql("RANKED(k) takes one integer".into()));
+            };
+            Ok(crate::sql::VirtualRelation {
+                label: format!("RANKED({k})"),
+                columns: vec![
+                    crate::schema::ColumnDef::new("id", crate::value::DataType::Int),
+                    crate::schema::ColumnDef::new("score", crate::value::DataType::Float),
+                ],
+                rows: (0..*k)
+                    .map(|i| vec![Value::Int(k - i), Value::Float(1.0 / (k - i) as f64)])
+                    .collect(),
+            })
+        }
+    }
+
+    /// Run a function-referencing statement under both modes with the
+    /// test provider, asserting bit-identical results.
+    fn run_both_provided(db: &mut Database, sql: &str) -> QueryResult {
+        let stmt = parse_statement(sql).unwrap();
+        let forced = execute_provided(db, &stmt, PlanMode::ForceScan, Some(&Ranked)).unwrap();
+        let planned = execute_provided(db, &stmt, PlanMode::Planned, Some(&Ranked)).unwrap();
+        assert_eq!(planned, forced, "plan changed results for {sql}");
+        planned
+    }
+
+    #[test]
+    fn table_function_rows_surface_in_rank_order() {
+        let mut db = seeded();
+        let r = run_both_provided(&mut db, "SELECT id, score FROM RANKED(3) r");
+        let ids: Vec<_> = r.rows.iter().map(|row| row[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(3), Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn table_function_joins_like_a_relation() {
+        let mut db = seeded();
+        let r = run_both_provided(
+            &mut db,
+            "SELECT m.title, r.score FROM RANKED(2) r JOIN movies m ON m.id = r.id",
+        );
+        // RANKED(2) = ids [2, 1]; canonical order follows the function's
+        // row positions (rank order), not movie pk order.
+        let titles: Vec<_> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(titles, vec!["Brazil", "Alien"]);
+        assert_eq!(r.rows[0][1], Value::Float(0.5));
+        // WHERE on function columns, LIMIT, and COUNT(*) all compose.
+        let r = run_both_provided(&mut db, "SELECT COUNT(*) FROM RANKED(5) r WHERE r.id >= 3");
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn table_function_without_provider_is_typed_error() {
+        let mut db = seeded();
+        let stmt = parse_statement("SELECT id FROM RANKED(3) r").unwrap();
+        let err = execute_with(&mut db, &stmt, PlanMode::Planned).unwrap_err();
+        assert!(matches!(err, StoreError::Sql(msg) if msg.contains("provider")));
+    }
+
+    #[test]
+    fn query_provided_is_read_only() {
+        let db = seeded();
+        let stmt = parse_statement("SELECT title FROM movies WHERE id = 1").unwrap();
+        let r = query_provided(&db, &stmt, PlanMode::Planned, None).unwrap();
+        assert_eq!(r.rows[0][0], Value::from("Alien"));
+        let stmt = parse_statement("DELETE FROM movies").unwrap();
+        let err = query_provided(&db, &stmt, PlanMode::Planned, None).unwrap_err();
+        assert!(matches!(err, StoreError::Sql(msg) if msg.contains("read-only")));
+    }
+
+    #[test]
+    fn explain_with_table_function_works_in_both_modes() {
+        // Regression guard: EXPLAIN of a statement with a table function
+        // must not panic (or error) under ForceScan. Table functions are
+        // always "planned" — they materialize before planning in every
+        // mode — while the relational rest of the plan obeys the mode.
+        let mut db = seeded();
+        let stmt = parse_statement(
+            "EXPLAIN SELECT m.title, r.score FROM RANKED(2) r JOIN movies m ON m.id = r.id",
+        )
+        .unwrap();
+        let planned = execute_provided(&mut db, &stmt, PlanMode::Planned, Some(&Ranked)).unwrap();
+        let lines: Vec<_> = planned.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "SELECT",
+                "  access RANKED(2) r: table function [2 rows]",
+                "  join movies m: pk probe (m.id = r.id) [~2 rows]",
+            ]
+        );
+        let forced = execute_provided(&mut db, &stmt, PlanMode::ForceScan, Some(&Ranked)).unwrap();
+        let lines: Vec<_> = forced.rows.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "SELECT",
+                "  access RANKED(2) r: table function [2 rows]",
+                "  join movies m: hash join (m.id = r.id) [~0 rows]",
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_pure_relational_obeys_force_scan_mode() {
+        let mut db = seeded();
+        let stmt = parse_statement("EXPLAIN SELECT title FROM movies WHERE id = 1").unwrap();
+        let planned = execute_with(&mut db, &stmt, PlanMode::Planned).unwrap();
+        assert!(planned.rows[1][0].to_string().contains("pk lookup"));
+        let forced = execute_with(&mut db, &stmt, PlanMode::ForceScan).unwrap();
+        assert!(forced.rows[1][0].to_string().contains("scan"));
     }
 }

@@ -36,10 +36,21 @@
 //! where       := WHERE predicate {AND predicate}
 //! predicate   := colref IS [NOT] NULL | colref op (literal | colref)
 //! op          := "=" | "!=" | "<" | "<=" | ">" | ">="
-//! tableref    := ident [ident]            -- optional binding alias
+//! tableref    := ident ["(" [literal {"," literal}] ")"] [ident]
+//!                -- parenthesized literals make it a table-function
+//!                -- call; the trailing ident is a binding alias
 //! colref      := [ident "."] ident
 //! literal     := NULL | int | float | 'string'
 //! ```
+//!
+//! **Table functions.** A `FROM`/`JOIN` source written as a call —
+//! `SELECT m.title, n.score FROM NEAREST('alien', 10) n JOIN movies m
+//! ON m.id = n.id` — is materialized by an injected
+//! [`TableFunctionProvider`] before planning and then joins, filters,
+//! orders, and projects like any other relation. The provider is plugged
+//! in through [`execute_provided`] (or the read-only [`query_provided`]);
+//! `retro-core`'s serving layer injects a provider backed by an embedding
+//! snapshot so `NEAREST` answers k-nearest-neighbour queries inside SQL.
 //!
 //! A multi-tuple `INSERT` executes through [`crate::BulkLoader`], so the
 //! statement is **atomic** (a bad tuple anywhere inserts nothing) and later
@@ -67,15 +78,17 @@ mod ast;
 mod executor;
 mod parser;
 mod planner;
+mod relation;
 mod tokenizer;
 
 pub use ast::{
     BinOp, ColumnRef, CreateTable, Delete, Expr, Insert, Literal, Select, SelectItem, Statement,
-    Update,
+    TableRef, Update,
 };
-pub use executor::{execute, execute_with, QueryResult};
+pub use executor::{execute, execute_provided, execute_with, query_provided, QueryResult};
 pub use parser::parse_statement;
 pub use planner::PlanMode;
+pub use relation::{TableFunctionProvider, VirtualRelation};
 pub use tokenizer::{tokenize, Token};
 
 use crate::{Database, Result};

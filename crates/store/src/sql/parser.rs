@@ -253,6 +253,23 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef> {
         let table = self.ident()?;
+        // A parenthesized literal list makes this a table-function call:
+        // `NEAREST('alien', 10) n`. Zero arguments (`f()`) are allowed.
+        let args = if self.eat_symbol("(") {
+            let mut list = Vec::new();
+            if !self.eat_symbol(")") {
+                loop {
+                    list.push(self.literal()?);
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+                self.expect_symbol(")")?;
+            }
+            Some(list)
+        } else {
+            None
+        };
         // Optional alias: bare identifier that is not a clause keyword.
         let alias = match self.peek() {
             Some(Token::Ident(s))
@@ -266,7 +283,7 @@ impl Parser {
             }
             _ => None,
         };
-        Ok(TableRef { table, alias })
+        Ok(TableRef { table, args, alias })
     }
 
     fn bin_op(&mut self) -> Result<BinOp> {
@@ -445,6 +462,33 @@ mod tests {
 
         assert!(parse_statement("UPDATE t WHERE a = 1").is_err()); // missing SET
         assert!(parse_statement("DELETE t").is_err()); // missing FROM
+    }
+
+    #[test]
+    fn parse_table_function_in_from_and_join() {
+        let stmt = parse_statement(
+            "SELECT m.title, n.score FROM NEAREST('alien', 10) n
+             JOIN movies m ON m.id = n.id",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!("wrong variant") };
+        assert_eq!(sel.from.table, "NEAREST");
+        assert_eq!(sel.from.args, Some(vec![Literal::Str("alien".into()), Literal::Int(10)]));
+        assert_eq!(sel.from.alias.as_deref(), Some("n"));
+        assert!(!sel.joins[0].table.is_function());
+
+        // Functions join the other way around too.
+        let stmt = parse_statement(
+            "SELECT * FROM movies m JOIN NEAREST('movies', 'title', 'alien', 5) n
+             ON n.id = m.id",
+        )
+        .unwrap();
+        let Statement::Select(sel) = stmt else { panic!("wrong variant") };
+        assert_eq!(sel.joins[0].table.args.as_ref().unwrap().len(), 4);
+
+        // Malformed argument lists are parse errors.
+        assert!(parse_statement("SELECT * FROM NEAREST('a', ) n").is_err());
+        assert!(parse_statement("SELECT * FROM NEAREST('a', 10 n").is_err());
     }
 
     #[test]

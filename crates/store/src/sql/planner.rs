@@ -31,7 +31,7 @@
 use crate::error::StoreError;
 use crate::sql::ast::{BinOp, ColumnRef, Expr, Operand, Select, SelectItem, Statement};
 use crate::sql::executor::QueryResult;
-use crate::table::Table;
+use crate::sql::relation::{self, Rel, TableFunctionProvider};
 use crate::value::{DataType, Value};
 use crate::{Database, Result};
 
@@ -181,10 +181,10 @@ pub(crate) struct Step {
     pub est: f64,
 }
 
-/// One table binding of a select, in declared order.
+/// One relation binding of a select, in declared order.
 #[derive(Clone, Debug)]
 pub(crate) struct BindingInfo {
-    /// Underlying table name.
+    /// Underlying table name, or the function's display label.
     pub table: String,
     /// Binding name (alias or table name).
     pub name: String,
@@ -240,7 +240,7 @@ pub(crate) struct DmlPlan {
 /// Column-reference resolution over the bindings visible so far.
 struct Binder<'a> {
     names: Vec<String>,
-    tables: Vec<&'a Table>,
+    rels: Vec<Rel<'a>>,
 }
 
 impl<'a> Binder<'a> {
@@ -248,13 +248,13 @@ impl<'a> Binder<'a> {
     /// ambiguity / unknown-column errors the executor always raised.
     fn resolve_prefix(&self, col: &ColumnRef, upto: usize) -> Result<(usize, usize)> {
         let mut found = None;
-        for (b, (name, table)) in self.names.iter().zip(&self.tables).enumerate().take(upto) {
+        for (b, (name, rel)) in self.names.iter().zip(&self.rels).enumerate().take(upto) {
             if let Some(qual) = &col.table {
                 if qual != name {
                     continue;
                 }
             }
-            if let Some(c) = table.schema().column_index(&col.column) {
+            if let Some(c) = rel.column_index(&col.column) {
                 if found.is_some() {
                     return Err(StoreError::Sql(format!("ambiguous column `{}`", col.display())));
                 }
@@ -306,24 +306,24 @@ struct Edge {
 
 /// Distinct-value count of a column, where the engine knows it exactly:
 /// primary keys are unique, secondary indexes count their keys.
-fn distinct(table: &Table, col: usize) -> Option<f64> {
-    if table.schema().primary_key == Some(col) {
-        return Some(table.len().max(1) as f64);
+fn distinct(rel: Rel<'_>, col: usize) -> Option<f64> {
+    if rel.primary_key() == Some(col) {
+        return Some(rel.len().max(1) as f64);
     }
-    table.index_distinct(col).map(|d| d.max(1) as f64)
+    rel.index_distinct(col).map(|d| d.max(1) as f64)
 }
 
 /// Fraction of rows a pushed-down filter keeps.
-fn selectivity(table: &Table, pred: &Pred) -> f64 {
+fn selectivity(rel: Rel<'_>, pred: &Pred) -> f64 {
     match pred {
         Pred::IsNull { .. } => SEL_IS_NULL,
         Pred::IsNotNull { .. } => 1.0 - SEL_IS_NULL,
         Pred::CmpLit { value: Value::Null, .. } => 0.0, // NULL compares false
         Pred::CmpLit { c, op: BinOp::Eq, .. } => {
-            1.0 / distinct(table, *c).unwrap_or(1.0 / SEL_EQ_DEFAULT)
+            1.0 / distinct(rel, *c).unwrap_or(1.0 / SEL_EQ_DEFAULT)
         }
         Pred::CmpLit { c, op: BinOp::Ne, .. } => {
-            1.0 - 1.0 / distinct(table, *c).unwrap_or(1.0 / SEL_EQ_DEFAULT)
+            1.0 - 1.0 / distinct(rel, *c).unwrap_or(1.0 / SEL_EQ_DEFAULT)
         }
         Pred::CmpLit { .. } => SEL_RANGE,
         Pred::CmpCol { .. } => SEL_COL_CMP,
@@ -331,52 +331,55 @@ fn selectivity(table: &Table, pred: &Pred) -> f64 {
     }
 }
 
-/// Exact row count an access path yields before filters.
-fn access_rows(table: &Table, access: &Access) -> f64 {
+/// Exact row count an access path yields before filters. For a table
+/// function this is its materialized row count (`k` for a kNN call) —
+/// the estimate is exact by construction.
+fn access_rows(rel: Rel<'_>, access: &Access) -> f64 {
     match access {
-        Access::Scan => table.len() as f64,
+        Access::Scan => rel.len() as f64,
         Access::PkEq(key) => {
-            if table.row_position_by_pk(*key).is_some() {
+            if rel.row_position_by_pk(*key).is_some() {
                 1.0
             } else {
                 0.0
             }
         }
         Access::IndexEq { col, key } => {
-            table.index_probe(*col, key).map_or(0.0, |list| list.len() as f64)
+            rel.index_probe(*col, key).map_or(0.0, |list| list.len() as f64)
         }
     }
 }
 
-/// Pick the cheapest base access for `table` given its pushed-down
+/// Pick the cheapest base access for `rel` given its pushed-down
 /// predicates. Returns the access plus the index (into `filters`) of the
 /// equality predicate the access consumes, if any.
 ///
 /// Only *exact-typed* equalities become index lookups — an `INTEGER`
 /// literal on the primary key or an indexed `INTEGER` column, a string
 /// literal on an indexed `TEXT` column — so a probe answers exactly the
-/// rows a scan would keep.
-fn choose_access(table: &Table, filters: &[Pred]) -> (Access, Option<usize>) {
+/// rows a scan would keep. Virtual relations have no indexes, so they
+/// always scan their (already small) materialized rows.
+fn choose_access(rel: Rel<'_>, filters: &[Pred]) -> (Access, Option<usize>) {
     let mut best: Option<(Access, usize, f64)> = None;
     for (i, pred) in filters.iter().enumerate() {
         let Pred::CmpLit { c, op: BinOp::Eq, value, .. } = pred else { continue };
         let exact = matches!(
-            (table.schema().columns[*c].ty, value),
+            (rel.columns()[*c].ty, value),
             (DataType::Int, Value::Int(_)) | (DataType::Text, Value::Text(_))
         );
         if !exact {
             continue;
         }
-        let candidate = if table.schema().primary_key == Some(*c) {
+        let candidate = if rel.primary_key() == Some(*c) {
             let Value::Int(key) = value else { unreachable!("exact-typed above") };
             Some(Access::PkEq(*key))
-        } else if table.has_secondary_index(*c) {
+        } else if rel.has_secondary_index(*c) {
             Some(Access::IndexEq { col: *c, key: value.clone() })
         } else {
             None
         };
         if let Some(access) = candidate {
-            let rows = access_rows(table, &access);
+            let rows = access_rows(rel, &access);
             // Strict `<` keeps the earliest (declared-order) predicate on
             // ties, so plans are deterministic.
             if best.as_ref().is_none_or(|(_, _, r)| rows < *r) {
@@ -394,18 +397,20 @@ fn choose_access(table: &Table, filters: &[Pred]) -> (Access, Option<usize>) {
 // SELECT planning
 // ---------------------------------------------------------------------
 
-pub(crate) fn plan_select(db: &Database, sel: &Select, mode: PlanMode) -> Result<SelectPlan> {
-    // Bind FROM and JOIN tables in declared order, resolving each ON
+/// Plan a SELECT over pre-bound relation sources (one [`Rel`] per
+/// declared binding, from [`relation::bind_rels`]).
+pub(crate) fn plan_select(sel: &Select, rels: &[Rel<'_>], mode: PlanMode) -> Result<SelectPlan> {
+    // Bind FROM and JOIN sources in declared order, resolving each ON
     // clause against the prefix scope it could see (error compatibility:
     // a later binding cannot make an earlier ON ambiguous).
-    let mut binder = Binder { names: Vec::new(), tables: Vec::new() };
+    let mut binder = Binder { names: Vec::new(), rels: Vec::new() };
     binder.names.push(sel.from.binding().to_owned());
-    binder.tables.push(db.table(&sel.from.table)?);
+    binder.rels.push(rels[0]);
 
     let mut edges: Vec<Edge> = Vec::new();
-    for join in &sel.joins {
+    for (join, rel) in sel.joins.iter().zip(&rels[1..]) {
         binder.names.push(join.table.binding().to_owned());
-        binder.tables.push(db.table(&join.table.table)?);
+        binder.rels.push(*rel);
         let b = binder.names.len() - 1;
         let l = binder.resolve_prefix(&join.left, b + 1)?;
         let r = binder.resolve_prefix(&join.right, b + 1)?;
@@ -427,11 +432,11 @@ pub(crate) fn plan_select(db: &Database, sel: &Select, mode: PlanMode) -> Result
         sel.predicates.iter().map(|e| binder.resolve_expr(e)).collect::<Result<_>>()?;
 
     let offsets: Vec<usize> = binder
-        .tables
+        .rels
         .iter()
-        .scan(0, |acc, t| {
+        .scan(0, |acc, r| {
             let at = *acc;
-            *acc += t.schema().columns.len();
+            *acc += r.columns().len();
             Some(at)
         })
         .collect();
@@ -448,8 +453,8 @@ pub(crate) fn plan_select(db: &Database, sel: &Select, mode: PlanMode) -> Result
     for item in &sel.items {
         match item {
             SelectItem::Wildcard => {
-                for (name, table) in binder.names.iter().zip(&binder.tables) {
-                    for col in &table.schema().columns {
+                for (name, rel) in binder.names.iter().zip(&binder.rels) {
+                    for col in rel.columns() {
                         columns.push(format!("{name}.{}", col.name));
                     }
                 }
@@ -477,8 +482,8 @@ pub(crate) fn plan_select(db: &Database, sel: &Select, mode: PlanMode) -> Result
     let bindings: Vec<BindingInfo> = binder
         .names
         .iter()
-        .zip(&binder.tables)
-        .map(|(name, table)| BindingInfo { table: table.schema().name.clone(), name: name.clone() })
+        .zip(&binder.rels)
+        .map(|(name, rel)| BindingInfo { table: rel.display_name().to_owned(), name: name.clone() })
         .collect();
 
     let (steps, residual) = match mode {
@@ -521,7 +526,7 @@ fn force_scan_steps(edges: &[Edge], preds: Vec<Pred>) -> (Vec<Step>, Vec<Pred>) 
 
 /// Greedy cost-based ordering with pushdown and index access paths.
 fn planned_steps(binder: &Binder<'_>, edges: &[Edge], preds: Vec<Pred>) -> (Vec<Step>, Vec<Pred>) {
-    let n = binder.tables.len();
+    let n = binder.rels.len();
 
     // Partition predicates: single-binding ones push down to their
     // binding; cross-binding ones stay residual.
@@ -537,12 +542,12 @@ fn planned_steps(binder: &Binder<'_>, edges: &[Edge], preds: Vec<Pred>) -> (Vec<
     // Estimated rows of each binding after base access and pushdown.
     let base: Vec<(Access, Option<usize>, f64)> = (0..n)
         .map(|b| {
-            let table = binder.tables[b];
-            let (access, consumed) = choose_access(table, &pushed[b]);
-            let mut est = access_rows(table, &access);
+            let rel = binder.rels[b];
+            let (access, consumed) = choose_access(rel, &pushed[b]);
+            let mut est = access_rows(rel, &access);
             for (i, pred) in pushed[b].iter().enumerate() {
                 if Some(i) != consumed {
-                    est *= selectivity(table, pred);
+                    est *= selectivity(rel, pred);
                 }
             }
             (access, consumed, est)
@@ -590,8 +595,8 @@ fn planned_steps(binder: &Binder<'_>, edges: &[Edge], preds: Vec<Pred>) -> (Vec<
                 if !placed[other.0] {
                     continue;
                 }
-                let d = distinct(binder.tables[b], this.1)
-                    .or_else(|| distinct(binder.tables[other.0], other.1))
+                let d = distinct(binder.rels[b], this.1)
+                    .or_else(|| distinct(binder.rels[other.0], other.1))
                     .unwrap_or_else(|| base[b].2.max(1.0));
                 let est_out = cur_est * base[b].2 / d;
                 if best_edge.as_ref().is_none_or(|(_, prev)| est_out < *prev) {
@@ -614,12 +619,12 @@ fn planned_steps(binder: &Binder<'_>, edges: &[Edge], preds: Vec<Pred>) -> (Vec<
             break;
         };
 
-        let table = binder.tables[b];
+        let rel = binder.rels[b];
         let (this, other) =
             if edges[e].p.0 == b { (edges[e].p, edges[e].q) } else { (edges[e].q, edges[e].p) };
-        let via = if table.schema().primary_key == Some(this.1) {
+        let via = if rel.primary_key() == Some(this.1) {
             JoinVia::Pk
-        } else if table.has_secondary_index(this.1) {
+        } else if rel.has_secondary_index(this.1) {
             JoinVia::Index
         } else {
             JoinVia::Hash
@@ -664,6 +669,7 @@ pub(crate) fn plan_dml(
     mode: PlanMode,
 ) -> Result<DmlPlan> {
     let table = db.table(table_name)?;
+    let rel = Rel::Stored(table);
     // DML column references resolve against the one target table; a
     // mismatched qualifier is an unknown column of that qualifier, the
     // error the row-at-a-time evaluator always raised.
@@ -703,9 +709,9 @@ pub(crate) fn plan_dml(
 
     let (access, consumed) = match mode {
         PlanMode::ForceScan => (Access::Scan, None),
-        PlanMode::Planned => choose_access(table, &preds),
+        PlanMode::Planned => choose_access(rel, &preds),
     };
-    let mut est = access_rows(table, &access);
+    let mut est = access_rows(rel, &access);
     let filters: Vec<Pred> = preds
         .into_iter()
         .enumerate()
@@ -713,7 +719,7 @@ pub(crate) fn plan_dml(
         .map(|(_, p)| p)
         .collect();
     for pred in &filters {
-        est *= selectivity(table, pred);
+        est *= selectivity(rel, pred);
     }
     Ok(DmlPlan { access, filters, est })
 }
@@ -723,21 +729,34 @@ pub(crate) fn plan_dml(
 // ---------------------------------------------------------------------
 
 /// Render the plan of `stmt` as one text row per plan line.
-pub(crate) fn explain(db: &Database, stmt: &Statement) -> Result<QueryResult> {
+///
+/// The relational parts of the plan obey `mode` (`EXPLAIN` under
+/// [`PlanMode::ForceScan`] shows the oracle's scans and hash joins).
+/// Table functions are *always* "planned": they materialize before
+/// planning regardless of mode, so their access line renders as a
+/// `table function` source with its exact row count in either mode.
+pub(crate) fn explain(
+    db: &Database,
+    stmt: &Statement,
+    mode: PlanMode,
+    provider: Option<&dyn TableFunctionProvider>,
+) -> Result<QueryResult> {
     let mut lines = Vec::new();
     match stmt {
         Statement::Select(sel) => {
-            let plan = plan_select(db, sel, PlanMode::Planned)?;
+            let virt = relation::materialize_functions(sel, provider)?;
+            let rels = relation::bind_rels(db, sel, &virt)?;
+            let plan = plan_select(sel, &rels, mode)?;
             lines.push("SELECT".to_owned());
-            render_select(db, sel, &plan, &mut lines)?;
+            render_select(sel, &plan, &rels, &mut lines);
         }
         Statement::Update(upd) => {
-            let plan = plan_dml(db, &upd.table, &upd.predicates, PlanMode::Planned)?;
+            let plan = plan_dml(db, &upd.table, &upd.predicates, mode)?;
             lines.push(format!("UPDATE {}", upd.table));
             render_dml(db, &upd.table, &plan, &mut lines)?;
         }
         Statement::Delete(del) => {
-            let plan = plan_dml(db, &del.table, &del.predicates, PlanMode::Planned)?;
+            let plan = plan_dml(db, &del.table, &del.predicates, mode)?;
             lines.push(format!("DELETE FROM {}", del.table));
             render_dml(db, &del.table, &plan, &mut lines)?;
         }
@@ -777,97 +796,96 @@ fn fmt_op(op: BinOp) -> &'static str {
 }
 
 /// `binding.column` display for a resolved column.
-fn fmt_col(bindings: &[BindingInfo], tables: &[&Table], b: usize, c: usize) -> String {
-    format!("{}.{}", bindings[b].name, tables[b].schema().columns[c].name)
+fn fmt_col(bindings: &[BindingInfo], rels: &[Rel<'_>], b: usize, c: usize) -> String {
+    format!("{}.{}", bindings[b].name, rels[b].columns()[c].name)
 }
 
-fn fmt_pred(bindings: &[BindingInfo], tables: &[&Table], pred: &Pred) -> String {
+fn fmt_pred(bindings: &[BindingInfo], rels: &[Rel<'_>], pred: &Pred) -> String {
     match pred {
-        Pred::IsNull { b, c } => format!("{} IS NULL", fmt_col(bindings, tables, *b, *c)),
-        Pred::IsNotNull { b, c } => format!("{} IS NOT NULL", fmt_col(bindings, tables, *b, *c)),
+        Pred::IsNull { b, c } => format!("{} IS NULL", fmt_col(bindings, rels, *b, *c)),
+        Pred::IsNotNull { b, c } => format!("{} IS NOT NULL", fmt_col(bindings, rels, *b, *c)),
         Pred::CmpLit { b, c, op, value } => {
-            format!("{} {} {}", fmt_col(bindings, tables, *b, *c), fmt_op(*op), fmt_lit(value))
+            format!("{} {} {}", fmt_col(bindings, rels, *b, *c), fmt_op(*op), fmt_lit(value))
         }
         Pred::CmpCol { lb, lc, op, rb, rc } => format!(
             "{} {} {}",
-            fmt_col(bindings, tables, *lb, *lc),
+            fmt_col(bindings, rels, *lb, *lc),
             fmt_op(*op),
-            fmt_col(bindings, tables, *rb, *rc)
+            fmt_col(bindings, rels, *rb, *rc)
         ),
         Pred::JoinEq { lb, lc, rb, rc } => format!(
             "{} = {} (join key)",
-            fmt_col(bindings, tables, *lb, *lc),
-            fmt_col(bindings, tables, *rb, *rc)
+            fmt_col(bindings, rels, *lb, *lc),
+            fmt_col(bindings, rels, *rb, *rc)
         ),
     }
 }
 
-fn fmt_access(binding: &BindingInfo, table: &Table, access: &Access) -> String {
-    let total = table.len();
-    let shown = if binding.name == binding.table {
+fn fmt_binding(binding: &BindingInfo) -> String {
+    if binding.name == binding.table {
         binding.table.clone()
     } else {
         format!("{} {}", binding.table, binding.name)
-    };
+    }
+}
+
+fn fmt_access(binding: &BindingInfo, rel: Rel<'_>, access: &Access) -> String {
+    let total = rel.len();
+    let shown = fmt_binding(binding);
+    // A table function materializes before planning in every mode — its
+    // access line never claims a scan/index choice was made.
+    if rel.is_virtual() {
+        return format!("access {shown}: table function [{total} rows]");
+    }
     match access {
         Access::Scan => format!("access {shown}: scan [{total} rows]"),
         Access::PkEq(key) => {
-            let pk = table.schema().primary_key.expect("pk access on pk table");
-            let hits = usize::from(table.row_position_by_pk(*key).is_some());
+            let pk = rel.primary_key().expect("pk access on pk table");
+            let hits = usize::from(rel.row_position_by_pk(*key).is_some());
             format!(
                 "access {shown}: pk lookup ({} = {key}) [{hits} of {total} rows]",
-                table.schema().columns[pk].name
+                rel.columns()[pk].name
             )
         }
         Access::IndexEq { col, key } => {
-            let hits = table.index_probe(*col, key).map_or(0, <[u32]>::len);
+            let hits = rel.index_probe(*col, key).map_or(0, <[u32]>::len);
             format!(
                 "access {shown}: index lookup ({} = {}) [{hits} of {total} rows]",
-                table.schema().columns[*col].name,
+                rel.columns()[*col].name,
                 fmt_lit(key)
             )
         }
     }
 }
 
-fn render_select(
-    db: &Database,
-    sel: &Select,
-    plan: &SelectPlan,
-    lines: &mut Vec<String>,
-) -> Result<()> {
-    let tables: Vec<&Table> =
-        plan.bindings.iter().map(|b| db.table(&b.table)).collect::<Result<_>>()?;
+fn render_select(sel: &Select, plan: &SelectPlan, rels: &[Rel<'_>], lines: &mut Vec<String>) {
     for step in &plan.steps {
         let binding = &plan.bindings[step.binding];
-        let table = tables[step.binding];
+        let rel = rels[step.binding];
         match &step.join {
-            None => lines.push(format!("  {}", fmt_access(binding, table, &step.access))),
+            None => lines.push(format!("  {}", fmt_access(binding, rel, &step.access))),
             Some(join) => {
                 let strategy = match join.via {
                     JoinVia::Pk => "pk probe",
                     JoinVia::Index => "index probe",
                     JoinVia::Hash => "hash join",
                 };
-                let shown = if binding.name == binding.table {
-                    binding.table.clone()
-                } else {
-                    format!("{} {}", binding.table, binding.name)
-                };
+                let shown = fmt_binding(binding);
+                let source = if rel.is_virtual() { " (table function)" } else { "" };
                 lines.push(format!(
-                    "  join {shown}: {strategy} ({} = {}) [~{} rows]",
-                    fmt_col(&plan.bindings, &tables, step.binding, join.inner_col),
-                    fmt_col(&plan.bindings, &tables, join.outer, join.outer_col),
+                    "  join {shown}: {strategy}{source} ({} = {}) [~{} rows]",
+                    fmt_col(&plan.bindings, rels, step.binding, join.inner_col),
+                    fmt_col(&plan.bindings, rels, join.outer, join.outer_col),
                     fmt_est(step.est)
                 ));
             }
         }
         for pred in &step.filters {
-            lines.push(format!("    filter {}", fmt_pred(&plan.bindings, &tables, pred)));
+            lines.push(format!("    filter {}", fmt_pred(&plan.bindings, rels, pred)));
         }
     }
     for pred in &plan.residual {
-        lines.push(format!("  residual {}", fmt_pred(&plan.bindings, &tables, pred)));
+        lines.push(format!("  residual {}", fmt_pred(&plan.bindings, rels, pred)));
     }
     if let Some((col, desc)) = &sel.order_by {
         lines.push(format!("  order by {}{}", col.display(), if *desc { " desc" } else { "" }));
@@ -875,7 +893,6 @@ fn render_select(
     if let Some(n) = plan.limit {
         lines.push(format!("  limit {n}"));
     }
-    Ok(())
 }
 
 fn render_dml(
@@ -884,13 +901,13 @@ fn render_dml(
     plan: &DmlPlan,
     lines: &mut Vec<String>,
 ) -> Result<()> {
-    let table = db.table(table_name)?;
+    let rel = Rel::Stored(db.table(table_name)?);
     let binding = BindingInfo { table: table_name.to_owned(), name: table_name.to_owned() };
-    lines.push(format!("  {}", fmt_access(&binding, table, &plan.access)));
+    lines.push(format!("  {}", fmt_access(&binding, rel, &plan.access)));
     let bindings = [binding];
-    let tables = [table];
+    let rels = [rel];
     for pred in &plan.filters {
-        lines.push(format!("    filter {}", fmt_pred(&bindings, &tables, pred)));
+        lines.push(format!("    filter {}", fmt_pred(&bindings, &rels, pred)));
     }
     lines.push(format!("  [~{} rows match]", fmt_est(plan.est)));
     Ok(())
@@ -927,15 +944,21 @@ mod tests {
         }
     }
 
+    /// Bind and plan a provider-free SELECT (the pre-table-function path).
+    fn plan_stored(db: &Database, sel: &Select, mode: PlanMode) -> SelectPlan {
+        let virt = relation::materialize_functions(sel, None).unwrap();
+        let rels = relation::bind_rels(db, sel, &virt).unwrap();
+        plan_select(sel, &rels, mode).unwrap()
+    }
+
     #[test]
     fn pk_equality_chooses_pk_access() {
         let db = two_tables();
-        let plan = plan_select(
+        let plan = plan_stored(
             &db,
             &parse_select("SELECT name FROM parents WHERE id = 3"),
             PlanMode::Planned,
-        )
-        .unwrap();
+        );
         assert!(matches!(plan.steps[0].access, Access::PkEq(3)));
         assert!(plan.steps[0].filters.is_empty(), "the equality is consumed by the access");
     }
@@ -943,12 +966,11 @@ mod tests {
     #[test]
     fn fk_equality_chooses_index_access() {
         let db = two_tables();
-        let plan = plan_select(
+        let plan = plan_stored(
             &db,
             &parse_select("SELECT id FROM kids WHERE parent_id = 2"),
             PlanMode::Planned,
-        )
-        .unwrap();
+        );
         assert!(matches!(plan.steps[0].access, Access::IndexEq { .. }));
     }
 
@@ -957,12 +979,11 @@ mod tests {
         // 2.0 equals 2 under SQL comparison but is not an exact-typed
         // key; the planner must not risk an index/scan divergence.
         let db = two_tables();
-        let plan = plan_select(
+        let plan = plan_stored(
             &db,
             &parse_select("SELECT id FROM kids WHERE parent_id = 2.0"),
             PlanMode::Planned,
-        )
-        .unwrap();
+        );
         assert!(matches!(plan.steps[0].access, Access::Scan));
         assert_eq!(plan.steps[0].filters.len(), 1);
     }
@@ -972,14 +993,13 @@ mod tests {
         let db = two_tables();
         // parents filtered to ~1 row by pk; the join should start there
         // even though kids is declared first.
-        let plan = plan_select(
+        let plan = plan_stored(
             &db,
             &parse_select(
                 "SELECT k.id FROM kids k JOIN parents p ON k.parent_id = p.id WHERE p.id = 3",
             ),
             PlanMode::Planned,
-        )
-        .unwrap();
+        );
         assert_eq!(plan.steps[0].binding, 1, "start from the pk-filtered parents binding");
         let join = plan.steps[1].join.as_ref().unwrap();
         assert_eq!(join.via, JoinVia::Index, "kids.parent_id is FK-indexed");
@@ -988,14 +1008,13 @@ mod tests {
     #[test]
     fn force_scan_uses_declared_order_and_no_pushdown() {
         let db = two_tables();
-        let plan = plan_select(
+        let plan = plan_stored(
             &db,
             &parse_select(
                 "SELECT k.id FROM kids k JOIN parents p ON k.parent_id = p.id WHERE p.id = 3",
             ),
             PlanMode::ForceScan,
-        )
-        .unwrap();
+        );
         assert_eq!(plan.steps[0].binding, 0);
         assert!(matches!(plan.steps[0].access, Access::Scan));
         assert_eq!(plan.steps[1].join.as_ref().unwrap().via, JoinVia::Hash);
@@ -1019,6 +1038,6 @@ mod tests {
         let stmt =
             crate::sql::parse_statement("EXPLAIN INSERT INTO parents VALUES (99, 'x')").unwrap();
         let Statement::Explain(inner) = stmt else { panic!("expected EXPLAIN") };
-        assert!(explain(&db, &inner).is_err());
+        assert!(explain(&db, &inner, PlanMode::Planned, None).is_err());
     }
 }

@@ -1,0 +1,294 @@
+//! Pluggable relation sources: stored tables and table-function results.
+//!
+//! The planner and executor used to reach rows exclusively through
+//! [`crate::Table`]. Table functions — `FROM NEAREST('alien', 10) n` —
+//! introduce a second kind of relation: a small result set materialized
+//! by an injected [`TableFunctionProvider`] before planning begins. The
+//! [`Rel`] enum unifies the two behind the handful of accessors the
+//! planner needs (rows, column metadata, index statistics), so join
+//! ordering, predicate pushdown, and canonical output ordering treat a
+//! function binding exactly like a k-row table with no indexes.
+//!
+//! Materialization happens once per statement, *before* planning, which
+//! is what makes the cost model exact: a function's estimated row count
+//! is its actual row count (`k` for a kNN function). It also keeps the
+//! bit-identical-output contract trivially intact — both
+//! [`crate::sql::PlanMode`]s see the same materialized rows.
+
+use crate::error::StoreError;
+use crate::schema::ColumnDef;
+use crate::sql::ast::{Literal, Select, TableRef};
+use crate::table::Table;
+use crate::value::Value;
+use crate::{Database, Result};
+
+/// A materialized table-function result: an anonymous, index-less
+/// relation that lives for the duration of one statement.
+///
+/// Row order is part of the relation's contract — the executor's
+/// canonical output ordering sorts by row *position*, so a provider
+/// that returns ranked rows (nearest first) surfaces them in rank order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VirtualRelation {
+    /// Display label for `EXPLAIN` (e.g. `NEAREST('alien', 10)`).
+    pub label: String,
+    /// Output column definitions, in order.
+    pub columns: Vec<ColumnDef>,
+    /// The materialized rows. Each row's arity must equal `columns.len()`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl VirtualRelation {
+    /// Validate that every row matches the declared arity.
+    pub fn validate(&self) -> Result<()> {
+        for row in &self.rows {
+            if row.len() != self.columns.len() {
+                return Err(StoreError::Sql(format!(
+                    "table function `{}` returned a row of arity {} (expected {})",
+                    self.label,
+                    row.len(),
+                    self.columns.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates table functions referenced in a `FROM`/`JOIN` clause.
+///
+/// Implementations resolve a function name (matched case-insensitively by
+/// convention; providers receive the name as written) plus its literal
+/// arguments to a [`VirtualRelation`]. `retro-core` injects a provider
+/// backed by an embedding snapshot to serve `NEAREST(...)`.
+pub trait TableFunctionProvider {
+    /// Materialize the named function for one statement.
+    fn eval(&self, name: &str, args: &[Literal]) -> Result<VirtualRelation>;
+}
+
+/// A bound relation source: either a stored table or a materialized
+/// table-function result. This is the planner/executor view — every
+/// accessor degrades gracefully for virtual relations (no primary key,
+/// no secondary indexes), so the planner simply never chooses an index
+/// path for them.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Rel<'a> {
+    /// A table stored in the database.
+    Stored(&'a Table),
+    /// A materialized table-function result.
+    Virtual(&'a VirtualRelation),
+}
+
+impl<'a> Rel<'a> {
+    /// The column definitions, in order.
+    pub fn columns(&self) -> &'a [ColumnDef] {
+        match self {
+            Rel::Stored(t) => &t.schema().columns,
+            Rel::Virtual(v) => &v.columns,
+        }
+    }
+
+    /// Position of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        match self {
+            Rel::Stored(t) => t.schema().column_index(name),
+            Rel::Virtual(v) => v.columns.iter().position(|c| c.name == name),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows().len()
+    }
+
+    /// All rows, in position order.
+    pub fn rows(&self) -> &'a [Vec<Value>] {
+        match self {
+            Rel::Stored(t) => t.rows(),
+            Rel::Virtual(v) => &v.rows,
+        }
+    }
+
+    /// The primary-key column, if any (never for virtual relations).
+    pub fn primary_key(&self) -> Option<usize> {
+        match self {
+            Rel::Stored(t) => t.schema().primary_key,
+            Rel::Virtual(_) => None,
+        }
+    }
+
+    /// Whether a secondary equality index covers `col`.
+    pub fn has_secondary_index(&self, col: usize) -> bool {
+        match self {
+            Rel::Stored(t) => t.has_secondary_index(col),
+            Rel::Virtual(_) => false,
+        }
+    }
+
+    /// Probe a secondary index (sorted positions of one key).
+    pub fn index_probe(&self, col: usize, key: &Value) -> Option<&'a [u32]> {
+        match self {
+            Rel::Stored(t) => t.index_probe(col, key),
+            Rel::Virtual(_) => None,
+        }
+    }
+
+    /// Exact distinct-key count of an indexed column.
+    pub fn index_distinct(&self, col: usize) -> Option<usize> {
+        match self {
+            Rel::Stored(t) => t.index_distinct(col),
+            Rel::Virtual(_) => None,
+        }
+    }
+
+    /// Row position holding primary key `key`.
+    pub fn row_position_by_pk(&self, key: i64) -> Option<usize> {
+        match self {
+            Rel::Stored(t) => t.row_position_by_pk(key),
+            Rel::Virtual(_) => None,
+        }
+    }
+
+    /// Display name for plans and `EXPLAIN` (table name or function label).
+    pub fn display_name(&self) -> &'a str {
+        match self {
+            Rel::Stored(t) => &t.schema().name,
+            Rel::Virtual(v) => &v.label,
+        }
+    }
+
+    /// Whether this binding is a table-function result.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Rel::Virtual(_))
+    }
+}
+
+/// Every `FROM`/`JOIN` source of `sel`, in declared order.
+fn sources(sel: &Select) -> impl Iterator<Item = &TableRef> {
+    std::iter::once(&sel.from).chain(sel.joins.iter().map(|j| &j.table))
+}
+
+/// Materialize every table function referenced by `sel`, in declared
+/// binding order (`None` for stored-table bindings). Errors if a
+/// function is referenced but no provider was supplied.
+pub(crate) fn materialize_functions(
+    sel: &Select,
+    provider: Option<&dyn TableFunctionProvider>,
+) -> Result<Vec<Option<VirtualRelation>>> {
+    sources(sel)
+        .map(|tref| match &tref.args {
+            None => Ok(None),
+            Some(args) => {
+                let provider = provider.ok_or_else(|| {
+                    StoreError::Sql(format!(
+                        "table function `{}` requires a provider (none registered)",
+                        tref.table
+                    ))
+                })?;
+                let rel = provider.eval(&tref.table, args)?;
+                rel.validate()?;
+                Ok(Some(rel))
+            }
+        })
+        .collect()
+}
+
+/// Bind every source of `sel` to a [`Rel`]: virtual bindings take their
+/// materialized relation from `virt`, stored bindings resolve against
+/// the database. `virt` must come from [`materialize_functions`] for the
+/// same statement.
+pub(crate) fn bind_rels<'a>(
+    db: &'a Database,
+    sel: &Select,
+    virt: &'a [Option<VirtualRelation>],
+) -> Result<Vec<Rel<'a>>> {
+    debug_assert_eq!(virt.len(), 1 + sel.joins.len());
+    sources(sel)
+        .zip(virt)
+        .map(|(tref, v)| match v {
+            Some(rel) => Ok(Rel::Virtual(rel)),
+            None => Ok(Rel::Stored(db.table(&tref.table)?)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    struct OneRow;
+    impl TableFunctionProvider for OneRow {
+        fn eval(&self, name: &str, args: &[Literal]) -> Result<VirtualRelation> {
+            assert!(name.eq_ignore_ascii_case("one"));
+            let k = match args {
+                [Literal::Int(k)] => *k,
+                _ => return Err(StoreError::Sql("ONE(k) takes one integer".into())),
+            };
+            Ok(VirtualRelation {
+                label: format!("ONE({k})"),
+                columns: vec![ColumnDef::new("v", DataType::Int)],
+                rows: (0..k).map(|i| vec![Value::Int(i)]).collect(),
+            })
+        }
+    }
+
+    #[test]
+    fn rel_accessors_degrade_for_virtual() {
+        let v = VirtualRelation {
+            label: "F()".into(),
+            columns: vec![ColumnDef::new("v", DataType::Int)],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        let rel = Rel::Virtual(&v);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.column_index("v"), Some(0));
+        assert_eq!(rel.primary_key(), None);
+        assert!(!rel.has_secondary_index(0));
+        assert_eq!(rel.index_probe(0, &Value::Int(7)), None);
+        assert_eq!(rel.row_position_by_pk(7), None);
+        assert!(rel.is_virtual());
+    }
+
+    #[test]
+    fn materialize_requires_provider() {
+        let sel = match crate::sql::parse_statement("SELECT v FROM one(3) o").unwrap() {
+            crate::sql::Statement::Select(sel) => sel,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let err = materialize_functions(&sel, None).unwrap_err();
+        assert!(matches!(err, StoreError::Sql(msg) if msg.contains("provider")));
+        let virt = materialize_functions(&sel, Some(&OneRow)).unwrap();
+        assert_eq!(virt[0].as_ref().unwrap().rows.len(), 3);
+    }
+
+    #[test]
+    fn bind_mixes_stored_and_virtual() {
+        let mut db = Database::new();
+        db.create_table(TableSchema::builder("t").pk("id").build()).unwrap();
+        db.insert("t", vec![Value::Int(1)]).unwrap();
+        let sel = match crate::sql::parse_statement("SELECT * FROM one(2) o JOIN t ON t.id = o.v")
+            .unwrap()
+        {
+            crate::sql::Statement::Select(sel) => sel,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        let virt = materialize_functions(&sel, Some(&OneRow)).unwrap();
+        let rels = bind_rels(&db, &sel, &virt).unwrap();
+        assert!(rels[0].is_virtual());
+        assert!(!rels[1].is_virtual());
+        assert_eq!(rels[0].display_name(), "ONE(2)");
+        assert_eq!(rels[1].display_name(), "t");
+    }
+
+    #[test]
+    fn arity_violations_are_typed_errors() {
+        let bad = VirtualRelation {
+            label: "BAD()".into(),
+            columns: vec![ColumnDef::new("a", DataType::Int)],
+            rows: vec![vec![Value::Int(1), Value::Int(2)]],
+        };
+        assert!(bad.validate().is_err());
+    }
+}

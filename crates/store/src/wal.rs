@@ -24,6 +24,7 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::Path;
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 use crate::error::StoreError;
 use crate::schema::{ColumnDef, ForeignKey, TableSchema};
@@ -407,9 +408,42 @@ impl WalEntry {
 // Writer.
 // ---------------------------------------------------------------------------
 
+/// When appended WAL records reach the operating system.
+///
+/// The durability contract of `docs/DURABILITY.md` — log-before-apply,
+/// torn-tail recovery, checkpoint compaction — is identical under every
+/// policy; the policy only chooses the flush cadence, i.e. how many of
+/// the *most recent* commits a crash may lose. Records are framed and
+/// sequence-numbered identically either way, so a log written under one
+/// policy recovers under the other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DurabilityPolicy {
+    /// Write and flush every record before the commit returns (the
+    /// default). A crash loses nothing that was committed.
+    PerCommit,
+    /// Group commit: buffer up to `n` framed records in memory and write
+    /// + flush them together when the group fills, when `max_delay` has
+    /// elapsed since the group's first record, or on an explicit
+    /// [`crate::Database::flush_wal`] / checkpoint / drop. A crash may
+    /// lose the buffered tail (at most `n` commits, at most `max_delay`
+    /// old); everything flushed recovers exactly as under
+    /// [`DurabilityPolicy::PerCommit`].
+    ///
+    /// The delay bound is enforced at append/flush time — there is no
+    /// background timer thread — so a quiet writer's last group stays
+    /// buffered until the next append, an explicit flush, or drop.
+    Group(usize, Duration),
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy::PerCommit
+    }
+}
+
 /// Append-only handle on the log file. Owned by
-/// `database::Durability`; one record per committed mutation, flushed
-/// before the in-memory commit returns.
+/// `database::Durability`; one record per committed mutation, reaching
+/// the OS on the cadence chosen by [`DurabilityPolicy`].
 #[derive(Debug)]
 pub(crate) struct Wal {
     file: File,
@@ -417,6 +451,14 @@ pub(crate) struct Wal {
     /// the lifetime of the durability directory — compaction truncates the
     /// file but never rewinds the sequence.
     pub(crate) next_seq: u64,
+    /// Flush cadence; see [`DurabilityPolicy`].
+    policy: DurabilityPolicy,
+    /// Framed records not yet written to the file (group commit only).
+    buffer: Vec<u8>,
+    /// How many records `buffer` holds.
+    buffered: usize,
+    /// When the oldest buffered record was appended.
+    buffered_since: Option<Instant>,
 }
 
 impl Wal {
@@ -425,30 +467,93 @@ impl Wal {
     /// sequence recovery replayed (or past the snapshot it skipped to).
     pub(crate) fn open(path: &Path, next_seq: u64) -> Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path).map_err(io_err)?;
-        Ok(Self { file, next_seq })
+        Ok(Self {
+            file,
+            next_seq,
+            policy: DurabilityPolicy::PerCommit,
+            buffer: Vec::new(),
+            buffered: 0,
+            buffered_since: None,
+        })
     }
 
-    /// Append one framed record and flush it to the OS before returning.
+    /// Change the flush cadence. Any buffered group is flushed first, so
+    /// records appended under the old policy keep its guarantee.
+    pub(crate) fn set_policy(&mut self, policy: DurabilityPolicy) -> Result<()> {
+        self.flush()?;
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Append one framed record. Under [`DurabilityPolicy::PerCommit`] the
+    /// record reaches the OS before this returns; under group commit it is
+    /// buffered and the group is flushed when full or older than the
+    /// configured delay.
     pub(crate) fn append(&mut self, op: &WalOp<'_>) -> Result<()> {
         let mut payload = Vec::with_capacity(64);
         put_u64(&mut payload, self.next_seq);
         op.encode(&mut payload);
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        put_u32(&mut frame, payload.len() as u32);
-        put_u32(&mut frame, crc32(&payload));
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame).map_err(io_err)?;
-        self.file.flush().map_err(io_err)?;
+        let frame_len = payload.len() + 8;
+        match self.policy {
+            DurabilityPolicy::PerCommit => {
+                let mut frame = Vec::with_capacity(frame_len);
+                put_u32(&mut frame, payload.len() as u32);
+                put_u32(&mut frame, crc32(&payload));
+                frame.extend_from_slice(&payload);
+                self.file.write_all(&frame).map_err(io_err)?;
+                self.file.flush().map_err(io_err)?;
+            }
+            DurabilityPolicy::Group(n, max_delay) => {
+                self.buffer.reserve(frame_len);
+                put_u32(&mut self.buffer, payload.len() as u32);
+                put_u32(&mut self.buffer, crc32(&payload));
+                self.buffer.extend_from_slice(&payload);
+                self.buffered += 1;
+                let since = *self.buffered_since.get_or_insert_with(Instant::now);
+                if self.buffered >= n.max(1) || since.elapsed() >= max_delay {
+                    self.flush()?;
+                }
+            }
+        }
         self.next_seq += 1;
         Ok(())
     }
 
+    /// Write any buffered group to the file and flush to the OS. A no-op
+    /// when nothing is buffered (in particular under
+    /// [`DurabilityPolicy::PerCommit`], where appends flush themselves).
+    pub(crate) fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buffer).map_err(io_err)?;
+        self.file.flush().map_err(io_err)?;
+        self.buffer.clear();
+        self.buffered = 0;
+        self.buffered_since = None;
+        Ok(())
+    }
+
     /// Discard every record (compaction): called right after a snapshot
-    /// captured everything up to the current sequence. The sequence
-    /// counter keeps counting — recovery pairs the truncated log with the
-    /// snapshot's recorded sequence.
+    /// captured everything up to the current sequence. Any buffered group
+    /// is discarded too — the snapshot already captured those mutations'
+    /// effects. The sequence counter keeps counting — recovery pairs the
+    /// truncated log with the snapshot's recorded sequence.
     pub(crate) fn reset(&mut self) -> Result<()> {
+        self.buffer.clear();
+        self.buffered = 0;
+        self.buffered_since = None;
         self.file.set_len(0).map_err(io_err)
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort flush of a buffered group: a clean shutdown under group
+    /// commit loses nothing. (A flush failure cannot be reported from a
+    /// destructor; a *crash* skips this entirely — that is the bounded
+    /// loss window group commit trades for fewer flushes.)
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }
 
